@@ -1,0 +1,128 @@
+// Command consensus runs any of the paper's protocols on chosen inputs
+// under a chosen scheduler and reports the decision together with space and
+// step measurements.
+//
+// Usage:
+//
+//	consensus -row T1.9 -inputs 3,1,4,1,2 [-l cap] [-sched random|rr|solo]
+//	          [-seed s] [-crash p] [-trace]
+//
+// The number of processes is the number of inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func parseInputs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad input %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	rowID := flag.String("row", "T1.9", "Table 1 row id (see spacehier for the list)")
+	inputsFlag := flag.String("inputs", "1,0,2", "comma-separated inputs, one per process")
+	l := flag.Int("l", 2, "buffer capacity for the l-buffer rows")
+	schedName := flag.String("sched", "random", "scheduler: random, rr, solo:<pid>")
+	seed := flag.Int64("seed", 1, "seed for the random scheduler")
+	crash := flag.Float64("crash", 0, "per-step crash probability (random crash injection)")
+	trace := flag.Bool("trace", false, "print every executed step")
+	maxSteps := flag.Int64("max-steps", 50_000_000, "step budget")
+	flag.Parse()
+
+	inputs, err := parseInputs(*inputsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row, ok := core.RowByID(*rowID, *l)
+	if !ok {
+		log.Fatalf("unknown row %q; run spacehier for the list", *rowID)
+	}
+	if row.Build == nil {
+		log.Fatalf("row %s has no constructive protocol", row.ID)
+	}
+	pr := row.Build(len(inputs))
+	fmt.Printf("protocol: %s over %s\n", pr.Name, pr.Set)
+	sys, err := pr.NewSystem(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	var sched sim.Scheduler
+	switch {
+	case *schedName == "random":
+		sched = sim.NewRandom(*seed)
+	case *schedName == "rr":
+		sched = &sim.RoundRobin{}
+	case strings.HasPrefix(*schedName, "solo:"):
+		pid, err := strconv.Atoi(strings.TrimPrefix(*schedName, "solo:"))
+		if err != nil {
+			log.Fatalf("bad solo pid: %v", err)
+		}
+		sched = sim.Solo{PID: pid}
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+	if *crash > 0 {
+		sched = sim.NewRandomCrash(sched, *crash, *seed+1)
+	}
+
+	if *trace {
+		for {
+			pid := sched.Next(sys)
+			if pid < 0 || sys.Steps() >= *maxSteps {
+				break
+			}
+			st, err := sys.Step(pid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d  p%-2d %v\n", sys.Steps(), st.PID, st.Info)
+		}
+	} else if _, err := sys.Run(sched, *maxSteps); err != nil {
+		log.Fatal(err)
+	}
+
+	res := sys.Result()
+	if err := res.CheckConsensus(inputs); err != nil {
+		log.Fatalf("SAFETY VIOLATION: %v", err)
+	}
+	fmt.Printf("result: %v\n", res)
+	st := sys.Mem().Stats()
+	fmt.Printf("space: %d locations touched (declared %s), %d steps, widest value %d bits\n",
+		st.Footprint(), declared(pr.Locations, pr.Unbounded), st.Steps, st.MaxBits)
+	lo, up := core.SP(row, len(inputs))
+	fmt.Printf("paper bounds at n=%d: lower %s, upper %s\n",
+		len(inputs), bound(lo), bound(up))
+}
+
+func declared(locs int, unbounded bool) string {
+	if unbounded {
+		return "unbounded"
+	}
+	return strconv.Itoa(locs)
+}
+
+func bound(v int) string {
+	if v == core.Unbounded {
+		return "∞"
+	}
+	return strconv.Itoa(v)
+}

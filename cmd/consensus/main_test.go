@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseInputs(t *testing.T) {
+	got, err := parseInputs("3, 1,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 4 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseInputs("1,x"); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if _, err := parseInputs(""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestBoundRendering(t *testing.T) {
+	if got := bound(-1); got != "∞" {
+		t.Fatalf("bound(-1) = %q", got)
+	}
+	if got := bound(7); got != "7" {
+		t.Fatalf("bound(7) = %q", got)
+	}
+	if got := declared(5, false); got != "5" {
+		t.Fatalf("declared = %q", got)
+	}
+	if got := declared(0, true); got != "unbounded" {
+		t.Fatalf("declared = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Command spacehier regenerates Table 1 of the paper: for each instruction
+// set it prints the proven lower/upper space bounds, their evaluation at the
+// chosen n, and the measured location footprint and step count of the
+// implemented upper-bound protocol.
+//
+// Usage:
+//
+//	spacehier [-n processes] [-l bufferCap] [-seed s] [-sweep]
+//
+// With -sweep, the buffer rows are additionally evaluated for l = 1..4 and
+// the Lemma 5.2 rows for a range of n, showing how the bounds scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 8, "number of processes")
+	l := flag.Int("l", 2, "buffer capacity for the l-buffer rows")
+	seed := flag.Int64("seed", 1, "schedule seed")
+	sweep := flag.Bool("sweep", false, "also sweep l and n for the parameterized rows")
+	steps := flag.Bool("steps", false, "also print the step-complexity companion table (Section 10)")
+	flag.Parse()
+
+	out, err := core.RenderTable(*n, *l, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	if *steps {
+		st, err := core.RenderStepTable(*n, *l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(st)
+	}
+
+	if !*sweep {
+		return
+	}
+	fmt.Println("\nBuffer sweep (row T1.6): measured locations vs ⌈n/l⌉")
+	fmt.Printf("%4s %4s %10s %10s %10s\n", "n", "l", "lower", "upper", "measured")
+	for _, nn := range []int{4, 6, 8, 10} {
+		for ll := 1; ll <= 4; ll++ {
+			row, _ := core.RowByID("T1.6", ll)
+			m, err := core.MeasureRow(row, nn, *seed, 50_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lo, up := core.SP(row, nn)
+			fmt.Printf("%4d %4d %10d %10d %10d\n", nn, ll, lo, up, m.Footprint)
+		}
+	}
+	fmt.Println("\nLemma 5.2 sweep (row T1.7): locations = 4⌈log2 n⌉-2")
+	fmt.Printf("%4s %10s %10s %10s\n", "n", "rounds", "declared", "measured")
+	for _, nn := range []int{2, 4, 8, 16} {
+		row, _ := core.RowByID("T1.7", 1)
+		m, err := core.MeasureRow(row, nn, *seed, 50_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %10d %10d %10d\n", nn, core.Log2Ceil(nn), m.DeclaredLocations, m.Footprint)
+	}
+	os.Exit(0)
+}

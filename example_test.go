@@ -1,0 +1,50 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Five processes agree using the tight two-max-register protocol of
+// Theorem 4.2 (Table 1 row T1.9).
+func ExampleSolve() {
+	out, err := repro.Solve("T1.9", []int{3, 1, 4, 1, 2}, repro.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("locations used:", out.Footprint)
+	// Output: locations used: 2
+}
+
+// The buffer row's space scales as ceil(n/l): six processes fit in two
+// 3-buffers.
+func ExampleSolve_buffers() {
+	out, err := repro.Solve("T1.6", []int{0, 1, 2, 3, 4, 5}, repro.WithBufferCap(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("locations used:", out.Footprint)
+	// Output: locations used: 2
+}
+
+// SpaceBounds evaluates the paper's bound formulas without running anything.
+func ExampleSpaceBounds() {
+	lo, up, err := repro.SpaceBounds("T1.6", 7, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SP bounds for 7 processes over 2-buffers: [%d, %d]\n", lo, up)
+	// Output: SP bounds for 7 processes over 2-buffers: [3, 4]
+}
+
+// Hierarchy exposes Table 1 as data.
+func ExampleHierarchy() {
+	for _, row := range repro.Hierarchy(2)[:3] {
+		fmt.Println(row.ID, row.Sets)
+	}
+	// Output:
+	// T1.1 {read, test-and-set}, {read, write(1)}
+	// T1.2 {read, write(1), write(0)}
+	// T1.3 {read, write(x)}
+}

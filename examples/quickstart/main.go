@@ -1,0 +1,48 @@
+// Quickstart: eight processes with conflicting proposals agree using two
+// max-registers (Table 1 row T1.9, Theorem 4.2) — the tight minimum for the
+// {read-max, write-max} instruction set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	// One proposal per process; values must lie in [0, n).
+	proposals := []int{3, 1, 4, 1, 5, 2, 6, 0}
+
+	out, err := repro.Solve("T1.9", proposals, repro.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposals: %v\n", proposals)
+	fmt.Printf("agreed on %d using %d memory locations in %d steps\n",
+		out.Value, out.Footprint, out.Steps)
+
+	// The hierarchy tells us this is optimal for max-registers:
+	lo, up, err := repro.SpaceBounds("T1.9", len(proposals), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper bounds for this instruction set: lower=%d upper=%d\n", lo, up)
+
+	// The same agreement over plain registers needs n locations...
+	reg, err := repro.Solve("T1.3", proposals, repro.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain registers: agreed on %d using %d locations (n=%d is tight)\n",
+		reg.Value, reg.Footprint, len(proposals))
+
+	// ...while a single fetch-and-add word suffices.
+	faa, err := repro.Solve("T1.14", proposals, repro.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one fetch-and-add word: agreed on %d using %d location\n",
+		faa.Value, faa.Footprint)
+}

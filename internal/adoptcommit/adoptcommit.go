@@ -1,0 +1,120 @@
+// Package adoptcommit implements m-valued adopt-commit objects, the
+// agreement primitive whose space complexity the paper's conclusion points
+// to ([AE14], "Tight bounds for adopt-commit objects") as the likely key to
+// its Θ(n log n) and Θ(log n) conjectures.
+//
+// The implementation is the classic two-round commit-adopt over
+// single-writer registers (after Gafni): round one proposes, round two
+// ratifies. It guarantees, for any number of concurrent AdoptCommit calls:
+//
+//   - Validity: every output value is some caller's input.
+//   - Coherence: if any caller commits v, every caller adopts or commits v.
+//   - Convergence: if all callers have the same input, every caller commits.
+//
+// A round-based obstruction-free consensus protocol built from a chain of
+// adopt-commit instances is included, both as a correctness exercise for
+// the object and as the scaffolding on which the conjectured bounds would
+// be measured.
+package adoptcommit
+
+import (
+	"fmt"
+
+	"repro/internal/swreg"
+)
+
+// Decision is the outcome kind of an AdoptCommit call.
+type Decision int
+
+const (
+	// Adopt means: take this value forward, but others may differ.
+	Adopt Decision = iota
+	// Commit means: this value is decided; everyone at least adopts it.
+	Commit
+)
+
+func (d Decision) String() string {
+	if d == Commit {
+		return "commit"
+	}
+	return "adopt"
+}
+
+// round1Cell and round2Cell are the register payloads.
+type round1Cell struct {
+	val int
+}
+
+type round2Cell struct {
+	val  int
+	flag bool // true when round 1 was unanimous for val
+}
+
+// Object is one process's handle on an adopt-commit instance backed by two
+// single-writer register arrays (2n registers over {read, write(x)}, or
+// 2⌈n/l⌉ l-buffers when the arrays are buffered).
+type Object struct {
+	r1, r2 swreg.Array
+}
+
+// New builds the handle from the two register arrays.
+func New(r1, r2 swreg.Array) *Object {
+	return &Object{r1: r1, r2: r2}
+}
+
+// AdoptCommit runs the two rounds with input v.
+func (o *Object) AdoptCommit(v int) (Decision, int) {
+	// Round 1: publish the input, then collect. If every published value
+	// equals ours, raise the unanimity flag.
+	o.r1.Write(round1Cell{val: v})
+	vals, _ := o.r1.Collect()
+	w, flag := v, true
+	for _, raw := range vals {
+		if raw == nil {
+			continue
+		}
+		if raw.(round1Cell).val != v {
+			flag = false
+		}
+	}
+
+	// Round 2: publish (w, flag), collect, and decide. At most one value can
+	// carry the flag (two round-1 unanimity witnesses for different values
+	// would each have had to write before the other's collect).
+	o.r2.Write(round2Cell{val: w, flag: flag})
+	vals, _ = o.r2.Collect()
+	allFlagged := true
+	var flagged *round2Cell
+	min := w
+	for _, raw := range vals {
+		if raw == nil {
+			continue
+		}
+		c := raw.(round2Cell)
+		if c.flag {
+			cc := c
+			flagged = &cc
+		} else {
+			allFlagged = false
+		}
+		if c.val < min {
+			min = c.val
+		}
+	}
+	switch {
+	case flagged != nil && allFlagged:
+		return Commit, flagged.val
+	case flagged != nil:
+		return Adopt, flagged.val
+	default:
+		// No unanimity witness anywhere: adopt the smallest value seen.
+		// This deterministic convergence rule is safe — a commit in this
+		// instance implies every round-2 collect contains the flagged entry
+		// — and it prevents lockstep schedules from ping-ponging distinct
+		// preferences forever.
+		return Adopt, min
+	}
+}
+
+// Err reports structural misuse (reserved; currently unused).
+var Err = fmt.Errorf("adoptcommit: protocol error")

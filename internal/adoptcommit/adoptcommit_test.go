@@ -1,0 +1,150 @@
+package adoptcommit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/swreg"
+)
+
+// runInstance executes one adopt-commit instance among n processes with the
+// given inputs under the given scheduler and returns each process's
+// (decision, value).
+func runInstance(t *testing.T, inputs []int, sched sim.Scheduler) ([]Decision, []int) {
+	t.Helper()
+	n := len(inputs)
+	mem := machine.New(machine.SetReadWrite, 2*n)
+	decs := make([]Decision, n)
+	vals := make([]int, n)
+	body := func(p *sim.Proc) int {
+		ac := New(swreg.NewDirect(p, 0), swreg.NewDirect(p, n))
+		d, v := ac.AdoptCommit(p.Input())
+		decs[p.ID()], vals[p.ID()] = d, v
+		return v
+	}
+	sys := sim.NewSystem(mem, inputs, body)
+	defer sys.Close()
+	if _, err := sys.Run(sched, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return decs, vals
+}
+
+// TestConvergence: identical inputs must commit, for every schedule tried.
+func TestConvergence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		decs, vals := runInstance(t, []int{5, 5, 5, 5}, sim.NewRandom(seed))
+		for i := range decs {
+			if decs[i] != Commit || vals[i] != 5 {
+				t.Fatalf("seed %d: process %d got (%v, %d), want (commit, 5)",
+					seed, i, decs[i], vals[i])
+			}
+		}
+	}
+}
+
+// TestCoherenceAndValidity fuzzes mixed inputs: if anyone commits v,
+// everyone must hold v; all outputs must be inputs.
+func TestCoherenceAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(3)
+		}
+		decs, vals := runInstance(t, inputs, sim.NewRandom(rng.Int63()))
+		valid := map[int]bool{}
+		for _, in := range inputs {
+			valid[in] = true
+		}
+		committed := -1
+		for i := range decs {
+			if !valid[vals[i]] {
+				t.Fatalf("trial %d: process %d output %d, not an input %v",
+					trial, i, vals[i], inputs)
+			}
+			if decs[i] == Commit {
+				committed = vals[i]
+			}
+		}
+		if committed >= 0 {
+			for i := range vals {
+				if vals[i] != committed {
+					t.Fatalf("trial %d: coherence violated: commit %d but process %d holds %d (inputs %v)",
+						trial, committed, i, vals[i], inputs)
+				}
+			}
+		}
+	}
+}
+
+// TestSoloCommits: a process running alone must commit its own input.
+func TestSoloCommits(t *testing.T) {
+	decs, vals := runInstance(t, []int{2, 7, 7}, sim.Solo{PID: 0})
+	if decs[0] != Commit || vals[0] != 2 {
+		t.Fatalf("solo got (%v, %d), want (commit, 2)", decs[0], vals[0])
+	}
+}
+
+// TestConsensusProtocol runs the round-based consensus under fair, random,
+// and crash schedules.
+func TestConsensusProtocol(t *testing.T) {
+	inputs := []int{3, 0, 2, 0}
+	schedulers := map[string]func(seed int64) sim.Scheduler{
+		"round-robin": func(int64) sim.Scheduler { return &sim.RoundRobin{} },
+		"random":      func(s int64) sim.Scheduler { return sim.NewRandom(s) },
+		"crashy": func(s int64) sim.Scheduler {
+			return sim.NewRandomCrash(sim.NewRandom(s), 0.02, s+1)
+		},
+	}
+	for name, mk := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				pr := Consensus(len(inputs))
+				sys, err := pr.NewSystem(inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run(mk(seed), 2_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.CheckConsensus(inputs); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if name != "crashy" && len(res.Undecided) > 0 {
+					t.Fatalf("seed %d: undecided %v", seed, res.Undecided)
+				}
+				sys.Close()
+			}
+		})
+	}
+}
+
+// TestConsensusRoundsSpace records how many register instances the chain
+// consumed — the quantity the paper's conclusion conjectures about.
+func TestConsensusRoundsSpace(t *testing.T) {
+	n := 5
+	pr := Consensus(n)
+	inputs := []int{4, 1, 3, 1, 0}
+	sys, err := pr.NewSystem(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.Run(sim.NewRandom(2), 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(inputs); err != nil {
+		t.Fatal(err)
+	}
+	fp := sys.Mem().Stats().Footprint()
+	if fp < 2*n {
+		t.Fatalf("footprint %d below one instance (%d registers)", fp, 2*n)
+	}
+	t.Logf("rounds consumed: %d instances (%d registers)", fp/(2*n)+1, fp)
+}

@@ -1,0 +1,38 @@
+package adoptcommit
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/swreg"
+)
+
+// Consensus builds the classic round-based obstruction-free n-consensus
+// from a chain of adopt-commit instances over {read, write(x)} memory:
+// each round runs one instance (2n single-writer registers); a commit
+// decides, an adopt carries the value into the next round. A process
+// running solo reaches a fresh instance past every stalled conflict and
+// commits there, so the protocol is obstruction-free — but the chain
+// consumes 2n registers per round, which is exactly why the paper's
+// conclusion asks for the true space complexity of such objects ([AE14]).
+func Consensus(n int) *consensus.Protocol {
+	return &consensus.Protocol{
+		Name:      "adopt-commit-rounds",
+		Set:       machine.SetReadWrite,
+		N:         n,
+		Values:    n,
+		Unbounded: true, // one fresh instance per round
+		Body: func(p *sim.Proc) int {
+			prefer := p.Input()
+			for round := 0; ; round++ {
+				base := round * 2 * n
+				ac := New(swreg.NewDirect(p, base), swreg.NewDirect(p, base+n))
+				d, v := ac.AdoptCommit(prefer)
+				if d == Commit {
+					return v
+				}
+				prefer = v
+			}
+		},
+	}
+}

@@ -1,0 +1,213 @@
+// Package adversary implements the paper's lower-bound arguments as
+// executable scheduling strategies. Lower bounds are ∀-protocol statements
+// and cannot be "verified" by running code, but each proof in the paper is
+// constructive: it describes an adversary that drives any protocol with too
+// little space into a safety or liveness violation. This package implements
+// those adversaries and demonstrates them against concrete protocols:
+//
+//   - Theorem 4.1: interleaving two solo executions over a single
+//     max-register so both look solo, deriving an agreement violation.
+//   - Theorem 5.1: the write-shadowing adversary against any two-process
+//     protocol on a single {read, write, fetch-and-increment} location.
+//   - Lemma 9.1 (demonstrated): a write-stalling scheduler under which
+//     {read, write(1)/test-and-set} protocols keep consuming fresh memory
+//     locations without deciding.
+//   - Sections 6.2/7: covering maps and block (multi-)writes, the raw
+//     material of the space lower bounds, built from poised-instruction
+//     inspection.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/packing"
+	"repro/internal/sim"
+)
+
+// ErrPreconditions reports that a proof-scripted adversary could not match
+// its preconditions against the given protocol (for example, a protocol
+// that never writes).
+var ErrPreconditions = errors.New("adversary: protocol does not match proof preconditions")
+
+// Outcome reports what an adversary achieved.
+type Outcome struct {
+	// Decisions observed, by process id.
+	Decisions map[int]int
+	// AgreementViolated is true when two processes decided differently.
+	AgreementViolated bool
+	// Steps taken in total.
+	Steps int64
+	// Narrative is a human-readable account of the adversary's moves.
+	Narrative []string
+}
+
+func (o *Outcome) note(format string, args ...any) {
+	o.Narrative = append(o.Narrative, fmt.Sprintf(format, args...))
+}
+
+func (o *Outcome) finish(sys *sim.System) {
+	o.Decisions = sys.Decisions()
+	o.Steps = sys.Steps()
+	seen := make(map[int]bool)
+	for _, d := range o.Decisions {
+		seen[d] = true
+	}
+	o.AgreementViolated = len(seen) > 1
+}
+
+// runWhile steps pid while it is live and cond holds for its poised
+// instruction; it returns false when the process stopped being live.
+func runWhile(sys *sim.System, pid int, cond func(sim.OpInfo) bool) (bool, error) {
+	for {
+		info, ok := sys.Poised(pid)
+		if !ok {
+			return false, nil
+		}
+		if !cond(info) {
+			return true, nil
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return false, err
+		}
+	}
+}
+
+// runToCompletion runs pid solo until it finishes (or maxSteps elapse).
+func runToCompletion(sys *sim.System, pid int, maxSteps int) error {
+	for i := 0; i < maxSteps && sys.Live(pid); i++ {
+		if _, err := sys.Step(pid); err != nil {
+			return err
+		}
+	}
+	if sys.Live(pid) {
+		return fmt.Errorf("adversary: process %d still live after %d solo steps", pid, maxSteps)
+	}
+	return nil
+}
+
+// MaxRegisterInterleave is the Theorem 4.1 adversary. Given a two-process
+// protocol over a single max-register (process 0 with input 0, process 1
+// with input 1), it interleaves the two solo executions, always releasing
+// the smaller poised write-max first, so each process's reads return
+// exactly what they would solo — and both inputs get decided. Protocols
+// using more than one max-register survive the strategy (the interleaving
+// invariant no longer holds), in which case the run is cut off at maxSteps
+// and the outcome reports no violation.
+func MaxRegisterInterleave(sys *sim.System, maxSteps int64) (*Outcome, error) {
+	const soloCap = 100_000
+	out := &Outcome{}
+	// Advance both processes to their first poised write-max.
+	for pid := 0; pid < 2; pid++ {
+		if _, err := runWhile(sys, pid, func(i sim.OpInfo) bool {
+			return i.Op != machine.OpWriteMax
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if sys.Steps() >= maxSteps {
+			out.note("step budget %d exhausted without a violation", maxSteps)
+			out.finish(sys)
+			return out, nil
+		}
+		i0, ok0 := sys.Poised(0)
+		i1, ok1 := sys.Poised(1)
+		switch {
+		case !ok0 && !ok1:
+			out.finish(sys)
+			return out, nil
+		case !ok0:
+			out.note("process 0 finished; letting process 1 run to completion")
+			if err := runToCompletion(sys, 1, soloCap); err != nil {
+				return nil, err
+			}
+			out.finish(sys)
+			return out, nil
+		case !ok1:
+			out.note("process 1 finished; letting process 0 run to completion")
+			if err := runToCompletion(sys, 0, soloCap); err != nil {
+				return nil, err
+			}
+			out.finish(sys)
+			return out, nil
+		}
+		a, aok := machine.AsInt(i0.Args[0])
+		b, bok := machine.AsInt(i1.Args[0])
+		if !aok || !bok {
+			return nil, fmt.Errorf("%w: write-max argument not numeric", ErrPreconditions)
+		}
+		pick := 1
+		if a.Cmp(b) <= 0 {
+			pick = 0
+		}
+		out.note("releasing write-max(%v) of process %d (other pending %v)",
+			[2]fmt.Stringer{a, b}[pick], pick, [2]fmt.Stringer{b, a}[pick])
+		if _, err := sys.Step(pick); err != nil { // the write itself
+			return nil, err
+		}
+		if _, err := runWhile(sys, pick, func(i sim.OpInfo) bool {
+			return i.Op != machine.OpWriteMax
+		}); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// CoverMap returns, for every live undecided process, the locations its
+// poised instruction covers (non-trivial instructions only) — the covering
+// structure the Section 6-7 lower bounds reason about.
+func CoverMap(sys *sim.System) map[int][]int {
+	out := make(map[int][]int)
+	for _, pid := range sys.LiveSet() {
+		info, ok := sys.Poised(pid)
+		if !ok {
+			continue
+		}
+		if locs := info.CoveredLocs(); len(locs) > 0 {
+			out[pid] = locs
+		}
+	}
+	return out
+}
+
+// CoverInstance converts the covering structure of the given processes into
+// a packing.Instance (Section 7). Processes whose poised instruction covers
+// nothing are skipped; pids returns the instance row order.
+func CoverInstance(sys *sim.System, procs []int) (*packing.Instance, []int) {
+	ins := &packing.Instance{Locations: sys.Mem().Size()}
+	var pids []int
+	for _, pid := range procs {
+		info, ok := sys.Poised(pid)
+		if !ok {
+			continue
+		}
+		locs := info.CoveredLocs()
+		if len(locs) == 0 {
+			continue
+		}
+		ins.Covers = append(ins.Covers, locs)
+		pids = append(pids, pid)
+	}
+	return ins, pids
+}
+
+// BlockWrite performs a block write (Section 6.2): each listed process takes
+// exactly one step, which must be a write-class instruction (or multiple
+// assignment, making it a block multi-assignment in the Section 7 sense).
+func BlockWrite(sys *sim.System, procs []int) error {
+	for _, pid := range procs {
+		info, ok := sys.Poised(pid)
+		if !ok {
+			return fmt.Errorf("adversary: process %d not poised for block write", pid)
+		}
+		if info.Multi == nil && info.Op.Trivial() {
+			return fmt.Errorf("adversary: process %d poised on trivial %v", pid, info.Op)
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}

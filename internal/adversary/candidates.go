@@ -1,0 +1,108 @@
+package adversary
+
+import (
+	"math/big"
+
+	"repro/internal/machine"
+	"repro/internal/primes"
+	"repro/internal/sim"
+)
+
+// This file provides deliberately under-provisioned candidate protocols —
+// natural attempts that use less space than the paper's lower bounds allow.
+// Each looks plausible, terminates solo, and decides correctly under gentle
+// schedules; the adversaries in this package break every one of them,
+// demonstrating that the failure is forced by space, not by carelessness.
+
+// OneMaxRegister is a natural (and, by Theorem 4.1, necessarily broken)
+// binary consensus attempt for two processes over a single max-register:
+// values climb rounds encoded as (x+1)*y^r, and a process decides its
+// current value once it has seen it survive two rounds.
+func OneMaxRegister() (*sim.System, error) {
+	y := primes.Next(2)
+	enc := func(r int64, x int) *big.Int {
+		v := big.NewInt(int64(x) + 1)
+		for i := int64(0); i < r; i++ {
+			v.Mul(v, big.NewInt(y))
+		}
+		return v
+	}
+	dec := func(w *big.Int) (int64, int) {
+		r := int64(0)
+		v := new(big.Int).Set(w)
+		quo, rem := new(big.Int), new(big.Int)
+		for {
+			quo.QuoRem(v, big.NewInt(y), rem)
+			if rem.Sign() != 0 || quo.Sign() == 0 {
+				break
+			}
+			v.Set(quo)
+			r++
+		}
+		return r, int(v.Int64()) - 1
+	}
+	body := func(p *sim.Proc) int {
+		p.Apply(0, machine.OpWriteMax, enc(0, p.Input()))
+		for {
+			w := machine.MustInt(p.Apply(0, machine.OpReadMax))
+			r, x := dec(w)
+			if r >= 2 {
+				return x
+			}
+			p.Apply(0, machine.OpWriteMax, enc(r+1, x))
+		}
+	}
+	mem := machine.New(machine.SetMaxRegister, 1,
+		machine.WithInitial(map[int]machine.Value{0: big.NewInt(1)}))
+	return sim.NewSystem(mem, []int{0, 1}, body), nil
+}
+
+// OneLocationFAIRace is a natural (and, by Theorem 5.1, necessarily broken)
+// binary consensus attempt for two processes over a single {read, write(x),
+// fetch-and-increment} location: a process with input 1 bumps the counter,
+// a process with input 0 stamps it with a negative mark, and everyone
+// decides from the sign of what they observe.
+func OneLocationFAIRace(inputs []int) (*sim.System, error) {
+	body := func(p *sim.Proc) int {
+		if p.Input() == 1 {
+			p.Apply(0, machine.OpFetchAndIncrement)
+		} else {
+			p.Apply(0, machine.OpWrite, machine.Int(-1))
+		}
+		v := machine.MustInt(p.Apply(0, machine.OpRead))
+		if v.Sign() > 0 {
+			return 1
+		}
+		return 0
+	}
+	mem := machine.New(machine.SetReadWriteFAI, 1)
+	return sim.NewSystem(mem, inputs, body), nil
+}
+
+// OneLocationFAIParity is a second candidate for Theorem 5.1: processes
+// agree on the parity of a fetch-and-increment counter, with input-0
+// processes resetting it to an even stamp. Solo runs terminate in three
+// steps; the proof's shadowing write breaks it.
+func OneLocationFAIParity(inputs []int) (*sim.System, error) {
+	body := func(p *sim.Proc) int {
+		if p.Input() == 1 {
+			old := machine.MustInt(p.Apply(0, machine.OpFetchAndIncrement))
+			if old.Sign() == 0 {
+				return 1 // first in: my value wins
+			}
+			v := machine.MustInt(p.Apply(0, machine.OpRead))
+			if v.Int64() >= 100 {
+				return 0
+			}
+			return 1
+		}
+		v := machine.MustInt(p.Apply(0, machine.OpRead))
+		if v.Sign() != 0 {
+			return 1
+		}
+		p.Apply(0, machine.OpWrite, machine.Int(100))
+		return 0
+	}
+	mem := machine.New(machine.SetReadWriteFAI, 1)
+	return sim.NewSystem(mem, inputs, body), nil
+}

@@ -1,0 +1,150 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// This file implements the Theorem 5.1 adversary: no two-process
+// obstruction-free binary consensus protocol can use a single
+// {read, write(x), fetch-and-increment} location. The proof constructs two
+// indistinguishable configurations — one reachable with inputs (v, v̄), one
+// with inputs (v̄, v̄) — by matching the number of fetch-and-increments in
+// the write-free prefixes of p's solo runs, then uses p's first write to
+// erase everything q did.
+
+// SystemFactory builds a fresh instance of the protocol under attack for
+// the given inputs. The protocol must be for two processes over exactly one
+// location supporting {read, write(x), fetch-and-increment} (or a subset).
+type SystemFactory func(inputs []int) (*sim.System, error)
+
+// soloTrace runs process pid solo to completion on a fresh system and
+// returns the executed steps.
+func soloTrace(f SystemFactory, inputs []int, pid, maxSteps int) ([]sim.StepInfo, error) {
+	sys, err := f(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	var trace []sim.StepInfo
+	for i := 0; i < maxSteps && sys.Live(pid); i++ {
+		st, err := sys.Step(pid)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, st)
+	}
+	if sys.Live(pid) {
+		return nil, fmt.Errorf("adversary: solo run did not terminate in %d steps", maxSteps)
+	}
+	return trace, nil
+}
+
+// writeFreePrefix returns the longest prefix of trace containing no write,
+// and the number of fetch-and-increments in it.
+func writeFreePrefix(trace []sim.StepInfo) (prefix []sim.StepInfo, fais int) {
+	for _, st := range trace {
+		if st.Info.Op == machine.OpWrite {
+			break
+		}
+		if st.Info.Op == machine.OpFetchAndIncrement {
+			fais++
+		}
+		prefix = append(prefix, st)
+	}
+	return prefix, fais
+}
+
+// FAISingleLocation runs the Theorem 5.1 construction against the protocol
+// built by f. Process 0 plays the proof's p and process 1 plays q. The
+// returned outcome has AgreementViolated set when the attack succeeded,
+// which Theorem 5.1 guarantees for every solo-terminating protocol confined
+// to one {read, write, fetch-and-increment} location.
+func FAISingleLocation(f SystemFactory) (*Outcome, error) {
+	const maxSolo = 100_000
+	out := &Outcome{}
+
+	// Solo runs of p with input 0 (α) and input 1 (β). q's input is
+	// irrelevant to a solo run of p; fix it to 1 and 1 respectively so the
+	// final replays match the proof's initial configurations.
+	alpha, err := soloTrace(f, []int{0, 1}, 0, maxSolo)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := soloTrace(f, []int{1, 1}, 0, maxSolo)
+	if err != nil {
+		return nil, err
+	}
+	alphaPre, alphaFAI := writeFreePrefix(alpha)
+	betaPre, betaFAI := writeFreePrefix(beta)
+
+	// Without loss of generality the proof assumes β' has at least as many
+	// fetch-and-increments as α'; otherwise swap the roles of the inputs.
+	v := 0
+	if betaFAI < alphaFAI {
+		v = 1
+		alpha, beta = beta, alpha
+		alphaPre, alphaFAI = betaPre, betaFAI
+		out.note("swapped input roles: α is now p's solo run with input 1")
+	}
+	vbar := 1 - v
+	_ = beta
+
+	// β'' is the shortest prefix of β' with exactly alphaFAI
+	// fetch-and-increments (both prefixes contain only reads and FAIs, so
+	// the location then holds alphaFAI in both configurations).
+	betaDoublePrime := 0
+	fais := 0
+	for _, st := range betaPre {
+		if fais == alphaFAI {
+			break
+		}
+		betaDoublePrime++
+		if st.Info.Op == machine.OpFetchAndIncrement {
+			fais++
+		}
+	}
+	if fais != alphaFAI {
+		return nil, fmt.Errorf("%w: cannot match %d fetch-and-increments", ErrPreconditions, alphaFAI)
+	}
+	out.note("α' has %d steps (%d FAIs); β'' replays %d steps of p with input %d",
+		len(alphaPre), alphaFAI, betaDoublePrime, vbar)
+
+	// Configuration C: inputs (v, v̄... the proof's q always has input v̄).
+	// Run p's α' steps, then q solo; q cannot distinguish C from C', which
+	// is reachable in an all-v̄ execution, so q decides v̄.
+	sys, err := f([]int{v, vbar})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	for i := 0; i < len(alphaPre); i++ {
+		if _, err := sys.Step(0); err != nil {
+			return nil, err
+		}
+	}
+	out.note("reached C; scheduling q solo")
+	if err := runToCompletion(sys, 1, maxSolo); err != nil {
+		return nil, err
+	}
+	if dq, ok := sys.Decided(1); ok {
+		out.note("q decided %d", dq)
+	}
+	// If p already decided in C it decided v (it ran solo); otherwise p is
+	// poised on its first write, which erases the single location, making
+	// everything q did invisible: p continues exactly as in α and decides v.
+	if sys.Live(0) {
+		info, _ := sys.Poised(0)
+		out.note("p resumes, poised on %v (the shadowing write)", info)
+		if err := runToCompletion(sys, 0, maxSolo); err != nil {
+			return nil, err
+		}
+	}
+	if dp, ok := sys.Decided(0); ok {
+		out.note("p decided %d", dp)
+	}
+	out.finish(sys)
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/packing"
+)
+
+// This file provides the Section 7 block multi-assignment machinery on top
+// of the packing library: given a 2l-packing of covering processes, the
+// processes packed into fully packed locations are split into two blocks
+// R1 and R2 of l-per-location each. Lemma 7.2 proves both blocks write only
+// inside the fully packed set L, and Lemma 7.3 uses the sandwich β1 δ β2 to
+// hide any other process's multiple assignment δ.
+
+// Blocks is the R1/R2 split of the processes packed into the fully packed
+// locations.
+type Blocks struct {
+	// L is the set of fully 2l-packed locations.
+	L []int
+	// R1 and R2 each contain l processes per location of L.
+	R1, R2 []int
+}
+
+// PartitionBlocks computes L and the R1/R2 split for the covering instance
+// ins (with process ids pids, row-aligned) under a 2l-packing. It fails when
+// no 2l-packing exists.
+func PartitionBlocks(ins *packing.Instance, pids []int, l int) (*Blocks, error) {
+	full, pack, ok := ins.FullyPacked(2 * l)
+	if !ok {
+		return nil, fmt.Errorf("adversary: no %d-packing exists", 2*l)
+	}
+	b := &Blocks{L: full}
+	inL := make(map[int]bool, len(full))
+	for _, r := range full {
+		inL[r] = true
+	}
+	perLoc := make(map[int]int)
+	for row, r := range pack {
+		if !inL[r] {
+			continue
+		}
+		// The first l processes packed in r go to R1, the rest to R2.
+		if perLoc[r] < l {
+			b.R1 = append(b.R1, pids[row])
+		} else {
+			b.R2 = append(b.R2, pids[row])
+		}
+		perLoc[r]++
+	}
+	for _, r := range full {
+		if perLoc[r] != 2*l {
+			return nil, fmt.Errorf("adversary: fully packed location %d holds %d processes, want %d",
+				r, perLoc[r], 2*l)
+		}
+	}
+	return b, nil
+}

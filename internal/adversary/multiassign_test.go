@@ -1,0 +1,146 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// multiAssignScenario builds the Section 7 test configuration: l = 1,
+// three covering processes (rows of the packing instance) and one outsider
+// process whose multiple assignment δ touches both a fully packed location
+// and a fresh one.
+//
+//	p0: assigns {0}        — dedicated to location 0
+//	p1: assigns {0}        — dedicated to location 0 (0 becomes fully packed)
+//	p2: assigns {0, 1}     — flexible, must be packed at 1
+//	p3: assigns {0, 2}     — the δ process
+func multiAssignScenario(t *testing.T) *sim.System {
+	t.Helper()
+	l := 1
+	mem := machine.New(machine.SetBuffersMultiAssign(l), 3)
+	assign := func(tag string, locs ...int) sim.Body {
+		return func(p *sim.Proc) int {
+			ws := make([]machine.Assignment, len(locs))
+			for i, r := range locs {
+				ws[i] = machine.Assignment{Loc: r, Op: machine.OpBufferWrite,
+					Args: []machine.Value{tag}}
+			}
+			p.MultiAssign(ws...)
+			return 0
+		}
+	}
+	bodies := []sim.Body{
+		assign("p0", 0),
+		assign("p1", 0),
+		assign("p2", 0, 1),
+		assign("p3", 0, 2),
+	}
+	return sim.NewSystemBodies(mem, []int{0, 0, 0, 0}, bodies)
+}
+
+// TestPartitionBlocksLemma72 checks the fully packed set computation and
+// the Lemma 7.2 property: every process in R1 ∪ R2 covers only locations in
+// L.
+func TestPartitionBlocksLemma72(t *testing.T) {
+	sys := multiAssignScenario(t)
+	defer sys.Close()
+	ins, pids := CoverInstance(sys, []int{0, 1, 2}) // R excludes the δ process
+	blocks, err := PartitionBlocks(ins, pids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks.L) != 1 || blocks.L[0] != 0 {
+		t.Fatalf("fully packed locations = %v, want [0]", blocks.L)
+	}
+	if len(blocks.R1) != 1 || len(blocks.R2) != 1 {
+		t.Fatalf("blocks R1=%v R2=%v, want one process each", blocks.R1, blocks.R2)
+	}
+	inL := map[int]bool{0: true}
+	for _, pid := range append(append([]int{}, blocks.R1...), blocks.R2...) {
+		info, _ := sys.Poised(pid)
+		for _, r := range info.CoveredLocs() {
+			if !inL[r] {
+				t.Fatalf("Lemma 7.2 violated: block process %d covers %d outside L", pid, r)
+			}
+		}
+	}
+	// p2 must have been packed outside L, so it is in neither block.
+	for _, pid := range append(append([]int{}, blocks.R1...), blocks.R2...) {
+		if pid == 2 {
+			t.Fatal("flexible process should not be packed into the fully packed location")
+		}
+	}
+}
+
+// TestBlockSandwichHidesDelta is the executable heart of Lemma 7.3: the
+// configurations reached by δ·β1·β2 and β1·δ·β2 have identical memory
+// contents, whereas executing δ after β2 is distinguishable.
+func TestBlockSandwichHidesDelta(t *testing.T) {
+	run := func(order []int) string {
+		sys := multiAssignScenario(t)
+		defer sys.Close()
+		for _, pid := range order {
+			if _, err := sys.Step(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys.Mem().Fingerprint()
+	}
+	// From PartitionBlocks in the scenario: R1={0}, R2={1}, δ=3.
+	deltaFirst := run([]int{3, 0, 1})
+	sandwiched := run([]int{0, 3, 1})
+	after := run([]int{0, 1, 3})
+	if deltaFirst != sandwiched {
+		t.Fatalf("Lemma 7.3 sandwich failed:\n δβ1β2: %s\n β1δβ2: %s", deltaFirst, sandwiched)
+	}
+	if after == sandwiched {
+		t.Fatal("placing δ after β2 should be distinguishable (it overwrites the block)")
+	}
+}
+
+// TestPartitionBlocksLargerL exercises l = 2 with six dedicated processes:
+// 2l = 4 per fully packed location.
+func TestPartitionBlocksLargerL(t *testing.T) {
+	l := 2
+	mem := machine.New(machine.SetBuffersMultiAssign(l), 2)
+	body := func(p *sim.Proc) int {
+		p.MultiAssign(machine.Assignment{Loc: 0, Op: machine.OpBufferWrite,
+			Args: []machine.Value{p.ID()}})
+		return 0
+	}
+	sys := sim.NewSystem(mem, []int{0, 0, 0, 0}, body)
+	defer sys.Close()
+	ins, pids := CoverInstance(sys, []int{0, 1, 2, 3})
+	blocks, err := PartitionBlocks(ins, pids, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks.L) != 1 || len(blocks.R1) != 2 || len(blocks.R2) != 2 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	// After the β1 block (two writes), one more δ write then β2 must leave
+	// the l-buffer holding only β2 values: block writes obliterate.
+	if err := BlockWrite(sys, blocks.R1); err != nil {
+		t.Fatal(err)
+	}
+	if err := BlockWrite(sys, blocks.R2); err != nil {
+		t.Fatal(err)
+	}
+	buf := sys.Mem().PeekBuffer(0)
+	if len(buf) != l {
+		t.Fatalf("buffer holds %d entries, want %d", len(buf), l)
+	}
+	for _, v := range buf {
+		found := false
+		for _, pid := range blocks.R2 {
+			if v == pid {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("buffer entry %v not from R2 block", v)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file demonstrates the phenomenon behind Theorem 9.2 / Lemma 9.1:
+// over {read, write(1)} or {read, test-and-set} memory, an adversary can
+// keep a protocol from deciding while forcing it to keep touching fresh
+// locations, so no bounded number of locations suffices.
+//
+// The WriteStaller scheduler holds each process just before its next
+// non-trivial instruction and releases the pending writes in lockstep. Every
+// release lands between another process's two snapshot collects, so
+// double-collect scans keep failing, no process accumulates the stable view
+// it needs to decide, and the write(1)-track counters grow without bound.
+
+// WriteStaller is a sim.Scheduler implementing the stall-and-release
+// strategy over the given process ids (at least two).
+type WriteStaller struct {
+	PIDs []int
+	// phase: for each pid, whether its pending write has been released this
+	// round.
+	cursor int
+}
+
+// Next advances the protocol in rounds: bring every process to its next
+// poised non-trivial instruction, then release those writes one by one.
+func (w *WriteStaller) Next(s *sim.System) int {
+	n := len(w.PIDs)
+	for i := 0; i < n; i++ {
+		pid := w.PIDs[(w.cursor+i)%n]
+		if !s.Live(pid) {
+			continue
+		}
+		info, ok := s.Poised(pid)
+		if !ok {
+			continue
+		}
+		if info.Op.Trivial() {
+			// Let it read its way to the next write.
+			return pid
+		}
+	}
+	// Everyone live is holding a write: release the cursor's write.
+	for i := 0; i < n; i++ {
+		pid := w.PIDs[(w.cursor+i)%n]
+		if s.Live(pid) {
+			w.cursor = (w.cursor + i + 1) % n
+			return pid
+		}
+	}
+	return -1
+}
+
+// FloodReport summarizes a write-staller run.
+type FloodReport struct {
+	// Footprint is the number of distinct locations touched.
+	Footprint int
+	// Steps taken in total.
+	Steps int64
+	// Decided reports whether any process decided (the adversary aims to
+	// prevent that).
+	Decided bool
+}
+
+// Flood drives sys with the WriteStaller until the memory footprint reaches
+// target locations or maxSteps elapse. It reports the footprint achieved;
+// reaching an arbitrary target with nobody deciding is the executable face
+// of "SP = ∞" (Theorem 9.2).
+func Flood(sys *sim.System, target int, maxSteps int64) (*FloodReport, error) {
+	sched := &WriteStaller{PIDs: sys.LiveSet()}
+	for sys.Steps() < maxSteps {
+		if sys.Mem().Stats().Footprint() >= target {
+			break
+		}
+		pid := sched.Next(sys)
+		if pid < 0 {
+			break
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return nil, err
+		}
+	}
+	rep := &FloodReport{
+		Footprint: sys.Mem().Stats().Footprint(),
+		Steps:     sys.Steps(),
+		Decided:   len(sys.Decisions()) > 0,
+	}
+	if rep.Footprint < target && !rep.Decided {
+		return rep, fmt.Errorf("adversary: footprint %d below target %d after %d steps",
+			rep.Footprint, target, rep.Steps)
+	}
+	return rep, nil
+}

@@ -1,0 +1,214 @@
+package adversary
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/lowerbound"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// This file implements the Lemma 9.1 induction as an executable search:
+// from any configuration from which the processes are still split (two of
+// them decide differently when run solo — the executable witness of
+// bivalence Lemma 6.6 extracts), the third process's solo run must perform
+// a non-trivial instruction on a location that is not yet set; executing
+// that prefix sets a fresh location, and a further search re-establishes a
+// split. Iterating forces any number of locations to be set while the
+// protocol remains undecided — which is why {read, test-and-set} and
+// {read, write(1)} sit on Table 1's unbounded row (Theorem 9.2).
+//
+// Unlike the proof, which reasons about all protocols and unbounded
+// executions, the search runs against a concrete protocol with explicit
+// budgets and reports an error when they are exhausted. With the default
+// budgets it sustains the induction on the sticky-tie-break track protocols
+// (whose split configurations persist at every scale); the min-tie-break
+// variants need deeper ψ interleavings than the bounded grid explores, and
+// for those the closed-form WriteStaller/Flood demo provides the growth
+// witness instead.
+
+// GrowOptions budgets the Lemma 9.1 search.
+type GrowOptions struct {
+	// SplitDepth bounds the schedule search that re-establishes a split
+	// (Lemma 6.6's reach).
+	SplitDepth int
+	// SoloBudget bounds every solo-decision probe.
+	SoloBudget int64
+	// ZBudget bounds the third process's advance toward a fresh write.
+	ZBudget int
+}
+
+// DefaultGrowOptions returns budgets adequate for the track protocols at
+// n=3.
+func DefaultGrowOptions() GrowOptions {
+	return GrowOptions{SplitDepth: 5, SoloBudget: 800, ZBudget: 2000}
+}
+
+// GrowResult reports the outcome of the induction.
+type GrowResult struct {
+	// Schedule reaches the final configuration from the initial one.
+	Schedule []int
+	// SetLocations counts locations holding 1 in the final configuration.
+	SetLocations int
+	// Rounds is the number of induction steps taken.
+	Rounds int
+}
+
+// setLocations counts memory locations currently holding the value 1.
+func setLocations(sys *sim.System) map[int]bool {
+	out := make(map[int]bool)
+	for loc := 0; loc < sys.Mem().Size(); loc++ {
+		v := sys.Mem().Peek(loc)
+		if x, ok := machine.AsInt(v); ok && x.Cmp(big.NewInt(1)) == 0 {
+			out[loc] = true
+		}
+	}
+	return out
+}
+
+// GrowSetLocations runs the Lemma 9.1 induction against the binary-ish
+// protocol built by f (three or more processes over {read, test-and-set} or
+// {read, write(1)} memory) until at least target locations are set.
+func GrowSetLocations(f lowerbound.Factory, target int, opts GrowOptions) (*GrowResult, error) {
+	cfg := lowerbound.At(f)
+	sys0, err := cfg.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	all := sys0.LiveSet()
+	sys0.Close()
+
+	res := &GrowResult{}
+	for {
+		// Re-establish the split: a configuration (reachable by an all-
+		// process schedule) with two processes deciding differently solo.
+		split, p0, p1, err := cfg.Split(all, opts.SplitDepth, opts.SoloBudget)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: round %d: %w", res.Rounds, err)
+		}
+		cfg = split
+
+		sys, err := cfg.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		set := setLocations(sys)
+		live := sys.LiveSet()
+		sys.Close()
+		if len(set) >= target {
+			res.Schedule = cfg.Prefix
+			res.SetLocations = len(set)
+			return res, nil
+		}
+		// Pick z outside the witness pair.
+		z := -1
+		for _, pid := range live {
+			if pid != p0 && pid != p1 {
+				z = pid
+				break
+			}
+		}
+		if z < 0 {
+			return nil, fmt.Errorf("adversary: round %d: no third process left", res.Rounds)
+		}
+		// The proof's ψ construction: insert j solo steps of each witness
+		// before z's fresh-write prefix β, growing j until the extension
+		// keeps the processes split. ψ = 0 is the lucky case of Lemma 9.1;
+		// otherwise some prefix of a witness's solo run restores the split.
+		next, err := growOnce(cfg, []int{p0, p1}, z, set, opts)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: round %d: %w", res.Rounds, err)
+		}
+		cfg = next
+		res.Rounds++
+	}
+}
+
+// freshWritePrefix advances z solo from cfg until it executes a non-trivial
+// instruction on a location outside set, returning the extended
+// configuration. The proof guarantees such a step exists before z decides.
+func freshWritePrefix(cfg *lowerbound.Config, z int, set map[int]bool, budget int) (*lowerbound.Config, error) {
+	sys, err := cfg.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	steps := 0
+	for ; steps < budget && sys.Live(z); steps++ {
+		info, ok := sys.Poised(z)
+		if !ok {
+			break
+		}
+		isFresh := !info.Op.Trivial() && !set[info.Loc]
+		if _, err := sys.Step(z); err != nil {
+			return nil, err
+		}
+		if isFresh {
+			zs := make([]int, steps+1)
+			for i := range zs {
+				zs[i] = z
+			}
+			return cfg.Extend(zs...), nil
+		}
+	}
+	return nil, fmt.Errorf("adversary: process %d performed no fresh write within %d steps", z, steps)
+}
+
+// psiLengths are the ψ-prefix lengths tried per witness.
+var psiLengths = []int{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// extendAlive extends cfg by count solo steps of w, reporting ok=false when
+// w finishes (or the replay fails) before taking them all — ψ must keep the
+// witness undecided.
+func extendAlive(cfg *lowerbound.Config, w, count int) (*lowerbound.Config, bool) {
+	if count == 0 {
+		return cfg, true
+	}
+	ws := make([]int, count)
+	for i := range ws {
+		ws[i] = w
+	}
+	next := cfg.Extend(ws...)
+	sys, err := next.Materialize()
+	if err != nil {
+		return nil, false
+	}
+	alive := sys.Live(w)
+	sys.Close()
+	if !alive {
+		return nil, false
+	}
+	return next, true
+}
+
+// growOnce finds an extension of cfg that sets a fresh location and keeps
+// two processes split, trying ψ-prefixes drawn from both witnesses' solo
+// runs (the proof's ψ construction, generalized to a small grid).
+func growOnce(cfg *lowerbound.Config, witnesses []int, z int, set map[int]bool, opts GrowOptions) (*lowerbound.Config, error) {
+	for _, j0 := range psiLengths {
+		base0, ok := extendAlive(cfg, witnesses[0], j0)
+		if !ok {
+			break
+		}
+		for _, j1 := range psiLengths {
+			base, ok := extendAlive(base0, witnesses[1], j1)
+			if !ok {
+				break
+			}
+			cand, err := freshWritePrefix(base, z, set, opts.ZBudget)
+			if err != nil {
+				continue
+			}
+			// Quick probe first, then a deeper (but bounded) search before
+			// giving up on this ψ.
+			if _, _, _, err := cand.Split(nil, 0, opts.SoloBudget); err == nil {
+				return cand, nil
+			}
+			if got, _, _, err := cand.Split(nil, 2, opts.SoloBudget); err == nil {
+				return got, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("adversary: no ψ-prefix restores the split")
+}

@@ -1,0 +1,30 @@
+package consensus
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// CAS solves n-consensus — wait-free, not merely obstruction-free — with a
+// single location supporting only compare-and-swap (Table 1 row 10). Each
+// process tries to install its input (offset by one so the initial 0 means
+// "empty"); the first to succeed wins, and every process learns the winner
+// from the instruction's return value. CAS(x, x) serves as the read.
+func CAS(n int) *Protocol {
+	return &Protocol{
+		Name:      "compare-and-swap",
+		Set:       machine.SetCAS,
+		N:         n,
+		Values:    n,
+		Locations: 1,
+		WaitFree:  true,
+		Body: func(p *sim.Proc) int {
+			old := machine.MustInt(p.Apply(0, machine.OpCompareAndSwap,
+				machine.Int(0), machine.Int(int64(p.Input()+1))))
+			if old.Sign() == 0 {
+				return p.Input()
+			}
+			return int(old.Int64()) - 1
+		},
+	}
+}

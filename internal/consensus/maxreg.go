@@ -1,0 +1,110 @@
+package consensus
+
+import (
+	"math/big"
+
+	"repro/internal/machine"
+	"repro/internal/primes"
+	"repro/internal/sim"
+)
+
+// This file implements Theorem 4.2: n-consensus for any number of processes
+// using exactly two max-registers, which is tight by Theorem 4.1.
+//
+// The max-registers hold pairs (r, x) — round r, value x — compared in
+// lexicographic order. Following the paper, a pair is encoded as the number
+// (x+1)*y^r for a fixed prime y > n, which is order-isomorphic to the
+// lexicographic order on pairs with 0 <= x < n.
+
+// MaxRegPair is the (round, value) pair stored in a max-register; exported
+// for tests of the encoding.
+type MaxRegPair struct {
+	R int64
+	X int
+}
+
+// EncodePair maps (r, x) to (x+1)*y^r.
+func EncodePair(p MaxRegPair, y int64) *big.Int {
+	v := big.NewInt(int64(p.X) + 1)
+	yy := big.NewInt(y)
+	for i := int64(0); i < p.R; i++ {
+		v.Mul(v, yy)
+	}
+	return v
+}
+
+// DecodePair inverts EncodePair: r is the multiplicity of y in w and
+// x = w/y^r - 1 (unique because 0 < x+1 <= n < y).
+func DecodePair(w *big.Int, y int64) MaxRegPair {
+	yy := big.NewInt(y)
+	r := int64(0)
+	v := new(big.Int).Set(w)
+	quo, rem := new(big.Int), new(big.Int)
+	for {
+		quo.QuoRem(v, yy, rem)
+		if rem.Sign() != 0 || quo.Sign() == 0 {
+			break
+		}
+		v.Set(quo)
+		r++
+	}
+	return MaxRegPair{R: r, X: int(v.Int64()) - 1}
+}
+
+// MaxRegisters solves n-consensus using two {read-max, write-max} locations
+// (Theorem 4.2).
+func MaxRegisters(n int) *Protocol {
+	y := primes.Next(int64(n))
+	one := EncodePair(MaxRegPair{R: 0, X: 0}, y) // both registers start at (0,0)
+	return &Protocol{
+		Name:      "max-registers",
+		Set:       machine.SetMaxRegister,
+		N:         n,
+		Values:    n,
+		Locations: 2,
+		Initial: map[int]machine.Value{
+			0: new(big.Int).Set(one),
+			1: new(big.Int).Set(one),
+		},
+		Body: func(p *sim.Proc) int {
+			return maxRegBody(p, y)
+		},
+	}
+}
+
+// scanMax double-collects the two max-registers. Max-register values never
+// decrease, so two identical consecutive collects form a snapshot.
+func scanMax(p *sim.Proc) (m1, m2 *big.Int) {
+	a := machine.MustInt(p.Apply(0, machine.OpReadMax))
+	b := machine.MustInt(p.Apply(1, machine.OpReadMax))
+	for {
+		a2 := machine.MustInt(p.Apply(0, machine.OpReadMax))
+		b2 := machine.MustInt(p.Apply(1, machine.OpReadMax))
+		if a2.Cmp(a) == 0 && b2.Cmp(b) == 0 {
+			return a2, b2
+		}
+		a, b = a2, b2
+	}
+}
+
+func maxRegBody(p *sim.Proc, y int64) int {
+	// Announce the input as (0, x') in m1.
+	p.Apply(0, machine.OpWriteMax,
+		EncodePair(MaxRegPair{R: 0, X: p.Input()}, y))
+	for {
+		v1, v2 := scanMax(p)
+		p1, p2 := DecodePair(v1, y), DecodePair(v2, y)
+		switch {
+		case p1.R == p2.R+1 && p1.X == p2.X:
+			// m1 = (r+1, x), m2 = (r, x): decide x.
+			return p1.X
+		case v1.Cmp(v2) == 0:
+			// Both registers agree on (r, x): promote x to round r+1 in m1.
+			p.Apply(0, machine.OpWriteMax,
+				EncodePair(MaxRegPair{R: p1.R + 1, X: p1.X}, y))
+		default:
+			// Catch m2 up to m1's value from the scan.
+			p.Apply(1, machine.OpWriteMax, v1)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mValuedBuilders enumerates the m-valued constructors (Lemma 3.1/3.2 are
+// stated for arbitrary m, decoupled from the process count).
+var mValuedBuilders = map[string]func(n, m int) *Protocol{
+	"multiply":  MultiplyValues,
+	"add":       AddValues,
+	"set-bit":   SetBitValues,
+	"registers": RegistersValues,
+	"buffers-l2": func(n, m int) *Protocol {
+		return BufferedValues(n, 2, m)
+	},
+}
+
+// TestMValuedFewValues: more processes than values (m < n).
+func TestMValuedFewValues(t *testing.T) {
+	for name, build := range mValuedBuilders {
+		t.Run(name, func(t *testing.T) {
+			n, m := 6, 3
+			pr := build(n, m)
+			inputs := []int{2, 0, 1, 2, 0, 1}
+			sys, err := pr.NewSystem(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			res, err := sys.Run(sim.NewRandom(5), maxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.CheckConsensus(inputs); err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Undecided) > 0 {
+				t.Fatalf("undecided: %v", res.Undecided)
+			}
+		})
+	}
+}
+
+// TestMValuedManyValues: more values than processes (m > n); validity pins
+// the decision to one of the few proposed values.
+func TestMValuedManyValues(t *testing.T) {
+	for name, build := range mValuedBuilders {
+		t.Run(name, func(t *testing.T) {
+			n, m := 3, 10
+			pr := build(n, m)
+			inputs := []int{9, 0, 7}
+			for seed := int64(0); seed < 6; seed++ {
+				pr := build(n, m)
+				sys, err := pr.NewSystem(inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run(sim.NewRandom(seed), maxSteps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.CheckConsensus(inputs); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				sys.Close()
+			}
+			_ = pr
+		})
+	}
+}
+
+// TestMValuedBinary: m=2 recovers binary consensus on every constructor.
+func TestMValuedBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for name, build := range mValuedBuilders {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				n := 2 + rng.Intn(4)
+				inputs := make([]int, n)
+				for i := range inputs {
+					inputs[i] = rng.Intn(2)
+				}
+				pr := build(n, 2)
+				sys, err := pr.NewSystem(inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run(sim.NewRandom(rng.Int63()), maxSteps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.CheckConsensus(inputs); err != nil {
+					t.Fatal(err)
+				}
+				sys.Close()
+			}
+		})
+	}
+}

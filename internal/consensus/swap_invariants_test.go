@@ -1,0 +1,192 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// This file checks the Section 8 lemmas as runtime invariants over real
+// executions of Algorithm 1, reconstructing lap vectors from the traced
+// swap payloads.
+
+// swapTraceRun executes the protocol under the given scheduler, recording
+// every step, and stops after all processes decide (or the budget runs out).
+func swapTraceRun(t *testing.T, n int, inputs []int, sched sim.Scheduler) (*sim.System, []sim.StepInfo) {
+	t.Helper()
+	pr := Swap(n)
+	sys, err := pr.NewSystem(inputs, sim.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(sched, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	return sys, sys.Trace()
+}
+
+func lapsOf(st sim.StepInfo) ([]int64, bool) {
+	if st.Info.Op != machine.OpSwap {
+		return nil, false
+	}
+	return st.Info.Args[0].(swapCell).laps, true
+}
+
+// TestSwapObservation81 checks the per-process monotonicity that
+// Observation 8.1 rests on: each process's successive swap arguments are
+// componentwise non-decreasing, and between two consecutive swaps by the
+// same process at most one component grows by the process's own promotion
+// (arbitrary growth can only come from adopting larger values seen).
+func TestSwapObservation81(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4 + int(seed%3)
+		inputs := make([]int, n)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range inputs {
+			inputs[i] = rng.Intn(n)
+		}
+		sys, trace := swapTraceRun(t, n, inputs, sim.NewRandom(seed))
+		last := make(map[int][]int64)
+		for _, st := range trace {
+			laps, ok := lapsOf(st)
+			if !ok {
+				continue
+			}
+			if prev, ok := last[st.PID]; ok {
+				for v := range prev {
+					if laps[v] < prev[v] {
+						t.Fatalf("seed %d: process %d lap[%d] decreased %d -> %d",
+							seed, st.PID, v, prev[v], laps[v])
+					}
+				}
+			}
+			last[st.PID] = laps
+		}
+		sys.Close()
+	}
+}
+
+// TestSwapDecisionConfiguration checks the decision predicate of lines 8-10
+// against actual memory: at the moment a process decides v*, every location
+// holds an identical lap vector in which v* is at least 2 ahead.
+func TestSwapDecisionConfiguration(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4
+		inputs := []int{2, 0, 3, 1}
+		pr := Swap(n)
+		sys, err := pr.NewSystem(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := sim.NewRandom(seed)
+		var winner = -1
+		for sys.Steps() < 500_000 && winner < 0 {
+			pid := sched.Next(sys)
+			if pid < 0 {
+				break
+			}
+			if _, err := sys.Step(pid); err != nil {
+				t.Fatal(err)
+			}
+			if d, ok := sys.Decided(pid); ok {
+				winner = d
+			}
+		}
+		if winner < 0 {
+			t.Fatalf("seed %d: nobody decided", seed)
+		}
+		// Inspect memory at the decision point.
+		var ref []int64
+		for j := 0; j < n-1; j++ {
+			v := sys.Mem().Peek(j)
+			if v == nil {
+				t.Fatalf("seed %d: location %d empty at decision", seed, j)
+			}
+			laps := v.(swapCell).laps
+			if ref == nil {
+				ref = laps
+			} else if !eqVec(ref, laps) {
+				t.Fatalf("seed %d: locations disagree at decision: %v vs %v", seed, ref, laps)
+			}
+		}
+		for u := range ref {
+			if u != winner && ref[winner] < ref[u]+2 {
+				t.Fatalf("seed %d: winner %d not 2 ahead: %v", seed, winner, ref)
+			}
+		}
+		sys.Close()
+	}
+}
+
+// TestSwapLemma85Stability checks the consequence of Lemmas 8.3/8.4 used by
+// agreement (Lemma 8.5): from the first decision on, every subsequently
+// written lap vector keeps the winner strictly ahead of every other value.
+func TestSwapLemma85Stability(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		n := 5
+		inputs := []int{4, 1, 3, 1, 0}
+		pr := Swap(n)
+		sys, err := pr.NewSystem(inputs, sim.WithTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := sim.NewRandom(seed)
+		winner := -1
+		decidedAt := int64(-1)
+		for sys.Steps() < 500_000 {
+			pid := sched.Next(sys)
+			if pid < 0 {
+				break
+			}
+			if _, err := sys.Step(pid); err != nil {
+				t.Fatal(err)
+			}
+			if winner < 0 {
+				if d, ok := sys.Decided(pid); ok {
+					winner, decidedAt = d, sys.Steps()
+				}
+			}
+		}
+		if winner < 0 {
+			t.Fatalf("seed %d: nobody decided", seed)
+		}
+		for i, st := range sys.Trace() {
+			if int64(i+1) <= decidedAt {
+				continue
+			}
+			laps, ok := lapsOf(st)
+			if !ok {
+				continue
+			}
+			for u := range laps {
+				if u != winner && laps[winner] <= laps[u] {
+					t.Fatalf("seed %d: post-decision write lets %d catch winner %d: %v",
+						seed, u, winner, laps)
+				}
+			}
+		}
+		sys.Close()
+	}
+}
+
+// TestSwapLemma86AllSameInput is Lemma 8.6 directly: unanimous inputs admit
+// only that decision, under every scheduler flavour.
+func TestSwapLemma86AllSameInput(t *testing.T) {
+	n := 5
+	inputs := []int{3, 3, 3, 3, 3}
+	scheds := []sim.Scheduler{
+		&sim.RoundRobin{}, sim.NewRandom(1), sim.NewRandom(2),
+		sim.NewRandomCrash(sim.NewRandom(3), 0.05, 4),
+	}
+	for i, sched := range scheds {
+		sys, _ := swapTraceRun(t, n, inputs, sched)
+		for pid, d := range sys.Decisions() {
+			if d != 3 {
+				t.Fatalf("sched %d: process %d decided %d, want 3", i, pid, d)
+			}
+		}
+		sys.Close()
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Measurement is one empirical data point for a row: the protocol ran to
+// completion and its space and step consumption were recorded.
+type Measurement struct {
+	RowID string
+	N     int
+	// DeclaredLocations is the protocol's allocation (Unbounded for the
+	// growing-memory rows).
+	DeclaredLocations int
+	// Footprint is the number of distinct locations actually touched.
+	Footprint int
+	// Steps is the total number of atomic steps until all processes decided.
+	Steps int64
+	// MaxBits is the widest value any location held (the Section 10
+	// location-size ablation).
+	MaxBits int
+	// Decided is the agreed value.
+	Decided int
+	// LowerBound/UpperBound are the paper's bounds evaluated at N.
+	LowerBound, UpperBound int
+}
+
+// MeasureRow runs the row's protocol for n processes with adversarially
+// shuffled inputs under a seeded random schedule and returns the
+// measurement. maxSteps bounds the run (random schedules are fair, so
+// obstruction-free protocols decide well within generous budgets).
+func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) {
+	if r.Build == nil {
+		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
+	}
+	pr := r.Build(n)
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = (i*3 + 1) % pr.Values
+	}
+	sys, err := pr.NewSystem(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	res, err := sys.Run(sim.NewRandom(seed), maxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("core: row %s n=%d: %w", r.ID, n, err)
+	}
+	if err := res.CheckConsensus(inputs); err != nil {
+		return nil, fmt.Errorf("core: row %s n=%d: %w", r.ID, n, err)
+	}
+	if len(res.Undecided) > 0 {
+		return nil, fmt.Errorf("core: row %s n=%d: %d processes undecided after %d steps",
+			r.ID, n, len(res.Undecided), res.Steps)
+	}
+	stats := sys.Mem().Stats()
+	decided, _ := res.AgreedValue()
+	declared := pr.Locations
+	if pr.Unbounded {
+		declared = Unbounded
+	}
+	lo, up := SP(r, n)
+	return &Measurement{
+		RowID:             r.ID,
+		N:                 n,
+		DeclaredLocations: declared,
+		Footprint:         stats.Footprint(),
+		Steps:             stats.Steps,
+		MaxBits:           stats.MaxBits,
+		Decided:           decided,
+		LowerBound:        lo,
+		UpperBound:        up,
+	}, nil
+}
+
+// Check validates a measurement against the row's bounds: the footprint of
+// a bounded protocol must not exceed the declared locations, and for
+// exact-upper-bound rows it must not exceed the bound itself.
+func (m *Measurement) Check() error {
+	if m.DeclaredLocations != Unbounded && m.Footprint > m.DeclaredLocations {
+		return fmt.Errorf("core: row %s n=%d: footprint %d exceeds declared %d",
+			m.RowID, m.N, m.Footprint, m.DeclaredLocations)
+	}
+	if m.UpperBound != Unbounded && m.DeclaredLocations != Unbounded && m.Footprint > m.UpperBound {
+		// Asymptotic rows evaluate At(n) to the construction's size, so this
+		// holds for them too.
+		return fmt.Errorf("core: row %s n=%d: footprint %d exceeds upper bound %d",
+			m.RowID, m.N, m.Footprint, m.UpperBound)
+	}
+	return nil
+}
+
+// boundString renders a bound value for the table.
+func boundString(v int) string {
+	if v == Unbounded {
+		return "∞"
+	}
+	return fmt.Sprint(v)
+}
+
+// RenderTable produces the reproduction of Table 1 for the given n and l:
+// each row shows the paper's bound formulas, their evaluation at n, and the
+// measured footprint of the implemented protocol.
+func RenderTable(n, l int, seed int64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Space Hierarchy (Table 1) — n=%d processes, l=%d buffer capacity\n\n", n, l)
+	fmt.Fprintf(&b, "%-6s %-45s %14s %14s %9s %9s %10s %8s\n",
+		"id", "instruction set", "paper lower", "paper upper", "lower@n", "upper@n", "measured", "steps")
+	for _, r := range Table(l) {
+		lo, up := SP(r, n)
+		meas := "-"
+		steps := "-"
+		if r.Build != nil {
+			m, err := MeasureRow(r, n, seed, 50_000_000)
+			if err != nil {
+				return "", err
+			}
+			if err := m.Check(); err != nil {
+				return "", err
+			}
+			meas = fmt.Sprint(m.Footprint)
+			steps = fmt.Sprint(m.Steps)
+		}
+		fmt.Fprintf(&b, "%-6s %-45s %14s %14s %9s %9s %10s %8s\n",
+			r.ID, r.Sets, r.Lower.Formula, r.Upper.Formula,
+			boundString(lo), boundString(up), meas, steps)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// The paper's conclusion notes that "a truly accurate complexity-based
+// hierarchy would have to take step complexity into consideration". This
+// file adds that axis: per-row solo step complexity (the cost of deciding
+// unobstructed — the quantity obstruction-freedom bounds) and contended
+// step totals under fair schedules.
+
+// StepProfile is the step-complexity measurement of one row at one n.
+type StepProfile struct {
+	RowID string
+	N     int
+	// Solo is the number of steps a single process needs to decide running
+	// alone from the initial configuration.
+	Solo int64
+	// ContendedTotal is the total steps for all n processes to decide under
+	// round-robin scheduling.
+	ContendedTotal int64
+	// ContendedPerProc is ContendedTotal / n.
+	ContendedPerProc int64
+}
+
+// MeasureSteps profiles the row's protocol.
+func MeasureSteps(r Row, n int, maxSteps int64) (*StepProfile, error) {
+	if r.Build == nil {
+		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
+	}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = (i*3 + 1) % r.Build(n).Values
+	}
+
+	solo := r.Build(n)
+	soloSys, err := solo.NewSystem(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer soloSys.Close()
+	if _, err := soloSys.Run(sim.Solo{PID: 0}, maxSteps); err != nil {
+		return nil, err
+	}
+	if _, ok := soloSys.Decided(0); !ok {
+		return nil, fmt.Errorf("core: row %s n=%d: solo run undecided after %d steps",
+			r.ID, n, maxSteps)
+	}
+
+	cont := r.Build(n)
+	contSys, err := cont.NewSystem(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer contSys.Close()
+	res, err := contSys.Run(&sim.RoundRobin{}, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Undecided) > 0 {
+		return nil, fmt.Errorf("core: row %s n=%d: %d undecided under round-robin",
+			r.ID, n, len(res.Undecided))
+	}
+	return &StepProfile{
+		RowID:            r.ID,
+		N:                n,
+		Solo:             soloSys.Steps(),
+		ContendedTotal:   contSys.Steps(),
+		ContendedPerProc: contSys.Steps() / int64(n),
+	}, nil
+}
+
+// RenderStepTable produces the step-complexity companion table for the
+// given n — the extra axis the conclusion asks about, side by side with the
+// space column.
+func RenderStepTable(n, l int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Step complexity companion — n=%d processes, l=%d\n\n", n, l)
+	fmt.Fprintf(&b, "%-6s %-45s %10s %12s %12s\n",
+		"id", "instruction set", "solo", "contended", "per-process")
+	for _, r := range Table(l) {
+		if r.Build == nil {
+			continue
+		}
+		p, err := MeasureSteps(r, n, 50_000_000)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6s %-45s %10d %12d %12d\n",
+			r.ID, r.Sets, p.Solo, p.ContendedTotal, p.ContendedPerProc)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,58 @@
+// Package counter implements the m-component counter objects of Section 3 of
+// the paper, which the racing-counters consensus algorithm (Lemmas 3.1/3.2)
+// is built on. Each implementation realizes the object out of a different
+// instruction set, following Theorem 3.3 and its companions:
+//
+//   - Multiply: one {read, multiply} location, component v counted in the
+//     exponent of the (v+1)'st prime.
+//   - Add: one {read, add} (or {fetch-and-add}) location, component v counted
+//     in the v'th base-3n digit; supports decrement, so it implements the
+//     bounded counter of Lemma 3.2.
+//   - SetBit: one {read, set-bit} location, increments recorded in per-
+//     (component, process) bit positions within consecutive blocks.
+//   - Increment: m {read, increment} locations (Section 5).
+//   - Tracks: unboundedly many binary {read, write(1)} (or test-and-set)
+//     locations, one unbounded track per component (Section 9).
+//   - Registers: m components over an array of single-writer registers
+//     (Sections 6 and 8 use this via buffers and swaps).
+//
+// A counter instance is local to one process: it holds the process handle it
+// performs steps through plus any process-local bookkeeping the construction
+// needs (for example, set-bit increment counts).
+package counter
+
+// Counter is an m-component counter supporting increments and atomic-looking
+// scans (Section 3's unbounded counter object).
+type Counter interface {
+	// Components returns m, the number of components.
+	Components() int
+	// Inc increments component v by one.
+	Inc(v int)
+	// Scan returns the counts of all components, as of a single
+	// linearization point.
+	Scan() []int64
+}
+
+// BoundedCounter additionally supports decrements, enabling the bounded
+// counter object of Lemma 3.2 whose components stay within {0,...,3n-1}.
+type BoundedCounter interface {
+	Counter
+	// Dec decrements component v by one.
+	Dec(v int)
+}
+
+// doubleCollect repeatedly invokes collect until two consecutive collects
+// return the same fingerprint, and returns the last counts. When the
+// underlying values are monotone (or versioned), two identical consecutive
+// collects form a linearizable snapshot — the double-collect argument of
+// Afek et al. used throughout the paper.
+func doubleCollect(collect func() ([]int64, string)) []int64 {
+	_, fp := collect()
+	for {
+		cur, fp2 := collect()
+		if fp2 == fp {
+			return cur
+		}
+		fp = fp2
+	}
+}

@@ -1,0 +1,85 @@
+package counter
+
+import (
+	"math/big"
+
+	"repro/internal/machine"
+	"repro/internal/primes"
+	"repro/internal/sim"
+)
+
+// Multiply is the prime-exponent m-component unbounded counter of
+// Theorem 3.3, built from a single location supporting read and multiply
+// (or fetch-and-multiply alone). The location must be initialized to 1;
+// component v's count is the exponent of the (v+1)'st prime in the prime
+// decomposition of the stored number.
+type Multiply struct {
+	p     *sim.Proc
+	loc   int
+	prms  []*big.Int
+	fetch bool // use fetch-and-multiply for both updates and reads
+}
+
+// NewMultiply builds the counter view of process p over location loc with m
+// components using {read, multiply}.
+func NewMultiply(p *sim.Proc, loc, m int) *Multiply {
+	return newMultiply(p, loc, m, false)
+}
+
+// NewFetchMultiply builds the counter using only {fetch-and-multiply}:
+// updates multiply by a prime, reads multiply by 1 and use the returned
+// previous value (Table 1's single-instruction row).
+func NewFetchMultiply(p *sim.Proc, loc, m int) *Multiply {
+	return newMultiply(p, loc, m, true)
+}
+
+func newMultiply(p *sim.Proc, loc, m int, fetch bool) *Multiply {
+	ps := primes.First(m)
+	big_ := make([]*big.Int, m)
+	for i, q := range ps {
+		big_[i] = big.NewInt(q)
+	}
+	return &Multiply{p: p, loc: loc, prms: big_, fetch: fetch}
+}
+
+// MultiplyInitial is the initial value the backing location requires.
+func MultiplyInitial() machine.Value { return machine.Int(1) }
+
+// Components returns m.
+func (c *Multiply) Components() int { return len(c.prms) }
+
+// Inc multiplies the location by the component's prime: one atomic step.
+func (c *Multiply) Inc(v int) {
+	op := machine.OpMultiply
+	if c.fetch {
+		op = machine.OpFetchAndMultiply
+	}
+	c.p.Apply(c.loc, op, c.prms[v])
+}
+
+// Scan reads the location once and factors out each component's prime. The
+// single read is the linearization point, so the scan is atomic by
+// construction.
+func (c *Multiply) Scan() []int64 {
+	var x *big.Int
+	if c.fetch {
+		// fetch-and-multiply(1) leaves the value unchanged and returns it.
+		x = machine.MustInt(c.p.Apply(c.loc, machine.OpFetchAndMultiply, machine.Int(1)))
+	} else {
+		x = machine.MustInt(c.p.Apply(c.loc, machine.OpRead))
+	}
+	out := make([]int64, len(c.prms))
+	x = new(big.Int).Set(x)
+	for v, q := range c.prms {
+		quo, rem := new(big.Int), new(big.Int)
+		for {
+			quo.QuoRem(x, q, rem)
+			if rem.Sign() != 0 {
+				break
+			}
+			out[v]++
+			x.Set(quo)
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package counter
+
+import (
+	"repro/internal/swreg"
+)
+
+// Registers is an m-component unbounded counter over an array of n
+// single-writer registers: each process records in its own register how
+// many times it has incremented each component; a scan double-collects the
+// array and sums component-wise. Used by the {read, write(x)} row (direct
+// arrays) and by Theorem 6.3 (buffered arrays).
+type Registers struct {
+	arr  swreg.Array
+	m    int
+	mine []int64
+}
+
+// NewRegisters builds the counter view of one process over arr with m
+// components.
+func NewRegisters(arr swreg.Array, m int) *Registers {
+	return &Registers{arr: arr, m: m, mine: make([]int64, m)}
+}
+
+// Components returns m.
+func (c *Registers) Components() int { return c.m }
+
+// Inc bumps this process's contribution to component v and publishes the
+// whole contribution vector in its register.
+func (c *Registers) Inc(v int) {
+	c.mine[v]++
+	out := make([]int64, c.m)
+	copy(out, c.mine)
+	c.arr.Write(out)
+}
+
+// Scan double-collects the register array and sums contributions.
+func (c *Registers) Scan() []int64 {
+	return doubleCollect(func() ([]int64, string) {
+		vals, fp := c.arr.Collect()
+		counts := make([]int64, c.m)
+		for _, v := range vals {
+			if v == nil {
+				continue
+			}
+			for i, x := range v.([]int64) {
+				counts[i] += x
+			}
+		}
+		return counts, fp
+	})
+}

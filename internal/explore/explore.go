@@ -1,0 +1,206 @@
+// Package explore systematically enumerates process interleavings of a
+// deterministic protocol, checking consensus safety over every schedule up
+// to a bound. Because process state lives inside goroutines and cannot be
+// snapshotted, exploration is replay-based: each schedule prefix is
+// re-executed from a fresh system. That is exponential, but the paper's
+// wait-free protocols terminate within a couple of steps per process and
+// small instances of the obstruction-free ones fit comfortably.
+//
+// The package also provides the bounded CanDecide/Bivalent oracles that the
+// paper's valency arguments (Lemmas 6.4-6.7, 9.1) are phrased in terms of.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Factory builds a fresh system in its initial configuration. Systems are
+// closed by the explorer after use.
+type Factory func() (*sim.System, error)
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxDepth bounds schedule length; 0 means unlimited (use only with
+	// terminating protocols).
+	MaxDepth int
+	// MaxRuns caps the number of maximal schedules examined; 0 means
+	// unlimited.
+	MaxRuns int64
+	// SoloBudget, when positive, additionally checks obstruction-freedom at
+	// every explored configuration: each live process, run alone, must
+	// decide within SoloBudget steps. This multiplies the cost by roughly
+	// n×SoloBudget per configuration.
+	SoloBudget int64
+}
+
+// Violation describes a safety violation found during exploration.
+type Violation struct {
+	Schedule []int
+	Problem  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("schedule %v: %s", v.Schedule, v.Problem)
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	// Runs counts maximal schedules examined (all processes finished, or
+	// depth reached).
+	Runs int64
+	// States counts configurations visited (internal nodes included).
+	States int64
+	// Truncated reports whether MaxRuns stopped the search early.
+	Truncated bool
+	// Violations lists any safety violations (empty means the protocol is
+	// safe over the explored space).
+	Violations []Violation
+}
+
+// replay builds a fresh system and applies the schedule prefix.
+func replay(f Factory, prefix []int) (*sim.System, error) {
+	sys, err := f()
+	if err != nil {
+		return nil, err
+	}
+	for _, pid := range prefix {
+		if _, err := sys.Step(pid); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("explore: replaying %v: %w", prefix, err)
+		}
+	}
+	return sys, nil
+}
+
+// Exhaustive explores every interleaving of the live processes up to
+// opts.MaxDepth, validating agreement and validity at every configuration.
+func Exhaustive(f Factory, opts Options) (*Report, error) {
+	rep := &Report{}
+	var rec func(prefix []int) error
+	rec = func(prefix []int) error {
+		if opts.MaxRuns > 0 && rep.Runs >= opts.MaxRuns {
+			rep.Truncated = true
+			return nil
+		}
+		sys, err := replay(f, prefix)
+		if err != nil {
+			return err
+		}
+		rep.States++
+		// Safety check at this configuration.
+		if problem := checkSafety(sys); problem != "" {
+			rep.Violations = append(rep.Violations, Violation{
+				Schedule: append([]int(nil), prefix...),
+				Problem:  problem,
+			})
+		}
+		live := sys.LiveSet()
+		sys.Close()
+		if opts.SoloBudget > 0 {
+			for _, pid := range live {
+				ok, err := soloDecides(f, prefix, pid, opts.SoloBudget)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					rep.Violations = append(rep.Violations, Violation{
+						Schedule: append([]int(nil), prefix...),
+						Problem: fmt.Sprintf("obstruction-freedom: process %d undecided after %d solo steps",
+							pid, opts.SoloBudget),
+					})
+				}
+			}
+		}
+		if len(live) == 0 || (opts.MaxDepth > 0 && len(prefix) >= opts.MaxDepth) {
+			rep.Runs++
+			return nil
+		}
+		for _, pid := range live {
+			next := make([]int, len(prefix)+1)
+			copy(next, prefix)
+			next[len(prefix)] = pid
+			if err := rec(next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(nil); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// soloDecides replays prefix and then runs pid alone for at most budget
+// steps, reporting whether it decides.
+func soloDecides(f Factory, prefix []int, pid int, budget int64) (bool, error) {
+	sys, err := replay(f, prefix)
+	if err != nil {
+		return false, err
+	}
+	defer sys.Close()
+	for i := int64(0); i < budget && sys.Live(pid); i++ {
+		if _, err := sys.Step(pid); err != nil {
+			return false, err
+		}
+	}
+	_, ok := sys.Decided(pid)
+	return ok, nil
+}
+
+// checkSafety validates the decisions made so far in sys against agreement
+// and validity; it returns a description of the problem or "".
+func checkSafety(sys *sim.System) string {
+	if err := sys.Err(); err != nil {
+		return err.Error()
+	}
+	if err := sys.Result().CheckConsensus(sys.Inputs()); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// CanDecide reports whether value v can be decided from the configuration
+// reached by prefix using only steps of the processes in set, searching
+// schedules up to extraDepth additional steps. It is the bounded executable
+// form of the paper's "P can decide v from C".
+func CanDecide(f Factory, prefix []int, set []int, v, extraDepth int) (bool, error) {
+	inSet := make(map[int]bool, len(set))
+	for _, p := range set {
+		inSet[p] = true
+	}
+	var rec func(sched []int) (bool, error)
+	rec = func(sched []int) (bool, error) {
+		sys, err := replay(f, sched)
+		if err != nil {
+			return false, err
+		}
+		for _, d := range sys.Decisions() {
+			if d == v {
+				sys.Close()
+				return true, nil
+			}
+		}
+		live := sys.LiveSet()
+		sys.Close()
+		if len(sched)-len(prefix) >= extraDepth {
+			return false, nil
+		}
+		for _, pid := range live {
+			if !inSet[pid] {
+				continue
+			}
+			next := make([]int, len(sched)+1)
+			copy(next, sched)
+			next[len(sched)] = pid
+			ok, err := rec(next)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return rec(append([]int(nil), prefix...))
+}

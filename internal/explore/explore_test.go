@@ -1,0 +1,256 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func factoryFor(build func() *consensus.Protocol, inputs []int) Factory {
+	return func() (*sim.System, error) {
+		return build().NewSystem(inputs)
+	}
+}
+
+// TestExhaustiveCAS verifies the CAS protocol over every interleaving of
+// three processes (each takes exactly one step, so the space is tiny and
+// exploration is complete, not bounded).
+func TestExhaustiveCAS(t *testing.T) {
+	rep, err := Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.CAS(3) }, []int{0, 1, 2}),
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	// 3 processes, 1 step each: 3! = 6 maximal schedules.
+	if rep.Runs != 6 {
+		t.Fatalf("runs = %d, want 6", rep.Runs)
+	}
+}
+
+// TestExhaustiveIntroProtocols fully explores the two introduction
+// protocols for all input patterns with 3 processes (2 steps per process).
+func TestExhaustiveIntroProtocols(t *testing.T) {
+	for name, build := range map[string]func(n int) *consensus.Protocol{
+		"faa2-tas": consensus.IntroFAA2TAS,
+		"dec-mul":  consensus.IntroDecMul,
+	} {
+		t.Run(name, func(t *testing.T) {
+			n := 3
+			for pattern := 0; pattern < 1<<n; pattern++ {
+				inputs := make([]int, n)
+				for i := range inputs {
+					inputs[i] = (pattern >> i) & 1
+				}
+				rep, err := Exhaustive(
+					factoryFor(func() *consensus.Protocol { return build(n) }, inputs),
+					Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("inputs %v: %v", inputs, rep.Violations[0])
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustiveMaxRegistersBounded explores the two-max-register protocol
+// for 2 processes to a depth beyond its solo decision length, catching any
+// interleaving-dependent safety bug near the root of the execution tree.
+func TestExhaustiveMaxRegistersBounded(t *testing.T) {
+	rep, err := Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}),
+		Options{MaxDepth: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Runs == 0 || rep.States < rep.Runs {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+}
+
+// TestExhaustiveBuffered explores the l-buffer protocol (n=2, l=2: a single
+// buffer) to bounded depth.
+func TestExhaustiveBuffered(t *testing.T) {
+	rep, err := Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.Buffered(2, 2) }, []int{1, 0}),
+		Options{MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}
+
+// TestExhaustiveCatchesBrokenProtocol plants a deliberately unsafe protocol
+// (decide own input after one read: no agreement) and checks the explorer
+// reports it — guarding against a vacuously green checker.
+func TestExhaustiveCatchesBrokenProtocol(t *testing.T) {
+	broken := func() (*sim.System, error) {
+		mem := machine.New(machine.SetReadWrite, 1)
+		body := func(p *sim.Proc) int {
+			p.Apply(0, machine.OpRead)
+			return p.Input() // agreement violated whenever inputs differ
+		}
+		return sim.NewSystem(mem, []int{0, 1}, body), nil
+	}
+	rep, err := Exhaustive(broken, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("explorer failed to detect an agreement violation")
+	}
+}
+
+// TestCanDecideBivalence checks the bounded valency oracle on the CAS
+// protocol: from the initial configuration the full process set is bivalent
+// (Lemma 6.4), while after one step the configuration is univalent.
+func TestCanDecideBivalence(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1})
+	all := []int{0, 1}
+	can0, err := CanDecide(f, nil, all, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can1, err := CanDecide(f, nil, all, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !can0 || !can1 {
+		t.Fatalf("initial configuration should be bivalent: can0=%v can1=%v", can0, can1)
+	}
+	// After process 1's CAS lands, only 1 is decidable.
+	can0, err = CanDecide(f, []int{1}, all, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can1, err = CanDecide(f, []int{1}, all, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can0 || !can1 {
+		t.Fatalf("after step of 1: can0=%v can1=%v, want univalent 1", can0, can1)
+	}
+}
+
+// TestCanDecideRespectsSet verifies the oracle only schedules the allowed
+// process set.
+func TestCanDecideRespectsSet(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1})
+	// Only process 0 may move: value 1 is unreachable.
+	can1, err := CanDecide(f, nil, []int{0}, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can1 {
+		t.Fatal("value 1 should be unreachable via process 0 alone")
+	}
+	can0, err := CanDecide(f, nil, []int{0}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !can0 {
+		t.Fatal("process 0 alone should decide 0")
+	}
+}
+
+// TestExhaustiveSingleLocationRows fully or near-fully explores the
+// single-location protocols for n=2 processes with opposing inputs —
+// catching any interleaving-dependent safety bug near the execution root.
+func TestExhaustiveSingleLocationRows(t *testing.T) {
+	builds := map[string]func(n int) *consensus.Protocol{
+		"add":            consensus.Add,
+		"fetch-add":      consensus.FetchAdd,
+		"multiply":       consensus.Multiply,
+		"fetch-multiply": consensus.FetchMultiply,
+		"set-bit":        consensus.SetBit,
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			rep, err := Exhaustive(
+				factoryFor(func() *consensus.Protocol { return build(2) }, []int{0, 1}),
+				Options{MaxDepth: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("violations: %v", rep.Violations[0])
+			}
+		})
+	}
+}
+
+// TestExhaustiveMultiLocationRows explores bounded prefixes of the
+// multi-location protocols for n=2.
+func TestExhaustiveMultiLocationRows(t *testing.T) {
+	builds := map[string]func(n int) *consensus.Protocol{
+		"registers":        consensus.Registers,
+		"swap":             consensus.Swap,
+		"increment-binary": consensus.IncrementBinary,
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			rep, err := Exhaustive(
+				factoryFor(func() *consensus.Protocol { return build(2) }, []int{1, 0}),
+				Options{MaxDepth: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("violations: %v", rep.Violations[0])
+			}
+		})
+	}
+}
+
+// TestObstructionFreedomExplored checks solo termination from every
+// configuration within the explored envelope of the CAS and max-register
+// protocols.
+func TestObstructionFreedomExplored(t *testing.T) {
+	rep, err := Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1}),
+		Options{SoloBudget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("CAS: %v", rep.Violations[0])
+	}
+	rep, err = Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}),
+		Options{MaxDepth: 8, SoloBudget: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("max-registers: %v", rep.Violations[0])
+	}
+}
+
+// TestMaxRunsTruncation checks the exploration cap.
+func TestMaxRunsTruncation(t *testing.T) {
+	rep, err := Exhaustive(
+		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2}),
+		Options{MaxDepth: 20, MaxRuns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if rep.Runs > 5 {
+		t.Fatalf("runs = %d beyond cap", rep.Runs)
+	}
+}

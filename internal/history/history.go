@@ -1,0 +1,166 @@
+// Package history implements Lemma 6.1 of the paper: a single l-buffer
+// simulates a history object — an object supporting append(x) and
+// get-history() — on which at most l different processes may append and any
+// number may read. History objects are universal (the state of any object is
+// the history of non-trivial operations applied to it), which is how
+// Theorem 6.3 squeezes n single-writer registers into ceil(n/l) buffers.
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Entry is one appended value. Appends are made unique by tagging them with
+// the appender's id and a per-appender sequence number, exactly as the proof
+// of Lemma 6.1 prescribes.
+type Entry struct {
+	PID int
+	Seq int64
+	Val any
+}
+
+func (e Entry) String() string { return fmt.Sprintf("%d.%d:%v", e.PID, e.Seq, e.Val) }
+
+func (e Entry) sameID(o Entry) bool { return e.PID == o.PID && e.Seq == o.Seq }
+
+// record is what each append buffer-writes: the appender's view of the
+// history so far, plus the new entry.
+type record struct {
+	hist  []Entry
+	entry Entry
+}
+
+// History is one process's handle on the simulated history object backed by
+// the l-buffer at location loc. At most l distinct processes may call
+// Append over the object's lifetime; any number may call GetHistory.
+type History struct {
+	p   *sim.Proc
+	loc int
+	seq int64
+}
+
+// New returns process p's handle on the history object at location loc.
+func New(p *sim.Proc, loc int) *History {
+	return &History{p: p, loc: loc}
+}
+
+// Append appends val to the history: one get-history plus one atomic
+// l-buffer-write (the linearization point). It returns the identity of the
+// appended entry so callers can locate it in later histories.
+func (h *History) Append(val any) Entry {
+	hist := h.GetHistory()
+	h.seq++
+	e := Entry{PID: h.p.ID(), Seq: h.seq, Val: val}
+	h.p.Apply(h.loc, machine.OpBufferWrite, record{hist: hist, entry: e})
+	return e
+}
+
+// SameEntry reports whether two entries are the same append (identity is
+// the appender id plus its sequence number).
+func SameEntry(a, b Entry) bool { return a.sameID(b) }
+
+// GetHistory returns the sequence of all values appended so far, least
+// recent first: one atomic l-buffer-read (the linearization point), then the
+// local reconstruction of Lemma 6.1.
+func (h *History) GetHistory() []Entry {
+	raw := h.p.Apply(h.loc, machine.OpBufferRead).([]machine.Value)
+	return Reconstruct(raw)
+}
+
+// Reconstruct rebuilds the full history from the result of one
+// l-buffer-read, following the case analysis in the proof of Lemma 6.1.
+// It is exported for the white-box tests that replay Figure 1.
+func Reconstruct(raw []machine.Value) []Entry {
+	// Collect the non-nil suffix: the inputs of the at most l most recent
+	// buffer-writes, oldest first.
+	var recs []record
+	for _, v := range raw {
+		if v == nil {
+			continue
+		}
+		recs = append(recs, v.(record))
+	}
+	if len(recs) == 0 {
+		// No append has been linearized.
+		return nil
+	}
+	l := len(raw)
+	tail := make([]Entry, len(recs))
+	for i, r := range recs {
+		tail[i] = r.entry
+	}
+	if len(recs) < l {
+		// Fewer than l appends ever happened; the tail is the full history.
+		return tail
+	}
+	// l or more appends happened. Let h be the longest history among the
+	// carried ones.
+	var longest []Entry
+	for _, r := range recs {
+		if len(r.hist) >= len(longest) {
+			longest = r.hist
+		}
+	}
+	x1 := tail[0]
+	for i, e := range longest {
+		if e.sameID(x1) {
+			// h contains x1: everything before x1 in h, then the tail.
+			return append(append([]Entry{}, longest[:i]...), tail...)
+		}
+	}
+	// h does not contain x1: the l writers were concurrent (Figure 1), and
+	// h holds everything appended before x1.
+	return append(append([]Entry{}, longest...), tail...)
+}
+
+// Registers adapts one history object into l single-writer registers
+// (Lemma 6.2): register slots are keyed by writer id; writing appends a
+// (slot, value) pair, and reading slot i finds the most recent pair with
+// first component i.
+type Registers struct {
+	h *History
+}
+
+// NewRegisters returns process p's handle on the register array simulated by
+// the history object at location loc.
+func NewRegisters(p *sim.Proc, loc int) *Registers {
+	return &Registers{h: New(p, loc)}
+}
+
+// slotted is a (slot, value) pair appended to the history.
+type slotted struct {
+	slot int
+	val  any
+}
+
+// Write writes val to register slot: one append.
+func (r *Registers) Write(slot int, val any) {
+	r.h.Append(slotted{slot: slot, val: val})
+}
+
+// ReadAll returns the newest value of every requested slot (nil when never
+// written) along with a version fingerprint suitable for double collects.
+// It costs a single atomic l-buffer-read.
+func (r *Registers) ReadAll(slots []int) ([]any, string) {
+	hist := r.h.GetHistory()
+	vals := make([]any, len(slots))
+	vers := make([]string, len(slots))
+	for i := range vers {
+		vers[i] = "-"
+	}
+	idx := make(map[int]int, len(slots))
+	for i, s := range slots {
+		idx[s] = i
+	}
+	for _, e := range hist {
+		sl := e.Val.(slotted)
+		if i, ok := idx[sl.slot]; ok {
+			vals[i] = sl.val
+			vers[i] = fmt.Sprintf("%d.%d", e.PID, e.Seq)
+		}
+	}
+	return vals, fmt.Sprint(vers)
+}

@@ -1,0 +1,128 @@
+// Package linearize is a Wing-Gong-style linearizability checker for the
+// concurrent objects built in this repository. Given a concurrent history —
+// operations with invocation/response timestamps and observed results — it
+// searches for a linearization: a total order that respects real time
+// (an operation that responded before another was invoked must precede it)
+// and replays correctly through a sequential state machine.
+//
+// The checker is exact (exponential worst case, with memoization on the
+// linearized set), which is fine for the test-sized histories it verifies:
+// the point is an independent oracle for the Lemma 6.1 history object and
+// the Section 10 universal construction, complementing their structural
+// chain-property tests.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/objects"
+)
+
+// Op is one completed operation in a concurrent history.
+type Op struct {
+	// Proc identifies the caller (for error messages only).
+	Proc int
+	// Input is the operation submitted to the state machine.
+	Input any
+	// Result is the response the caller observed.
+	Result any
+	// Invoked and Responded are the operation's span in global steps:
+	// Invoked is taken before the first instruction of the operation,
+	// Responded after its last.
+	Invoked, Responded int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("p%d %v->%v @[%d,%d]", o.Proc, o.Input, o.Result, o.Invoked, o.Responded)
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Linearizable is true when a valid linearization exists.
+	Linearizable bool
+	// Order holds indices into the input history forming a witness
+	// linearization (when Linearizable).
+	Order []int
+	// Explored counts search states.
+	Explored int64
+}
+
+// equal compares observed results; nil matches nil.
+func equal(a, b any) bool { return fmt.Sprint(a) == fmt.Sprint(b) }
+
+// Check searches for a linearization of history against the machine.
+func Check(sm objects.StateMachine, history []Op) *Result {
+	n := len(history)
+	if n > 63 {
+		panic("linearize: history too long for the bitmask search")
+	}
+	// Sort indices by invocation for stable iteration.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return history[idx[a]].Invoked < history[idx[b]].Invoked
+	})
+
+	res := &Result{}
+	// memo remembers (linearized-set, state-fingerprint) pairs that failed,
+	// so different orders reaching the same frontier are not re-explored.
+	type key struct {
+		mask  uint64
+		state string
+	}
+	failed := map[key]bool{}
+
+	var order []int
+	var search func(mask uint64, state any) bool
+	search = func(mask uint64, state any) bool {
+		res.Explored++
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key{mask: mask, state: fmt.Sprint(state)}
+		if failed[k] {
+			return false
+		}
+		// minPendingResp is the earliest response among un-linearized ops:
+		// no op invoked after it may be linearized before it.
+		minResp := int64(1<<62 - 1)
+		for _, i := range idx {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if history[i].Responded < minResp {
+				minResp = history[i].Responded
+			}
+		}
+		for _, i := range idx {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			op := history[i]
+			if op.Invoked > minResp {
+				// Real-time order: some pending op responded before this
+				// one was even invoked; that one must go first.
+				continue
+			}
+			next, got := sm.Apply(state, op.Input)
+			if !equal(got, op.Result) {
+				continue
+			}
+			order = append(order, i)
+			if search(mask|(1<<uint(i)), next) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		failed[k] = true
+		return false
+	}
+	if search(0, sm.Init()) {
+		res.Linearizable = true
+		res.Order = append([]int(nil), order...)
+	}
+	return res
+}

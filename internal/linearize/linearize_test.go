@@ -1,0 +1,148 @@
+package linearize
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// TestSequentialHistoryAccepted: a serial queue history is linearizable.
+func TestSequentialHistoryAccepted(t *testing.T) {
+	h := []Op{
+		{Proc: 0, Input: objects.QueueOp{Enq: "a"}, Result: nil, Invoked: 0, Responded: 1},
+		{Proc: 0, Input: objects.QueueOp{Enq: "b"}, Result: nil, Invoked: 2, Responded: 3},
+		{Proc: 1, Input: objects.QueueOp{}, Result: "a", Invoked: 4, Responded: 5},
+		{Proc: 1, Input: objects.QueueOp{}, Result: "b", Invoked: 6, Responded: 7},
+	}
+	res := Check(objects.Queue{}, h)
+	if !res.Linearizable {
+		t.Fatal("serial FIFO history rejected")
+	}
+}
+
+// TestRealTimeViolationRejected: dequeue returns "b" before "a" even though
+// the enqueues were strictly ordered in real time — not FIFO-linearizable.
+func TestRealTimeViolationRejected(t *testing.T) {
+	h := []Op{
+		{Proc: 0, Input: objects.QueueOp{Enq: "a"}, Result: nil, Invoked: 0, Responded: 1},
+		{Proc: 0, Input: objects.QueueOp{Enq: "b"}, Result: nil, Invoked: 2, Responded: 3},
+		{Proc: 1, Input: objects.QueueOp{}, Result: "b", Invoked: 4, Responded: 5},
+		{Proc: 1, Input: objects.QueueOp{}, Result: "a", Invoked: 6, Responded: 7},
+	}
+	res := Check(objects.Queue{}, h)
+	if res.Linearizable {
+		t.Fatalf("out-of-order dequeues accepted: order %v", res.Order)
+	}
+}
+
+// TestConcurrentReorderAccepted: with overlapping enqueues either dequeue
+// order is linearizable.
+func TestConcurrentReorderAccepted(t *testing.T) {
+	h := []Op{
+		{Proc: 0, Input: objects.QueueOp{Enq: "a"}, Result: nil, Invoked: 0, Responded: 10},
+		{Proc: 1, Input: objects.QueueOp{Enq: "b"}, Result: nil, Invoked: 0, Responded: 10},
+		{Proc: 2, Input: objects.QueueOp{}, Result: "b", Invoked: 11, Responded: 12},
+		{Proc: 2, Input: objects.QueueOp{}, Result: "a", Invoked: 13, Responded: 14},
+	}
+	if res := Check(objects.Queue{}, h); !res.Linearizable {
+		t.Fatal("concurrent enqueue reorder rejected")
+	}
+}
+
+// TestLostValueRejected: a dequeue of a never-enqueued value cannot
+// linearize.
+func TestLostValueRejected(t *testing.T) {
+	h := []Op{
+		{Proc: 0, Input: objects.QueueOp{Enq: "a"}, Result: nil, Invoked: 0, Responded: 1},
+		{Proc: 1, Input: objects.QueueOp{}, Result: "ghost", Invoked: 2, Responded: 3},
+	}
+	if res := Check(objects.Queue{}, h); res.Linearizable {
+		t.Fatal("phantom dequeue accepted")
+	}
+}
+
+// recordedOp collects the spans of real operations against the universal
+// queue; the recorder is shared across process goroutines but appended only
+// during each process's own turn (the runtime is lock-step), with a mutex
+// for the race detector's benefit.
+type recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+func (r *recorder) add(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, op)
+}
+
+// TestRealQueueRunsLinearizable is the end-to-end check: l processes hammer
+// the single-location universal queue (Lemma 6.1 + Section 10) under random
+// schedules; the recorded history must be linearizable against the
+// sequential queue, for every seed.
+func TestRealQueueRunsLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		l := 3
+		mem := machine.New(machine.SetBuffers(l), 1)
+		rec := &recorder{}
+		body := func(p *sim.Proc) int {
+			q := objects.New(p, 0, objects.Queue{})
+			rng := rand.New(rand.NewSource(int64(p.ID())*31 + seed))
+			for i := 0; i < 3; i++ {
+				var in objects.QueueOp
+				if rng.Intn(2) == 0 {
+					in = objects.QueueOp{Enq: p.ID()*100 + i}
+				}
+				start := p.Clock()
+				got := q.Update(in)
+				rec.add(Op{Proc: p.ID(), Input: in, Result: got,
+					Invoked: start, Responded: p.Clock()})
+			}
+			return 0
+		}
+		sys := sim.NewSystem(mem, make([]int, l), body)
+		if _, err := sys.Run(sim.NewRandom(seed), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+		res := Check(objects.Queue{}, rec.ops)
+		if !res.Linearizable {
+			t.Fatalf("seed %d: history not linearizable:\n%v", seed, rec.ops)
+		}
+	}
+}
+
+// TestRealKVRunsLinearizable does the same for the key-value machine with
+// contended keys.
+func TestRealKVRunsLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		l := 3
+		mem := machine.New(machine.SetBuffers(l), 1)
+		rec := &recorder{}
+		body := func(p *sim.Proc) int {
+			kv := objects.New(p, 0, objects.KV{})
+			rng := rand.New(rand.NewSource(int64(p.ID())*17 + seed*3))
+			for i := 0; i < 3; i++ {
+				in := objects.KVOp{Key: "k", Set: rng.Intn(2) == 0, Val: p.ID()*10 + i}
+				start := p.Clock()
+				got := kv.Update(in)
+				rec.add(Op{Proc: p.ID(), Input: in, Result: got,
+					Invoked: start, Responded: p.Clock()})
+			}
+			return 0
+		}
+		sys := sim.NewSystem(mem, make([]int, l), body)
+		if _, err := sys.Run(sim.NewRandom(seed), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+		res := Check(objects.KV{}, rec.ops)
+		if !res.Linearizable {
+			t.Fatalf("seed %d: KV history not linearizable:\n%v", seed, rec.ops)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package lowerbound packages the valency-and-covering machinery that every
+// space lower bound in the paper is assembled from (Sections 6.2, 7 and 9):
+// bivalent configurations (Lemma 6.4), executions splitting two processes
+// onto different decisions (Lemma 6.6), coverage census over poised
+// instructions, and block-write indistinguishability probes (Lemma 6.5's
+// engine). Everything operates on replayable executions — a Factory builds
+// the initial configuration and a schedule prefix identifies a reachable
+// configuration — because process state cannot be snapshotted.
+//
+// These are bounded, executable forms: the lemmas quantify over all
+// protocols and use unbounded executions; the functions here verify or
+// search within explicit budgets, which suffices to drive and to test the
+// constructions on concrete protocols.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// Factory builds a fresh system in its initial configuration.
+type Factory = explore.Factory
+
+// Config identifies a reachable configuration: the schedule prefix that
+// leads to it from the initial configuration.
+type Config struct {
+	f      Factory
+	Prefix []int
+}
+
+// At returns the configuration reached by prefix.
+func At(f Factory, prefix ...int) *Config {
+	return &Config{f: f, Prefix: append([]int(nil), prefix...)}
+}
+
+// Materialize replays the configuration into a live system. Callers own the
+// returned system and must Close it.
+func (c *Config) Materialize() (*sim.System, error) {
+	sys, err := c.f()
+	if err != nil {
+		return nil, err
+	}
+	for _, pid := range c.Prefix {
+		if _, err := sys.Step(pid); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("lowerbound: replaying %v: %w", c.Prefix, err)
+		}
+	}
+	return sys, nil
+}
+
+// Extend returns the configuration after further steps.
+func (c *Config) Extend(pids ...int) *Config {
+	next := make([]int, 0, len(c.Prefix)+len(pids))
+	next = append(next, c.Prefix...)
+	next = append(next, pids...)
+	return &Config{f: c.f, Prefix: next}
+}
+
+// SoloDecision runs pid alone from the configuration and returns its
+// decision. ok is false if it does not decide within maxSteps (an
+// obstruction-freedom violation for consensus protocols) or is not live.
+func (c *Config) SoloDecision(pid int, maxSteps int64) (int, bool, error) {
+	sys, err := c.Materialize()
+	if err != nil {
+		return 0, false, err
+	}
+	defer sys.Close()
+	for i := int64(0); i < maxSteps && sys.Live(pid); i++ {
+		if _, err := sys.Step(pid); err != nil {
+			return 0, false, err
+		}
+	}
+	d, ok := sys.Decided(pid)
+	return d, ok, nil
+}
+
+// Bivalent reports whether the process set can decide both 0 and 1 from the
+// configuration, searching set-only schedules up to extraDepth further
+// steps (the executable form of the paper's bivalence; Lemma 6.4 asserts it
+// for initial configurations with both inputs present).
+func (c *Config) Bivalent(set []int, extraDepth int) (bool, error) {
+	can0, err := explore.CanDecide(c.f, c.Prefix, set, 0, extraDepth)
+	if err != nil {
+		return false, err
+	}
+	if !can0 {
+		return false, nil
+	}
+	can1, err := explore.CanDecide(c.f, c.Prefix, set, 1, extraDepth)
+	if err != nil {
+		return false, err
+	}
+	return can1, nil
+}
+
+// Split searches for an extension of the configuration after which two
+// distinct processes decide different values in their solo executions —
+// the reach of Lemma 6.6. It explores set-only schedules up to depth,
+// probing solo decisions with soloBudget steps, and returns the extended
+// configuration with the two witness processes. A nil set means all live
+// processes.
+func (c *Config) Split(set []int, depth int, soloBudget int64) (*Config, int, int, error) {
+	var find func(cur *Config, d int) (*Config, int, int, error)
+	find = func(cur *Config, d int) (*Config, int, int, error) {
+		sys, err := cur.Materialize()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		live := map[int]bool{}
+		for _, pid := range sys.LiveSet() {
+			live[pid] = true
+		}
+		members := set
+		if members == nil {
+			members = sys.LiveSet()
+		}
+		sys.Close()
+		// Probe all pairs of live set members.
+		type probe struct {
+			pid int
+			dec int
+		}
+		var probes []probe
+		for _, pid := range members {
+			if !live[pid] {
+				continue
+			}
+			dec, ok, err := cur.SoloDecision(pid, soloBudget)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if ok {
+				probes = append(probes, probe{pid: pid, dec: dec})
+			}
+		}
+		for i := 0; i < len(probes); i++ {
+			for j := i + 1; j < len(probes); j++ {
+				if probes[i].dec != probes[j].dec {
+					return cur, probes[i].pid, probes[j].pid, nil
+				}
+			}
+		}
+		if d == 0 {
+			return nil, 0, 0, nil
+		}
+		for _, pid := range members {
+			if !live[pid] {
+				continue
+			}
+			got, p0, p1, err := find(cur.Extend(pid), d-1)
+			if err != nil || got != nil {
+				return got, p0, p1, err
+			}
+		}
+		return nil, 0, 0, nil
+	}
+	got, p0, p1, err := find(c, depth)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if got == nil {
+		return nil, 0, 0, fmt.Errorf("lowerbound: no split found within depth %d", depth)
+	}
+	return got, p0, p1, nil
+}
+
+// Coverage is the census of which live processes cover which locations in a
+// configuration (a process covers a location when poised to perform a
+// non-trivial instruction on it).
+type Coverage struct {
+	// ByLocation maps location -> covering process ids, ascending.
+	ByLocation map[int][]int
+}
+
+// Covered computes the coverage census of the configuration.
+func (c *Config) Covered() (*Coverage, error) {
+	sys, err := c.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	cov := &Coverage{ByLocation: map[int][]int{}}
+	for _, pid := range sys.LiveSet() {
+		info, ok := sys.Poised(pid)
+		if !ok {
+			continue
+		}
+		for _, loc := range info.CoveredLocs() {
+			cov.ByLocation[loc] = append(cov.ByLocation[loc], pid)
+		}
+	}
+	return cov, nil
+}
+
+// KCovered returns the locations covered by at least k of the given
+// processes — the "l-covered" notion block writes are launched from.
+func (cov *Coverage) KCovered(k int, among map[int]bool) []int {
+	var out []int
+	for loc, pids := range cov.ByLocation {
+		count := 0
+		for _, pid := range pids {
+			if among == nil || among[pid] {
+				count++
+			}
+		}
+		if count >= k {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
+// BlockWriteObliterates checks the engine of Lemma 6.5 on a live execution:
+// starting from the configuration, performing the block write by writers
+// (each poised on a buffer-write to the same l-covered location) makes the
+// location's readable contents independent of an arbitrary earlier
+// write-class step delta by another process. It replays both orders —
+// delta·block and block alone — and compares what a subsequent buffer-read
+// of the location returns.
+func (c *Config) BlockWriteObliterates(loc int, writers []int, delta int) (bool, error) {
+	readAfter := func(prefix []int) (string, error) {
+		sys, err := At(c.f, prefix...).Materialize()
+		if err != nil {
+			return "", err
+		}
+		defer sys.Close()
+		vals := sys.Mem().PeekBuffer(loc)
+		return fmt.Sprint(vals), nil
+	}
+	withDelta := append(append(append([]int{}, c.Prefix...), delta), writers...)
+	withoutDelta := append(append([]int{}, c.Prefix...), writers...)
+	a, err := readAfter(withDelta)
+	if err != nil {
+		return false, err
+	}
+	b, err := readAfter(withoutDelta)
+	if err != nil {
+		return false, err
+	}
+	return a == b, nil
+}

@@ -1,0 +1,155 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func casFactory(inputs []int) Factory {
+	return func() (*sim.System, error) {
+		return consensus.CAS(len(inputs)).NewSystem(inputs)
+	}
+}
+
+// TestLemma64InitialBivalence: an initial configuration with both binary
+// inputs present is bivalent for the full process set.
+func TestLemma64InitialBivalence(t *testing.T) {
+	c := At(casFactory([]int{0, 1}))
+	biv, err := c.Bivalent([]int{0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !biv {
+		t.Fatal("initial configuration should be bivalent (Lemma 6.4)")
+	}
+	// A unanimous initial configuration is univalent by validity.
+	u := At(casFactory([]int{1, 1}))
+	biv, err = u.Bivalent([]int{0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biv {
+		t.Fatal("unanimous inputs cannot be bivalent")
+	}
+}
+
+// TestUnivalentAfterCAS: one step of the CAS protocol fixes the outcome.
+func TestUnivalentAfterCAS(t *testing.T) {
+	c := At(casFactory([]int{0, 1}), 1) // process 1's CAS lands first
+	biv, err := c.Bivalent([]int{0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biv {
+		t.Fatal("post-CAS configuration must be univalent")
+	}
+	d, ok, err := c.SoloDecision(0, 10)
+	if err != nil || !ok {
+		t.Fatalf("solo probe: %v ok=%v", err, ok)
+	}
+	if d != 1 {
+		t.Fatalf("process 0 decided %d from the 1-univalent configuration", d)
+	}
+}
+
+// TestSplitFindsDivergingPair: Lemma 6.6's reach — from a bivalent
+// configuration there is an extension after which two processes decide
+// differently solo. For CAS the initial configuration itself qualifies.
+func TestSplitFindsDivergingPair(t *testing.T) {
+	c := At(casFactory([]int{0, 1}))
+	got, p0, p1, err := c.Split([]int{0, 1}, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Prefix) != 0 {
+		t.Fatalf("CAS should split at the root, got prefix %v", got.Prefix)
+	}
+	d0, _, _ := got.SoloDecision(p0, 10)
+	d1, _, _ := got.SoloDecision(p1, 10)
+	if d0 == d1 {
+		t.Fatalf("split returned non-diverging pair: %d %d", d0, d1)
+	}
+}
+
+// TestSplitOnBufferedProtocol exercises Split on an obstruction-free
+// protocol with longer executions.
+func TestSplitOnBufferedProtocol(t *testing.T) {
+	f := func() (*sim.System, error) {
+		return consensus.Buffered(2, 2).NewSystem([]int{0, 1})
+	}
+	c := At(f)
+	got, p0, p1, err := c.Split([]int{0, 1}, 3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, ok0, _ := got.SoloDecision(p0, 2000)
+	d1, ok1, _ := got.SoloDecision(p1, 2000)
+	if !ok0 || !ok1 || d0 == d1 {
+		t.Fatalf("split invalid: (%d,%v) (%d,%v) at %v", d0, ok0, d1, ok1, got.Prefix)
+	}
+}
+
+// TestCoverageCensus builds a configuration of poised buffer-writes and
+// checks the census and the k-covered extraction.
+func TestCoverageCensus(t *testing.T) {
+	f := func() (*sim.System, error) {
+		mem := machine.New(machine.SetBuffers(2), 2)
+		bodies := []sim.Body{
+			func(p *sim.Proc) int { p.Apply(0, machine.OpBufferWrite, "a"); return 0 },
+			func(p *sim.Proc) int { p.Apply(0, machine.OpBufferWrite, "b"); return 0 },
+			func(p *sim.Proc) int { p.Apply(1, machine.OpBufferWrite, "c"); return 0 },
+			func(p *sim.Proc) int { p.Apply(1, machine.OpBufferRead); return 0 },
+		}
+		return sim.NewSystemBodies(mem, make([]int, 4), bodies), nil
+	}
+	cov, err := At(f).Covered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cov.ByLocation[0]; len(got) != 2 {
+		t.Fatalf("location 0 covered by %v", got)
+	}
+	if got := cov.ByLocation[1]; len(got) != 1 {
+		t.Fatalf("location 1 covered by %v (reads don't cover)", got)
+	}
+	twoCovered := cov.KCovered(2, nil)
+	if len(twoCovered) != 1 || twoCovered[0] != 0 {
+		t.Fatalf("2-covered = %v, want [0]", twoCovered)
+	}
+	if got := cov.KCovered(1, map[int]bool{2: true}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("restricted census = %v", got)
+	}
+}
+
+// TestBlockWriteObliterates is Lemma 6.5's engine on a live execution: an
+// l-covered location, after its block write, reads the same regardless of a
+// preceding write by a third process.
+func TestBlockWriteObliterates(t *testing.T) {
+	f := func() (*sim.System, error) {
+		mem := machine.New(machine.SetBuffers(2), 1)
+		bodies := []sim.Body{
+			func(p *sim.Proc) int { p.Apply(0, machine.OpBufferWrite, "w0"); return 0 },
+			func(p *sim.Proc) int { p.Apply(0, machine.OpBufferWrite, "w1"); return 0 },
+			func(p *sim.Proc) int { p.Apply(0, machine.OpBufferWrite, "delta"); return 0 },
+		}
+		return sim.NewSystemBodies(mem, make([]int, 3), bodies), nil
+	}
+	ok, err := At(f).BlockWriteObliterates(0, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("block of l=2 writes must obliterate the delta write")
+	}
+	// Contrast: a "block" of one write does NOT obliterate on a 2-buffer.
+	ok, err = At(f).BlockWriteObliterates(0, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a single write cannot obliterate on a 2-buffer")
+	}
+}

@@ -1,0 +1,186 @@
+package machine
+
+import (
+	"sort"
+	"strings"
+)
+
+// InstrSet describes the set of instructions a memory supports, together
+// with the buffer capacity l for l-buffer instructions and whether atomic
+// multiple assignment across locations is available (Section 7).
+//
+// The zero value supports nothing; construct with NewInstrSet or use one of
+// the predefined sets matching Table 1's rows.
+type InstrSet struct {
+	name        string
+	ops         [numOps]bool
+	bufferLen   int  // l for l-buffer-read/write; 0 when buffers unsupported
+	multiAssign bool // atomic multiple assignment across locations
+}
+
+// NewInstrSet builds an instruction set with the given name and operations.
+func NewInstrSet(name string, ops ...Op) InstrSet {
+	s := InstrSet{name: name}
+	for _, o := range ops {
+		s.ops[o] = true
+	}
+	return s
+}
+
+// WithBuffers returns a copy of the set supporting l-buffer-read and
+// l-buffer-write with capacity l (l >= 1; an 1-buffer is a register).
+func (s InstrSet) WithBuffers(l int) InstrSet {
+	if l < 1 {
+		panic("machine: buffer capacity must be at least 1")
+	}
+	s.ops[OpBufferRead] = true
+	s.ops[OpBufferWrite] = true
+	s.bufferLen = l
+	return s
+}
+
+// WithMultiAssign returns a copy of the set in which a process may atomically
+// perform one write-class instruction per location on any subset of
+// locations, the paper's model of simple transactions (Section 7).
+func (s InstrSet) WithMultiAssign() InstrSet {
+	s.multiAssign = true
+	return s
+}
+
+// Named returns a copy of the set carrying the given display name.
+func (s InstrSet) Named(name string) InstrSet {
+	s.name = name
+	return s
+}
+
+// Supports reports whether instruction o may be applied to locations of this
+// memory.
+func (s InstrSet) Supports(o Op) bool { return s.ops[o] }
+
+// BufferLen returns l for l-buffer instruction sets and 0 otherwise.
+func (s InstrSet) BufferLen() int { return s.bufferLen }
+
+// MultiAssign reports whether atomic multiple assignment is available.
+func (s InstrSet) MultiAssign() bool { return s.multiAssign }
+
+// Ops returns the supported instructions in a stable order.
+func (s InstrSet) Ops() []Op {
+	var out []Op
+	for o := Op(0); o < numOps; o++ {
+		if s.ops[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Name returns the set's display name; if unnamed, a canonical
+// brace-delimited list of its instructions.
+func (s InstrSet) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	return s.Canonical()
+}
+
+// Canonical renders the set the way the paper writes it, e.g.
+// "{read, write(x)}".
+func (s InstrSet) Canonical() string {
+	var names []string
+	for _, o := range s.Ops() {
+		names = append(names, o.String())
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{")
+	b.WriteString(strings.Join(names, ", "))
+	b.WriteString("}")
+	if s.multiAssign {
+		b.WriteString("+multi-assignment")
+	}
+	return b.String()
+}
+
+func (s InstrSet) String() string { return s.Name() }
+
+// Predefined instruction sets, one per row of Table 1 plus the two
+// introduction examples. Each is a value, not a pointer: InstrSet is
+// immutable after construction.
+var (
+	// SetReadWrite is {read(), write(x)}: ordinary registers (Table 1 row 3).
+	SetReadWrite = NewInstrSet("{read, write(x)}", OpRead, OpWrite)
+
+	// SetReadWrite1 is {read(), write(1)} (Table 1 row 1, unbounded space).
+	SetReadWrite1 = NewInstrSet("{read, write(1)}", OpRead, OpWriteOne)
+
+	// SetReadTAS is {read(), test-and-set()} (Table 1 row 1).
+	SetReadTAS = NewInstrSet("{read, test-and-set}", OpRead, OpTestAndSet)
+
+	// SetReadWrite01 is {read(), write(0), write(1)} (Table 1 row 2).
+	SetReadWrite01 = NewInstrSet("{read, write(1), write(0)}",
+		OpRead, OpWriteZero, OpWriteOne)
+
+	// SetReadTASReset is {read(), test-and-set(), reset()} (Table 1 row 4).
+	SetReadTASReset = NewInstrSet("{read, test-and-set, reset}",
+		OpRead, OpTestAndSet, OpReset)
+
+	// SetReadSwap is {read(), swap(x)} (Table 1 row 5, Section 8).
+	SetReadSwap = NewInstrSet("{read, swap(x)}", OpRead, OpSwap)
+
+	// SetReadWriteIncrement is {read(), write(x), increment()}
+	// (Table 1 row 7, Section 5).
+	SetReadWriteIncrement = NewInstrSet("{read, write(x), increment}",
+		OpRead, OpWrite, OpIncrement)
+
+	// SetReadWriteFAI is {read(), write(x), fetch-and-increment()}
+	// (Table 1 row 8, Section 5).
+	SetReadWriteFAI = NewInstrSet("{read, write(x), fetch-and-increment}",
+		OpRead, OpWrite, OpFetchAndIncrement)
+
+	// SetMaxRegister is {read-max(), write-max(x)} (Table 1 row 9, Section 4).
+	SetMaxRegister = NewInstrSet("{read-max, write-max(x)}",
+		OpReadMax, OpWriteMax)
+
+	// SetCAS is {compare-and-swap(x,y)} alone (Table 1 row 10).
+	SetCAS = NewInstrSet("{compare-and-swap(x,y)}", OpCompareAndSwap)
+
+	// SetReadSetBit is {read(), set-bit(x)} (Table 1 row 10, Section 3).
+	SetReadSetBit = NewInstrSet("{read, set-bit(x)}", OpRead, OpSetBit)
+
+	// SetReadAdd is {read(), add(x)} (Table 1 row 10, Section 3).
+	SetReadAdd = NewInstrSet("{read, add(x)}", OpRead, OpAdd)
+
+	// SetReadMultiply is {read(), multiply(x)} (Table 1 row 10, Section 3).
+	SetReadMultiply = NewInstrSet("{read, multiply(x)}", OpRead, OpMultiply)
+
+	// SetFAA is {fetch-and-add(x)} alone (Table 1 row 10).
+	SetFAA = NewInstrSet("{fetch-and-add(x)}", OpFetchAndAdd)
+
+	// SetFetchMultiply is {fetch-and-multiply(x)} alone (Table 1 row 10).
+	SetFetchMultiply = NewInstrSet("{fetch-and-multiply(x)}",
+		OpFetchAndMultiply)
+
+	// SetFAATAS is {fetch-and-add(x), test-and-set()}: the introduction's
+	// first example of instructions that are weak alone but universal
+	// together.
+	SetFAATAS = NewInstrSet("{fetch-and-add, test-and-set}",
+		OpFetchAndAdd, OpTestAndSet)
+
+	// SetReadDecMul is {read(), decrement(), multiply(x)}: the
+	// introduction's second example.
+	SetReadDecMul = NewInstrSet("{read, decrement, multiply(x)}",
+		OpRead, OpDecrement, OpMultiply)
+)
+
+// SetBuffers returns the l-buffer instruction set B_l of Section 6.
+func SetBuffers(l int) InstrSet {
+	return InstrSet{}.WithBuffers(l).
+		Named("{" + opNames[OpBufferRead] + ", " + opNames[OpBufferWrite] + "}")
+}
+
+// SetBuffersMultiAssign returns B_l extended with atomic multiple assignment
+// (Section 7).
+func SetBuffersMultiAssign(l int) InstrSet {
+	return SetBuffers(l).WithMultiAssign().
+		Named("B_l + multiple assignment")
+}

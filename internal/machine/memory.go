@@ -1,0 +1,431 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrUnsupported is returned when an instruction outside the memory's
+// instruction set is applied, violating the uniformity requirement.
+var ErrUnsupported = errors.New("machine: instruction not in memory's instruction set")
+
+// ErrBadOperand is returned when an instruction receives an argument of the
+// wrong kind (for example a non-numeric operand to add).
+var ErrBadOperand = errors.New("machine: bad operand")
+
+// ErrOutOfRange is returned when a location index is negative, or exceeds a
+// bounded memory's size.
+var ErrOutOfRange = errors.New("machine: location out of range")
+
+// location is the state of a single memory location. Plain-value
+// instructions use val; l-buffer instructions use buf/writes. A location may
+// be used in both modes only if the instruction set mixes both families
+// (none of the paper's sets do).
+type location struct {
+	val    Value
+	buf    []Value // most recent l buffer-writes, oldest first
+	writes int     // total buffer-writes ever applied
+}
+
+// Memory is a collection of identical locations supporting one instruction
+// set. A Memory may be bounded (fixed number of locations) or unbounded
+// (locations materialize on first touch), matching the paper's Table 1 rows
+// whose space complexity is infinite.
+//
+// Memory is not safe for concurrent use: the process runtime serializes all
+// instruction applications, which is exactly the atomicity the model grants.
+type Memory struct {
+	set       InstrSet
+	locs      []location
+	caps      []int // per-location buffer capacity; nil means uniform set l
+	unbounded bool
+	stats     Stats
+}
+
+// Option configures a Memory.
+type Option func(*Memory)
+
+// WithUnbounded lets the memory grow on first touch to any location index;
+// Footprint reports how many locations were actually used. It models the
+// unbounded-space rows of Table 1 (Section 9).
+func WithUnbounded() Option {
+	return func(m *Memory) { m.unbounded = true }
+}
+
+// WithCapacities overrides the buffer capacity per location, enabling the
+// heterogeneous-capacity extension of Section 6.2 (sum of capacities >= n-1).
+// len(caps) must equal the number of locations.
+func WithCapacities(caps []int) Option {
+	return func(m *Memory) {
+		m.caps = append([]int(nil), caps...)
+	}
+}
+
+// WithInitial sets the initial value of specific locations; unlisted
+// locations keep the default 0. Several of the paper's protocols initialize
+// a location to 1 (the multiply-based counters of Section 3).
+func WithInitial(vals map[int]Value) Option {
+	return func(m *Memory) {
+		for loc, v := range vals {
+			if loc < 0 || loc >= len(m.locs) {
+				panic(fmt.Sprintf("machine: WithInitial location %d out of range", loc))
+			}
+			m.locs[loc].val = v
+		}
+	}
+}
+
+// New creates a memory of size locations all supporting set. Numeric
+// locations start holding 0 (represented lazily as nil, which AsInt reads
+// as 0); buffers start empty, so the first l-buffer-read returns all-nil,
+// the paper's ⊥ padding.
+func New(set InstrSet, size int, opts ...Option) *Memory {
+	if size < 0 {
+		panic("machine: negative memory size")
+	}
+	m := &Memory{set: set, locs: make([]location, size)}
+	m.stats.PerLoc = make([]int64, size)
+	for _, o := range opts {
+		o(m)
+	}
+	if m.caps != nil && len(m.caps) != size {
+		panic("machine: WithCapacities length mismatch")
+	}
+	return m
+}
+
+// Set returns the memory's instruction set.
+func (m *Memory) Set() InstrSet { return m.set }
+
+// Size returns the current number of locations (for unbounded memories, the
+// high-water mark of touched indices plus one).
+func (m *Memory) Size() int { return len(m.locs) }
+
+// capacity returns the l-buffer capacity of location i.
+func (m *Memory) capacity(i int) int {
+	if m.caps != nil && i < len(m.caps) {
+		return m.caps[i]
+	}
+	return m.set.bufferLen
+}
+
+func (m *Memory) grow(loc int) error {
+	if loc < 0 {
+		return fmt.Errorf("%w: location %d", ErrOutOfRange, loc)
+	}
+	if loc < len(m.locs) {
+		return nil
+	}
+	if !m.unbounded {
+		return fmt.Errorf("%w: location %d of %d", ErrOutOfRange, loc, len(m.locs))
+	}
+	for len(m.locs) <= loc {
+		m.locs = append(m.locs, location{})
+		m.stats.PerLoc = append(m.stats.PerLoc, 0)
+	}
+	return nil
+}
+
+// Apply performs one atomic instruction on one location and returns its
+// result. It is the only way the contents of memory change, aside from
+// MultiAssign.
+func (m *Memory) Apply(loc int, op Op, args ...Value) (Value, error) {
+	if !m.set.Supports(op) {
+		return nil, fmt.Errorf("%w: %v on %v", ErrUnsupported, op, m.set)
+	}
+	if len(args) != op.arity() {
+		return nil, fmt.Errorf("%w: %v takes %d arguments, got %d",
+			ErrBadOperand, op, op.arity(), len(args))
+	}
+	if err := m.grow(loc); err != nil {
+		return nil, err
+	}
+	res, err := m.apply(loc, op, args)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.record(loc, op, &m.locs[loc])
+	return res, nil
+}
+
+// apply dispatches without instrumentation; used by Apply and MultiAssign.
+func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
+	l := &m.locs[loc]
+	num := func(v Value) (*big.Int, error) {
+		x, ok := AsInt(v)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v requires numeric value, have %T",
+				ErrBadOperand, op, v)
+		}
+		return x, nil
+	}
+	switch op {
+	case OpRead, OpReadMax:
+		return cloneValue(l.val), nil
+
+	case OpWrite:
+		l.val = args[0]
+		return nil, nil
+
+	case OpWriteZero, OpReset:
+		l.val = new(big.Int)
+		return nil, nil
+
+	case OpWriteOne:
+		l.val = big.NewInt(1)
+		return nil, nil
+
+	case OpTestAndSet:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		old := new(big.Int).Set(cur)
+		if cur.Sign() == 0 {
+			l.val = big.NewInt(1)
+		}
+		return old, nil
+
+	case OpSwap:
+		old := l.val
+		l.val = args[0]
+		return old, nil
+
+	case OpFetchAndAdd:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		old := new(big.Int).Set(cur)
+		l.val = new(big.Int).Add(cur, arg)
+		return old, nil
+
+	case OpFetchAndIncrement:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		old := new(big.Int).Set(cur)
+		l.val = new(big.Int).Add(cur, big.NewInt(1))
+		return old, nil
+
+	case OpFetchAndMultiply:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		old := new(big.Int).Set(cur)
+		l.val = new(big.Int).Mul(cur, arg)
+		return old, nil
+
+	case OpIncrement, OpDecrement:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		delta := big.NewInt(1)
+		if op == OpDecrement {
+			delta = big.NewInt(-1)
+		}
+		l.val = new(big.Int).Add(cur, delta)
+		return nil, nil
+
+	case OpAdd:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l.val = new(big.Int).Add(cur, arg)
+		return nil, nil
+
+	case OpMultiply:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l.val = new(big.Int).Mul(cur, arg)
+		return nil, nil
+
+	case OpSetBit:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		bit, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !bit.IsInt64() || bit.Sign() < 0 {
+			return nil, fmt.Errorf("%w: set-bit index %v", ErrBadOperand, bit)
+		}
+		l.val = new(big.Int).SetBit(cur, int(bit.Int64()), 1)
+		return nil, nil
+
+	case OpWriteMax:
+		cur, err := num(l.val)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if arg.Cmp(cur) > 0 {
+			l.val = new(big.Int).Set(arg)
+		}
+		return nil, nil
+
+	case OpBufferRead:
+		cap := m.capacity(loc)
+		out := make([]Value, cap)
+		// The first cap-len(buf) entries stay nil (the paper's ⊥).
+		copy(out[cap-len(l.buf):], l.buf)
+		return out, nil
+
+	case OpBufferWrite:
+		cap := m.capacity(loc)
+		l.buf = append(l.buf, args[0])
+		if len(l.buf) > cap {
+			l.buf = l.buf[len(l.buf)-cap:]
+		}
+		l.writes++
+		return nil, nil
+
+	case OpCompareAndSwap:
+		old := cloneValue(l.val)
+		if EqualValues(l.val, args[0]) {
+			l.val = args[1]
+		}
+		return old, nil
+
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, op)
+	}
+}
+
+// Assignment names one write-class instruction of an atomic multiple
+// assignment.
+type Assignment struct {
+	Loc  int
+	Op   Op
+	Args []Value
+}
+
+// MultiAssign atomically performs one write-class instruction per listed
+// location, the paper's model of a simple transaction (Section 7). The whole
+// call is a single step. Locations must be distinct.
+func (m *Memory) MultiAssign(writes []Assignment) error {
+	if !m.set.multiAssign {
+		return fmt.Errorf("%w: multiple assignment on %v", ErrUnsupported, m.set)
+	}
+	seen := make(map[int]bool, len(writes))
+	for _, w := range writes {
+		if !w.Op.WriteClass() {
+			return fmt.Errorf("%w: %v is not a write-class instruction in a multiple assignment",
+				ErrBadOperand, w.Op)
+		}
+		if !m.set.Supports(w.Op) {
+			return fmt.Errorf("%w: %v on %v", ErrUnsupported, w.Op, m.set)
+		}
+		if len(w.Args) != w.Op.arity() {
+			return fmt.Errorf("%w: %v takes %d arguments, got %d",
+				ErrBadOperand, w.Op, w.Op.arity(), len(w.Args))
+		}
+		if seen[w.Loc] {
+			return fmt.Errorf("%w: duplicate location %d in multiple assignment",
+				ErrBadOperand, w.Loc)
+		}
+		seen[w.Loc] = true
+		if err := m.grow(w.Loc); err != nil {
+			return err
+		}
+	}
+	for _, w := range writes {
+		if _, err := m.apply(w.Loc, w.Op, w.Args); err != nil {
+			return err
+		}
+	}
+	m.stats.recordMulti(writes, m)
+	return nil
+}
+
+// Peek returns the current plain value of a location without counting as a
+// step. It exists for tests, adversaries, and instrumentation — algorithms
+// must go through Apply.
+func (m *Memory) Peek(loc int) Value {
+	if loc < 0 || loc >= len(m.locs) {
+		return nil
+	}
+	return cloneValue(m.locs[loc].val)
+}
+
+// PeekBuffer returns a copy of the buffer contents of a location (oldest
+// first, unpadded) without counting as a step.
+func (m *Memory) PeekBuffer(loc int) []Value {
+	if loc < 0 || loc >= len(m.locs) {
+		return nil
+	}
+	return append([]Value(nil), m.locs[loc].buf...)
+}
+
+// BufferWrites reports how many l-buffer-writes location loc has absorbed.
+func (m *Memory) BufferWrites(loc int) int {
+	if loc < 0 || loc >= len(m.locs) {
+		return 0
+	}
+	return m.locs[loc].writes
+}
+
+// Stats returns a copy of the memory's instrumentation counters.
+func (m *Memory) Stats() Stats { return m.stats.clone() }
+
+// Fingerprint returns a deterministic string capturing the full contents of
+// memory; the systematic explorer uses it to recognize repeated
+// configurations.
+func (m *Memory) Fingerprint() string {
+	out := make([]byte, 0, 64)
+	for i := range m.locs {
+		l := &m.locs[i]
+		out = append(out, fmt.Sprintf("%d=%s", i, fingerprintValue(l.val))...)
+		if len(l.buf) > 0 {
+			out = append(out, '[')
+			for _, v := range l.buf {
+				out = append(out, fingerprintValue(v)...)
+				out = append(out, ',')
+			}
+			out = append(out, ']')
+		}
+		out = append(out, ';')
+	}
+	return string(out)
+}
+
+func fingerprintValue(v Value) string {
+	switch t := v.(type) {
+	case nil:
+		return "_"
+	case *big.Int:
+		return t.String()
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprintf("%v", t)
+	}
+}

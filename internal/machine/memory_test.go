@@ -1,0 +1,405 @@
+package machine
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func mustApply(t *testing.T, m *Memory, loc int, op Op, args ...Value) Value {
+	t.Helper()
+	v, err := m.Apply(loc, op, args...)
+	if err != nil {
+		t.Fatalf("Apply(%d, %v, %v): %v", loc, op, args, err)
+	}
+	return v
+}
+
+func wantInt(t *testing.T, v Value, want int64) {
+	t.Helper()
+	x, ok := AsInt(v)
+	if !ok {
+		t.Fatalf("value %v (%T) is not numeric", v, v)
+	}
+	if x.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("got %v, want %d", x, want)
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m := New(SetReadWrite, 2)
+	wantInt(t, mustApply(t, m, 0, OpRead), 0)
+	mustApply(t, m, 0, OpWrite, Int(42))
+	wantInt(t, mustApply(t, m, 0, OpRead), 42)
+	// Arbitrary payloads may be written.
+	type rec struct{ A, B int }
+	mustApply(t, m, 1, OpWrite, rec{1, 2})
+	got := mustApply(t, m, 1, OpRead)
+	if got != (rec{1, 2}) {
+		t.Fatalf("got %v, want {1 2}", got)
+	}
+}
+
+func TestUniformityEnforced(t *testing.T) {
+	m := New(SetReadWrite, 1)
+	if _, err := m.Apply(0, OpTestAndSet); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	if _, err := m.Apply(0, OpFetchAndAdd, Int(1)); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestArityChecked(t *testing.T) {
+	m := New(SetReadWrite, 1)
+	if _, err := m.Apply(0, OpWrite); !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("want ErrBadOperand for missing argument, got %v", err)
+	}
+	if _, err := m.Apply(0, OpRead, Int(1)); !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("want ErrBadOperand for extra argument, got %v", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := New(SetReadWrite, 1)
+	if _, err := m.Apply(1, OpRead); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if _, err := m.Apply(-1, OpRead); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestUnboundedGrowth(t *testing.T) {
+	m := New(SetReadWrite1, 0, WithUnbounded())
+	mustApply(t, m, 99, OpWriteOne)
+	wantInt(t, mustApply(t, m, 99, OpRead), 1)
+	wantInt(t, mustApply(t, m, 7, OpRead), 0)
+	if m.Size() != 100 {
+		t.Fatalf("size = %d, want 100", m.Size())
+	}
+	// Footprint counts touched locations only.
+	if got := m.Stats().Footprint(); got != 2 {
+		t.Fatalf("footprint = %d, want 2", got)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	m := New(SetReadTAS, 1)
+	wantInt(t, mustApply(t, m, 0, OpTestAndSet), 0)
+	wantInt(t, mustApply(t, m, 0, OpTestAndSet), 1)
+	wantInt(t, mustApply(t, m, 0, OpRead), 1)
+}
+
+// TestTestAndSetStronger checks the paper's strengthened definition: a
+// location holding a value other than 0 is returned but NOT overwritten.
+func TestTestAndSetStronger(t *testing.T) {
+	m := New(NewInstrSet("t", OpTestAndSet, OpFetchAndAdd), 1)
+	mustApply(t, m, 0, OpFetchAndAdd, Int(6))
+	wantInt(t, mustApply(t, m, 0, OpTestAndSet), 6)
+	// Value 6 is unchanged because the location did not contain 0.
+	wantInt(t, mustApply(t, m, 0, OpFetchAndAdd, Int(0)), 6)
+}
+
+func TestReset(t *testing.T) {
+	m := New(SetReadTASReset, 1)
+	mustApply(t, m, 0, OpTestAndSet)
+	wantInt(t, mustApply(t, m, 0, OpRead), 1)
+	mustApply(t, m, 0, OpReset)
+	wantInt(t, mustApply(t, m, 0, OpRead), 0)
+}
+
+func TestSwap(t *testing.T) {
+	m := New(SetReadSwap, 1)
+	old := mustApply(t, m, 0, OpSwap, "a")
+	if old != nil {
+		t.Fatalf("first swap returned %v, want nil", old)
+	}
+	if got := mustApply(t, m, 0, OpSwap, "b"); got != "a" {
+		t.Fatalf("second swap returned %v, want a", got)
+	}
+	if got := mustApply(t, m, 0, OpRead); got != "b" {
+		t.Fatalf("read returned %v, want b", got)
+	}
+}
+
+func TestFetchAndAdd(t *testing.T) {
+	m := New(SetFAA, 1)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndAdd, Int(2)), 0)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndAdd, Int(-5)), 2)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndAdd, Int(0)), -3)
+}
+
+func TestFetchAndIncrement(t *testing.T) {
+	m := New(SetReadWriteFAI, 1)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndIncrement), 0)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndIncrement), 1)
+	wantInt(t, mustApply(t, m, 0, OpRead), 2)
+}
+
+func TestFetchAndMultiply(t *testing.T) {
+	m := New(SetFetchMultiply, 1)
+	wantInt(t, mustApply(t, m, 0, OpFetchAndMultiply, Int(3)), 0)
+	// Location started at 0, so it stays 0: seed it via a fresh memory whose
+	// algorithms initialize by convention with multiply-only semantics.
+	m2 := New(NewInstrSet("t", OpFetchAndMultiply, OpFetchAndAdd), 1)
+	mustApply(t, m2, 0, OpFetchAndAdd, Int(1))
+	wantInt(t, mustApply(t, m2, 0, OpFetchAndMultiply, Int(3)), 1)
+	wantInt(t, mustApply(t, m2, 0, OpFetchAndMultiply, Int(5)), 3)
+	wantInt(t, mustApply(t, m2, 0, OpFetchAndMultiply, Int(1)), 15)
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	m := New(NewInstrSet("t", OpRead, OpIncrement, OpDecrement), 1)
+	mustApply(t, m, 0, OpIncrement)
+	mustApply(t, m, 0, OpIncrement)
+	mustApply(t, m, 0, OpDecrement)
+	wantInt(t, mustApply(t, m, 0, OpRead), 1)
+}
+
+func TestAddMultiply(t *testing.T) {
+	m := New(NewInstrSet("t", OpRead, OpAdd, OpMultiply), 1)
+	mustApply(t, m, 0, OpAdd, Int(7))
+	mustApply(t, m, 0, OpMultiply, Int(6))
+	wantInt(t, mustApply(t, m, 0, OpRead), 42)
+	mustApply(t, m, 0, OpAdd, Int(-43))
+	wantInt(t, mustApply(t, m, 0, OpRead), -1)
+}
+
+func TestSetBit(t *testing.T) {
+	m := New(SetReadSetBit, 1)
+	mustApply(t, m, 0, OpSetBit, Int(0))
+	mustApply(t, m, 0, OpSetBit, Int(5))
+	mustApply(t, m, 0, OpSetBit, Int(5)) // idempotent
+	wantInt(t, mustApply(t, m, 0, OpRead), 33)
+	if _, err := m.Apply(0, OpSetBit, Int(-1)); !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("negative bit index: want ErrBadOperand, got %v", err)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	m := New(SetMaxRegister, 1)
+	mustApply(t, m, 0, OpWriteMax, Int(5))
+	mustApply(t, m, 0, OpWriteMax, Int(3)) // smaller: ignored
+	wantInt(t, mustApply(t, m, 0, OpReadMax), 5)
+	mustApply(t, m, 0, OpWriteMax, Int(9))
+	wantInt(t, mustApply(t, m, 0, OpReadMax), 9)
+}
+
+// TestMaxRegisterMonotone is the property test for the max-register
+// specification: after any sequence of write-max operations the register
+// holds the maximum argument seen (or 0).
+func TestMaxRegisterMonotone(t *testing.T) {
+	f := func(ws []int64) bool {
+		m := New(SetMaxRegister, 1)
+		max := int64(0)
+		for _, w := range ws {
+			if _, err := m.Apply(0, OpWriteMax, Int(w)); err != nil {
+				return false
+			}
+			if w > max {
+				max = w
+			}
+			v, err := m.Apply(0, OpReadMax)
+			if err != nil {
+				return false
+			}
+			x, _ := AsInt(v)
+			if x.Cmp(big.NewInt(max)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	m := New(SetCAS, 1)
+	// CAS(0, 7) succeeds on the initial 0.
+	wantInt(t, mustApply(t, m, 0, OpCompareAndSwap, Int(0), Int(7)), 0)
+	// CAS(0, 9) now fails and returns the current value.
+	wantInt(t, mustApply(t, m, 0, OpCompareAndSwap, Int(0), Int(9)), 7)
+	// CAS(x, x) is a read.
+	wantInt(t, mustApply(t, m, 0, OpCompareAndSwap, Int(7), Int(7)), 7)
+}
+
+func TestBuffer(t *testing.T) {
+	m := New(SetBuffers(3), 1)
+	pad := func(vs []Value, want ...string) {
+		t.Helper()
+		if len(vs) != 3 {
+			t.Fatalf("buffer-read returned %d entries, want 3", len(vs))
+		}
+		for i, w := range want {
+			if w == "" {
+				if vs[i] != nil {
+					t.Fatalf("entry %d = %v, want nil", i, vs[i])
+				}
+			} else if vs[i] != w {
+				t.Fatalf("entry %d = %v, want %v", i, vs[i], w)
+			}
+		}
+	}
+	v := mustApply(t, m, 0, OpBufferRead).([]Value)
+	pad(v, "", "", "")
+	mustApply(t, m, 0, OpBufferWrite, "a")
+	v = mustApply(t, m, 0, OpBufferRead).([]Value)
+	pad(v, "", "", "a")
+	mustApply(t, m, 0, OpBufferWrite, "b")
+	mustApply(t, m, 0, OpBufferWrite, "c")
+	mustApply(t, m, 0, OpBufferWrite, "d")
+	v = mustApply(t, m, 0, OpBufferRead).([]Value)
+	pad(v, "b", "c", "d")
+	if m.BufferWrites(0) != 4 {
+		t.Fatalf("BufferWrites = %d, want 4", m.BufferWrites(0))
+	}
+}
+
+// TestBufferBlockWriteObliterates checks the key property behind the
+// Section 6 lower bound: after l consecutive buffer-writes to a location,
+// a buffer-read is independent of anything written before the block.
+func TestBufferBlockWriteObliterates(t *testing.T) {
+	l := 4
+	fresh := New(SetBuffers(l), 1)
+	dirty := New(SetBuffers(l), 1)
+	for i := 0; i < 10; i++ {
+		mustApply(t, dirty, 0, OpBufferWrite, i) // arbitrary history
+	}
+	for i := 0; i < l; i++ {
+		blockVal := 100 + i
+		mustApply(t, fresh, 0, OpBufferWrite, blockVal)
+		mustApply(t, dirty, 0, OpBufferWrite, blockVal)
+	}
+	a := mustApply(t, fresh, 0, OpBufferRead).([]Value)
+	b := mustApply(t, dirty, 0, OpBufferRead).([]Value)
+	for i := range a {
+		if !EqualValues(a[i], b[i]) {
+			t.Fatalf("block write did not obliterate history: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHeterogeneousCapacities(t *testing.T) {
+	m := New(SetBuffers(2), 2, WithCapacities([]int{1, 3}))
+	for i := 0; i < 4; i++ {
+		mustApply(t, m, 0, OpBufferWrite, i)
+		mustApply(t, m, 1, OpBufferWrite, i)
+	}
+	v0 := mustApply(t, m, 0, OpBufferRead).([]Value)
+	if len(v0) != 1 || v0[0] != 3 {
+		t.Fatalf("capacity-1 location read %v, want [3]", v0)
+	}
+	v1 := mustApply(t, m, 1, OpBufferRead).([]Value)
+	if len(v1) != 3 || v1[0] != 1 || v1[2] != 3 {
+		t.Fatalf("capacity-3 location read %v, want [1 2 3]", v1)
+	}
+}
+
+func TestMultiAssign(t *testing.T) {
+	m := New(SetBuffersMultiAssign(2), 3)
+	err := m.MultiAssign([]Assignment{
+		{Loc: 0, Op: OpBufferWrite, Args: []Value{"x"}},
+		{Loc: 2, Op: OpBufferWrite, Args: []Value{"y"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Steps; got != 1 {
+		t.Fatalf("multiple assignment counted %d steps, want 1", got)
+	}
+	v := mustApply(t, m, 2, OpBufferRead).([]Value)
+	if v[1] != "y" {
+		t.Fatalf("loc 2 buffer = %v", v)
+	}
+}
+
+func TestMultiAssignRejected(t *testing.T) {
+	m := New(SetBuffers(2), 2) // no multi-assignment capability
+	err := m.MultiAssign([]Assignment{{Loc: 0, Op: OpBufferWrite, Args: []Value{"x"}}})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	m2 := New(SetBuffersMultiAssign(2), 2)
+	// Duplicate locations are rejected.
+	err = m2.MultiAssign([]Assignment{
+		{Loc: 0, Op: OpBufferWrite, Args: []Value{"x"}},
+		{Loc: 0, Op: OpBufferWrite, Args: []Value{"y"}},
+	})
+	if !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("want ErrBadOperand for duplicate location, got %v", err)
+	}
+	// Non-write-class instructions are rejected.
+	err = m2.MultiAssign([]Assignment{{Loc: 0, Op: OpBufferRead}})
+	if !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("want ErrBadOperand for read in multi-assign, got %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(SetReadWrite, 3)
+	mustApply(t, m, 0, OpWrite, Int(1))
+	mustApply(t, m, 0, OpRead)
+	mustApply(t, m, 2, OpWrite, Int(1<<20))
+	st := m.Stats()
+	if st.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", st.Steps)
+	}
+	if st.Footprint() != 2 {
+		t.Fatalf("footprint = %d, want 2", st.Footprint())
+	}
+	if st.PerOp[OpWrite] != 2 || st.PerOp[OpRead] != 1 {
+		t.Fatalf("per-op = %v", st.PerOp)
+	}
+	if st.MaxBits != 21 {
+		t.Fatalf("max bits = %d, want 21", st.MaxBits)
+	}
+}
+
+func TestNumericTypeErrors(t *testing.T) {
+	m := New(NewInstrSet("t", OpWrite, OpAdd), 1)
+	mustApply(t, m, 0, OpWrite, "not a number")
+	if _, err := m.Apply(0, OpAdd, Int(1)); !errors.Is(err, ErrBadOperand) {
+		t.Fatalf("want ErrBadOperand, got %v", err)
+	}
+}
+
+func TestReadIsolation(t *testing.T) {
+	// Mutating the result of a read must not corrupt memory.
+	m := New(NewInstrSet("t", OpRead, OpAdd), 1)
+	mustApply(t, m, 0, OpAdd, Int(5))
+	v := MustInt(mustApply(t, m, 0, OpRead))
+	v.SetInt64(999)
+	wantInt(t, mustApply(t, m, 0, OpRead), 5)
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := New(SetReadWrite, 2)
+	b := New(SetReadWrite, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical memories should have equal fingerprints")
+	}
+	mustApply(t, a, 1, OpWrite, Int(3))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different memories should have different fingerprints")
+	}
+}
+
+func TestInstrSetNames(t *testing.T) {
+	if got := SetReadWrite.Name(); got != "{read, write(x)}" {
+		t.Fatalf("name = %q", got)
+	}
+	s := NewInstrSet("", OpRead, OpWrite)
+	if got := s.Canonical(); got != "{read, write}" {
+		t.Fatalf("canonical = %q", got)
+	}
+	if !SetBuffersMultiAssign(2).MultiAssign() {
+		t.Fatal("multi-assign set should report MultiAssign")
+	}
+	if SetBuffers(3).BufferLen() != 3 {
+		t.Fatal("buffer len")
+	}
+}

@@ -1,0 +1,155 @@
+// Package machine implements the shared-memory multiprocessor model of
+// Ellen, Gelashvili, Shavit and Zhu (PODC 2016): a collection of identical
+// memory locations that all support the same set of synchronization
+// instructions (the paper's "uniformity requirement"), applied atomically
+// one instruction per step.
+//
+// Values stored in locations are untyped (Value); numeric instructions
+// operate on arbitrary-precision integers (*big.Int) because several of the
+// paper's constructions (prime-exponent counters for multiply, base-3n digit
+// counters for add, bit-block counters for set-bit) deliberately exploit
+// unbounded word size, a standard assumption the paper makes explicit in its
+// conclusion.
+package machine
+
+import "fmt"
+
+// Op identifies a synchronization instruction that may be applied to a
+// memory location. The set of instructions a memory supports is fixed at
+// construction time (InstrSet); applying an instruction outside that set is
+// an error, enforcing the paper's uniformity requirement.
+type Op uint8
+
+// The instructions studied in the paper (Table 1 and Sections 3-9).
+const (
+	// OpRead returns the value stored in the location.
+	OpRead Op = iota
+	// OpWrite stores its argument in the location and returns nothing.
+	OpWrite
+	// OpWriteZero stores the number 0 (the restricted write(0) of Section 9).
+	OpWriteZero
+	// OpWriteOne stores the number 1 (the restricted write(1) of Section 9).
+	OpWriteOne
+	// OpTestAndSet returns the number stored in the location and sets it to
+	// 1 if it contained 0. This is the paper's (slightly stronger than
+	// standard) definition from Section 1.
+	OpTestAndSet
+	// OpReset stores the number 0 and returns nothing (Section 9).
+	OpReset
+	// OpSwap stores its argument and returns the previous value (Section 8).
+	OpSwap
+	// OpFetchAndAdd adds its numeric argument to the location and returns
+	// the previous value.
+	OpFetchAndAdd
+	// OpFetchAndIncrement adds 1 to the location and returns the previous
+	// value (Section 5).
+	OpFetchAndIncrement
+	// OpFetchAndMultiply multiplies the location by its argument and returns
+	// the previous value (Table 1).
+	OpFetchAndMultiply
+	// OpIncrement adds 1 to the location and returns nothing (Section 5).
+	OpIncrement
+	// OpDecrement subtracts 1 from the location and returns nothing
+	// (Section 1).
+	OpDecrement
+	// OpAdd adds its numeric argument to the location and returns nothing
+	// (Section 3).
+	OpAdd
+	// OpMultiply multiplies the location by its numeric argument and returns
+	// nothing (Sections 1 and 3).
+	OpMultiply
+	// OpSetBit sets bit i of the location to 1, where i is the integer
+	// argument, and returns nothing (Section 3).
+	OpSetBit
+	// OpReadMax returns the value of a max-register (Section 4).
+	OpReadMax
+	// OpWriteMax stores its numeric argument if it exceeds the current
+	// value, and returns nothing (Section 4).
+	OpWriteMax
+	// OpBufferRead returns the arguments of the l most recent OpBufferWrite
+	// instructions applied to the location, least recent first, padded with
+	// nil if fewer than l writes have occurred (Section 6).
+	OpBufferRead
+	// OpBufferWrite records its argument as the most recent write in the
+	// location's buffer and returns nothing (Section 6).
+	OpBufferWrite
+	// OpCompareAndSwap takes two arguments (old, new); if the location
+	// contains old it stores new. It returns the previous value either way,
+	// so CAS(x, x) doubles as a read, matching Table 1's single-instruction
+	// {compare-and-swap} row.
+	OpCompareAndSwap
+
+	numOps = iota
+)
+
+var opNames = [numOps]string{
+	OpRead:              "read",
+	OpWrite:             "write",
+	OpWriteZero:         "write(0)",
+	OpWriteOne:          "write(1)",
+	OpTestAndSet:        "test-and-set",
+	OpReset:             "reset",
+	OpSwap:              "swap",
+	OpFetchAndAdd:       "fetch-and-add",
+	OpFetchAndIncrement: "fetch-and-increment",
+	OpFetchAndMultiply:  "fetch-and-multiply",
+	OpIncrement:         "increment",
+	OpDecrement:         "decrement",
+	OpAdd:               "add",
+	OpMultiply:          "multiply",
+	OpSetBit:            "set-bit",
+	OpReadMax:           "read-max",
+	OpWriteMax:          "write-max",
+	OpBufferRead:        "l-buffer-read",
+	OpBufferWrite:       "l-buffer-write",
+	OpCompareAndSwap:    "compare-and-swap",
+}
+
+// String returns the paper's name for the instruction.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// arity reports how many arguments the instruction takes.
+func (o Op) arity() int {
+	switch o {
+	case OpWrite, OpSwap, OpFetchAndAdd, OpFetchAndMultiply, OpAdd,
+		OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite:
+		return 1
+	case OpCompareAndSwap:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Trivial reports whether the instruction never changes the contents of a
+// location (the paper's notion of a trivial instruction: read, read-max,
+// l-buffer-read). Non-trivial instructions are the ones that matter for
+// covering arguments.
+func (o Op) Trivial() bool {
+	switch o {
+	case OpRead, OpReadMax, OpBufferRead:
+		return true
+	default:
+		return false
+	}
+}
+
+// WriteClass reports whether the instruction is a pure update whose return
+// value is nothing: the class of instructions a process may contribute to an
+// atomic multiple assignment (Section 7 models multiple assignment as one
+// l-buffer-write per chosen location; we admit the same class for the other
+// write-like instructions so heterogeneous variants can be explored).
+func (o Op) WriteClass() bool {
+	switch o {
+	case OpWrite, OpWriteZero, OpWriteOne, OpReset, OpIncrement, OpDecrement,
+		OpAdd, OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite:
+		return true
+	default:
+		return false
+	}
+}

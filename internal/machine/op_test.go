@@ -1,0 +1,85 @@
+package machine
+
+import "testing"
+
+// TestOpMatrix pins name, arity, triviality and write-class for every
+// instruction — the classification the covering arguments depend on.
+func TestOpMatrix(t *testing.T) {
+	cases := []struct {
+		op         Op
+		name       string
+		arity      int
+		trivial    bool
+		writeClass bool
+	}{
+		{OpRead, "read", 0, true, false},
+		{OpWrite, "write", 1, false, true},
+		{OpWriteZero, "write(0)", 0, false, true},
+		{OpWriteOne, "write(1)", 0, false, true},
+		{OpTestAndSet, "test-and-set", 0, false, false},
+		{OpReset, "reset", 0, false, true},
+		{OpSwap, "swap", 1, false, false},
+		{OpFetchAndAdd, "fetch-and-add", 1, false, false},
+		{OpFetchAndIncrement, "fetch-and-increment", 0, false, false},
+		{OpFetchAndMultiply, "fetch-and-multiply", 1, false, false},
+		{OpIncrement, "increment", 0, false, true},
+		{OpDecrement, "decrement", 0, false, true},
+		{OpAdd, "add", 1, false, true},
+		{OpMultiply, "multiply", 1, false, true},
+		{OpSetBit, "set-bit", 1, false, true},
+		{OpReadMax, "read-max", 0, true, false},
+		{OpWriteMax, "write-max", 1, false, true},
+		{OpBufferRead, "l-buffer-read", 0, true, false},
+		{OpBufferWrite, "l-buffer-write", 1, false, true},
+		{OpCompareAndSwap, "compare-and-swap", 2, false, false},
+	}
+	if len(cases) != int(numOps) {
+		t.Fatalf("matrix covers %d ops, machine has %d", len(cases), numOps)
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.name {
+			t.Errorf("%v name = %q, want %q", c.op, got, c.name)
+		}
+		if got := c.op.arity(); got != c.arity {
+			t.Errorf("%v arity = %d, want %d", c.op, got, c.arity)
+		}
+		if got := c.op.Trivial(); got != c.trivial {
+			t.Errorf("%v trivial = %v, want %v", c.op, got, c.trivial)
+		}
+		if got := c.op.WriteClass(); got != c.writeClass {
+			t.Errorf("%v write-class = %v, want %v", c.op, got, c.writeClass)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+// TestValueHelpers covers the Value conversion corners.
+func TestValueHelpers(t *testing.T) {
+	if x, ok := AsInt(nil); !ok || x.Sign() != 0 {
+		t.Error("nil should read as numeric 0")
+	}
+	if _, ok := AsInt("str"); ok {
+		t.Error("string should not read as numeric")
+	}
+	if !EqualValues(nil, Int(0)) || !EqualValues(Int(0), nil) {
+		t.Error("nil and 0 must compare equal")
+	}
+	if EqualValues(nil, Int(1)) || EqualValues(Int(1), "1") {
+		t.Error("mismatched values compare equal")
+	}
+	if !EqualValues(Int(7), Int(7)) || EqualValues(Int(7), Int(8)) {
+		t.Error("numeric comparison broken")
+	}
+	type pair struct{ A, B int }
+	if !EqualValues(pair{1, 2}, pair{1, 2}) || EqualValues(pair{1, 2}, pair{2, 1}) {
+		t.Error("structural comparison broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInt on non-numeric should panic")
+		}
+	}()
+	MustInt("oops")
+}

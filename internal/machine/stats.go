@@ -1,0 +1,77 @@
+package machine
+
+// Stats instruments a Memory. The headline quantity for the paper is
+// Footprint — the number of distinct locations ever touched — because the
+// hierarchy classifies instruction sets by the number of locations needed to
+// solve consensus. Steps and MaxBits feed the step-complexity and
+// value-width ablations suggested by the paper's conclusion.
+type Stats struct {
+	// Steps counts atomic instruction applications (a multiple assignment
+	// counts as one step, as in the model).
+	Steps int64
+	// PerLoc counts steps per location.
+	PerLoc []int64
+	// PerOp counts applications per instruction.
+	PerOp map[Op]int64
+	// MultiAssigns counts atomic multiple assignments.
+	MultiAssigns int64
+	// MaxBits is the largest bit-width any numeric location ever reached.
+	MaxBits int
+}
+
+func (s *Stats) ensure() {
+	if s.PerOp == nil {
+		s.PerOp = make(map[Op]int64)
+	}
+}
+
+func (s *Stats) record(loc int, op Op, l *location) {
+	s.ensure()
+	s.Steps++
+	s.PerOp[op]++
+	if loc < len(s.PerLoc) {
+		s.PerLoc[loc]++
+	}
+	if b := valueBits(l.val); b > s.MaxBits {
+		s.MaxBits = b
+	}
+}
+
+func (s *Stats) recordMulti(writes []Assignment, m *Memory) {
+	s.ensure()
+	s.Steps++
+	s.MultiAssigns++
+	for _, w := range writes {
+		s.PerOp[w.Op]++
+		if w.Loc < len(s.PerLoc) {
+			s.PerLoc[w.Loc]++
+		}
+		if b := valueBits(m.locs[w.Loc].val); b > s.MaxBits {
+			s.MaxBits = b
+		}
+	}
+}
+
+// Footprint reports how many distinct locations were touched by at least one
+// instruction. For bounded memories running the paper's algorithms this
+// equals the algorithm's declared space; for unbounded memories it is the
+// measured space consumption.
+func (s Stats) Footprint() int {
+	n := 0
+	for _, c := range s.PerLoc {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s Stats) clone() Stats {
+	out := s
+	out.PerLoc = append([]int64(nil), s.PerLoc...)
+	out.PerOp = make(map[Op]int64, len(s.PerOp))
+	for k, v := range s.PerOp {
+		out.PerOp[k] = v
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+	"math/big"
+	"reflect"
+)
+
+// Value is the contents of a memory location or the argument/result of an
+// instruction. Numeric instructions require *big.Int operands; instructions
+// such as write and swap accept arbitrary payloads, which lets algorithms
+// store structured records (vectors, histories) exactly as the paper's
+// constructions do.
+type Value any
+
+// Int converts a machine integer to a numeric Value. It is the canonical way
+// for algorithms to build arguments for numeric instructions.
+func Int(x int64) *big.Int { return big.NewInt(x) }
+
+// AsInt interprets a Value as an arbitrary-precision integer. A nil Value is
+// interpreted as 0, matching the convention that all numeric locations start
+// holding 0. It reports ok=false for non-numeric payloads.
+func AsInt(v Value) (x *big.Int, ok bool) {
+	switch t := v.(type) {
+	case nil:
+		return new(big.Int), true
+	case *big.Int:
+		return t, true
+	default:
+		return nil, false
+	}
+}
+
+// MustInt is AsInt for contexts where the value is known to be numeric;
+// it panics with a descriptive error otherwise. Algorithm code uses it when
+// reading locations that only numeric instructions ever touch.
+func MustInt(v Value) *big.Int {
+	x, ok := AsInt(v)
+	if !ok {
+		panic(fmt.Sprintf("machine: value %v (%T) is not numeric", v, v))
+	}
+	return x
+}
+
+// EqualValues reports whether two Values are equal. Numeric values compare
+// by integer value; other payloads compare structurally. It is the equality
+// used by compare-and-swap and by tests.
+func EqualValues(a, b Value) bool {
+	ai, aok := a.(*big.Int)
+	bi, bok := b.(*big.Int)
+	if aok && bok {
+		return ai.Cmp(bi) == 0
+	}
+	if aok || bok {
+		// A numeric value can still equal an untyped nil standing for 0.
+		if a == nil {
+			return bi != nil && bi.Sign() == 0
+		}
+		if b == nil {
+			return ai != nil && ai.Sign() == 0
+		}
+		return false
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// cloneValue returns a defensive copy of v when v is a mutable numeric;
+// structured payloads are treated as immutable by convention (algorithms
+// never mutate a payload after writing it).
+func cloneValue(v Value) Value {
+	if x, ok := v.(*big.Int); ok {
+		return new(big.Int).Set(x)
+	}
+	return v
+}
+
+// valueBits reports the bit-width of a numeric value, and 0 for non-numeric
+// payloads. It feeds the value-width ablation (paper Section 10 asks how
+// location size should enter a practical hierarchy).
+func valueBits(v Value) int {
+	if x, ok := v.(*big.Int); ok {
+		return x.BitLen()
+	}
+	return 0
+}

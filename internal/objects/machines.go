@@ -1,0 +1,121 @@
+package objects
+
+// This file provides three sequential state machines for the universal
+// construction: a FIFO queue, a key-value store, and the repeated-consensus
+// object the paper's conclusion suggests as an alternative basis for the
+// hierarchy.
+
+// QueueOp is an operation on the FIFO queue machine.
+type QueueOp struct {
+	// Enq, when non-nil, enqueues the value; otherwise the operation is a
+	// dequeue.
+	Enq any
+}
+
+// DequeueEmpty is returned by a dequeue on an empty queue.
+type DequeueEmpty struct{}
+
+// queueState is an immutable persistent queue (slices are copied on write).
+type queueState struct {
+	items []any
+}
+
+// Queue is the FIFO queue machine.
+type Queue struct{}
+
+// Init returns the empty queue.
+func (Queue) Init() any { return queueState{} }
+
+// Apply enqueues or dequeues.
+func (Queue) Apply(state, op any) (any, any) {
+	s := state.(queueState)
+	o := op.(QueueOp)
+	if o.Enq != nil {
+		items := make([]any, len(s.items)+1)
+		copy(items, s.items)
+		items[len(s.items)] = o.Enq
+		return queueState{items: items}, nil
+	}
+	if len(s.items) == 0 {
+		return s, DequeueEmpty{}
+	}
+	return queueState{items: s.items[1:]}, s.items[0]
+}
+
+// KVOp is an operation on the key-value machine.
+type KVOp struct {
+	Key string
+	// Set, when true, stores Val under Key and returns the previous value;
+	// otherwise the op is a read of Key.
+	Set bool
+	Val any
+}
+
+// kvState is an immutable persistent map.
+type kvState struct {
+	m map[string]any
+}
+
+// KV is the key-value store machine.
+type KV struct{}
+
+// Init returns the empty store.
+func (KV) Init() any { return kvState{m: map[string]any{}} }
+
+// Apply reads or writes one key.
+func (KV) Apply(state, op any) (any, any) {
+	s := state.(kvState)
+	o := op.(KVOp)
+	if !o.Set {
+		return s, s.m[o.Key]
+	}
+	next := make(map[string]any, len(s.m)+1)
+	for k, v := range s.m {
+		next[k] = v
+	}
+	prev := next[o.Key]
+	next[o.Key] = o.Val
+	return kvState{m: next}, prev
+}
+
+// ProposeOp proposes a value for one slot of the repeated-consensus object.
+type ProposeOp struct {
+	Slot int
+	Val  int
+}
+
+// rcState maps slots to their decided (first proposed) values.
+type rcState struct {
+	decided map[int]int
+}
+
+// RepeatedConsensus is the long-lived consensus machine of the paper's
+// conclusion: for each slot, the first proposal wins and every later
+// proposal returns the winner. Agreement and validity per slot follow from
+// the linearization of the underlying history object.
+type RepeatedConsensus struct{}
+
+// Init returns the no-slots-decided state.
+func (RepeatedConsensus) Init() any { return rcState{decided: map[int]int{}} }
+
+// Apply decides the slot if undecided and returns the slot's winner.
+func (RepeatedConsensus) Apply(state, op any) (any, any) {
+	s := state.(rcState)
+	o := op.(ProposeOp)
+	if v, ok := s.decided[o.Slot]; ok {
+		return s, v
+	}
+	next := make(map[int]int, len(s.decided)+1)
+	for k, v := range s.decided {
+		next[k] = v
+	}
+	next[o.Slot] = o.Val
+	return rcState{decided: next}, o.Val
+}
+
+// DecidedIn reports the winner of a slot in a state returned by
+// Object.Read, if that slot has been decided — a read-only probe.
+func (RepeatedConsensus) DecidedIn(state any, slot int) (int, bool) {
+	v, ok := state.(rcState).decided[slot]
+	return v, ok
+}

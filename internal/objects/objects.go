@@ -1,0 +1,82 @@
+// Package objects makes the paper's universality remark executable. The
+// conclusion (Section 10) observes that "one history object can be used to
+// implement any sequentially defined object"; combined with Lemma 6.1 —
+// a single l-buffer simulates a history object for up to l updaters — a
+// single memory location therefore implements any object shared by l
+// writers and any number of readers.
+//
+// Object is that construction: a deterministic sequential state machine
+// replayed over the history of updates. The package ships three machines —
+// a FIFO queue, a key-value store, and the repeated-consensus object the
+// paper's conclusion proposes as an alternative hierarchy basis.
+package objects
+
+import (
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// StateMachine is a deterministic sequential object specification. State
+// values must be treated as immutable: Apply returns a fresh state.
+type StateMachine interface {
+	// Init returns the initial state.
+	Init() any
+	// Apply applies one operation, returning the successor state and the
+	// operation's result.
+	Apply(state, op any) (next, result any)
+}
+
+// Object is one process's handle on a linearizable object backed by the
+// history object at a single l-buffer location. At most l distinct
+// processes may call Update over the object's lifetime; any number may call
+// Read. Operations are linearized at the underlying buffer instructions
+// (Lemma 6.1), so the object is obstruction-free linearizable.
+type Object struct {
+	h  *history.History
+	sm StateMachine
+}
+
+// New returns process p's handle on the object at location loc.
+func New(p *sim.Proc, loc int, sm StateMachine) *Object {
+	return &Object{h: history.New(p, loc), sm: sm}
+}
+
+// replay folds the machine over a history, returning the final state and
+// the result of the entry at index target (-1: no result wanted).
+func (o *Object) replay(hist []history.Entry, target int) (state, result any) {
+	state = o.sm.Init()
+	for i, e := range hist {
+		var r any
+		state, r = o.sm.Apply(state, e.Val)
+		if i == target {
+			result = r
+		}
+	}
+	return state, result
+}
+
+// Update applies op to the object and returns its result: one append (two
+// atomic steps) plus one get-history (one step) to locate the result.
+func (o *Object) Update(op any) any {
+	mine := o.h.Append(op)
+	hist := o.h.GetHistory()
+	for i := len(hist) - 1; i >= 0; i-- {
+		if history.SameEntry(hist[i], mine) {
+			_, res := o.replay(hist, i)
+			return res
+		}
+	}
+	// Unreachable: our append was linearized before the get-history.
+	panic("objects: own update missing from history")
+}
+
+// Read returns the object's current state: one atomic step.
+func (o *Object) Read() any {
+	state, _ := o.replay(o.h.GetHistory(), -1)
+	return state
+}
+
+// History exposes the raw linearized operation log (for audits and tests).
+func (o *Object) History() []history.Entry {
+	return o.h.GetHistory()
+}

@@ -1,0 +1,191 @@
+package objects
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func bufferMem(l int) *machine.Memory {
+	return machine.New(machine.SetBuffers(l), 1)
+}
+
+// TestQueueSequential drives the queue from one process.
+func TestQueueSequential(t *testing.T) {
+	sys := sim.NewSystem(bufferMem(1), []int{0}, func(p *sim.Proc) int {
+		q := New(p, 0, Queue{})
+		if got := q.Update(QueueOp{}); got != (DequeueEmpty{}) {
+			t.Errorf("dequeue on empty = %v", got)
+		}
+		for i := 0; i < 5; i++ {
+			q.Update(QueueOp{Enq: i})
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.Update(QueueOp{}); got != i {
+				t.Errorf("dequeue %d = %v", i, got)
+			}
+		}
+		st := q.Read().(queueState)
+		if len(st.items) != 0 {
+			t.Errorf("queue not drained: %v", st.items)
+		}
+		return 0
+	})
+	defer sys.Close()
+	if _, err := sys.Run(sim.Solo{PID: 0}, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueConcurrentFIFO runs l producers/consumers over one l-buffer and
+// checks the queue's linearized log: every dequeue returns either the value
+// a FIFO queue would return at that point of the log, and every enqueued
+// value is dequeued at most once.
+func TestQueueConcurrentFIFO(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		l := 3
+		mem := bufferMem(l)
+		results := make([][]any, l)
+		body := func(p *sim.Proc) int {
+			q := New(p, 0, Queue{})
+			for i := 0; i < 4; i++ {
+				q.Update(QueueOp{Enq: fmt.Sprintf("p%d-%d", p.ID(), i)})
+				results[p.ID()] = append(results[p.ID()], q.Update(QueueOp{}))
+			}
+			return 0
+		}
+		sys := sim.NewSystem(mem, make([]int, l), body)
+		if _, err := sys.Run(sim.NewRandom(seed), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+		// No value may be dequeued twice.
+		seen := map[any]bool{}
+		for _, rs := range results {
+			for _, r := range rs {
+				if r == (DequeueEmpty{}) {
+					continue
+				}
+				if seen[r] {
+					t.Fatalf("seed %d: value %v dequeued twice", seed, r)
+				}
+				seen[r] = true
+			}
+		}
+		// Totals: 12 enqueues, 12 dequeues; non-empty dequeues = unique.
+		if len(seen) > 12 {
+			t.Fatalf("seed %d: %d distinct dequeues", seed, len(seen))
+		}
+	}
+}
+
+// TestKVStore checks last-write-wins per key and previous-value returns.
+func TestKVStore(t *testing.T) {
+	l := 2
+	sys := sim.NewSystem(bufferMem(l), make([]int, l), func(p *sim.Proc) int {
+		kv := New(p, 0, KV{})
+		me := fmt.Sprintf("p%d", p.ID())
+		for i := 0; i < 3; i++ {
+			kv.Update(KVOp{Key: me, Set: true, Val: i})
+		}
+		if got := kv.Update(KVOp{Key: me}); got != 2 {
+			t.Errorf("%s reads %v, want 2", me, got)
+		}
+		prev := kv.Update(KVOp{Key: me, Set: true, Val: 99})
+		if prev != 2 {
+			t.Errorf("%s previous = %v, want 2", me, prev)
+		}
+		return 0
+	})
+	defer sys.Close()
+	if _, err := sys.Run(sim.NewRandom(4), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedConsensus checks per-slot agreement and validity across
+// concurrent proposers over a single buffer location, for many schedules.
+func TestRepeatedConsensus(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		l := 4
+		slots := 5
+		mem := bufferMem(l)
+		decided := make([][]int, l)
+		body := func(p *sim.Proc) int {
+			rc := New(p, 0, RepeatedConsensus{})
+			for s := 0; s < slots; s++ {
+				v := rc.Update(ProposeOp{Slot: s, Val: p.ID()*100 + s}).(int)
+				decided[p.ID()] = append(decided[p.ID()], v)
+			}
+			return 0
+		}
+		sys := sim.NewSystem(mem, make([]int, l), body)
+		if _, err := sys.Run(sim.NewRandom(seed), 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+		for s := 0; s < slots; s++ {
+			first := decided[0][s]
+			validProposal := false
+			for pid := 0; pid < l; pid++ {
+				if decided[pid][s] != first {
+					t.Fatalf("seed %d slot %d: disagreement %v", seed, s,
+						[]int{decided[0][s], decided[pid][s]})
+				}
+				if first == pid*100+s {
+					validProposal = true
+				}
+			}
+			if !validProposal {
+				t.Fatalf("seed %d slot %d: decided %d, not a proposal", seed, s, first)
+			}
+		}
+	}
+}
+
+// TestObjectSingleLocation verifies the headline space property: a queue
+// shared by l processes fits in one memory location.
+func TestObjectSingleLocation(t *testing.T) {
+	l := 4
+	mem := bufferMem(l)
+	body := func(p *sim.Proc) int {
+		q := New(p, 0, Queue{})
+		q.Update(QueueOp{Enq: p.ID()})
+		q.Update(QueueOp{})
+		q.Read()
+		return 0
+	}
+	sys := sim.NewSystem(mem, make([]int, l), body)
+	defer sys.Close()
+	if _, err := sys.Run(&sim.RoundRobin{}, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if fp := mem.Stats().Footprint(); fp != 1 {
+		t.Fatalf("footprint = %d, want 1", fp)
+	}
+}
+
+// TestHistoryAudit checks the exposed operation log matches the object's
+// behaviour.
+func TestHistoryAudit(t *testing.T) {
+	sys := sim.NewSystem(bufferMem(2), []int{0, 0}, func(p *sim.Proc) int {
+		q := New(p, 0, Queue{})
+		q.Update(QueueOp{Enq: p.ID()})
+		log := q.History()
+		if len(log) == 0 {
+			t.Error("empty audit log after update")
+		}
+		for _, e := range log {
+			if _, ok := e.Val.(QueueOp); !ok {
+				t.Errorf("foreign entry in log: %v", e)
+			}
+		}
+		return 0
+	})
+	defer sys.Close()
+	if _, err := sys.Run(&sim.RoundRobin{}, 100_000); err != nil {
+		t.Fatal(err)
+	}
+}

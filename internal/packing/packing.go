@@ -1,0 +1,242 @@
+// Package packing implements the combinatorial core of Section 7 of the
+// paper — the part its authors single out as the main technical
+// contribution. In a configuration where every process is poised to perform
+// an atomic multiple assignment, a k-packing maps each process to one of the
+// locations it covers so that no location receives more than k processes.
+// Lemma 7.1 shows how to shift one unit of a packing along an Eulerian trail
+// of the "disagreement multigraph" of two packings; Lemma 7.2 uses it to
+// prove block multi-assignments to fully packed locations never touch
+// anything outside them.
+package packing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instance is a covering configuration: process p covers the locations in
+// Covers[p] (the targets of its poised multiple assignment).
+type Instance struct {
+	// Covers[p] lists the distinct locations process p covers.
+	Covers [][]int
+	// Locations is the number of memory locations, ids 0..Locations-1.
+	Locations int
+}
+
+// Validate checks the instance's well-formedness.
+func (ins *Instance) Validate() error {
+	for p, cov := range ins.Covers {
+		if len(cov) == 0 {
+			return fmt.Errorf("packing: process %d covers nothing", p)
+		}
+		seen := make(map[int]bool, len(cov))
+		for _, r := range cov {
+			if r < 0 || r >= ins.Locations {
+				return fmt.Errorf("packing: process %d covers out-of-range location %d", p, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("packing: process %d covers location %d twice", p, r)
+			}
+			seen[r] = true
+		}
+	}
+	return nil
+}
+
+// Packing assigns each process to one covered location: Packing[p] = r.
+type Packing []int
+
+// Counts returns how many processes the packing packs per location.
+func (g Packing) Counts(locations int) []int {
+	out := make([]int, locations)
+	for _, r := range g {
+		out[r]++
+	}
+	return out
+}
+
+// IsKPacking verifies g is a k-packing of ins: every process is packed in a
+// location it covers and no location holds more than k.
+func (ins *Instance) IsKPacking(g Packing, k int) bool {
+	if len(g) != len(ins.Covers) {
+		return false
+	}
+	counts := make([]int, ins.Locations)
+	for p, r := range g {
+		ok := false
+		for _, c := range ins.Covers[p] {
+			if c == r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		counts[r]++
+		if counts[r] > k {
+			return false
+		}
+	}
+	return true
+}
+
+// FindPacking computes a k-packing via bipartite max-flow (processes on one
+// side, locations with capacity k on the other). ok is false when none
+// exists.
+func (ins *Instance) FindPacking(k int) (Packing, bool) {
+	return ins.findPackingCapped(func(int) int { return k })
+}
+
+// findPackingCapped generalizes FindPacking to per-location capacities,
+// which FullyPacked needs (it probes with one location's capacity lowered)
+// and which models the heterogeneous setting of Sections 6.2 and 7.
+func (ins *Instance) findPackingCapped(cap func(loc int) int) (Packing, bool) {
+	n := len(ins.Covers)
+	assign := make(Packing, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	load := make([]int, ins.Locations)
+	// Successively route each process, searching for an augmenting path
+	// through alternating process/location layers (Ford-Fulkerson on the
+	// unit-process, capacitated-location bipartite graph).
+	for p := 0; p < n; p++ {
+		visited := make([]bool, ins.Locations)
+		if !ins.augment(p, assign, load, cap, visited) {
+			return nil, false
+		}
+	}
+	return assign, true
+}
+
+// augment tries to pack process p, displacing already-packed processes
+// along an alternating path when necessary.
+func (ins *Instance) augment(p int, assign Packing, load []int, cap func(int) int, visited []bool) bool {
+	for _, r := range ins.Covers[p] {
+		if visited[r] {
+			continue
+		}
+		visited[r] = true
+		if load[r] < cap(r) {
+			assign[p] = r
+			load[r]++
+			return true
+		}
+		// Location full: try to move one of its occupants elsewhere.
+		for q, rq := range assign {
+			if rq != r {
+				continue
+			}
+			if ins.augment(q, assign, load, cap, visited) {
+				// q moved away (augment updated its assignment and loads);
+				// r freed one slot.
+				load[r]--
+				assign[p] = r
+				load[r]++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FullyPacked returns the locations that are fully k-packed: a k-packing
+// exists and every k-packing packs exactly k processes there. Following the
+// definition, location r qualifies iff no k-packing packs fewer than k
+// processes in r, which holds iff lowering r's capacity to k-1 makes packing
+// infeasible.
+func (ins *Instance) FullyPacked(k int) ([]int, Packing, bool) {
+	base, ok := ins.FindPacking(k)
+	if !ok {
+		return nil, nil, false
+	}
+	var full []int
+	for r := 0; r < ins.Locations; r++ {
+		rr := r
+		if _, ok := ins.findPackingCapped(func(loc int) int {
+			if loc == rr {
+				return k - 1
+			}
+			return k
+		}); !ok {
+			full = append(full, r)
+		}
+	}
+	// A fully packed location necessarily holds exactly k in the base
+	// packing too; return base for callers that need a witness.
+	return full, base, true
+}
+
+// ErrNoImbalance reports that Repack was called with packings that do not
+// disagree at the requested location.
+var ErrNoImbalance = errors.New("packing: g does not pack more processes than h at r1")
+
+// RepackResult is the outcome of Lemma 7.1: the trail r1,...,rt with its
+// edge labels p1,...,p(t-1), plus, for the requested j, the shifted packing
+// g' that packs one less process in rj, one more in rt, and is otherwise
+// identical to g.
+type RepackResult struct {
+	Trail    []int // r1,...,rt
+	Procs    []int // p1,...,p(t-1): g(pi)=ri, h(pi)=r(i+1)
+	Shifted  Packing
+	From, To int // rj and rt
+}
+
+// Repack implements Lemma 7.1. g and h must be k-packings of ins with
+// |g^-1(r1)| > |h^-1(r1)|; j indexes the trail node to unload (1-based as in
+// the paper, so 1 <= j < t).
+func (ins *Instance) Repack(g, h Packing, k, r1, j int) (*RepackResult, error) {
+	if len(g) != len(h) || len(g) != len(ins.Covers) {
+		return nil, errors.New("packing: packings must cover the same process set")
+	}
+	gc := g.Counts(ins.Locations)
+	hc := h.Counts(ins.Locations)
+	if gc[r1] <= hc[r1] {
+		return nil, fmt.Errorf("%w: g=%d h=%d", ErrNoImbalance, gc[r1], hc[r1])
+	}
+	// Build the multigraph: one edge g(p) -> h(p) per process.
+	type edge struct {
+		to   int
+		proc int
+	}
+	adj := make([][]edge, ins.Locations)
+	for p := range g {
+		adj[g[p]] = append(adj[g[p]], edge{to: h[p], proc: p})
+	}
+	next := make([]int, ins.Locations) // per-node cursor over unused edges
+	// Greedy maximal trail from r1. It must end at a node with more unused
+	// in-degree than out-degree, which (as argued in the lemma) is a node
+	// where h packs more processes than g.
+	trail := []int{r1}
+	var procs []int
+	cur := r1
+	for next[cur] < len(adj[cur]) {
+		e := adj[cur][next[cur]]
+		next[cur]++
+		procs = append(procs, e.proc)
+		trail = append(trail, e.to)
+		cur = e.to
+	}
+	t := len(trail)
+	if t < 2 {
+		return nil, errors.New("packing: trail is empty despite imbalance")
+	}
+	rt := trail[t-1]
+	if hc[rt] <= gc[rt] {
+		return nil, fmt.Errorf("packing: trail ended at %d where h does not exceed g (internal error)", rt)
+	}
+	if j < 1 || j >= t {
+		return nil, fmt.Errorf("packing: j=%d outside [1,%d)", j, t)
+	}
+	// Shift: repack each pi from ri to r(i+1) for j <= i < t (1-based).
+	shifted := make(Packing, len(g))
+	copy(shifted, g)
+	for i := j; i < t; i++ {
+		shifted[procs[i-1]] = trail[i]
+	}
+	return &RepackResult{
+		Trail: trail, Procs: procs, Shifted: shifted,
+		From: trail[j-1], To: rt,
+	}, nil
+}

@@ -1,0 +1,277 @@
+package packing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Instance{Covers: [][]int{{0, 1}, {1}}, Locations: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Instance{
+		{Covers: [][]int{{}}, Locations: 1},     // empty cover
+		{Covers: [][]int{{2}}, Locations: 2},    // out of range
+		{Covers: [][]int{{0, 0}}, Locations: 1}, // duplicate
+		{Covers: [][]int{{-1}}, Locations: 1},   // negative
+	}
+	for i, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestFindPackingSimple(t *testing.T) {
+	// 4 processes all covering {0,1}: a 2-packing exists, a 1-packing does not.
+	ins := &Instance{
+		Covers:    [][]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}},
+		Locations: 2,
+	}
+	g, ok := ins.FindPacking(2)
+	if !ok || !ins.IsKPacking(g, 2) {
+		t.Fatalf("2-packing: ok=%v g=%v", ok, g)
+	}
+	if _, ok := ins.FindPacking(1); ok {
+		t.Fatal("1-packing should not exist for 4 processes over 2 locations")
+	}
+}
+
+func TestFindPackingNeedsDisplacement(t *testing.T) {
+	// Process 0 covers only location 0; process 1 covers {0,1}. With k=1 the
+	// matcher must displace process 1 if it grabbed 0 first.
+	ins := &Instance{
+		Covers:    [][]int{{0, 1}, {0}},
+		Locations: 2,
+	}
+	g, ok := ins.FindPacking(1)
+	if !ok || !ins.IsKPacking(g, 1) {
+		t.Fatalf("packing: ok=%v g=%v", ok, g)
+	}
+	if g[1] != 0 || g[0] != 1 {
+		t.Fatalf("expected forced assignment, got %v", g)
+	}
+}
+
+func TestFullyPacked(t *testing.T) {
+	// 2 processes covering only location 0, one covering {0,1}, k=2:
+	// location 0 must hold its two dedicated processes in every packing.
+	ins := &Instance{
+		Covers:    [][]int{{0}, {0}, {0, 1}},
+		Locations: 2,
+	}
+	full, base, ok := ins.FullyPacked(2)
+	if !ok {
+		t.Fatal("packing should exist")
+	}
+	if len(full) != 1 || full[0] != 0 {
+		t.Fatalf("fully packed = %v, want [0]", full)
+	}
+	if !ins.IsKPacking(base, 2) {
+		t.Fatal("witness packing invalid")
+	}
+}
+
+func TestFullyPackedNone(t *testing.T) {
+	// Plenty of slack: nothing is fully packed.
+	ins := &Instance{
+		Covers:    [][]int{{0, 1}, {0, 1}},
+		Locations: 2,
+	}
+	full, _, ok := ins.FullyPacked(2)
+	if !ok || len(full) != 0 {
+		t.Fatalf("full=%v ok=%v, want none", full, ok)
+	}
+}
+
+func TestRepackPaperShape(t *testing.T) {
+	// g packs processes {0,1} in location 0; h packs 0 in location 0 and 1
+	// in location 1. Location 0 is over-packed by g relative to h.
+	ins := &Instance{
+		Covers:    [][]int{{0, 1}, {0, 1}},
+		Locations: 2,
+	}
+	g := Packing{0, 0}
+	h := Packing{0, 1}
+	res, err := ins.Repack(g, h, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != 1 {
+		t.Fatalf("trail should end at location 1, got %d (trail %v)", res.To, res.Trail)
+	}
+	if !ins.IsKPacking(res.Shifted, 2) {
+		t.Fatalf("shifted packing invalid: %v", res.Shifted)
+	}
+	sc := res.Shifted.Counts(ins.Locations)
+	gc := g.Counts(ins.Locations)
+	if sc[res.From] != gc[res.From]-1 || sc[res.To] != gc[res.To]+1 {
+		t.Fatalf("count deltas wrong: g=%v shifted=%v", gc, sc)
+	}
+}
+
+func TestRepackNoImbalance(t *testing.T) {
+	ins := &Instance{Covers: [][]int{{0, 1}}, Locations: 2}
+	g := Packing{0}
+	h := Packing{0}
+	if _, err := ins.Repack(g, h, 1, 0, 1); !errors.Is(err, ErrNoImbalance) {
+		t.Fatalf("want ErrNoImbalance, got %v", err)
+	}
+}
+
+// randomInstance builds a random covering instance in which every process
+// covers a nonempty random subset.
+func randomInstance(rng *rand.Rand, procs, locs int) *Instance {
+	ins := &Instance{Locations: locs, Covers: make([][]int, procs)}
+	for p := 0; p < procs; p++ {
+		perm := rng.Perm(locs)
+		c := 1 + rng.Intn(locs)
+		ins.Covers[p] = append([]int(nil), perm[:c]...)
+	}
+	return ins
+}
+
+// randomPackingOf derives a random valid k-packing by assigning processes to
+// random covered locations, retrying until capacities hold (skewed but fine
+// for property testing).
+func randomPackingOf(rng *rand.Rand, ins *Instance, k int) (Packing, bool) {
+	for attempt := 0; attempt < 200; attempt++ {
+		g := make(Packing, len(ins.Covers))
+		counts := make([]int, ins.Locations)
+		ok := true
+		for p := range g {
+			cov := ins.Covers[p]
+			r := cov[rng.Intn(len(cov))]
+			g[p] = r
+			counts[r]++
+			if counts[r] > k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// TestRepackProperty is the Lemma 7.1 property test: for random pairs of
+// valid k-packings disagreeing at some location, Repack must return a trail
+// with the stated endpoint property and a valid shifted k-packing with
+// exactly the stated count deltas, leaving unrelated processes untouched.
+func TestRepackProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 0
+	for trials < 300 {
+		procs := 2 + rng.Intn(6)
+		locs := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		ins := randomInstance(rng, procs, locs)
+		g, okG := randomPackingOf(rng, ins, k)
+		h, okH := randomPackingOf(rng, ins, k)
+		if !okG || !okH {
+			continue
+		}
+		gc, hc := g.Counts(locs), h.Counts(locs)
+		r1 := -1
+		for r := 0; r < locs; r++ {
+			if gc[r] > hc[r] {
+				r1 = r
+				break
+			}
+		}
+		if r1 < 0 {
+			continue
+		}
+		trials++
+		res, err := ins.Repack(g, h, k, r1, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nins=%+v\ng=%v h=%v r1=%d", trials, err, ins, g, h, r1)
+		}
+		if hc[res.To] <= gc[res.To] {
+			t.Fatalf("trail endpoint %d lacks h>g: g=%v h=%v", res.To, gc, hc)
+		}
+		if !ins.IsKPacking(res.Shifted, k) {
+			t.Fatalf("shifted not a %d-packing: %v", k, res.Shifted)
+		}
+		sc := res.Shifted.Counts(locs)
+		for r := 0; r < locs; r++ {
+			want := gc[r]
+			switch r {
+			case res.From:
+				want--
+			case res.To:
+				want++
+			}
+			// From == To cannot happen: the trail ends at a strictly
+			// h-heavier node than r1.
+			if sc[r] != want {
+				t.Fatalf("count at %d = %d, want %d (g=%v shifted=%v from=%d to=%d)",
+					r, sc[r], want, gc, sc, res.From, res.To)
+			}
+		}
+		// Every trail edge label must connect g to h as stated.
+		for i, p := range res.Procs {
+			if g[p] != res.Trail[i] || h[p] != res.Trail[i+1] {
+				t.Fatalf("edge %d mislabeled: proc %d g=%d h=%d trail %v",
+					i, p, g[p], h[p], res.Trail)
+			}
+		}
+		// Processes off the shifted segment must be untouched.
+		onSeg := make(map[int]bool)
+		for i := 0; i < len(res.Procs); i++ {
+			onSeg[res.Procs[i]] = true
+		}
+		for p := range g {
+			if !onSeg[p] && res.Shifted[p] != g[p] {
+				t.Fatalf("process %d moved without being on the trail", p)
+			}
+		}
+	}
+}
+
+// TestFindPackingMatchesBruteForce cross-checks max-flow feasibility against
+// exhaustive search on small instances.
+func TestFindPackingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		procs := 1 + rng.Intn(5)
+		locs := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		ins := randomInstance(rng, procs, locs)
+		g, ok := ins.FindPacking(k)
+		want := bruteForceExists(ins, k)
+		if ok != want {
+			t.Fatalf("trial %d: flow says %v, brute force says %v\nins=%+v k=%d",
+				trial, ok, want, ins, k)
+		}
+		if ok && !ins.IsKPacking(g, k) {
+			t.Fatalf("trial %d: returned packing invalid: %v", trial, g)
+		}
+	}
+}
+
+func bruteForceExists(ins *Instance, k int) bool {
+	n := len(ins.Covers)
+	counts := make([]int, ins.Locations)
+	var rec func(p int) bool
+	rec = func(p int) bool {
+		if p == n {
+			return true
+		}
+		for _, r := range ins.Covers[p] {
+			if counts[r] < k {
+				counts[r]++
+				if rec(p + 1) {
+					return true
+				}
+				counts[r]--
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

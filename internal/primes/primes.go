@@ -1,0 +1,40 @@
+// Package primes provides the small prime-number utilities the paper's
+// constructions rely on: the prime-exponent counter of Theorem 3.3 assigns
+// the (v+1)'st prime to component v, and the max-register encoding of
+// Theorem 4.2 needs a fixed prime y larger than n.
+package primes
+
+// First returns the first k primes (2, 3, 5, ...).
+func First(k int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, k)
+	for x := int64(2); len(out) < k; x++ {
+		if isPrime(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Next returns the smallest prime strictly greater than n.
+func Next(n int64) int64 {
+	for x := n + 1; ; x++ {
+		if isPrime(x) {
+			return x
+		}
+	}
+}
+
+func isPrime(x int64) bool {
+	if x < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= x; d++ {
+		if x%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,30 @@
+package primes
+
+import "testing"
+
+func TestFirst(t *testing.T) {
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	got := First(10)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("First(10)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if First(0) != nil || First(-1) != nil {
+		t.Fatal("First of non-positive count should be nil")
+	}
+}
+
+func TestNext(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 2}, {1, 2}, {2, 3}, {3, 5}, {10, 11}, {13, 17}, {100, 101},
+	}
+	for _, c := range cases {
+		if got := Next(c.in); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// raceBody is a small nondeterministic-looking (but deterministic) protocol
+// used to pin determinism: increments and reads over two locations.
+func raceBody(p *Proc) int {
+	for i := 0; i < 4; i++ {
+		p.Apply(p.ID()%2, machine.OpIncrement)
+		p.Apply((p.ID()+1)%2, machine.OpRead)
+	}
+	v := machine.MustInt(p.Apply(0, machine.OpRead))
+	return int(v.Int64()) % 2
+}
+
+func traceString(tr []StepInfo) string {
+	out := ""
+	for _, st := range tr {
+		out += fmt.Sprintf("%d:%v;", st.PID, st.Info)
+	}
+	return out
+}
+
+// TestReplayDeterminism records a run's schedule, replays it via Script on
+// a fresh system, and requires the step-for-step identical trace — the
+// property the explorer, the adversaries, and the lower-bound machinery all
+// rest on.
+func TestReplayDeterminism(t *testing.T) {
+	mem1 := machine.New(machine.NewInstrSet("t", machine.OpRead, machine.OpIncrement), 2)
+	sys1 := NewSystem(mem1, []int{0, 0, 0}, raceBody, WithTrace())
+	if _, err := sys1.Run(NewRandom(99), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	var pids []int
+	for _, st := range sys1.Trace() {
+		pids = append(pids, st.PID)
+	}
+	want := traceString(sys1.Trace())
+	wantDec := sys1.Decisions()
+	sys1.Close()
+
+	mem2 := machine.New(machine.NewInstrSet("t", machine.OpRead, machine.OpIncrement), 2)
+	sys2 := NewSystem(mem2, []int{0, 0, 0}, raceBody, WithTrace())
+	defer sys2.Close()
+	if _, err := sys2.Run(&Script{PIDs: pids}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := traceString(sys2.Trace()); got != want {
+		t.Fatalf("replay diverged:\nwant %s\ngot  %s", want, got)
+	}
+	for pid, d := range wantDec {
+		if got, ok := sys2.Decided(pid); !ok || got != d {
+			t.Fatalf("replay decision mismatch for %d", pid)
+		}
+	}
+	if mem1.Fingerprint() != mem2.Fingerprint() {
+		t.Fatal("replay memory diverged")
+	}
+}
+
+// TestScriptSkipsDeadProcesses: scripted schedules silently skip entries
+// whose process has finished or crashed.
+func TestScriptSkipsDeadProcesses(t *testing.T) {
+	mem := machine.New(machine.SetReadWrite, 1)
+	oneShot := func(p *Proc) int {
+		p.Apply(0, machine.OpRead)
+		return p.ID()
+	}
+	sys := NewSystem(mem, []int{0, 0}, oneShot)
+	defer sys.Close()
+	sys.Crash(1)
+	res, err := sys.Run(&Script{PIDs: []int{1, 0, 1, 0, 1}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Decisions[1]; ok {
+		t.Fatal("crashed process decided")
+	}
+	if d, ok := res.Decisions[0]; !ok || d != 0 {
+		t.Fatalf("process 0 result %v", res.Decisions)
+	}
+}
+
+// TestLiveSetAndInputs covers accessors.
+func TestLiveSetAndInputs(t *testing.T) {
+	mem := machine.New(machine.SetReadWrite, 1)
+	sys := NewSystem(mem, []int{7, 8, 9}, func(p *Proc) int {
+		p.Apply(0, machine.OpRead)
+		return p.Input()
+	})
+	defer sys.Close()
+	in := sys.Inputs()
+	if len(in) != 3 || in[2] != 9 {
+		t.Fatalf("inputs %v", in)
+	}
+	live := sys.LiveSet()
+	if len(live) != 3 {
+		t.Fatalf("live %v", live)
+	}
+	sys.Crash(0)
+	if sys.Live(0) {
+		t.Fatal("crashed still live")
+	}
+	if got := len(sys.LiveSet()); got != 2 {
+		t.Fatalf("live after crash: %d", got)
+	}
+	// Crashing twice is a no-op.
+	sys.Crash(0)
+}

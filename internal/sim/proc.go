@@ -1,0 +1,144 @@
+// Package sim executes deterministic asynchronous processes against a
+// machine.Memory under the control of an adversarial scheduler, implementing
+// the computation model of Section 2 of the paper: each step is one atomic
+// instruction by one process, scheduling is adversary-controlled, processes
+// may crash at any time, and a decided process takes no further steps.
+//
+// Processes are ordinary Go functions (Body) run on goroutines; the System
+// lock-steps them so that exactly one shared-memory instruction happens at a
+// time and the "poised" instruction of every live process is observable —
+// the key capability needed by the paper's covering arguments.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Body is the code of one process. It performs shared-memory instructions
+// through p and returns its decision. Returning is the act of deciding:
+// afterwards the scheduler allocates the process no further steps.
+//
+// A Body must be deterministic (the paper's model) and must not perform
+// unbounded local computation between instructions.
+type Body func(p *Proc) int
+
+// errKilled is the sentinel carried by the panic that unwinds a process
+// goroutine when its System is closed or the process is crashed.
+var errKilled = errors.New("sim: process killed")
+
+// request is one pending shared-memory instruction travelling from a process
+// goroutine to its System.
+type request struct {
+	loc   int
+	op    machine.Op
+	args  []machine.Value
+	multi []machine.Assignment // non-nil for an atomic multiple assignment
+	reply chan machine.Value
+}
+
+// Proc is the handle a Body uses to interact with the system: identity,
+// input, and atomic instruction application.
+type Proc struct {
+	id    int
+	n     int
+	input int
+	req   chan *request
+	kill  chan struct{}
+	clock *int64 // the system's step counter; read-only for the body
+}
+
+// ID returns the process id in 0..n-1.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of processes in the system.
+func (p *Proc) N() int { return p.n }
+
+// Input returns the process's consensus input.
+func (p *Proc) Input() int { return p.input }
+
+// Clock returns the number of atomic steps the whole system has executed.
+// Reading it between a process's own instructions is race-free: the system
+// is quiescent while a body computes locally. Tests use it to timestamp
+// operation spans for linearizability checking.
+func (p *Proc) Clock() int64 { return *p.clock }
+
+// Apply performs one atomic instruction on one memory location and returns
+// its result. The call blocks until the scheduler allocates the process a
+// step. Instruction misuse (wrong operands, instruction outside the memory's
+// set) is a programming error and panics; the System converts the panic into
+// a run error.
+func (p *Proc) Apply(loc int, op machine.Op, args ...machine.Value) machine.Value {
+	return p.submit(&request{loc: loc, op: op, args: args,
+		reply: make(chan machine.Value, 1)})
+}
+
+// MultiAssign atomically performs one write-class instruction per listed
+// location (Section 7's multiple assignment). It counts as a single step.
+func (p *Proc) MultiAssign(writes ...machine.Assignment) {
+	p.submit(&request{multi: writes, reply: make(chan machine.Value, 1)})
+}
+
+func (p *Proc) submit(r *request) machine.Value {
+	select {
+	case p.req <- r:
+	case <-p.kill:
+		panic(errKilled)
+	}
+	select {
+	case v := <-r.reply:
+		return v
+	case <-p.kill:
+		panic(errKilled)
+	}
+}
+
+// OpInfo describes the instruction a live process is poised to perform. It
+// is what the paper's covering arguments inspect: a process "covers" a
+// location when it is poised to perform a non-trivial instruction on it.
+type OpInfo struct {
+	Loc  int
+	Op   machine.Op
+	Args []machine.Value
+	// Multi is non-nil when the process is poised to perform an atomic
+	// multiple assignment; Loc/Op/Args are then meaningless.
+	Multi []machine.Assignment
+}
+
+// Covers reports whether the poised instruction writes location loc (for a
+// multiple assignment: whether any of its assignments does).
+func (i OpInfo) Covers(loc int) bool {
+	if i.Multi != nil {
+		for _, w := range i.Multi {
+			if w.Loc == loc {
+				return true
+			}
+		}
+		return false
+	}
+	return !i.Op.Trivial() && i.Loc == loc
+}
+
+// CoveredLocs returns the set of locations the poised instruction writes.
+func (i OpInfo) CoveredLocs() []int {
+	if i.Multi != nil {
+		locs := make([]int, 0, len(i.Multi))
+		for _, w := range i.Multi {
+			locs = append(locs, w.Loc)
+		}
+		return locs
+	}
+	if i.Op.Trivial() {
+		return nil
+	}
+	return []int{i.Loc}
+}
+
+func (i OpInfo) String() string {
+	if i.Multi != nil {
+		return fmt.Sprintf("multi-assign(%d locations)", len(i.Multi))
+	}
+	return fmt.Sprintf("%v@%d", i.Op, i.Loc)
+}

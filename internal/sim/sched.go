@@ -1,0 +1,137 @@
+package sim
+
+import "math/rand"
+
+// Scheduler chooses which live process takes the next step. Implementations
+// model the paper's adversary. Next returns a live process id, or -1 to stop
+// the run.
+type Scheduler interface {
+	Next(s *System) int
+}
+
+// RoundRobin cycles through live processes in id order, starting at 0.
+type RoundRobin struct {
+	next int
+}
+
+// Next returns the next live process at or after the cursor.
+func (r *RoundRobin) Next(s *System) int {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		pid := (r.next + i) % n
+		if s.Live(pid) {
+			r.next = (pid + 1) % n
+			return pid
+		}
+	}
+	return -1
+}
+
+// Random schedules live processes uniformly at random from a seeded source,
+// modelling an unpredictable adversary; runs are reproducible per seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next picks a live process uniformly at random.
+func (r *Random) Next(s *System) int {
+	live := s.LiveSet()
+	if len(live) == 0 {
+		return -1
+	}
+	return live[r.rng.Intn(len(live))]
+}
+
+// Solo runs a single process exclusively: the paper's solo execution, the
+// core of obstruction-freedom.
+type Solo struct {
+	PID int
+}
+
+// Next returns PID while it is live.
+func (so Solo) Next(s *System) int {
+	if s.Live(so.PID) {
+		return so.PID
+	}
+	return -1
+}
+
+// Script replays an explicit sequence of process ids, skipping entries whose
+// process is no longer live. It is how proof-specific adversary schedules
+// are expressed.
+type Script struct {
+	PIDs []int
+	pos  int
+}
+
+// Next returns the next live scripted pid, or -1 when exhausted.
+func (sc *Script) Next(s *System) int {
+	for sc.pos < len(sc.PIDs) {
+		pid := sc.PIDs[sc.pos]
+		sc.pos++
+		if s.Live(pid) {
+			return pid
+		}
+	}
+	return -1
+}
+
+// RandomCrash wraps another scheduler and crashes each process independently
+// with the given probability checked before every step, exercising the
+// model's crash failures. At least one process is always left alive.
+type RandomCrash struct {
+	Inner Scheduler
+	P     float64
+	rng   *rand.Rand
+}
+
+// NewRandomCrash builds a crash-injecting wrapper around inner.
+func NewRandomCrash(inner Scheduler, p float64, seed int64) *RandomCrash {
+	return &RandomCrash{Inner: inner, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next possibly crashes a random live process, then delegates.
+func (rc *RandomCrash) Next(s *System) int {
+	live := s.LiveSet()
+	if len(live) > 1 && rc.rng.Float64() < rc.P {
+		s.Crash(live[rc.rng.Intn(len(live))])
+	}
+	return rc.Inner.Next(s)
+}
+
+// RandomThenSolo runs Prefix random steps and then one randomly chosen
+// survivor exclusively. Repeating it from fresh systems samples the
+// obstruction-freedom property: from every reachable configuration a solo
+// execution must decide.
+type RandomThenSolo struct {
+	Prefix int
+	rng    *rand.Rand
+	solo   int // -1 until the solo phase starts
+	taken  int
+}
+
+// NewRandomThenSolo builds the driver with the given prefix length and seed.
+func NewRandomThenSolo(prefix int, seed int64) *RandomThenSolo {
+	return &RandomThenSolo{Prefix: prefix, rng: rand.New(rand.NewSource(seed)), solo: -1}
+}
+
+// Next schedules randomly for Prefix steps, then fixes one live process.
+func (rs *RandomThenSolo) Next(s *System) int {
+	live := s.LiveSet()
+	if len(live) == 0 {
+		return -1
+	}
+	if rs.taken < rs.Prefix {
+		rs.taken++
+		return live[rs.rng.Intn(len(live))]
+	}
+	if rs.solo < 0 || !s.Live(rs.solo) {
+		rs.solo = live[rs.rng.Intn(len(live))]
+	}
+	return rs.solo
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Sentinel errors reported by System.
+var (
+	// ErrNotLive is returned when stepping a process that has decided,
+	// crashed, or failed.
+	ErrNotLive = errors.New("sim: process is not live")
+	// ErrClosed is returned when using a closed System.
+	ErrClosed = errors.New("sim: system closed")
+)
+
+// outcome is what a process goroutine reports when it returns.
+type outcome struct {
+	decision int
+	err      error
+}
+
+// procState is the System-side view of one process.
+type procState struct {
+	proc     *Proc
+	done     chan outcome
+	pending  *request // poised instruction; nil once finished/crashed/failed
+	finished bool
+	decided  bool
+	decision int
+	crashed  bool
+	err      error
+	killOnce sync.Once
+}
+
+func (ps *procState) live() bool {
+	return !ps.finished && !ps.crashed && ps.err == nil
+}
+
+// System is one execution of n processes against a shared memory. It is
+// driven step by step: Step(pid) lets process pid perform its poised
+// instruction. A System is single-threaded from the caller's perspective
+// and must be Closed to release its goroutines.
+type System struct {
+	mem     *machine.Memory
+	inputs  []int
+	procs   []*procState
+	steps   int64
+	trace   []StepInfo // recorded when tracing enabled
+	tracing bool
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// StepInfo records one executed step.
+type StepInfo struct {
+	PID    int
+	Info   OpInfo
+	Result machine.Value
+}
+
+// SystemOption configures a System.
+type SystemOption func(*System)
+
+// WithTrace records every executed step, retrievable via Trace. Used by the
+// lower-bound adversaries, which replay recorded solo executions.
+func WithTrace() SystemOption {
+	return func(s *System) { s.tracing = true }
+}
+
+// NewSystem starts n processes with the given inputs, all running body, and
+// blocks until every process is poised on its first instruction. bodies may
+// also differ per process via NewSystemBodies.
+func NewSystem(mem *machine.Memory, inputs []int, body Body, opts ...SystemOption) *System {
+	bodies := make([]Body, len(inputs))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return NewSystemBodies(mem, inputs, bodies, opts...)
+}
+
+// NewSystemBodies is NewSystem with a distinct Body per process.
+func NewSystemBodies(mem *machine.Memory, inputs []int, bodies []Body, opts ...SystemOption) *System {
+	if len(inputs) != len(bodies) {
+		panic("sim: inputs/bodies length mismatch")
+	}
+	n := len(inputs)
+	s := &System{mem: mem, inputs: append([]int(nil), inputs...)}
+	for _, o := range opts {
+		o(s)
+	}
+	s.procs = make([]*procState, n)
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			id:    i,
+			n:     n,
+			input: inputs[i],
+			req:   make(chan *request),
+			kill:  make(chan struct{}),
+			clock: &s.steps,
+		}
+		ps := &procState{proc: p, done: make(chan outcome, 1)}
+		s.procs[i] = ps
+		body := bodies[i]
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+						return // orderly shutdown
+					}
+					ps.done <- outcome{err: fmt.Errorf("sim: process %d failed: %v", p.id, r)}
+				}
+			}()
+			v := body(p)
+			ps.done <- outcome{decision: v}
+		}()
+	}
+	for _, ps := range s.procs {
+		s.waitPoised(ps)
+	}
+	return s
+}
+
+// waitPoised blocks until ps has either submitted its next instruction or
+// finished, and records which.
+func (s *System) waitPoised(ps *procState) {
+	select {
+	case r := <-ps.proc.req:
+		ps.pending = r
+	case o := <-ps.done:
+		ps.finished = true
+		ps.pending = nil
+		if o.err != nil {
+			ps.err = o.err
+		} else {
+			ps.decided = true
+			ps.decision = o.decision
+		}
+	}
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return len(s.procs) }
+
+// Mem returns the shared memory.
+func (s *System) Mem() *machine.Memory { return s.mem }
+
+// Inputs returns the processes' consensus inputs.
+func (s *System) Inputs() []int { return append([]int(nil), s.inputs...) }
+
+// Steps returns the number of executed steps.
+func (s *System) Steps() int64 { return s.steps }
+
+// Trace returns the recorded steps (only populated with WithTrace).
+func (s *System) Trace() []StepInfo { return s.trace }
+
+// Live reports whether process pid can still take steps.
+func (s *System) Live(pid int) bool {
+	return pid >= 0 && pid < len(s.procs) && s.procs[pid].live()
+}
+
+// LiveSet returns the ids of all live processes, ascending.
+func (s *System) LiveSet() []int {
+	var out []int
+	for i, ps := range s.procs {
+		if ps.live() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Decided reports process pid's decision, if it has decided.
+func (s *System) Decided(pid int) (int, bool) {
+	ps := s.procs[pid]
+	return ps.decision, ps.decided
+}
+
+// Decisions returns all decisions made so far, keyed by process id.
+func (s *System) Decisions() map[int]int {
+	out := make(map[int]int)
+	for i, ps := range s.procs {
+		if ps.decided {
+			out[i] = ps.decision
+		}
+	}
+	return out
+}
+
+// Err returns the first process failure, if any.
+func (s *System) Err() error {
+	for _, ps := range s.procs {
+		if ps.err != nil {
+			return ps.err
+		}
+	}
+	return nil
+}
+
+// Poised returns the instruction process pid will perform when next
+// scheduled. ok is false if the process is not live.
+func (s *System) Poised(pid int) (OpInfo, bool) {
+	if pid < 0 || pid >= len(s.procs) {
+		return OpInfo{}, false
+	}
+	ps := s.procs[pid]
+	if !ps.live() || ps.pending == nil {
+		return OpInfo{}, false
+	}
+	r := ps.pending
+	if r.multi != nil {
+		return OpInfo{Multi: r.multi}, true
+	}
+	return OpInfo{Loc: r.loc, Op: r.op, Args: r.args}, true
+}
+
+// Step lets process pid perform its poised instruction. It returns the
+// executed step, or ErrNotLive / the underlying instruction error.
+func (s *System) Step(pid int) (StepInfo, error) {
+	if s.closed {
+		return StepInfo{}, ErrClosed
+	}
+	if pid < 0 || pid >= len(s.procs) {
+		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
+	}
+	ps := s.procs[pid]
+	if !ps.live() || ps.pending == nil {
+		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
+	}
+	r := ps.pending
+	var (
+		res machine.Value
+		err error
+	)
+	info := OpInfo{Loc: r.loc, Op: r.op, Args: r.args, Multi: r.multi}
+	if r.multi != nil {
+		err = s.mem.MultiAssign(r.multi)
+	} else {
+		res, err = s.mem.Apply(r.loc, r.op, r.args...)
+	}
+	if err != nil {
+		// An illegal instruction is a failure of this process: mark it and
+		// unwind its goroutine.
+		ps.err = fmt.Errorf("sim: process %d: %w", pid, err)
+		ps.pending = nil
+		ps.killOnce.Do(func() { close(ps.proc.kill) })
+		return StepInfo{}, ps.err
+	}
+	s.steps++
+	r.reply <- res
+	ps.pending = nil
+	s.waitPoised(ps)
+	step := StepInfo{PID: pid, Info: info, Result: res}
+	if s.tracing {
+		s.trace = append(s.trace, step)
+	}
+	return step, nil
+}
+
+// Crash removes process pid from the execution: it is never scheduled again.
+// Crashes may happen at any time in the model; algorithms must stay safe.
+func (s *System) Crash(pid int) {
+	ps := s.procs[pid]
+	if !ps.live() {
+		return
+	}
+	ps.crashed = true
+	ps.killOnce.Do(func() { close(ps.proc.kill) })
+	// Absorb the in-flight request, if any, so the goroutine can unwind.
+	ps.pending = nil
+}
+
+// Close terminates all process goroutines and waits for them to exit. The
+// System must not be used afterwards.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ps := range s.procs {
+		ps.killOnce.Do(func() { close(ps.proc.kill) })
+	}
+	// Drain any requests submitted concurrently with the kill signal.
+	for _, ps := range s.procs {
+		if !ps.finished {
+			select {
+			case <-ps.proc.req:
+			default:
+			}
+		}
+	}
+	s.wg.Wait()
+}

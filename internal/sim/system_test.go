@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// casBody is the one-location compare-and-swap consensus protocol: propose
+// your input; the first proposal wins. It is used throughout these tests as
+// a minimal correct protocol.
+func casBody(p *Proc) int {
+	old := p.Apply(0, machine.OpCompareAndSwap,
+		machine.Int(0), machine.Int(int64(p.Input()+1)))
+	x := machine.MustInt(old)
+	if x.Sign() == 0 {
+		return p.Input()
+	}
+	return int(x.Int64()) - 1
+}
+
+func newCASSystem(inputs []int, opts ...SystemOption) *System {
+	mem := machine.New(machine.SetCAS, 1)
+	return NewSystem(mem, inputs, casBody, opts...)
+}
+
+func TestRunRoundRobin(t *testing.T) {
+	sys := newCASSystem([]int{3, 1, 2})
+	defer sys.Close()
+	res, err := sys.Run(&RoundRobin{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus([]int{3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 3 {
+		t.Fatalf("decisions = %v, want 3 of them", res.Decisions)
+	}
+	if v, ok := res.AgreedValue(); !ok || v != 3 {
+		// Round-robin schedules process 0 first; its CAS wins.
+		t.Fatalf("agreed value = %d/%v, want 3", v, ok)
+	}
+}
+
+func TestRandomSchedulerDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) map[int]int {
+		sys := newCASSystem([]int{5, 6, 7, 8})
+		defer sys.Close()
+		res, err := sys.Run(NewRandom(seed), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Decisions
+	}
+	a, b := run(42), run(42)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("same seed produced different runs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSoloScheduler(t *testing.T) {
+	sys := newCASSystem([]int{4, 9})
+	defer sys.Close()
+	res, err := sys.Run(Solo{PID: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := res.Decisions[1]; !ok || d != 9 {
+		t.Fatalf("solo run of 1 decided %v, want 9", res.Decisions)
+	}
+	if _, ok := res.Decisions[0]; ok {
+		t.Fatal("process 0 decided without being scheduled")
+	}
+}
+
+func TestScriptScheduler(t *testing.T) {
+	sys := newCASSystem([]int{1, 2})
+	defer sys.Close()
+	res, err := sys.Run(&Script{PIDs: []int{1, 0, 0, 1}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.AgreedValue(); !ok || v != 2 {
+		t.Fatalf("agreed = %d/%v, want 2 (process 1 went first)", v, ok)
+	}
+}
+
+func TestPoisedAndCovering(t *testing.T) {
+	mem := machine.New(machine.SetReadWrite, 3)
+	body := func(p *Proc) int {
+		p.Apply(2, machine.OpWrite, machine.Int(int64(p.Input())))
+		p.Apply(0, machine.OpRead)
+		return p.Input()
+	}
+	sys := NewSystem(mem, []int{0, 1}, body)
+	defer sys.Close()
+
+	info, ok := sys.Poised(0)
+	if !ok {
+		t.Fatal("process 0 should be poised")
+	}
+	if info.Op != machine.OpWrite || info.Loc != 2 {
+		t.Fatalf("poised = %v, want write@2", info)
+	}
+	if !info.Covers(2) || info.Covers(0) {
+		t.Fatalf("covering wrong: %v", info)
+	}
+	if _, err := sys.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = sys.Poised(0)
+	if info.Op != machine.OpRead {
+		t.Fatalf("after step, poised = %v, want read", info)
+	}
+	// A read is trivial: it covers nothing.
+	if got := info.CoveredLocs(); len(got) != 0 {
+		t.Fatalf("read covers %v, want none", got)
+	}
+}
+
+func TestCrashedProcessTakesNoSteps(t *testing.T) {
+	sys := newCASSystem([]int{1, 2, 3})
+	sys.Crash(0)
+	res, err := sys.Run(&RoundRobin{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if _, ok := res.Decisions[0]; ok {
+		t.Fatal("crashed process decided")
+	}
+	if err := res.CheckConsensus([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 0 {
+		t.Fatalf("crashed = %v", res.Crashed)
+	}
+}
+
+func TestStepNotLive(t *testing.T) {
+	sys := newCASSystem([]int{1, 2})
+	defer sys.Close()
+	if _, err := sys.Run(&RoundRobin{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(0); !errors.Is(err, ErrNotLive) {
+		t.Fatalf("stepping decided process: want ErrNotLive, got %v", err)
+	}
+	if _, err := sys.Step(99); !errors.Is(err, ErrNotLive) {
+		t.Fatalf("stepping unknown pid: want ErrNotLive, got %v", err)
+	}
+}
+
+func TestIllegalInstructionFailsProcess(t *testing.T) {
+	mem := machine.New(machine.SetReadWrite, 1)
+	bad := func(p *Proc) int {
+		p.Apply(0, machine.OpTestAndSet) // not in the set
+		return 0
+	}
+	sys := NewSystem(mem, []int{0}, bad)
+	defer sys.Close()
+	_, err := sys.Step(0)
+	if !errors.Is(err, machine.ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	if sys.Live(0) {
+		t.Fatal("failed process should not be live")
+	}
+	if sys.Err() == nil {
+		t.Fatal("system should report the failure")
+	}
+}
+
+func TestBodyPanicSurfacesAsError(t *testing.T) {
+	mem := machine.New(machine.SetReadWrite, 1)
+	bad := func(p *Proc) int {
+		p.Apply(0, machine.OpRead)
+		panic("algorithm bug")
+	}
+	sys := NewSystem(mem, []int{0}, bad)
+	defer sys.Close()
+	if _, err := sys.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Err() == nil {
+		t.Fatal("panic in body should surface via Err")
+	}
+}
+
+func TestCloseUnblocksProcesses(t *testing.T) {
+	// Processes blocked mid-protocol must unwind cleanly on Close; the test
+	// passes if it terminates (go test -timeout guards the failure mode).
+	mem := machine.New(machine.SetReadWrite, 1)
+	spin := func(p *Proc) int {
+		for {
+			p.Apply(0, machine.OpRead)
+		}
+	}
+	sys := NewSystem(mem, []int{0, 0, 0}, spin)
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Step(i % 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Close()
+}
+
+func TestTraceRecordsSteps(t *testing.T) {
+	sys := newCASSystem([]int{7, 8}, WithTrace())
+	defer sys.Close()
+	if _, err := sys.Run(&RoundRobin{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.Trace()
+	if len(tr) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	if tr[0].Info.Op != machine.OpCompareAndSwap {
+		t.Fatalf("first step %v, want compare-and-swap", tr[0].Info)
+	}
+}
+
+func TestMultiAssignThroughProc(t *testing.T) {
+	mem := machine.New(machine.SetBuffersMultiAssign(2), 3)
+	body := func(p *Proc) int {
+		p.MultiAssign(
+			machine.Assignment{Loc: 0, Op: machine.OpBufferWrite, Args: []machine.Value{"a"}},
+			machine.Assignment{Loc: 2, Op: machine.OpBufferWrite, Args: []machine.Value{"b"}},
+		)
+		v := p.Apply(0, machine.OpBufferRead).([]machine.Value)
+		if v[1] != "a" {
+			t.Errorf("buffer contents %v", v)
+		}
+		return 0
+	}
+	sys := NewSystem(mem, []int{0}, body)
+	defer sys.Close()
+	info, _ := sys.Poised(0)
+	if info.Multi == nil {
+		t.Fatalf("poised should be a multiple assignment, got %v", info)
+	}
+	if !info.Covers(0) || !info.Covers(2) || info.Covers(1) {
+		t.Fatalf("multi-assign covering wrong: %v", info.CoveredLocs())
+	}
+	if _, err := sys.Run(&RoundRobin{}, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCrashKeepsSafety(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := newCASSystem([]int{1, 2, 3, 4})
+		sched := NewRandomCrash(NewRandom(seed), 0.1, seed+1000)
+		res, err := sys.Run(sched, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsensus([]int{1, 2, 3, 4}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sys.Close()
+	}
+}
+
+func TestRandomThenSolo(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sys := newCASSystem([]int{1, 2, 3})
+		res, err := sys.Run(NewRandomThenSolo(2, seed), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The solo process must decide: obstruction-freedom.
+		if len(res.Decisions) == 0 {
+			t.Fatalf("seed %d: no decision under random-then-solo", seed)
+		}
+		if err := res.CheckConsensus([]int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Close()
+	}
+}

@@ -1,0 +1,146 @@
+package swreg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// arrayCase describes one Array implementation under test.
+type arrayCase struct {
+	name  string
+	locs  func(n int) int
+	mem   func(n int) *machine.Memory
+	build func(p *sim.Proc) Array
+}
+
+func cases(l int) []arrayCase {
+	return []arrayCase{
+		{
+			name: "direct",
+			locs: func(n int) int { return n },
+			mem: func(n int) *machine.Memory {
+				return machine.New(machine.SetReadWrite, n)
+			},
+			build: func(p *sim.Proc) Array { return NewDirect(p, 0) },
+		},
+		{
+			name: fmt.Sprintf("buffered-l%d", l),
+			locs: func(n int) int { return (n + l - 1) / l },
+			mem: func(n int) *machine.Memory {
+				return machine.New(machine.SetBuffers(l), (n+l-1)/l)
+			},
+			build: func(p *sim.Proc) Array { return NewBuffered(p, 0, l) },
+		},
+	}
+}
+
+// TestLastWriteWins: under random schedules, a final quiescent collect must
+// return each process's last written value.
+func TestLastWriteWins(t *testing.T) {
+	for _, l := range []int{1, 2, 3} {
+		for _, tc := range cases(l) {
+			t.Run(tc.name, func(t *testing.T) {
+				for seed := int64(0); seed < 10; seed++ {
+					n := 4
+					writes := 5
+					mem := tc.mem(n)
+					finals := make([]any, n)
+					body := func(p *sim.Proc) int {
+						a := tc.build(p)
+						var last any
+						for i := 0; i < writes; i++ {
+							last = fmt.Sprintf("p%d-%d", p.ID(), i)
+							a.Write(last)
+						}
+						finals[p.ID()] = last
+						return 0
+					}
+					sys := sim.NewSystem(mem, make([]int, n), body)
+					if _, err := sys.Run(sim.NewRandom(seed), 1_000_000); err != nil {
+						t.Fatal(err)
+					}
+					sys.Close()
+					// Quiescent read from a fresh same-sized system.
+					reader := sim.NewSystem(mem, make([]int, n), func(p *sim.Proc) int {
+						if p.ID() != 0 {
+							return 0
+						}
+						vals, _ := tc.build(p).Collect()
+						for i, v := range vals {
+							if v != finals[i] {
+								t.Errorf("seed %d: register %d = %v, want %v", seed, i, v, finals[i])
+							}
+						}
+						return 0
+					})
+					if _, err := reader.Run(sim.Solo{PID: 0}, 100_000); err != nil {
+						t.Fatal(err)
+					}
+					reader.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestVersionFingerprint: collects with no intervening writes share a
+// fingerprint; a write changes it.
+func TestVersionFingerprint(t *testing.T) {
+	for _, tc := range cases(2) {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 3
+			mem := tc.mem(n)
+			sys := sim.NewSystem(mem, make([]int, n), func(p *sim.Proc) int {
+				if p.ID() != 0 {
+					return 0
+				}
+				a := tc.build(p)
+				_, fp1 := a.Collect()
+				_, fp2 := a.Collect()
+				if fp1 != fp2 {
+					t.Error("quiescent collects disagree")
+				}
+				a.Write("x")
+				_, fp3 := a.Collect()
+				if fp3 == fp2 {
+					t.Error("write did not change the fingerprint")
+				}
+				return 0
+			})
+			defer sys.Close()
+			if _, err := sys.Run(sim.Solo{PID: 0}, 100_000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBufferedFootprint checks the ceil(n/l) location budget of Theorem 6.3.
+func TestBufferedFootprint(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		for l := 1; l <= 4; l++ {
+			want := (n + l - 1) / l
+			mem := machine.New(machine.SetBuffers(l), want)
+			body := func(p *sim.Proc) int {
+				a := NewBuffered(p, 0, l)
+				if a.Buffers() != want {
+					t.Errorf("n=%d l=%d: Buffers() = %d, want %d", n, l, a.Buffers(), want)
+				}
+				a.Write(p.ID())
+				a.Collect()
+				return 0
+			}
+			sys := sim.NewSystem(mem, make([]int, n), body)
+			if _, err := sys.Run(&sim.RoundRobin{}, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if fp := mem.Stats().Footprint(); fp > want {
+				t.Errorf("n=%d l=%d: footprint %d exceeds %d", n, l, fp, want)
+			}
+			sys.Close()
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package transform demonstrates the connection the paper's introduction
+// leans on (citing Giakkoupis, Helmi, Higham, Woelfel [GHHW13]): any
+// deterministic obstruction-free algorithm becomes randomized wait-free
+// against an oblivious adversary, using the same memory locations.
+//
+// The driver implements the standard random-backoff argument. The adversary
+// fixes an arbitrary schedule of process slots in advance (obliviously — it
+// cannot see coin flips). Each process, when its slot comes up, either takes
+// a real step or sits out the slot according to a private geometric backoff
+// whose expected length doubles after every observed interference. With
+// probability 1 some process eventually performs a long-enough run of
+// consecutive real steps to finish its solo execution, so every process
+// decides with probability 1 — and the space consumption is exactly the
+// underlying algorithm's.
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// ObliviousSchedule is a schedule fixed before coins are flipped: a function
+// from slot index to process id. The adversary may be arbitrarily unfair as
+// long as every live process appears infinitely often; FairRotation and
+// SkewedRotation are provided.
+type ObliviousSchedule func(slot int64) int
+
+// FairRotation cycles over n processes.
+func FairRotation(n int) ObliviousSchedule {
+	return func(slot int64) int { return int(slot % int64(n)) }
+}
+
+// SkewedRotation gives process 0 weight extra slots per rotation, modelling
+// an unfair but still oblivious adversary.
+func SkewedRotation(n, weight int) ObliviousSchedule {
+	period := int64(n - 1 + weight)
+	return func(slot int64) int {
+		r := slot % period
+		if r < int64(weight) {
+			return 0
+		}
+		return int(r - int64(weight) + 1)
+	}
+}
+
+// Result reports a randomized wait-free run.
+type Result struct {
+	// Slots is the number of schedule slots consumed (real steps plus
+	// backoff skips).
+	Slots int64
+	// Steps is the number of real atomic steps taken.
+	Steps int64
+	// Decisions maps process id to its decision.
+	Decisions map[int]int
+}
+
+// Run drives sys under the oblivious schedule with randomized backoff until
+// every live process decides or maxSlots elapse. seed derives the private
+// coins; distinct seeds give independent runs against the same schedule.
+func Run(sys *sim.System, sched ObliviousSchedule, seed int64, maxSlots int64) (*Result, error) {
+	n := sys.N()
+	type pacing struct {
+		rng     *rand.Rand
+		skip    int64 // remaining slots to sit out
+		window  int64 // current backoff window
+		lastFpr int64 // steps counter at our last step, to detect interference
+	}
+	procs := make([]*pacing, n)
+	for i := range procs {
+		procs[i] = &pacing{
+			rng:    rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
+			window: 1,
+		}
+	}
+	var slots int64
+	for ; slots < maxSlots; slots++ {
+		if len(sys.LiveSet()) == 0 {
+			break
+		}
+		pid := sched(slots)
+		if pid < 0 || pid >= n || !sys.Live(pid) {
+			continue
+		}
+		p := procs[pid]
+		if p.skip > 0 {
+			p.skip--
+			continue
+		}
+		// A process that is awake always steps; contention management
+		// happens afterwards. If anyone else stepped since our previous
+		// step we were interfered with: double the backoff window and sit
+		// out a random stretch, giving whoever is ahead a chance to run
+		// solo. Uncontended steps decay the window so the process that wins
+		// the race keeps running to its solo decision.
+		interfered := p.lastFpr > 0 && sys.Steps() > p.lastFpr
+		if _, err := sys.Step(pid); err != nil {
+			return nil, fmt.Errorf("transform: slot %d: %w", slots, err)
+		}
+		p.lastFpr = sys.Steps()
+		if interfered {
+			p.window *= 2
+			if p.window > 1<<14 {
+				p.window = 1 << 14
+			}
+			p.skip = p.rng.Int63n(p.window)
+		} else if p.window > 1 {
+			p.window /= 2
+		}
+	}
+	res := &Result{Slots: slots, Steps: sys.Steps(), Decisions: sys.Decisions()}
+	if len(sys.LiveSet()) > 0 {
+		return res, fmt.Errorf("transform: %d processes undecided after %d slots",
+			len(sys.LiveSet()), slots)
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// TestRandomizedWaitFreeFair runs several obstruction-free protocols under
+// the randomized driver on a fair oblivious schedule: all processes must
+// decide, safely, within the slot budget — for every seed tried.
+func TestRandomizedWaitFreeFair(t *testing.T) {
+	builds := map[string]func(n int) *consensus.Protocol{
+		"registers":     consensus.Registers,
+		"swap":          consensus.Swap,
+		"max-registers": consensus.MaxRegisters,
+		"buffers-l2":    func(n int) *consensus.Protocol { return consensus.Buffered(n, 2) },
+		"add":           consensus.Add,
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				n := 4
+				pr := build(n)
+				inputs := []int{2, 0, 3, 1}
+				sys := pr.MustSystem(inputs)
+				res, err := Run(sys, FairRotation(n), seed, 5_000_000)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if len(res.Decisions) != n {
+					t.Fatalf("seed %d: %d of %d decided", seed, len(res.Decisions), n)
+				}
+				r := sys.Result()
+				if err := r.CheckConsensus(inputs); err != nil {
+					t.Fatal(err)
+				}
+				sys.Close()
+			}
+		})
+	}
+}
+
+// TestRandomizedWaitFreeSkewed uses an unfair-but-oblivious schedule: the
+// backoff must still converge.
+func TestRandomizedWaitFreeSkewed(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 4
+		pr := consensus.Swap(n)
+		inputs := []int{3, 3, 0, 1}
+		sys := pr.MustSystem(inputs)
+		res, err := Run(sys, SkewedRotation(n, 5), seed, 5_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sys.Result().CheckConsensus(inputs); err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps > res.Slots {
+			t.Fatal("steps cannot exceed slots")
+		}
+		sys.Close()
+	}
+}
+
+// TestSpacePreserved checks the transformation's headline property: the
+// randomized wait-free run uses exactly the underlying algorithm's
+// locations (here, two max-registers).
+func TestSpacePreserved(t *testing.T) {
+	pr := consensus.MaxRegisters(5)
+	inputs := []int{4, 2, 0, 2, 1}
+	sys := pr.MustSystem(inputs)
+	defer sys.Close()
+	if _, err := Run(sys, FairRotation(5), 3, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if fp := sys.Mem().Stats().Footprint(); fp != 2 {
+		t.Fatalf("footprint %d, want 2", fp)
+	}
+}
+
+// TestSchedules sanity-checks the schedule helpers.
+func TestSchedules(t *testing.T) {
+	f := FairRotation(3)
+	for i := int64(0); i < 9; i++ {
+		if got, want := f(i), int(i%3); got != want {
+			t.Fatalf("fair(%d) = %d, want %d", i, got, want)
+		}
+	}
+	s := SkewedRotation(3, 4)
+	zero := 0
+	for i := int64(0); i < 6; i++ {
+		if s(i) == 0 {
+			zero++
+		}
+	}
+	if zero != 4 {
+		t.Fatalf("skewed schedule gave process 0 %d of first 6 slots, want 4", zero)
+	}
+}

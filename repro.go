@@ -1,0 +1,136 @@
+// Package repro is the public face of a from-scratch reproduction of
+// "A Complexity-Based Hierarchy for Multiprocessor Synchronization"
+// (Ellen, Gelashvili, Shavit, Zhu — PODC 2016). It classifies instruction
+// sets by SP(I, n): the number of uniform memory locations needed to solve
+// obstruction-free n-valued consensus among n processes.
+//
+// The library simulates the paper's machine model — identical memory
+// locations all supporting one instruction set, adversarial scheduling,
+// crash failures — and implements every upper-bound protocol and every
+// executable lower-bound construction from the paper. See DESIGN.md for the
+// full inventory and EXPERIMENTS.md for the reproduced Table 1.
+//
+// Quick start:
+//
+//	out, err := repro.Solve("T1.9", []int{3, 1, 4, 1, 2}, repro.WithSeed(7))
+//	// out.Value is the agreed value; out.Footprint is 2 — two max-registers.
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ErrUnknownRow reports an experiment id not present in Table 1.
+var ErrUnknownRow = errors.New("repro: unknown hierarchy row")
+
+// Row re-exports the hierarchy row descriptor.
+type Row = core.Row
+
+// Unbounded marks infinite space bounds (Table 1's first row).
+const Unbounded = core.Unbounded
+
+// Hierarchy returns the paper's Table 1 with buffer capacity l for the
+// l-buffer rows.
+func Hierarchy(l int) []Row { return core.Table(l) }
+
+// Outcome is the result of one consensus run.
+type Outcome struct {
+	// Value is the agreed decision.
+	Value int
+	// Footprint is the number of distinct memory locations used.
+	Footprint int
+	// Steps is the number of atomic shared-memory steps taken.
+	Steps int64
+	// MaxBits is the widest value any location held.
+	MaxBits int
+}
+
+// options configures Solve.
+type options struct {
+	seed     int64
+	l        int
+	maxSteps int64
+}
+
+// Option configures Solve.
+type Option func(*options)
+
+// WithSeed selects the (reproducible) random schedule. Default 1.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithBufferCap sets l for the l-buffer rows. Default 2.
+func WithBufferCap(l int) Option { return func(o *options) { o.l = l } }
+
+// WithMaxSteps bounds the run. Default 50 million.
+func WithMaxSteps(s int64) Option { return func(o *options) { o.maxSteps = s } }
+
+// Solve runs the upper-bound protocol of the given Table 1 row (for
+// example "T1.9" for two max-registers) on the given inputs — one input per
+// process, values in [0, n) — under a fair random schedule, and returns the
+// agreed value with space and step measurements.
+func Solve(rowID string, inputs []int, opts ...Option) (*Outcome, error) {
+	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
+	for _, f := range opts {
+		f(&o)
+	}
+	row, ok := core.RowByID(rowID, o.l)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	}
+	if row.Build == nil {
+		return nil, fmt.Errorf("repro: row %s has no constructive protocol", rowID)
+	}
+	n := len(inputs)
+	pr := row.Build(n)
+	sys, err := pr.NewSystem(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	res, err := sys.Run(sim.NewRandom(o.seed), o.maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.CheckConsensus(inputs); err != nil {
+		return nil, err
+	}
+	v, ok := res.AgreedValue()
+	if !ok {
+		return nil, fmt.Errorf("repro: no process decided within %d steps", o.maxSteps)
+	}
+	st := sys.Mem().Stats()
+	return &Outcome{
+		Value:     v,
+		Footprint: st.Footprint(),
+		Steps:     st.Steps,
+		MaxBits:   st.MaxBits,
+	}, nil
+}
+
+// SpaceBounds evaluates the paper's lower and upper bound on SP(I, n) for a
+// row at the given n (Unbounded = ∞).
+func SpaceBounds(rowID string, n, l int) (lower, upper int, err error) {
+	row, ok := core.RowByID(rowID, l)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	}
+	lower, upper = core.SP(row, n)
+	return lower, upper, nil
+}
+
+// StepProfile re-exports the step-complexity measurement (the extra axis
+// the paper's conclusion calls for).
+type StepProfile = core.StepProfile
+
+// Steps profiles a row's solo and contended step complexity at the given n.
+func Steps(rowID string, n, l int) (*StepProfile, error) {
+	row, ok := core.RowByID(rowID, l)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	}
+	return core.MeasureSteps(row, n, 50_000_000)
+}

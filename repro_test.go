@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSolveMaxRegisters(t *testing.T) {
+	inputs := []int{3, 1, 4, 1, 2}
+	out, err := Solve("T1.9", inputs, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := false
+	for _, in := range inputs {
+		if out.Value == in {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided %d, not an input", out.Value)
+	}
+	if out.Footprint != 2 {
+		t.Fatalf("max-register consensus used %d locations, want 2", out.Footprint)
+	}
+	if out.Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+}
+
+func TestSolveEveryConstructiveRow(t *testing.T) {
+	inputs := []int{2, 0, 3, 1}
+	for _, row := range Hierarchy(2) {
+		if row.Build == nil {
+			continue
+		}
+		out, err := Solve(row.ID, inputs, WithSeed(3), WithBufferCap(2))
+		if err != nil {
+			t.Fatalf("row %s: %v", row.ID, err)
+		}
+		if out.Value < 0 || out.Value > 3 {
+			t.Fatalf("row %s: decided %d", row.ID, out.Value)
+		}
+	}
+}
+
+func TestSolveUnknownRow(t *testing.T) {
+	if _, err := Solve("T9.99", []int{0, 1}); !errors.Is(err, ErrUnknownRow) {
+		t.Fatalf("want ErrUnknownRow, got %v", err)
+	}
+}
+
+func TestSpaceBounds(t *testing.T) {
+	lo, up, err := SpaceBounds("T1.6", 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 3 || up != 4 {
+		t.Fatalf("buffer bounds (%d,%d), want (3,4)", lo, up)
+	}
+	lo, up, err = SpaceBounds("T1.1", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != Unbounded || up != Unbounded {
+		t.Fatalf("TAS row bounds (%d,%d), want ∞", lo, up)
+	}
+	if _, _, err := SpaceBounds("nope", 5, 1); !errors.Is(err, ErrUnknownRow) {
+		t.Fatal("unknown row accepted")
+	}
+}
+
+func TestBufferCapacitySweep(t *testing.T) {
+	inputs := []int{0, 1, 2, 3, 4, 5}
+	for l := 1; l <= 4; l++ {
+		out, err := Solve("T1.6", inputs, WithBufferCap(l))
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		want := (len(inputs) + l - 1) / l
+		if out.Footprint != want {
+			t.Fatalf("l=%d: footprint %d, want ceil(n/l)=%d", l, out.Footprint, want)
+		}
+	}
+}
+
+func TestSteps(t *testing.T) {
+	p, err := Steps("T1.9", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Solo <= 0 || p.ContendedTotal < p.Solo {
+		t.Fatalf("implausible profile %+v", p)
+	}
+	if _, err := Steps("nope", 4, 1); !errors.Is(err, ErrUnknownRow) {
+		t.Fatal("unknown row accepted")
+	}
+}
