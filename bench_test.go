@@ -184,6 +184,68 @@ func BenchmarkX1_IntroFAA2TAS(b *testing.B) { benchIntro(b, consensus.IntroFAA2T
 // supporting {read, decrement, multiply} (introduction, example 2).
 func BenchmarkX2_IntroDecMul(b *testing.B) { benchIntro(b, consensus.IntroDecMul) }
 
+// --- Execution engine -------------------------------------------------------
+
+// benchEngineSteps measures raw steady-state step throughput of one
+// execution engine: four processes spinning on shared counters, stepped
+// round-robin. This is the microbenchmark behind the step-VM refactor — the
+// goroutine engine pays two channel handoffs and a scheduler round trip per
+// step, the VM a single coroutine switch.
+func benchEngineSteps(b *testing.B, e sim.Engine) {
+	b.Helper()
+	mem := machine.New(machine.NewInstrSet("bench", machine.OpRead, machine.OpIncrement), 2)
+	spin := func(p *sim.Proc) int {
+		for {
+			p.Apply(0, machine.OpIncrement)
+			p.Apply(1, machine.OpRead)
+		}
+	}
+	sys := sim.NewSystem(mem, make([]int, 4), spin, sim.WithEngine(e))
+	defer sys.Close()
+	sched := &sim.RoundRobin{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(sched.Next(sys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkEngineSteps_VM(b *testing.B)        { benchEngineSteps(b, sim.EngineVM) }
+func BenchmarkEngineSteps_Goroutine(b *testing.B) { benchEngineSteps(b, sim.EngineGoroutine) }
+
+// BenchmarkSolveBatch runs a 64-seed sweep of the two-max-register protocol
+// per iteration, serially and on the parallel batch runner, so the speedup
+// of spreading independent schedules across cores is directly visible.
+func BenchmarkSolveBatch(b *testing.B) {
+	inputs := []int{3, 1, 4, 1, 2, 0, 6, 5}
+	specs := make([]BatchSpec, 64)
+	for i := range specs {
+		specs[i] = BatchSpec{Row: "T1.9", Inputs: inputs, Seed: int64(i + 1)}
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				steps = 0
+				for _, bo := range SolveBatch(specs, tc.workers) {
+					if bo.Err != nil {
+						b.Fatal(bo.Err)
+					}
+					steps += bo.Outcome.Steps
+				}
+			}
+			b.ReportMetric(float64(steps*int64(b.N))/b.Elapsed().Seconds(), "steps/sec")
+			b.ReportMetric(float64(len(specs)), "runs")
+		})
+	}
+}
+
 // --- Ablations ----------------------------------------------------------------
 
 // BenchmarkAblation_ValueWidth measures the bit-width growth of the

@@ -6,17 +6,24 @@
 //
 //	consensus -row T1.9 -inputs 3,1,4,1,2 [-l cap] [-sched random|rr|solo]
 //	          [-seed s] [-crash p] [-trace]
+//	consensus -row T1.9 -inputs 3,1,4,1,2 -batch 1000 [-workers w]
 //
-// The number of processes is the number of inputs.
+// The number of processes is the number of inputs. With -batch N the run
+// becomes a seed sweep: N independent schedules (seeds 1..N) executed in
+// parallel on the batch runner, reporting the decision distribution and
+// aggregate throughput instead of a single trace.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -44,11 +51,26 @@ func main() {
 	crash := flag.Float64("crash", 0, "per-step crash probability (random crash injection)")
 	trace := flag.Bool("trace", false, "print every executed step")
 	maxSteps := flag.Int64("max-steps", 50_000_000, "step budget")
+	batch := flag.Int("batch", 0, "run seeds 1..N in parallel and report the aggregate")
+	workers := flag.Int("workers", 0, "parallel workers for -batch (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	inputs, err := parseInputs(*inputsFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *batch > 0 {
+		// Batch mode sweeps seeds 1..N under the random scheduler; the
+		// single-run scheduling flags have no meaning there — reject them
+		// rather than silently ignore them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sched", "seed", "crash", "trace":
+				log.Fatalf("-%s is not supported with -batch (batch sweeps seeds 1..N under the random scheduler)", f.Name)
+			}
+		})
+		runBatch(*rowID, inputs, *l, *batch, *workers, *maxSteps)
+		return
 	}
 	row, ok := core.RowByID(*rowID, *l)
 	if !ok {
@@ -111,6 +133,48 @@ func main() {
 	lo, up := core.SP(row, len(inputs))
 	fmt.Printf("paper bounds at n=%d: lower %s, upper %s\n",
 		len(inputs), bound(lo), bound(up))
+}
+
+// runBatch sweeps seeds 1..n of one row in parallel and prints the decision
+// distribution with aggregate step throughput.
+func runBatch(rowID string, inputs []int, l, n, workers int, maxSteps int64) {
+	specs := make([]repro.BatchSpec, n)
+	for i := range specs {
+		specs[i] = repro.BatchSpec{
+			Row: rowID, Inputs: inputs, Seed: int64(i + 1), L: l, MaxSteps: maxSteps,
+		}
+	}
+	start := time.Now()
+	outs := repro.SolveBatch(specs, workers)
+	elapsed := time.Since(start)
+
+	decisions := make(map[int]int)
+	var totalSteps int64
+	failures := 0
+	for _, bo := range outs {
+		if bo.Err != nil {
+			failures++
+			log.Printf("seed %d: %v", bo.Spec.Seed, bo.Err)
+			continue
+		}
+		decisions[bo.Outcome.Value]++
+		totalSteps += bo.Outcome.Steps
+	}
+	fmt.Printf("batch: %d runs of %s (n=%d) in %v, %d failed\n",
+		n, rowID, len(inputs), elapsed.Round(time.Millisecond), failures)
+	var values []int
+	for v := range decisions {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	for _, v := range values {
+		fmt.Printf("  decided %d: %d runs\n", v, decisions[v])
+	}
+	fmt.Printf("total steps: %d (%.1f million steps/sec aggregate)\n",
+		totalSteps, float64(totalSteps)/elapsed.Seconds()/1e6)
+	if failures > 0 {
+		log.Fatalf("%d of %d runs failed", failures, n)
+	}
 }
 
 func declared(locs int, unbounded bool) string {

@@ -2,7 +2,6 @@ package adversary
 
 import (
 	"fmt"
-	"math/big"
 
 	"repro/internal/lowerbound"
 	"repro/internal/machine"
@@ -55,12 +54,13 @@ type GrowResult struct {
 	Rounds int
 }
 
-// setLocations counts memory locations currently holding the value 1.
+// setLocations counts memory locations currently holding the value 1. It is
+// called once per induction round over the whole memory, so it reads values
+// through the allocation-free AsInt64 fast path.
 func setLocations(sys *sim.System) map[int]bool {
 	out := make(map[int]bool)
 	for loc := 0; loc < sys.Mem().Size(); loc++ {
-		v := sys.Mem().Peek(loc)
-		if x, ok := machine.AsInt(v); ok && x.Cmp(big.NewInt(1)) == 0 {
+		if x, ok := machine.AsInt64(sys.Mem().Peek(loc)); ok && x == 1 {
 			out[loc] = true
 		}
 	}

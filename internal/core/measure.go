@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/consensus"
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -28,6 +30,16 @@ type Measurement struct {
 	LowerBound, UpperBound int
 }
 
+// rowInputs is the deterministic adversarially-shuffled input convention
+// used by all measurements.
+func rowInputs(values, n int) []int {
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = (i*3 + 1) % values
+	}
+	return inputs
+}
+
 // MeasureRow runs the row's protocol for n processes with adversarially
 // shuffled inputs under a seeded random schedule and returns the
 // measurement. maxSteps bounds the run (random schedules are fair, so
@@ -37,10 +49,7 @@ func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) 
 		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
 	}
 	pr := r.Build(n)
-	inputs := make([]int, n)
-	for i := range inputs {
-		inputs[i] = (i*3 + 1) % pr.Values
-	}
+	inputs := rowInputs(pr.Values, n)
 	sys, err := pr.NewSystem(inputs)
 	if err != nil {
 		return nil, err
@@ -50,6 +59,11 @@ func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: row %s n=%d: %w", r.ID, n, err)
 	}
+	return finishMeasurement(r, n, pr, inputs, res, sys.Mem().Stats())
+}
+
+// finishMeasurement validates a finished run and assembles its Measurement.
+func finishMeasurement(r Row, n int, pr *consensus.Protocol, inputs []int, res *sim.Result, stats machine.Stats) (*Measurement, error) {
 	if err := res.CheckConsensus(inputs); err != nil {
 		return nil, fmt.Errorf("core: row %s n=%d: %w", r.ID, n, err)
 	}
@@ -57,7 +71,6 @@ func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) 
 		return nil, fmt.Errorf("core: row %s n=%d: %d processes undecided after %d steps",
 			r.ID, n, len(res.Undecided), res.Steps)
 	}
-	stats := sys.Mem().Stats()
 	decided, _ := res.AgreedValue()
 	declared := pr.Locations
 	if pr.Unbounded {
@@ -75,6 +88,57 @@ func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) 
 		LowerBound:        lo,
 		UpperBound:        up,
 	}, nil
+}
+
+// MeasureAll measures every constructive row of rows at n under the same
+// seed, running the rows in parallel on the batch runner (workers <= 0 uses
+// GOMAXPROCS). The returned slice aligns with rows; entries for rows without
+// a constructive protocol are nil. Results are identical to calling
+// MeasureRow per row — runs share nothing.
+func MeasureAll(rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measurement, error) {
+	type slot struct {
+		pr     *consensus.Protocol
+		inputs []int
+		mem    *machine.Memory
+	}
+	slots := make([]slot, len(rows))
+	var jobs []sim.BatchJob
+	var jobRow []int // job index -> rows index
+	for i, r := range rows {
+		if r.Build == nil {
+			continue
+		}
+		i, r := i, r
+		jobs = append(jobs, sim.BatchJob{
+			Make: func() (*sim.System, error) {
+				pr := r.Build(n)
+				inputs := rowInputs(pr.Values, n)
+				sys, err := pr.NewSystem(inputs)
+				if err != nil {
+					return nil, err
+				}
+				slots[i] = slot{pr: pr, inputs: inputs, mem: sys.Mem()}
+				return sys, nil
+			},
+			Sched:    func() sim.Scheduler { return sim.NewRandom(seed) },
+			MaxSteps: maxSteps,
+		})
+		jobRow = append(jobRow, i)
+	}
+	results, _ := sim.RunBatch(jobs, workers)
+	out := make([]*Measurement, len(rows))
+	for j, res := range results {
+		i := jobRow[j]
+		if res.Err != nil {
+			return nil, fmt.Errorf("core: row %s n=%d: %w", rows[i].ID, n, res.Err)
+		}
+		m, err := finishMeasurement(rows[i], n, slots[i].pr, slots[i].inputs, res.Result, slots[i].mem.Stats())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
 }
 
 // Check validates a measurement against the row's bounds: the footprint of
@@ -104,21 +168,23 @@ func boundString(v int) string {
 
 // RenderTable produces the reproduction of Table 1 for the given n and l:
 // each row shows the paper's bound formulas, their evaluation at n, and the
-// measured footprint of the implemented protocol.
+// measured footprint of the implemented protocol. The rows are measured in
+// parallel (MeasureAll); the rendering order is Table order regardless.
 func RenderTable(n, l int, seed int64) (string, error) {
+	rows := Table(l)
+	ms, err := MeasureAll(rows, n, seed, 50_000_000, 0)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Space Hierarchy (Table 1) — n=%d processes, l=%d buffer capacity\n\n", n, l)
 	fmt.Fprintf(&b, "%-6s %-45s %14s %14s %9s %9s %10s %8s\n",
 		"id", "instruction set", "paper lower", "paper upper", "lower@n", "upper@n", "measured", "steps")
-	for _, r := range Table(l) {
+	for i, r := range rows {
 		lo, up := SP(r, n)
 		meas := "-"
 		steps := "-"
-		if r.Build != nil {
-			m, err := MeasureRow(r, n, seed, 50_000_000)
-			if err != nil {
-				return "", err
-			}
+		if m := ms[i]; m != nil {
 			if err := m.Check(); err != nil {
 				return "", err
 			}

@@ -1,10 +1,13 @@
 // Package explore systematically enumerates process interleavings of a
 // deterministic protocol, checking consensus safety over every schedule up
-// to a bound. Because process state lives inside goroutines and cannot be
-// snapshotted, exploration is replay-based: each schedule prefix is
-// re-executed from a fresh system. That is exponential, but the paper's
-// wait-free protocols terminate within a couple of steps per process and
-// small instances of the obstruction-free ones fit comfortably.
+// to a bound. Process state lives on a coroutine stack (the step-VM's Body
+// adapter) and cannot be snapshotted, so exploration is replay-based: each
+// schedule prefix is re-executed from a fresh system. That is exponential,
+// but the paper's wait-free protocols terminate within a couple of steps
+// per process and small instances of the obstruction-free ones fit
+// comfortably — and replay is exactly the operation the step-VM makes
+// cheap, since building and stepping a system involves no goroutine
+// handoffs.
 //
 // The package also provides the bounded CanDecide/Bivalent oracles that the
 // paper's valency arguments (Lemmas 6.4-6.7, 9.1) are phrased in terms of.

@@ -5,7 +5,9 @@
 // instructions, and block-write indistinguishability probes (Lemma 6.5's
 // engine). Everything operates on replayable executions — a Factory builds
 // the initial configuration and a schedule prefix identifies a reachable
-// configuration — because process state cannot be snapshotted.
+// configuration — because process state (a coroutine stack in the step-VM's
+// Body adapter) cannot be snapshotted. Replays are cheap: materializing a
+// configuration costs one synchronous VM step per prefix entry.
 //
 // These are bounded, executable forms: the lemmas quantify over all
 // protocols and use unbounded executions; the functions here verify or

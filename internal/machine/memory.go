@@ -150,6 +150,10 @@ func (m *Memory) Apply(loc int, op Op, args ...Value) (Value, error) {
 }
 
 // apply dispatches without instrumentation; used by Apply and MultiAssign.
+// Numeric instructions run on the allocation-free word fast path whenever
+// the location contents and operands fit in int64, promoting to *big.Int
+// only on overflow (the paper's multiply rows grow without bound, so the
+// slow path stays reachable).
 func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 	l := &m.locs[loc]
 	num := func(v Value) (*big.Int, error) {
@@ -165,105 +169,79 @@ func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 		return cloneValue(l.val), nil
 
 	case OpWrite:
-		l.val = args[0]
+		l.val = normValue(args[0])
 		return nil, nil
 
 	case OpWriteZero, OpReset:
-		l.val = new(big.Int)
+		l.val = word(0)
 		return nil, nil
 
 	case OpWriteOne:
-		l.val = big.NewInt(1)
+		l.val = word(1)
 		return nil, nil
 
 	case OpTestAndSet:
+		if cur, ok := asWord(l.val); ok {
+			if cur == 0 {
+				l.val = word(1)
+			}
+			return word(cur), nil
+		}
 		cur, err := num(l.val)
 		if err != nil {
 			return nil, err
 		}
 		old := new(big.Int).Set(cur)
 		if cur.Sign() == 0 {
-			l.val = big.NewInt(1)
+			l.val = word(1)
 		}
 		return old, nil
 
 	case OpSwap:
 		old := l.val
-		l.val = args[0]
+		l.val = normValue(args[0])
 		return old, nil
 
 	case OpFetchAndAdd:
-		cur, err := num(l.val)
-		if err != nil {
+		old := cloneValue(l.val)
+		if err := m.addTo(l, args[0], num); err != nil {
 			return nil, err
 		}
-		arg, err := num(args[0])
-		if err != nil {
-			return nil, err
-		}
-		old := new(big.Int).Set(cur)
-		l.val = new(big.Int).Add(cur, arg)
 		return old, nil
 
 	case OpFetchAndIncrement:
-		cur, err := num(l.val)
-		if err != nil {
+		old := cloneValue(l.val)
+		if err := m.addTo(l, word(1), num); err != nil {
 			return nil, err
 		}
-		old := new(big.Int).Set(cur)
-		l.val = new(big.Int).Add(cur, big.NewInt(1))
 		return old, nil
 
 	case OpFetchAndMultiply:
-		cur, err := num(l.val)
-		if err != nil {
+		old := cloneValue(l.val)
+		if err := m.mulTo(l, args[0], num); err != nil {
 			return nil, err
 		}
-		arg, err := num(args[0])
-		if err != nil {
-			return nil, err
-		}
-		old := new(big.Int).Set(cur)
-		l.val = new(big.Int).Mul(cur, arg)
 		return old, nil
 
-	case OpIncrement, OpDecrement:
-		cur, err := num(l.val)
-		if err != nil {
-			return nil, err
-		}
-		delta := big.NewInt(1)
-		if op == OpDecrement {
-			delta = big.NewInt(-1)
-		}
-		l.val = new(big.Int).Add(cur, delta)
-		return nil, nil
+	case OpIncrement:
+		return nil, m.addTo(l, word(1), num)
+
+	case OpDecrement:
+		return nil, m.addTo(l, word(-1), num)
 
 	case OpAdd:
-		cur, err := num(l.val)
-		if err != nil {
-			return nil, err
-		}
-		arg, err := num(args[0])
-		if err != nil {
-			return nil, err
-		}
-		l.val = new(big.Int).Add(cur, arg)
-		return nil, nil
+		return nil, m.addTo(l, args[0], num)
 
 	case OpMultiply:
-		cur, err := num(l.val)
-		if err != nil {
-			return nil, err
-		}
-		arg, err := num(args[0])
-		if err != nil {
-			return nil, err
-		}
-		l.val = new(big.Int).Mul(cur, arg)
-		return nil, nil
+		return nil, m.mulTo(l, args[0], num)
 
 	case OpSetBit:
+		if cur, ok := asWord(l.val); ok && cur >= 0 {
+			if bit, ok := asWord(args[0]); ok && bit >= 0 && bit < 62 {
+				l.val = word(cur | int64(1)<<bit)
+				return nil, nil
+			}
+		}
 		cur, err := num(l.val)
 		if err != nil {
 			return nil, err
@@ -279,6 +257,14 @@ func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 		return nil, nil
 
 	case OpWriteMax:
+		if cur, ok := asWord(l.val); ok {
+			if arg, ok := asWord(args[0]); ok {
+				if arg > cur {
+					l.val = word(arg)
+				}
+				return nil, nil
+			}
+		}
 		cur, err := num(l.val)
 		if err != nil {
 			return nil, err
@@ -288,7 +274,7 @@ func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 			return nil, err
 		}
 		if arg.Cmp(cur) > 0 {
-			l.val = new(big.Int).Set(arg)
+			l.val = normValue(new(big.Int).Set(arg))
 		}
 		return nil, nil
 
@@ -311,13 +297,56 @@ func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 	case OpCompareAndSwap:
 		old := cloneValue(l.val)
 		if EqualValues(l.val, args[0]) {
-			l.val = args[1]
+			l.val = normValue(args[1])
 		}
 		return old, nil
 
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnsupported, op)
 	}
+}
+
+// addTo adds delta to l.val in place, on the word fast path when possible.
+func (m *Memory) addTo(l *location, delta Value, num func(Value) (*big.Int, error)) error {
+	if cur, ok := asWord(l.val); ok {
+		if d, ok := asWord(delta); ok && !addOverflows(cur, d) {
+			l.val = word(cur + d)
+			return nil
+		}
+	}
+	cur, err := num(l.val)
+	if err != nil {
+		return err
+	}
+	arg, err := num(delta)
+	if err != nil {
+		return err
+	}
+	l.val = normValue(new(big.Int).Add(cur, arg))
+	return nil
+}
+
+// mulTo multiplies l.val by factor in place, on the word fast path when
+// possible.
+func (m *Memory) mulTo(l *location, factor Value, num func(Value) (*big.Int, error)) error {
+	if cur, ok := asWord(l.val); ok {
+		if f, ok := asWord(factor); ok {
+			if prod, ok := mulInt64(cur, f); ok {
+				l.val = word(prod)
+				return nil
+			}
+		}
+	}
+	cur, err := num(l.val)
+	if err != nil {
+		return err
+	}
+	arg, err := num(factor)
+	if err != nil {
+		return err
+	}
+	l.val = normValue(new(big.Int).Mul(cur, arg))
+	return nil
 }
 
 // Assignment names one write-class instruction of an atomic multiple
@@ -415,17 +444,4 @@ func (m *Memory) Fingerprint() string {
 		out = append(out, ';')
 	}
 	return string(out)
-}
-
-func fingerprintValue(v Value) string {
-	switch t := v.(type) {
-	case nil:
-		return "_"
-	case *big.Int:
-		return t.String()
-	case fmt.Stringer:
-		return t.String()
-	default:
-		return fmt.Sprintf("%v", t)
-	}
 }

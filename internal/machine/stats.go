@@ -5,30 +5,31 @@ package machine
 // hierarchy classifies instruction sets by the number of locations needed to
 // solve consensus. Steps and MaxBits feed the step-complexity and
 // value-width ablations suggested by the paper's conclusion.
+//
+// Inside a Memory the counters accumulate into fixed arrays so that
+// recording a step costs no map operation and no allocation; Stats()
+// snapshots materialize the public PerOp map.
 type Stats struct {
 	// Steps counts atomic instruction applications (a multiple assignment
 	// counts as one step, as in the model).
 	Steps int64
 	// PerLoc counts steps per location.
 	PerLoc []int64
-	// PerOp counts applications per instruction.
+	// PerOp counts applications per instruction. Populated on Stats()
+	// snapshots.
 	PerOp map[Op]int64
 	// MultiAssigns counts atomic multiple assignments.
 	MultiAssigns int64
 	// MaxBits is the largest bit-width any numeric location ever reached.
 	MaxBits int
-}
 
-func (s *Stats) ensure() {
-	if s.PerOp == nil {
-		s.PerOp = make(map[Op]int64)
-	}
+	// perOp is the allocation-free accumulator behind PerOp.
+	perOp [numOps]int64
 }
 
 func (s *Stats) record(loc int, op Op, l *location) {
-	s.ensure()
 	s.Steps++
-	s.PerOp[op]++
+	s.perOp[op]++
 	if loc < len(s.PerLoc) {
 		s.PerLoc[loc]++
 	}
@@ -38,11 +39,10 @@ func (s *Stats) record(loc int, op Op, l *location) {
 }
 
 func (s *Stats) recordMulti(writes []Assignment, m *Memory) {
-	s.ensure()
 	s.Steps++
 	s.MultiAssigns++
 	for _, w := range writes {
-		s.PerOp[w.Op]++
+		s.perOp[w.Op]++
 		if w.Loc < len(s.PerLoc) {
 			s.PerLoc[w.Loc]++
 		}
@@ -69,9 +69,11 @@ func (s Stats) Footprint() int {
 func (s Stats) clone() Stats {
 	out := s
 	out.PerLoc = append([]int64(nil), s.PerLoc...)
-	out.PerOp = make(map[Op]int64, len(s.PerOp))
-	for k, v := range s.PerOp {
-		out.PerOp[k] = v
+	out.PerOp = make(map[Op]int64, numOps)
+	for op, c := range s.perOp {
+		if c != 0 {
+			out.PerOp[Op(op)] = c
+		}
 	}
 	return out
 }

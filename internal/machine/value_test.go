@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestWordFastPath pins the invariants of the word-sized value
+// representation: values fitting int64 stay allocation-free words, overflow
+// promotes to *big.Int, and both representations are indistinguishable
+// through the public accessors.
+func TestWordFastPath(t *testing.T) {
+	set := NewInstrSet("t", OpRead, OpWrite, OpAdd, OpMultiply, OpFetchAndAdd, OpWriteMax, OpCompareAndSwap)
+	m := New(set, 2)
+
+	// Word arithmetic stays exact across the int64 boundary.
+	if _, err := m.Apply(0, OpAdd, Word(math.MaxInt64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(0, OpAdd, Word(math.MaxInt64)); err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(big.NewInt(math.MaxInt64), big.NewInt(2))
+	if got := MustInt(m.Peek(0)); got.Cmp(want) != 0 {
+		t.Fatalf("overflow promotion: got %v want %v", got, want)
+	}
+	// ...and demotes back to the fast representation when it re-fits.
+	if _, err := m.Apply(0, OpAdd, Int(-math.MaxInt64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Peek(0).(*big.Int); !ok {
+		// Peek clones; a word comes back as a word.
+		if got, ok := AsInt64(m.Peek(0)); !ok || got != math.MaxInt64 {
+			t.Fatalf("demotion: got %v", m.Peek(0))
+		}
+	}
+
+	// Multiplication overflow promotes too.
+	if _, err := m.Apply(1, OpAdd, Word(math.MaxInt32)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Apply(1, OpMultiply, Word(math.MaxInt32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMul := new(big.Int).Exp(big.NewInt(math.MaxInt32), big.NewInt(4), nil)
+	if got := MustInt(m.Peek(1)); got.Cmp(wantMul) != 0 {
+		t.Fatalf("mul overflow: got %v want %v", got, wantMul)
+	}
+}
+
+// TestEqualValuesAcrossRepresentations: word, *big.Int, and nil (zero)
+// compare by integer value.
+func TestEqualValuesAcrossRepresentations(t *testing.T) {
+	huge := new(big.Int).Lsh(big.NewInt(1), 100)
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Word(7), big.NewInt(7), true},
+		{big.NewInt(7), Word(7), true},
+		{Word(0), nil, true},
+		{nil, Word(0), true},
+		{Word(7), Word(8), false},
+		{huge, new(big.Int).Lsh(big.NewInt(1), 100), true},
+		{Word(7), huge, false},
+		{huge, Word(7), false},
+		{Word(7), "seven", false},
+		{"seven", "seven", true},
+	}
+	for i, c := range cases {
+		if got := EqualValues(c.a, c.b); got != c.want {
+			t.Errorf("case %d: EqualValues(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCASAcrossRepresentations: compare-and-swap must succeed when the
+// expected value is given in the other numeric representation.
+func TestCASAcrossRepresentations(t *testing.T) {
+	m := New(NewInstrSet("t", OpRead, OpWrite, OpCompareAndSwap), 1)
+	if _, err := m.Apply(0, OpWrite, big.NewInt(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(0, OpCompareAndSwap, Word(5), Word(6)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := AsInt64(m.Peek(0)); !ok || got != 6 {
+		t.Fatalf("CAS across representations failed: %v", m.Peek(0))
+	}
+}
+
+// TestValueBitsWord matches big.Int.BitLen semantics for words.
+func TestValueBitsWord(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 7, -8, math.MaxInt64, math.MinInt64} {
+		got := valueBits(Word(x))
+		want := big.NewInt(x).BitLen()
+		if got != want {
+			t.Errorf("valueBits(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestFingerprintStableAcrossRepresentations: the same integer fingerprints
+// identically whether it was written as a word or a big.Int.
+func TestFingerprintStableAcrossRepresentations(t *testing.T) {
+	set := NewInstrSet("t", OpRead, OpWrite)
+	m1 := New(set, 1)
+	m2 := New(set, 1)
+	if _, err := m1.Apply(0, OpWrite, Word(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Apply(0, OpWrite, big.NewInt(42)); err != nil {
+		t.Fatal(err)
+	}
+	if f1, f2 := m1.Fingerprint(), m2.Fingerprint(); f1 != f2 {
+		t.Fatalf("fingerprint differs: %q vs %q", f1, f2)
+	}
+}

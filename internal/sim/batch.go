@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel batch runner: many independent (system, schedule)
+// configurations executed across worker goroutines. Each configuration gets
+// its own System and Scheduler, so runs share nothing and the step-VM's
+// single-threaded speed multiplies across cores — the way large schedule
+// sweeps (seed sweeps, adversarial scenario sampling, hierarchy tables) are
+// meant to be driven.
+
+// BatchJob describes one independent run: a fresh system, a fresh scheduler,
+// and a step budget. Make and Sched are called exactly once, inside the
+// worker that executes the job, so they may allocate without synchronization.
+type BatchJob struct {
+	// Make builds the run's System. The runner closes it after the run.
+	Make func() (*System, error)
+	// Sched builds the run's Scheduler. Schedulers are stateful; sharing one
+	// across runs would leak schedule state between them.
+	Sched func() Scheduler
+	// MaxSteps bounds the run.
+	MaxSteps int64
+}
+
+// BatchResult is the outcome of one batch job.
+type BatchResult struct {
+	// Index identifies the job in the submitted slice.
+	Index int
+	// Result is the run's outcome; nil when Err is set before the run
+	// produced one.
+	Result *Result
+	// Err is the job's failure: a Make error, a process failure, or a
+	// consensus-run error.
+	Err error
+}
+
+// BatchStats aggregates a batch.
+type BatchStats struct {
+	// Runs is the number of jobs executed.
+	Runs int
+	// Failed counts jobs that ended in error.
+	Failed int
+	// Decided counts runs in which at least one process decided.
+	Decided int
+	// TotalSteps sums the steps of all runs.
+	TotalSteps int64
+	// LongestRun is the largest single-run step count.
+	LongestRun int64
+}
+
+// RunBatch executes the jobs across workers goroutines (workers <= 0 means
+// GOMAXPROCS) and returns per-job results, indexed like jobs, plus the
+// aggregate. Job order within the result slice is deterministic; execution
+// order is not, which is fine because jobs are fully isolated.
+func RunBatch(jobs []BatchJob, workers int) ([]BatchResult, BatchStats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]BatchResult, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = runOne(i, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var stats BatchStats
+	stats.Runs = len(results)
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			stats.Failed++
+		}
+		if r.Result == nil {
+			continue
+		}
+		stats.TotalSteps += r.Result.Steps
+		if r.Result.Steps > stats.LongestRun {
+			stats.LongestRun = r.Result.Steps
+		}
+		if len(r.Result.Decisions) > 0 {
+			stats.Decided++
+		}
+	}
+	return results, stats
+}
+
+func runOne(i int, job BatchJob) BatchResult {
+	sys, err := job.Make()
+	if err != nil {
+		return BatchResult{Index: i, Err: err}
+	}
+	defer sys.Close()
+	res, err := sys.Run(job.Sched(), job.MaxSteps)
+	return BatchResult{Index: i, Result: res, Err: err}
+}

@@ -63,6 +63,93 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceSweep drives the step-VM (coroutine) engine and the
+// legacy goroutine engine over the same protocols, schedules, and crash
+// injections across a seed sweep, and requires step-for-step identical
+// traces, identical decisions, and identical final memory. This is the
+// differential oracle justifying the engine swap: every consumer of sim
+// observes exactly the behavior the goroutine engine produced.
+func TestEngineEquivalenceSweep(t *testing.T) {
+	protocols := []struct {
+		name   string
+		set    machine.InstrSet
+		locs   int
+		inputs []int
+		body   Body
+	}{
+		{"race-increment", machine.NewInstrSet("t", machine.OpRead, machine.OpIncrement), 2,
+			[]int{0, 0, 0}, raceBody},
+		{"cas-consensus", machine.SetCAS, 1, []int{3, 1, 2, 0}, casBody},
+	}
+	for _, pr := range protocols {
+		t.Run(pr.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 25; seed++ {
+				run := func(e Engine, crashP float64) (string, map[int]int, string) {
+					mem := machine.New(pr.set, pr.locs)
+					sys := NewSystem(mem, pr.inputs, pr.body, WithTrace(), WithEngine(e))
+					defer sys.Close()
+					var sched Scheduler = NewRandom(seed)
+					if crashP > 0 {
+						sched = NewRandomCrash(sched, crashP, seed+500)
+					}
+					if _, err := sys.Run(sched, 10_000); err != nil {
+						t.Fatal(err)
+					}
+					return traceString(sys.Trace()), sys.Decisions(), mem.Fingerprint()
+				}
+				for _, crashP := range []float64{0, 0.05} {
+					vmTrace, vmDec, vmMem := run(EngineVM, crashP)
+					goTrace, goDec, goMem := run(EngineGoroutine, crashP)
+					if vmTrace != goTrace {
+						t.Fatalf("seed %d crash %.2f: trace diverged\nvm: %s\ngo: %s",
+							seed, crashP, vmTrace, goTrace)
+					}
+					if len(vmDec) != len(goDec) {
+						t.Fatalf("seed %d: decisions diverged: vm %v go %v", seed, vmDec, goDec)
+					}
+					for pid, d := range goDec {
+						if vmDec[pid] != d {
+							t.Fatalf("seed %d: decisions diverged: vm %v go %v", seed, vmDec, goDec)
+						}
+					}
+					if vmMem != goMem {
+						t.Fatalf("seed %d: final memory diverged:\nvm %s\ngo %s", seed, vmMem, goMem)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceReplay: a schedule recorded on one engine replays
+// step-for-step identically on the other.
+func TestEngineEquivalenceReplay(t *testing.T) {
+	mem1 := machine.New(machine.NewInstrSet("t", machine.OpRead, machine.OpIncrement), 2)
+	sys1 := NewSystem(mem1, []int{0, 0, 0}, raceBody, WithTrace(), WithEngine(EngineGoroutine))
+	if _, err := sys1.Run(NewRandom(7), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	var pids []int
+	for _, st := range sys1.Trace() {
+		pids = append(pids, st.PID)
+	}
+	want := traceString(sys1.Trace())
+	sys1.Close()
+
+	mem2 := machine.New(machine.NewInstrSet("t", machine.OpRead, machine.OpIncrement), 2)
+	sys2 := NewSystem(mem2, []int{0, 0, 0}, raceBody, WithTrace()) // default: EngineVM
+	defer sys2.Close()
+	if _, err := sys2.Run(&Script{PIDs: pids}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := traceString(sys2.Trace()); got != want {
+		t.Fatalf("cross-engine replay diverged:\nwant %s\ngot  %s", want, got)
+	}
+	if mem1.Fingerprint() != mem2.Fingerprint() {
+		t.Fatal("cross-engine replay memory diverged")
+	}
+}
+
 // TestScriptSkipsDeadProcesses: scripted schedules silently skip entries
 // whose process has finished or crashed.
 func TestScriptSkipsDeadProcesses(t *testing.T) {

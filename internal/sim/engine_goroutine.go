@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// goroutineStepper adapts a Body onto the Stepper interface the way the
+// pre-VM engine did: the body runs on its own goroutine and every poise
+// point costs two channel handoffs and a scheduler round trip. It is kept
+// as a differential-testing oracle — the determinism suite drives both
+// engines over seed sweeps and requires step-for-step identical traces —
+// and as the baseline for the step-throughput benchmarks.
+type goroutineStepper struct {
+	req      chan OpInfo
+	resp     chan machine.Value
+	done     chan goroutineOutcome
+	kill     chan struct{}
+	killOnce sync.Once
+	wg       sync.WaitGroup
+
+	cur      OpInfo
+	finished bool
+	decided  bool
+	decision int
+	err      error
+}
+
+type goroutineOutcome struct {
+	decision int
+	err      error
+}
+
+// newGoroutineStepper launches body on a goroutine and blocks until it is
+// poised on its first instruction (or has finished).
+func newGoroutineStepper(id, n, input int, clock *int64, body Body) *goroutineStepper {
+	g := &goroutineStepper{
+		req:  make(chan OpInfo),
+		resp: make(chan machine.Value),
+		done: make(chan goroutineOutcome, 1),
+		kill: make(chan struct{}),
+	}
+	p := &Proc{id: id, n: n, input: input, clock: clock}
+	p.submit = func(info OpInfo) machine.Value {
+		select {
+		case g.req <- info:
+		case <-g.kill:
+			panic(errKilled)
+		}
+		select {
+		case v := <-g.resp:
+			return v
+		case <-g.kill:
+			panic(errKilled)
+		}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+					return // orderly shutdown
+				}
+				g.done <- goroutineOutcome{err: fmt.Errorf("sim: process %d failed: %v", id, r)}
+			}
+		}()
+		v := body(p)
+		g.done <- goroutineOutcome{decision: v}
+	}()
+	g.await()
+	return g
+}
+
+// await blocks until the body has either submitted its next instruction or
+// finished, and records which.
+func (g *goroutineStepper) await() {
+	select {
+	case info := <-g.req:
+		g.cur = info
+	case o := <-g.done:
+		g.finished = true
+		if o.err != nil {
+			g.err = o.err
+		} else {
+			g.decided, g.decision = true, o.decision
+		}
+	}
+}
+
+func (g *goroutineStepper) Poise() (OpInfo, bool) {
+	if g.finished {
+		return OpInfo{}, false
+	}
+	return g.cur, true
+}
+
+func (g *goroutineStepper) Resume(res machine.Value) bool {
+	g.resp <- res
+	g.await()
+	return g.finished
+}
+
+func (g *goroutineStepper) Outcome() (bool, int, error) {
+	return g.decided, g.decision, g.err
+}
+
+func (g *goroutineStepper) Halt() {
+	g.killOnce.Do(func() { close(g.kill) })
+	g.finished = true
+	g.wg.Wait()
+}

@@ -4,10 +4,14 @@
 // instruction by one process, scheduling is adversary-controlled, processes
 // may crash at any time, and a decided process takes no further steps.
 //
-// Processes are ordinary Go functions (Body) run on goroutines; the System
-// lock-steps them so that exactly one shared-memory instruction happens at a
-// time and the "poised" instruction of every live process is observable —
-// the key capability needed by the paper's covering arguments.
+// The execution core is a resumable step-VM: each process is a Stepper — a
+// state machine that exposes the instruction it is poised to perform and is
+// resumed with the instruction's result — and System.Step runs it
+// synchronously, with no goroutine handoff and no channel operation on the
+// step path. Processes written as ordinary Go functions (Body) are adapted
+// onto the VM by a coroutine adapter (see stepper.go); the pre-VM
+// goroutine+channel engine is retained behind WithEngine(EngineGoroutine)
+// as a differential-testing oracle.
 package sim
 
 import (
@@ -26,28 +30,22 @@ import (
 type Body func(p *Proc) int
 
 // errKilled is the sentinel carried by the panic that unwinds a process
-// goroutine when its System is closed or the process is crashed.
+// body when its System is closed or the process is crashed.
 var errKilled = errors.New("sim: process killed")
 
-// request is one pending shared-memory instruction travelling from a process
-// goroutine to its System.
-type request struct {
-	loc   int
-	op    machine.Op
-	args  []machine.Value
-	multi []machine.Assignment // non-nil for an atomic multiple assignment
-	reply chan machine.Value
-}
-
 // Proc is the handle a Body uses to interact with the system: identity,
-// input, and atomic instruction application.
+// input, and atomic instruction application. It is the compatibility surface
+// between function-shaped processes and the step-VM: each Apply suspends the
+// body at a poise point and resumes it with the instruction's result.
 type Proc struct {
 	id    int
 	n     int
 	input int
-	req   chan *request
-	kill  chan struct{}
 	clock *int64 // the system's step counter; read-only for the body
+	// submit parks the body on its poised instruction and returns the
+	// result once the scheduler has executed it. Set by the engine adapter.
+	// It panics errKilled to unwind the body on crash or close.
+	submit func(info OpInfo) machine.Value
 }
 
 // ID returns the process id in 0..n-1.
@@ -66,33 +64,18 @@ func (p *Proc) Input() int { return p.input }
 func (p *Proc) Clock() int64 { return *p.clock }
 
 // Apply performs one atomic instruction on one memory location and returns
-// its result. The call blocks until the scheduler allocates the process a
-// step. Instruction misuse (wrong operands, instruction outside the memory's
-// set) is a programming error and panics; the System converts the panic into
-// a run error.
+// its result. The call suspends the process until the scheduler allocates it
+// a step. Instruction misuse (wrong operands, instruction outside the
+// memory's set) is a programming error and panics; the System converts the
+// panic into a run error.
 func (p *Proc) Apply(loc int, op machine.Op, args ...machine.Value) machine.Value {
-	return p.submit(&request{loc: loc, op: op, args: args,
-		reply: make(chan machine.Value, 1)})
+	return p.submit(OpInfo{Loc: loc, Op: op, Args: args})
 }
 
 // MultiAssign atomically performs one write-class instruction per listed
 // location (Section 7's multiple assignment). It counts as a single step.
 func (p *Proc) MultiAssign(writes ...machine.Assignment) {
-	p.submit(&request{multi: writes, reply: make(chan machine.Value, 1)})
-}
-
-func (p *Proc) submit(r *request) machine.Value {
-	select {
-	case p.req <- r:
-	case <-p.kill:
-		panic(errKilled)
-	}
-	select {
-	case v := <-r.reply:
-		return v
-	case <-p.kill:
-		panic(errKilled)
-	}
+	p.submit(OpInfo{Multi: writes})
 }
 
 // OpInfo describes the instruction a live process is poised to perform. It

@@ -43,7 +43,7 @@ func (s *System) Result() *Result {
 			r.Decisions[i] = ps.decision
 		case ps.crashed:
 			r.Crashed = append(r.Crashed, i)
-		case ps.err == nil && !ps.finished:
+		case ps.err == nil:
 			r.Undecided = append(r.Undecided, i)
 		}
 	}

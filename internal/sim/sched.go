@@ -31,6 +31,7 @@ func (r *RoundRobin) Next(s *System) int {
 // modelling an unpredictable adversary; runs are reproducible per seed.
 type Random struct {
 	rng *rand.Rand
+	buf []int // reused across steps; Next is on the solve hot path
 }
 
 // NewRandom returns a Random scheduler with the given seed.
@@ -40,11 +41,11 @@ func NewRandom(seed int64) *Random {
 
 // Next picks a live process uniformly at random.
 func (r *Random) Next(s *System) int {
-	live := s.LiveSet()
-	if len(live) == 0 {
+	r.buf = s.AppendLive(r.buf[:0])
+	if len(r.buf) == 0 {
 		return -1
 	}
-	return live[r.rng.Intn(len(live))]
+	return r.buf[r.rng.Intn(len(r.buf))]
 }
 
 // Solo runs a single process exclusively: the paper's solo execution, the
@@ -88,6 +89,7 @@ type RandomCrash struct {
 	Inner Scheduler
 	P     float64
 	rng   *rand.Rand
+	buf   []int
 }
 
 // NewRandomCrash builds a crash-injecting wrapper around inner.
@@ -97,9 +99,9 @@ func NewRandomCrash(inner Scheduler, p float64, seed int64) *RandomCrash {
 
 // Next possibly crashes a random live process, then delegates.
 func (rc *RandomCrash) Next(s *System) int {
-	live := s.LiveSet()
-	if len(live) > 1 && rc.rng.Float64() < rc.P {
-		s.Crash(live[rc.rng.Intn(len(live))])
+	rc.buf = s.AppendLive(rc.buf[:0])
+	if len(rc.buf) > 1 && rc.rng.Float64() < rc.P {
+		s.Crash(rc.buf[rc.rng.Intn(len(rc.buf))])
 	}
 	return rc.Inner.Next(s)
 }
@@ -113,6 +115,7 @@ type RandomThenSolo struct {
 	rng    *rand.Rand
 	solo   int // -1 until the solo phase starts
 	taken  int
+	buf    []int
 }
 
 // NewRandomThenSolo builds the driver with the given prefix length and seed.
@@ -122,7 +125,8 @@ func NewRandomThenSolo(prefix int, seed int64) *RandomThenSolo {
 
 // Next schedules randomly for Prefix steps, then fixes one live process.
 func (rs *RandomThenSolo) Next(s *System) int {
-	live := s.LiveSet()
+	rs.buf = s.AppendLive(rs.buf[:0])
+	live := rs.buf
 	if len(live) == 0 {
 		return -1
 	}

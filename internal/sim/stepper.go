@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/machine"
+)
+
+// Stepper is a resumable process: the step-VM's view of one participant.
+// Between scheduler steps a Stepper sits at a poise point, exposing the one
+// atomic instruction it will perform when next scheduled; System.Step
+// executes that instruction against the shared memory and resumes the
+// Stepper with the result, synchronously, on the caller's stack.
+//
+// A Stepper may also finish before poising any instruction (a process that
+// decides on its input alone); Poise reports ok=false and Outcome says how
+// it finished.
+//
+// Implementations need not be safe for concurrent use: a System is
+// single-threaded, and the batch runner gives every run its own System.
+type Stepper interface {
+	// Poise returns the instruction the process will perform when next
+	// resumed. ok=false means the process has finished (decided or failed);
+	// consult Outcome.
+	Poise() (info OpInfo, ok bool)
+	// Resume delivers the result of the poised instruction and advances the
+	// process to its next poise point or to its end. done=true means the
+	// process finished (see Outcome) and must not be resumed again.
+	Resume(res machine.Value) (done bool)
+	// Outcome reports how a finished process ended: a decision, or a
+	// failure. It is meaningful only after Poise reported ok=false or
+	// Resume reported done.
+	Outcome() (decided bool, decision int, err error)
+	// Halt tears the process down (crash or system close), releasing any
+	// resource the adapter holds. It must be idempotent and safe to call at
+	// any poise point.
+	Halt()
+}
+
+// coroStepper adapts a function-shaped Body onto the Stepper interface using
+// a pull coroutine (iter.Pull): the body runs on its own stack and control
+// transfers directly between it and the VM at poise points — no scheduler
+// round trip, no channel operation, no allocation per step. This is the
+// default engine.
+type coroStepper struct {
+	// slot is the single rendezvous cell shared with the body's coroutine.
+	// Accesses never race: control is in exactly one of the two frames at a
+	// time (the defining property of a coroutine).
+	slot struct {
+		info OpInfo        // poised instruction, body → VM
+		res  machine.Value // instruction result, VM → body
+	}
+	next     func() (struct{}, bool)
+	stop     func()
+	finished bool
+	decided  bool
+	decision int
+	err      error
+}
+
+// newCoroStepper starts body as a coroutine and runs it to its first poise
+// point (or to completion, for a body that decides without any instruction).
+func newCoroStepper(id, n, input int, clock *int64, body Body) *coroStepper {
+	c := &coroStepper{}
+	seq := func(yield func(struct{}) bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+					return // orderly shutdown via Halt
+				}
+				c.err = fmt.Errorf("sim: process %d failed: %v", id, r)
+			}
+		}()
+		p := &Proc{id: id, n: n, input: input, clock: clock}
+		p.submit = func(info OpInfo) machine.Value {
+			c.slot.info = info
+			if !yield(struct{}{}) {
+				// The VM called stop: unwind the body.
+				panic(errKilled)
+			}
+			return c.slot.res
+		}
+		v := body(p)
+		c.decided, c.decision = true, v
+	}
+	c.next, c.stop = iter.Pull(seq)
+	if _, ok := c.next(); !ok {
+		c.finished = true
+	}
+	return c
+}
+
+func (c *coroStepper) Poise() (OpInfo, bool) {
+	if c.finished {
+		return OpInfo{}, false
+	}
+	return c.slot.info, true
+}
+
+func (c *coroStepper) Resume(res machine.Value) bool {
+	c.slot.res = res
+	if _, ok := c.next(); !ok {
+		c.finished = true
+	}
+	return c.finished
+}
+
+func (c *coroStepper) Outcome() (bool, int, error) {
+	return c.decided, c.decision, c.err
+}
+
+func (c *coroStepper) Halt() {
+	// stop resumes the coroutine with yield returning false; the body
+	// unwinds via the errKilled panic, which the seq defer absorbs. stop is
+	// idempotent and a no-op once the sequence has returned.
+	c.stop()
+	c.finished = true
+}

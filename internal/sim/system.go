@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/machine"
 )
@@ -17,33 +16,55 @@ var (
 	ErrClosed = errors.New("sim: system closed")
 )
 
-// outcome is what a process goroutine reports when it returns.
-type outcome struct {
-	decision int
-	err      error
-}
+// Engine selects how function-shaped process bodies are executed.
+type Engine int
+
+const (
+	// EngineVM runs bodies as coroutines on the step-VM: control transfers
+	// directly between the scheduler and the body at poise points, with no
+	// goroutine handoff and no channel operation per step. The default.
+	EngineVM Engine = iota
+	// EngineGoroutine runs bodies on goroutines lock-stepped over channels —
+	// the pre-VM engine, kept as a differential-testing oracle and
+	// benchmark baseline.
+	EngineGoroutine
+)
 
 // procState is the System-side view of one process.
 type procState struct {
-	proc     *Proc
-	done     chan outcome
-	pending  *request // poised instruction; nil once finished/crashed/failed
-	finished bool
+	st       Stepper
+	poised   OpInfo // cached poised instruction; valid while hasPoised
+	hasPoise bool
 	decided  bool
 	decision int
 	crashed  bool
 	err      error
-	killOnce sync.Once
 }
 
 func (ps *procState) live() bool {
-	return !ps.finished && !ps.crashed && ps.err == nil
+	return ps.hasPoise && !ps.crashed
+}
+
+// refresh re-reads the stepper's poise point into the cache, recording the
+// outcome if the process finished.
+func (ps *procState) refresh() {
+	if info, ok := ps.st.Poise(); ok {
+		ps.poised, ps.hasPoise = info, true
+		return
+	}
+	ps.poised, ps.hasPoise = OpInfo{}, false
+	decided, decision, err := ps.st.Outcome()
+	ps.decided, ps.decision = decided, decision
+	if err != nil {
+		ps.err = err
+	}
 }
 
 // System is one execution of n processes against a shared memory. It is
 // driven step by step: Step(pid) lets process pid perform its poised
-// instruction. A System is single-threaded from the caller's perspective
-// and must be Closed to release its goroutines.
+// instruction, synchronously on the caller's stack. A System is
+// single-threaded; independent Systems (e.g. the batch runner's) are fully
+// isolated from each other.
 type System struct {
 	mem     *machine.Memory
 	inputs  []int
@@ -51,7 +72,7 @@ type System struct {
 	steps   int64
 	trace   []StepInfo // recorded when tracing enabled
 	tracing bool
-	wg      sync.WaitGroup
+	engine  Engine
 	closed  bool
 }
 
@@ -71,8 +92,13 @@ func WithTrace() SystemOption {
 	return func(s *System) { s.tracing = true }
 }
 
+// WithEngine selects the execution engine for function-shaped bodies.
+func WithEngine(e Engine) SystemOption {
+	return func(s *System) { s.engine = e }
+}
+
 // NewSystem starts n processes with the given inputs, all running body, and
-// blocks until every process is poised on its first instruction. bodies may
+// returns with every process poised on its first instruction. bodies may
 // also differ per process via NewSystemBodies.
 func NewSystem(mem *machine.Memory, inputs []int, body Body, opts ...SystemOption) *System {
 	bodies := make([]Body, len(inputs))
@@ -87,61 +113,49 @@ func NewSystemBodies(mem *machine.Memory, inputs []int, bodies []Body, opts ...S
 	if len(inputs) != len(bodies) {
 		panic("sim: inputs/bodies length mismatch")
 	}
-	n := len(inputs)
-	s := &System{mem: mem, inputs: append([]int(nil), inputs...)}
-	for _, o := range opts {
-		o(s)
-	}
-	s.procs = make([]*procState, n)
-	for i := 0; i < n; i++ {
-		p := &Proc{
-			id:    i,
-			n:     n,
-			input: inputs[i],
-			req:   make(chan *request),
-			kill:  make(chan struct{}),
-			clock: &s.steps,
+	s := newSystem(mem, inputs, opts)
+	for i, body := range bodies {
+		var st Stepper
+		switch s.engine {
+		case EngineGoroutine:
+			st = newGoroutineStepper(i, len(inputs), inputs[i], &s.steps, body)
+		default:
+			st = newCoroStepper(i, len(inputs), inputs[i], &s.steps, body)
 		}
-		ps := &procState{proc: p, done: make(chan outcome, 1)}
-		s.procs[i] = ps
-		body := bodies[i]
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if err, ok := r.(error); ok && errors.Is(err, errKilled) {
-						return // orderly shutdown
-					}
-					ps.done <- outcome{err: fmt.Errorf("sim: process %d failed: %v", p.id, r)}
-				}
-			}()
-			v := body(p)
-			ps.done <- outcome{decision: v}
-		}()
-	}
-	for _, ps := range s.procs {
-		s.waitPoised(ps)
+		s.adopt(i, st)
 	}
 	return s
 }
 
-// waitPoised blocks until ps has either submitted its next instruction or
-// finished, and records which.
-func (s *System) waitPoised(ps *procState) {
-	select {
-	case r := <-ps.proc.req:
-		ps.pending = r
-	case o := <-ps.done:
-		ps.finished = true
-		ps.pending = nil
-		if o.err != nil {
-			ps.err = o.err
-		} else {
-			ps.decided = true
-			ps.decision = o.decision
-		}
+// NewSystemSteppers builds a system over hand-written Steppers — protocols
+// expressed directly as state machines, executed with zero goroutines and
+// zero channels. The steppers must be freshly constructed (at their initial
+// poise point).
+func NewSystemSteppers(mem *machine.Memory, inputs []int, steppers []Stepper, opts ...SystemOption) *System {
+	if len(inputs) != len(steppers) {
+		panic("sim: inputs/steppers length mismatch")
 	}
+	s := newSystem(mem, inputs, opts)
+	for i, st := range steppers {
+		s.adopt(i, st)
+	}
+	return s
+}
+
+func newSystem(mem *machine.Memory, inputs []int, opts []SystemOption) *System {
+	s := &System{mem: mem, inputs: append([]int(nil), inputs...)}
+	for _, o := range opts {
+		o(s)
+	}
+	s.procs = make([]*procState, len(inputs))
+	return s
+}
+
+// adopt installs a stepper as process pid and caches its first poise point.
+func (s *System) adopt(pid int, st Stepper) {
+	ps := &procState{st: st}
+	ps.refresh()
+	s.procs[pid] = ps
 }
 
 // N returns the number of processes.
@@ -166,13 +180,19 @@ func (s *System) Live(pid int) bool {
 
 // LiveSet returns the ids of all live processes, ascending.
 func (s *System) LiveSet() []int {
-	var out []int
+	return s.AppendLive(nil)
+}
+
+// AppendLive appends the ids of all live processes to dst, ascending, and
+// returns the extended slice. It is LiveSet without the forced allocation,
+// for schedulers on the hot path.
+func (s *System) AppendLive(dst []int) []int {
 	for i, ps := range s.procs {
 		if ps.live() {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // Decided reports process pid's decision, if it has decided.
@@ -209,18 +229,16 @@ func (s *System) Poised(pid int) (OpInfo, bool) {
 		return OpInfo{}, false
 	}
 	ps := s.procs[pid]
-	if !ps.live() || ps.pending == nil {
+	if !ps.live() {
 		return OpInfo{}, false
 	}
-	r := ps.pending
-	if r.multi != nil {
-		return OpInfo{Multi: r.multi}, true
-	}
-	return OpInfo{Loc: r.loc, Op: r.op, Args: r.args}, true
+	return ps.poised, true
 }
 
-// Step lets process pid perform its poised instruction. It returns the
-// executed step, or ErrNotLive / the underlying instruction error.
+// Step lets process pid perform its poised instruction. The instruction is
+// applied to memory and the process resumed to its next poise point, all on
+// the caller's stack. It returns the executed step, or ErrNotLive / the
+// underlying instruction error.
 func (s *System) Step(pid int) (StepInfo, error) {
 	if s.closed {
 		return StepInfo{}, ErrClosed
@@ -229,36 +247,37 @@ func (s *System) Step(pid int) (StepInfo, error) {
 		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
 	}
 	ps := s.procs[pid]
-	if !ps.live() || ps.pending == nil {
+	if !ps.live() {
 		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
 	}
-	r := ps.pending
+	info := ps.poised
 	var (
 		res machine.Value
 		err error
 	)
-	info := OpInfo{Loc: r.loc, Op: r.op, Args: r.args, Multi: r.multi}
-	if r.multi != nil {
-		err = s.mem.MultiAssign(r.multi)
+	if info.Multi != nil {
+		err = s.mem.MultiAssign(info.Multi)
 	} else {
-		res, err = s.mem.Apply(r.loc, r.op, r.args...)
+		res, err = s.mem.Apply(info.Loc, info.Op, info.Args...)
 	}
 	if err != nil {
 		// An illegal instruction is a failure of this process: mark it and
-		// unwind its goroutine.
+		// tear the stepper down.
 		ps.err = fmt.Errorf("sim: process %d: %w", pid, err)
-		ps.pending = nil
-		ps.killOnce.Do(func() { close(ps.proc.kill) })
+		ps.hasPoise = false
+		ps.st.Halt()
 		return StepInfo{}, ps.err
 	}
 	s.steps++
-	r.reply <- res
-	ps.pending = nil
-	s.waitPoised(ps)
+	ps.st.Resume(res)
+	ps.refresh()
 	step := StepInfo{PID: pid, Info: info, Result: res}
 	if s.tracing {
 		s.trace = append(s.trace, step)
 	}
+	// A body failure after the step (panic between instructions) surfaces
+	// via Err and the process simply stops being live, matching the
+	// goroutine engine's behavior.
 	return step, nil
 }
 
@@ -270,29 +289,19 @@ func (s *System) Crash(pid int) {
 		return
 	}
 	ps.crashed = true
-	ps.killOnce.Do(func() { close(ps.proc.kill) })
-	// Absorb the in-flight request, if any, so the goroutine can unwind.
-	ps.pending = nil
+	ps.hasPoise = false
+	ps.st.Halt()
 }
 
-// Close terminates all process goroutines and waits for them to exit. The
-// System must not be used afterwards.
+// Close tears down all processes. The System must not be used afterwards.
+// With the default VM engine this releases the bodies' coroutines; with
+// EngineGoroutine it terminates and joins the process goroutines.
 func (s *System) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
 	for _, ps := range s.procs {
-		ps.killOnce.Do(func() { close(ps.proc.kill) })
+		ps.st.Halt()
 	}
-	// Drain any requests submitted concurrently with the kill signal.
-	for _, ps := range s.procs {
-		if !ps.finished {
-			select {
-			case <-ps.proc.req:
-			default:
-			}
-		}
-	}
-	s.wg.Wait()
 }

@@ -7,8 +7,11 @@
 // The library simulates the paper's machine model — identical memory
 // locations all supporting one instruction set, adversarial scheduling,
 // crash failures — and implements every upper-bound protocol and every
-// executable lower-bound construction from the paper. See DESIGN.md for the
-// full inventory and EXPERIMENTS.md for the reproduced Table 1.
+// executable lower-bound construction from the paper. Executions run on a
+// resumable step-VM (see internal/sim) fast enough for large schedule
+// sweeps; SolveBatch spreads independent runs across all cores. See
+// DESIGN.md for the full inventory and EXPERIMENTS.md for the reproduced
+// Table 1 and engine benchmarks.
 //
 // Quick start:
 //
@@ -21,11 +24,19 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
 // ErrUnknownRow reports an experiment id not present in Table 1.
 var ErrUnknownRow = errors.New("repro: unknown hierarchy row")
+
+// ErrNoDecision reports that a run exhausted its step budget before any
+// process decided. Random schedules are fair, so for the paper's
+// obstruction-free protocols this indicates a budget far too small rather
+// than livelock; callers distinguish it from safety violations with
+// errors.Is.
+var ErrNoDecision = errors.New("repro: no process decided within the step budget")
 
 // Row re-exports the hierarchy row descriptor.
 type Row = core.Row
@@ -100,7 +111,7 @@ func Solve(rowID string, inputs []int, opts ...Option) (*Outcome, error) {
 	}
 	v, ok := res.AgreedValue()
 	if !ok {
-		return nil, fmt.Errorf("repro: no process decided within %d steps", o.maxSteps)
+		return nil, fmt.Errorf("%w (%d steps)", ErrNoDecision, o.maxSteps)
 	}
 	st := sys.Mem().Stats()
 	return &Outcome{
@@ -109,6 +120,101 @@ func Solve(rowID string, inputs []int, opts ...Option) (*Outcome, error) {
 		Steps:     st.Steps,
 		MaxBits:   st.MaxBits,
 	}, nil
+}
+
+// BatchSpec describes one Solve configuration in a batch: a Table 1 row, the
+// process inputs, and the schedule seed. Seed is used verbatim, so a batch
+// run equals Solve(..., WithSeed(Seed)) exactly; zero values of L and
+// MaxSteps take Solve's defaults (l=2, 50 million steps).
+type BatchSpec struct {
+	Row      string
+	Inputs   []int
+	Seed     int64
+	L        int
+	MaxSteps int64
+}
+
+// BatchOutcome pairs a spec with its result. Exactly one of Outcome and Err
+// is set.
+type BatchOutcome struct {
+	Spec    BatchSpec
+	Outcome *Outcome
+	Err     error
+}
+
+// SolveBatch runs many independent consensus configurations in parallel
+// across workers OS threads (workers <= 0 uses all of GOMAXPROCS) and
+// returns one outcome per spec, in order. Each run gets its own memory,
+// processes, and scheduler, so results are bit-identical to running the
+// specs one at a time through Solve — parallelism changes wall-clock time,
+// never outcomes. It is the intended way to drive seed sweeps, row sweeps,
+// and adversarial scenario sampling.
+func SolveBatch(specs []BatchSpec, workers int) []BatchOutcome {
+	jobs := make([]sim.BatchJob, len(specs))
+	mems := make([]*machine.Memory, len(specs))
+	opts := make([]options, len(specs))
+	for i, sp := range specs {
+		o := options{seed: sp.Seed, l: 2, maxSteps: 50_000_000}
+		if sp.L != 0 {
+			o.l = sp.L
+		}
+		if sp.MaxSteps != 0 {
+			o.maxSteps = sp.MaxSteps
+		}
+		opts[i] = o
+		sp := sp
+		i := i
+		jobs[i] = sim.BatchJob{
+			Make: func() (*sim.System, error) {
+				row, ok := core.RowByID(sp.Row, opts[i].l)
+				if !ok {
+					return nil, fmt.Errorf("%w: %s", ErrUnknownRow, sp.Row)
+				}
+				if row.Build == nil {
+					return nil, fmt.Errorf("repro: row %s has no constructive protocol", sp.Row)
+				}
+				sys, err := row.Build(len(sp.Inputs)).NewSystem(sp.Inputs)
+				if err != nil {
+					return nil, err
+				}
+				mems[i] = sys.Mem()
+				return sys, nil
+			},
+			Sched:    func() sim.Scheduler { return sim.NewRandom(opts[i].seed) },
+			MaxSteps: o.maxSteps,
+		}
+	}
+	results, _ := sim.RunBatch(jobs, workers)
+	out := make([]BatchOutcome, len(specs))
+	for i, r := range results {
+		out[i] = finishOutcome(specs[i], opts[i], r, mems[i])
+	}
+	return out
+}
+
+// finishOutcome turns one raw batch result into a checked BatchOutcome.
+func finishOutcome(sp BatchSpec, o options, r sim.BatchResult, mem *machine.Memory) BatchOutcome {
+	bo := BatchOutcome{Spec: sp, Err: r.Err}
+	if bo.Err != nil {
+		return bo
+	}
+	if err := r.Result.CheckConsensus(sp.Inputs); err != nil {
+		bo.Err = err
+		return bo
+	}
+	v, ok := r.Result.AgreedValue()
+	if !ok {
+		bo.Err = fmt.Errorf("%w (%d steps)", ErrNoDecision, o.maxSteps)
+		return bo
+	}
+	st := mem.Stats()
+	bo.Outcome = &Outcome{
+		Value:     v,
+		Footprint: st.Footprint(),
+		Steps:     st.Steps,
+		MaxBits:   st.MaxBits,
+	}
+	return bo
 }
 
 // SpaceBounds evaluates the paper's lower and upper bound on SP(I, n) for a

@@ -84,6 +84,62 @@ func TestBufferCapacitySweep(t *testing.T) {
 	}
 }
 
+func TestSolveNoDecisionSentinel(t *testing.T) {
+	// Two max-registers need far more than one step to decide: the budget
+	// exhausts and the typed sentinel must surface, unwrappable by callers.
+	_, err := Solve("T1.9", []int{1, 0, 2}, WithMaxSteps(1))
+	if !errors.Is(err, ErrNoDecision) {
+		t.Fatalf("want ErrNoDecision, got %v", err)
+	}
+}
+
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	inputs := []int{3, 1, 4, 1, 2}
+	var specs []BatchSpec
+	for seed := int64(1); seed <= 16; seed++ {
+		specs = append(specs, BatchSpec{Row: "T1.9", Inputs: inputs, Seed: seed})
+	}
+	outs := SolveBatch(specs, 0)
+	if len(outs) != len(specs) {
+		t.Fatalf("got %d outcomes for %d specs", len(outs), len(specs))
+	}
+	for i, bo := range outs {
+		if bo.Err != nil {
+			t.Fatalf("spec %d: %v", i, bo.Err)
+		}
+		want, err := Solve("T1.9", inputs, WithSeed(specs[i].Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *bo.Outcome != *want {
+			t.Fatalf("seed %d: batch %+v != serial %+v", specs[i].Seed, *bo.Outcome, *want)
+		}
+	}
+}
+
+func TestSolveBatchMixedRows(t *testing.T) {
+	specs := []BatchSpec{
+		{Row: "T1.9", Inputs: []int{1, 0, 2}, Seed: 5},
+		{Row: "T9.99", Inputs: []int{0, 1}, Seed: 1},            // unknown row
+		{Row: "T1.10", Inputs: []int{2, 2, 1}, Seed: 9},         // CAS
+		{Row: "T1.9", Inputs: []int{1, 0, 2}, MaxSteps: 1},      // budget exhausted
+		{Row: "T1.6", Inputs: []int{0, 1, 2, 3}, Seed: 4, L: 2}, // buffers
+	}
+	outs := SolveBatch(specs, 2)
+	if outs[0].Err != nil || outs[2].Err != nil || outs[4].Err != nil {
+		t.Fatalf("healthy specs errored: %v / %v / %v", outs[0].Err, outs[2].Err, outs[4].Err)
+	}
+	if !errors.Is(outs[1].Err, ErrUnknownRow) {
+		t.Fatalf("spec 1: want ErrUnknownRow, got %v", outs[1].Err)
+	}
+	if !errors.Is(outs[3].Err, ErrNoDecision) {
+		t.Fatalf("spec 3: want ErrNoDecision, got %v", outs[3].Err)
+	}
+	if outs[4].Outcome.Footprint != 2 {
+		t.Fatalf("l-buffer run footprint %d, want ceil(4/2)=2", outs[4].Outcome.Footprint)
+	}
+}
+
 func TestSteps(t *testing.T) {
 	p, err := Steps("T1.9", 4, 1)
 	if err != nil {
