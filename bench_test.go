@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/history"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -215,6 +216,67 @@ func benchEngineSteps(b *testing.B, e sim.Engine) {
 
 func BenchmarkEngineSteps_VM(b *testing.B)        { benchEngineSteps(b, sim.EngineVM) }
 func BenchmarkEngineSteps_Goroutine(b *testing.B) { benchEngineSteps(b, sim.EngineGoroutine) }
+
+// BenchmarkExplore measures the forkable-configuration refactor on the
+// systematic explorer: for a depth-bounded instance, each variant runs one
+// full exhaustive exploration per iteration.
+//
+//   - replay-body: approximates the pre-refactor explorer — coroutine-
+//     adapted bodies, every configuration re-executed from a fresh system
+//     (the only option before configurations became forkable). It runs on
+//     the current adapters, which also pay result recording and
+//     fingerprint upkeep; EXPERIMENTS.md additionally records the true
+//     baseline measured at the parent commit.
+//   - replay: same replay strategy over the explicit forkable steppers.
+//   - fork: configurations forked at branch points, no dedup.
+//   - fork-dedup: forking plus the canonical seen-state table.
+func BenchmarkExplore(b *testing.B) {
+	cases := []struct {
+		name   string
+		build  func(n int) *consensus.Protocol
+		inputs []int
+		depth  int
+	}{
+		{"cas3-depth6", consensus.CAS, []int{0, 1, 2}, 6},
+		{"maxreg2-depth9", consensus.MaxRegisters, []int{0, 1}, 9},
+	}
+	for _, tc := range cases {
+		bodyFactory := func() (*sim.System, error) {
+			pr := tc.build(len(tc.inputs))
+			return sim.NewSystem(pr.NewMemory(), tc.inputs, pr.Body), nil
+		}
+		stepperFactory := func() (*sim.System, error) {
+			return tc.build(len(tc.inputs)).NewSystem(tc.inputs)
+		}
+		variants := []struct {
+			name string
+			f    explore.Factory
+			opts explore.Options
+		}{
+			{"replay-body", bodyFactory, explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyReplay}},
+			{"replay", stepperFactory, explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyReplay}},
+			{"fork", stepperFactory, explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyFork}},
+			{"fork-dedup", stepperFactory, explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyFork, Dedup: true}},
+		}
+		for _, v := range variants {
+			b.Run(tc.name+"/"+v.name, func(b *testing.B) {
+				var rep *explore.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = explore.Exhaustive(v.f, v.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rep.Violations) != 0 {
+						b.Fatal(rep.Violations[0])
+					}
+				}
+				b.ReportMetric(float64(rep.States), "states")
+				b.ReportMetric(float64(rep.Runs), "runs")
+			})
+		}
+	}
+}
 
 // BenchmarkSolveBatch runs a 64-seed sweep of the two-max-register protocol
 // per iteration, serially and on the parallel batch runner, so the speedup

@@ -7,11 +7,15 @@
 //	consensus -row T1.9 -inputs 3,1,4,1,2 [-l cap] [-sched random|rr|solo]
 //	          [-seed s] [-crash p] [-trace]
 //	consensus -row T1.9 -inputs 3,1,4,1,2 -batch 1000 [-workers w]
+//	consensus -row T1.10 -inputs 0,1,2 -explore 6
 //
 // The number of processes is the number of inputs. With -batch N the run
 // becomes a seed sweep: N independent schedules (seeds 1..N) executed in
 // parallel on the batch runner, reporting the decision distribution and
-// aggregate throughput instead of a single trace.
+// aggregate throughput instead of a single trace. With -explore D the run
+// becomes an exhaustive safety check over every interleaving up to depth D
+// (0 = to completion; wait-free rows only), on forked configuration
+// snapshots with canonical-state deduplication.
 package main
 
 import (
@@ -53,11 +57,24 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 50_000_000, "step budget")
 	batch := flag.Int("batch", 0, "run seeds 1..N in parallel and report the aggregate")
 	workers := flag.Int("workers", 0, "parallel workers for -batch (0 = GOMAXPROCS)")
+	exploreDepth := flag.Int("explore", -1, "exhaustively check every interleaving up to depth D (0 = to completion)")
 	flag.Parse()
 
 	inputs, err := parseInputs(*inputsFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *exploreDepth >= 0 {
+		// Exploration covers every schedule up to the depth bound; the
+		// single-run and batch flags have no meaning there.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sched", "seed", "crash", "trace", "max-steps", "batch", "workers":
+				log.Fatalf("-%s is not supported with -explore (exploration covers every schedule up to the depth bound)", f.Name)
+			}
+		})
+		runExplore(*rowID, inputs, *l, *exploreDepth)
+		return
 	}
 	if *batch > 0 {
 		// Batch mode sweeps seeds 1..N under the random scheduler; the
@@ -133,6 +150,30 @@ func main() {
 	lo, up := core.SP(row, len(inputs))
 	fmt.Printf("paper bounds at n=%d: lower %s, upper %s\n",
 		len(inputs), bound(lo), bound(up))
+}
+
+// runExplore model-checks one row's protocol over every interleaving up to
+// depth, reporting the explored envelope and any violation.
+func runExplore(rowID string, inputs []int, l, depth int) {
+	start := time.Now()
+	rep, err := repro.Verify(rowID, inputs, depth, repro.WithBufferCap(l))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %s (n=%d) to depth %d in %v\n",
+		rowID, len(inputs), depth, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d configurations expanded, %d maximal schedules, %d deduplicated\n",
+		rep.States, rep.Runs, rep.Deduped)
+	if rep.Truncated {
+		fmt.Println("  (truncated by the run cap)")
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			log.Printf("SAFETY VIOLATION: %s", v)
+		}
+		log.Fatalf("%d violations", len(rep.Violations))
+	}
+	fmt.Println("  safe: agreement and validity hold over the explored envelope")
 }
 
 // runBatch sweeps seeds 1..n of one row in parallel and prints the decision

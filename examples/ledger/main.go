@@ -50,7 +50,7 @@ func main() {
 
 	decided := make([]int, replicas)
 	inner := pr.Body
-	pr.Body = func(p *sim.Proc) int {
+	pr.SetBody(func(p *sim.Proc) int {
 		batch := inner(p)
 		decided[p.ID()] = batch
 		// Atomically publish the decision to the index and the audit log —
@@ -62,7 +62,7 @@ func main() {
 				Args: []machine.Value{fmt.Sprintf("replica %d commits %d", p.ID(), batch)}},
 		)
 		return batch
-	}
+	})
 
 	fmt.Printf("committing one of %d batches across %d replicas over %s\n",
 		len(batches), replicas, pr.Set)

@@ -20,7 +20,12 @@ import (
 //
 // Unlike the proof, which reasons about all protocols and unbounded
 // executions, the search runs against a concrete protocol with explicit
-// budgets and reports an error when they are exhausted. With the default
+// budgets and reports an error when they are exhausted. The search extends
+// configurations through lowerbound.Config, which materializes by forking
+// the nearest cached snapshot (for natively forkable protocols) rather than
+// replaying each schedule prefix from a fresh system, so the ψ-grid and the
+// solo-decision probes — the bulk of the work — reuse configurations
+// instead of rebuilding them. With the default
 // budgets it sustains the induction on the sticky-tie-break track protocols
 // (whose split configurations persist at every scale); the min-tie-break
 // variants need deeper ψ interleavings than the bounded grid explores, and

@@ -28,6 +28,11 @@ func MultiplyValues(n, m int) *Protocol {
 		Body: func(p *sim.Proc) int {
 			return RaceUnbounded(counter.NewMultiply(p, 0, m), n, p.Input())
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newRaceStepper(counter.NewMulMachine(0, m, false), n, in, false)
+			})
+		},
 	}
 }
 
@@ -43,6 +48,11 @@ func FetchMultiply(n int) *Protocol {
 		Initial:   map[int]machine.Value{0: counter.MultiplyInitial()},
 		Body: func(p *sim.Proc) int {
 			return RaceUnbounded(counter.NewFetchMultiply(p, 0, n), n, p.Input())
+		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newRaceStepper(counter.NewMulMachine(0, n, true), n, in, false)
+			})
 		},
 	}
 }
@@ -63,6 +73,11 @@ func AddValues(n, m int) *Protocol {
 		Body: func(p *sim.Proc) int {
 			return RaceBounded(counter.NewAdd(p, 0, m, n), n, p.Input())
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newRaceStepper(counter.NewAddMachine(0, m, n, false), n, in, true)
+			})
+		},
 	}
 }
 
@@ -77,6 +92,11 @@ func FetchAdd(n int) *Protocol {
 		Locations: 1,
 		Body: func(p *sim.Proc) int {
 			return RaceBounded(counter.NewFetchAdd(p, 0, n, n), n, p.Input())
+		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newRaceStepper(counter.NewAddMachine(0, n, n, true), n, in, true)
+			})
 		},
 	}
 }
@@ -95,6 +115,11 @@ func SetBitValues(n, m int) *Protocol {
 		Locations: 1,
 		Body: func(p *sim.Proc) int {
 			return RaceUnbounded(counter.NewSetBit(p, 0, m), n, p.Input())
+		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(i, in int) sim.Stepper {
+				return newRaceStepper(counter.NewSetBitMachine(0, m, n, i), n, in, false)
+			})
 		},
 	}
 }

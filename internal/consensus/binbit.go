@@ -30,6 +30,13 @@ func binBitRound(n int, tas bool) BinaryRound {
 	}
 }
 
+// binBitRoundStepper is binBitRound in forkable stepper form.
+func binBitRoundStepper(n int, tas bool) func(binBase, bit int) *raceStepper {
+	return func(binBase, bit int) *raceStepper {
+		return newRaceStepper(counter.NewUnaryMachine(binBase, 2, unaryWidth(n), tas), n, bit, true)
+	}
+}
+
 // binBitCost is the per-round binary consensus location count.
 func binBitCost(n int) int { return 2 * unaryWidth(n) }
 
@@ -45,6 +52,11 @@ func BinaryBits(n int) *Protocol {
 		Body: func(p *sim.Proc) int {
 			return binBitRound(n, false)(p, 0, p.Input())
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return binBitRoundStepper(n, false)(0, in)
+			})
+		},
 	}
 }
 
@@ -59,6 +71,12 @@ func WriteBits(n int) *Protocol {
 		Values:    n,
 		Locations: lemma52Locations(n, binBitCost(n), slot),
 		Body:      MultiValued(n, binBitCost(n), slot, binBitRound(n, false)),
+		Steppers: func(inputs []int) []sim.Stepper {
+			ops := bitSlotOps{values: n, setOne: machine.OpWriteOne}
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newMVStepper(n, binBitCost(n), ops, in, binBitRoundStepper(n, false))
+			})
+		},
 	}
 }
 
@@ -73,5 +91,11 @@ func TASReset(n int) *Protocol {
 		Values:    n,
 		Locations: lemma52Locations(n, binBitCost(n), slot),
 		Body:      MultiValued(n, binBitCost(n), slot, binBitRound(n, true)),
+		Steppers: func(inputs []int) []sim.Stepper {
+			ops := bitSlotOps{values: n, setOne: machine.OpTestAndSet}
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newMVStepper(n, binBitCost(n), ops, in, binBitRoundStepper(n, true))
+			})
+		},
 	}
 }

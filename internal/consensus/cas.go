@@ -26,5 +26,8 @@ func CAS(n int) *Protocol {
 			}
 			return int(old.Int64()) - 1
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper { return newCASStepper(in) })
+		},
 	}
 }

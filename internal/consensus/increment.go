@@ -26,6 +26,13 @@ func incrementRound(n int, fai bool) BinaryRound {
 	}
 }
 
+// incrementRoundStepper is incrementRound in forkable stepper form.
+func incrementRoundStepper(n int, fai bool) func(binBase, bit int) *raceStepper {
+	return func(binBase, bit int) *raceStepper {
+		return newRaceStepper(counter.NewIncMachine(binBase, 2, fai), n, bit, false)
+	}
+}
+
 // IncrementBinary solves binary consensus among n processes using two
 // {read, increment} locations (the building block of Theorem 5.3).
 func IncrementBinary(n int) *Protocol {
@@ -37,6 +44,11 @@ func IncrementBinary(n int) *Protocol {
 		Locations: 2,
 		Body: func(p *sim.Proc) int {
 			return incrementRound(n, false)(p, 0, p.Input())
+		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return incrementRoundStepper(n, false)(0, in)
+			})
 		},
 	}
 }
@@ -52,6 +64,11 @@ func Increment(n int) *Protocol {
 		Values:    n,
 		Locations: lemma52Locations(n, 2, slot),
 		Body:      MultiValued(n, 2, slot, incrementRound(n, false)),
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newMVStepper(n, 2, multiSlotOps{}, in, incrementRoundStepper(n, false))
+			})
+		},
 	}
 }
 
@@ -66,5 +83,10 @@ func FetchIncrement(n int) *Protocol {
 		Values:    n,
 		Locations: lemma52Locations(n, 2, slot),
 		Body:      MultiValued(n, 2, slot, incrementRound(n, true)),
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newMVStepper(n, 2, multiSlotOps{}, in, incrementRoundStepper(n, true))
+			})
+		},
 	}
 }

@@ -37,6 +37,11 @@ func IntroFAA2TAS(n int) *Protocol {
 			}
 			return 0
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return &introFAA2TASStepper{input: in}
+			})
+		},
 	}
 }
 
@@ -64,6 +69,11 @@ func IntroDecMul(n int) *Protocol {
 				return 1
 			}
 			return 0
+		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return &introDecMulStepper{input: in, n: n}
+			})
 		},
 	}
 }

@@ -69,6 +69,11 @@ func MaxRegisters(n int) *Protocol {
 		Body: func(p *sim.Proc) int {
 			return maxRegBody(p, y)
 		},
+		Steppers: func(inputs []int) []sim.Stepper {
+			return steppersOf(inputs, func(_, in int) sim.Stepper {
+				return newMaxRegStepper(in, y)
+			})
+		},
 	}
 }
 

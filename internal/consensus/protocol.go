@@ -38,9 +38,25 @@ type Protocol struct {
 	Capacities []int
 	// Body is the per-process code.
 	Body sim.Body
+	// Steppers, when non-nil, builds the processes as explicit forkable
+	// state machines issuing the same instruction stream as Body
+	// (steppers.go). NewSystem prefers it on the VM engine, which makes
+	// System.Fork O(state) and the explorer's dedup keys canonical; Body
+	// remains the reference semantics and the goroutine oracle's path.
+	// Callers that wrap or replace Body must clear Steppers.
+	Steppers func(inputs []int) []sim.Stepper
 	// WaitFree marks protocols that decide in a bounded number of own
 	// steps regardless of scheduling (the introduction's examples).
 	WaitFree bool
+}
+
+// SetBody replaces the protocol's per-process code and clears any explicit
+// steppers, so the replacement is authoritative on every engine. Deriving a
+// protocol variant by assigning Body directly would silently keep the
+// parent's steppers on the VM path; always derive through SetBody.
+func (pr *Protocol) SetBody(body sim.Body) {
+	pr.Body = body
+	pr.Steppers = nil
 }
 
 // NewMemory allocates a fresh memory sized and initialized for the protocol.
@@ -69,6 +85,9 @@ func (pr *Protocol) NewSystem(inputs []int, opts ...sim.SystemOption) (*sim.Syst
 		if in < 0 || in >= pr.Values {
 			return nil, fmt.Errorf("consensus: input %d outside [0,%d)", in, pr.Values)
 		}
+	}
+	if pr.Steppers != nil && sim.EngineOf(opts...) == sim.EngineVM {
+		return sim.NewSystemSteppers(pr.NewMemory(), inputs, pr.Steppers(inputs), opts...), nil
 	}
 	return sim.NewSystem(pr.NewMemory(), inputs, pr.Body, opts...), nil
 }

@@ -1,0 +1,592 @@
+package consensus
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/counter"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// This file ports the hot protocol bodies to explicit forkable state
+// machines (sim.Stepper + sim.Forker + sim.StateKeyer): the CAS,
+// introduction, max-register, racing-counter, and Lemma 5.2 multi-valued
+// protocols — every Table 1 row except the history-shaped ones (tracks,
+// swap, registers, buffers), which stay on the coroutine Body adapter and
+// fork by result-replay. Each stepper issues the exact same instruction
+// stream as its Body twin (pinned by TestSteppersMatchBodies), so seeded
+// runs, traces, and measurements are unchanged; what the port buys is
+// O(local state) System.Fork and true canonical state keys for the
+// explorer's deduplication.
+
+// opInfoKey hashes a poised instruction into a state key: the pending
+// instruction is part of a process's canonical state (it encodes every
+// decision the process has already committed to, such as which component it
+// is about to promote).
+func opInfoKey(i sim.OpInfo) uint64 {
+	h := machine.Mix64(uint64(i.Loc) ^ 0x706f6973)
+	h = machine.Mix64(h ^ uint64(i.Op))
+	for _, a := range i.Args {
+		h = machine.Mix64(h ^ machine.HashValue(a))
+	}
+	return h
+}
+
+func mix2(a, b uint64) uint64 { return machine.Mix64(a ^ b) }
+
+// --- compare-and-swap (Table 1 row 10) ---------------------------------------
+
+type casStepper struct {
+	input    int
+	args     [2]machine.Value
+	done     bool
+	decision int
+}
+
+func newCASStepper(input int) *casStepper {
+	return &casStepper{
+		input: input,
+		args:  [2]machine.Value{machine.Word(0), machine.Word(int64(input + 1))},
+	}
+}
+
+func (c *casStepper) Poise() (sim.OpInfo, bool) {
+	if c.done {
+		return sim.OpInfo{}, false
+	}
+	return sim.OpInfo{Loc: 0, Op: machine.OpCompareAndSwap, Args: c.args[:]}, true
+}
+
+func (c *casStepper) Resume(res machine.Value) bool {
+	old, ok := machine.AsInt64(res)
+	if !ok {
+		panic(fmt.Sprintf("consensus: non-numeric CAS result %v", res))
+	}
+	if old == 0 {
+		c.decision = c.input
+	} else {
+		c.decision = int(old) - 1
+	}
+	c.done = true
+	return true
+}
+
+func (c *casStepper) Outcome() (bool, int, error) { return c.done, c.decision, nil }
+func (c *casStepper) Halt()                       {}
+
+func (c *casStepper) Fork() sim.Stepper {
+	f := *c
+	return &f
+}
+
+func (c *casStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x636173) }
+
+// --- introduction protocols --------------------------------------------------
+
+type introFAA2TASStepper struct {
+	input    int
+	done     bool
+	decision int
+}
+
+func (c *introFAA2TASStepper) Poise() (sim.OpInfo, bool) {
+	if c.done {
+		return sim.OpInfo{}, false
+	}
+	if c.input == 0 {
+		return sim.OpInfo{Loc: 0, Op: machine.OpFetchAndAdd, Args: []machine.Value{machine.Int(2)}}, true
+	}
+	return sim.OpInfo{Loc: 0, Op: machine.OpTestAndSet}, true
+}
+
+func (c *introFAA2TASStepper) Resume(res machine.Value) bool {
+	old := machine.MustInt(res)
+	if c.input == 0 {
+		if old.Bit(0) == 1 {
+			c.decision = 1
+		}
+	} else if old.Sign() == 0 || old.Bit(0) == 1 {
+		c.decision = 1
+	}
+	c.done = true
+	return true
+}
+
+func (c *introFAA2TASStepper) Outcome() (bool, int, error) { return c.done, c.decision, nil }
+func (c *introFAA2TASStepper) Halt()                       {}
+
+func (c *introFAA2TASStepper) Fork() sim.Stepper {
+	f := *c
+	return &f
+}
+
+func (c *introFAA2TASStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x666161) }
+
+type introDecMulStepper struct {
+	input    int
+	n        int
+	reading  bool // the update is done; the read is poised
+	done     bool
+	decision int
+}
+
+func (c *introDecMulStepper) Poise() (sim.OpInfo, bool) {
+	switch {
+	case c.done:
+		return sim.OpInfo{}, false
+	case c.reading:
+		return sim.OpInfo{Loc: 0, Op: machine.OpRead}, true
+	case c.input == 0:
+		return sim.OpInfo{Loc: 0, Op: machine.OpDecrement}, true
+	default:
+		return sim.OpInfo{Loc: 0, Op: machine.OpMultiply, Args: []machine.Value{machine.Int(int64(c.n))}}, true
+	}
+}
+
+func (c *introDecMulStepper) Resume(res machine.Value) bool {
+	if !c.reading {
+		c.reading = true
+		return false
+	}
+	if machine.MustInt(res).Sign() > 0 {
+		c.decision = 1
+	}
+	c.done = true
+	return true
+}
+
+func (c *introDecMulStepper) Outcome() (bool, int, error) { return c.done, c.decision, nil }
+func (c *introDecMulStepper) Halt()                       {}
+
+func (c *introDecMulStepper) Fork() sim.Stepper {
+	f := *c
+	return &f
+}
+
+func (c *introDecMulStepper) StateKey() uint64 {
+	if c.reading {
+		// Past the update the input is dead state: merge histories.
+		return machine.Mix64(0x646d72)
+	}
+	return machine.Mix64(uint64(c.input) ^ 0x646d75)
+}
+
+// --- two max-registers (Theorem 4.2) -----------------------------------------
+
+// maxRegStepper program counter values; see maxRegBody for the loop being
+// mirrored. The double collect of scanMax is unrolled into the read states.
+const (
+	mrAnnounce = iota // write-max of (0, input) to m1 poised
+	mrReadA           // first collect: read m1 poised
+	mrReadB           // first collect: read m2 poised
+	mrReadA2          // confirming collect: read m1 poised
+	mrReadB2          // confirming collect: read m2 poised
+	mrWrite           // promotion or catch-up write-max poised
+)
+
+type maxRegStepper struct {
+	y        int64
+	input    int
+	pc       int
+	a, b, a2 *big.Int
+	pending  sim.OpInfo
+	done     bool
+	decision int
+}
+
+func newMaxRegStepper(input int, y int64) *maxRegStepper {
+	s := &maxRegStepper{y: y, input: input, pc: mrAnnounce}
+	s.pending = writeMax(0, EncodePair(MaxRegPair{R: 0, X: input}, y))
+	return s
+}
+
+func writeMax(loc int, v *big.Int) sim.OpInfo {
+	return sim.OpInfo{Loc: loc, Op: machine.OpWriteMax, Args: []machine.Value{v}}
+}
+
+func readMax(loc int) sim.OpInfo {
+	return sim.OpInfo{Loc: loc, Op: machine.OpReadMax}
+}
+
+func (s *maxRegStepper) Poise() (sim.OpInfo, bool) {
+	if s.done {
+		return sim.OpInfo{}, false
+	}
+	return s.pending, true
+}
+
+func (s *maxRegStepper) Resume(res machine.Value) bool {
+	switch s.pc {
+	case mrAnnounce, mrWrite:
+		s.pc, s.pending = mrReadA, readMax(0)
+	case mrReadA:
+		s.a = machine.MustInt(res)
+		s.pc, s.pending = mrReadB, readMax(1)
+	case mrReadB:
+		s.b = machine.MustInt(res)
+		s.pc, s.pending = mrReadA2, readMax(0)
+	case mrReadA2:
+		s.a2 = machine.MustInt(res)
+		s.pc, s.pending = mrReadB2, readMax(1)
+	case mrReadB2:
+		b2 := machine.MustInt(res)
+		if s.a2.Cmp(s.a) != 0 || b2.Cmp(s.b) != 0 {
+			// Collects disagree: keep collecting (scanMax's inner loop).
+			s.a, s.b = s.a2, b2
+			s.pc, s.pending = mrReadA2, readMax(0)
+			return false
+		}
+		v1, v2 := s.a2, b2
+		p1, p2 := DecodePair(v1, s.y), DecodePair(v2, s.y)
+		switch {
+		case p1.R == p2.R+1 && p1.X == p2.X:
+			s.done, s.decision = true, p1.X
+			return true
+		case v1.Cmp(v2) == 0:
+			s.pc, s.pending = mrWrite, writeMax(0, EncodePair(MaxRegPair{R: p1.R + 1, X: p1.X}, s.y))
+		default:
+			s.pc, s.pending = mrWrite, writeMax(1, v1)
+		}
+	}
+	return false
+}
+
+func (s *maxRegStepper) Outcome() (bool, int, error) { return s.done, s.decision, nil }
+func (s *maxRegStepper) Halt()                       {}
+
+func (s *maxRegStepper) Fork() sim.Stepper {
+	f := *s
+	if s.a != nil {
+		f.a = new(big.Int).Set(s.a)
+	}
+	if s.b != nil {
+		f.b = new(big.Int).Set(s.b)
+	}
+	if s.a2 != nil {
+		f.a2 = new(big.Int).Set(s.a2)
+	}
+	return &f
+}
+
+func (s *maxRegStepper) StateKey() uint64 {
+	// Past the announcement the input is dead state; the locals and the
+	// pending instruction determine the future.
+	h := machine.Mix64(uint64(s.pc) ^ 0x6d7872)
+	h = mix2(h, machine.HashValue(s.a))
+	h = mix2(h, machine.HashValue(s.b))
+	h = mix2(h, machine.HashValue(s.a2))
+	return mix2(h, opInfoKey(s.pending))
+}
+
+// --- the racing-counters loops (Lemmas 3.1/3.2) ------------------------------
+
+// raceStepper stages.
+const (
+	rsUpdate   = iota // an inc/dec is in flight; scan next
+	rsScan            // a scan is in flight; check for a winner next
+	rsInitScan        // bounded only: the first scan, feeding promote(input, s)
+)
+
+// raceStepper runs RaceUnbounded (bounded=false) or RaceBounded
+// (bounded=true) over a forkable counter machine, issuing the identical
+// instruction stream.
+type raceStepper struct {
+	cm       counter.Machine
+	n, input int
+	bounded  bool
+	stage    int
+	pending  sim.OpInfo
+	done     bool
+	decision int
+}
+
+func newRaceStepper(cm counter.Machine, n, input int, bounded bool) *raceStepper {
+	s := &raceStepper{cm: cm, n: n, input: input, bounded: bounded}
+	if bounded {
+		s.stage = rsInitScan
+		s.pending = cm.StartScan()
+	} else {
+		s.stage = rsUpdate
+		s.pending = cm.StartInc(input)
+	}
+	return s
+}
+
+// promoteOp mirrors RaceBounded's promote: decrement the largest other
+// component if it has reached n, otherwise increment v.
+func (s *raceStepper) promoteOp(v int, sc []int64) sim.OpInfo {
+	u := -1
+	for w := range sc {
+		if w == v {
+			continue
+		}
+		if u < 0 || sc[w] > sc[u] {
+			u = w
+		}
+	}
+	if u >= 0 && sc[u] >= int64(s.n) {
+		return s.cm.StartDec(u)
+	}
+	return s.cm.StartInc(v)
+}
+
+func (s *raceStepper) Poise() (sim.OpInfo, bool) {
+	if s.done {
+		return sim.OpInfo{}, false
+	}
+	return s.pending, true
+}
+
+func (s *raceStepper) Resume(res machine.Value) bool {
+	if next, more := s.cm.Step(res); more {
+		s.pending = next
+		return false
+	}
+	switch s.stage {
+	case rsUpdate:
+		s.stage, s.pending = rsScan, s.cm.StartScan()
+	case rsInitScan:
+		s.stage, s.pending = rsUpdate, s.promoteOp(s.input, s.cm.Counts())
+	case rsScan:
+		sc := s.cm.Counts()
+		if v, ok := winner(sc, int64(s.n)); ok {
+			s.done, s.decision = true, v
+			return true
+		}
+		s.stage = rsUpdate
+		if s.bounded {
+			s.pending = s.promoteOp(leader(sc), sc)
+		} else {
+			s.pending = s.cm.StartInc(leader(sc))
+		}
+	}
+	return false
+}
+
+func (s *raceStepper) Outcome() (bool, int, error) { return s.done, s.decision, nil }
+func (s *raceStepper) Halt()                       {}
+
+func (s *raceStepper) Fork() sim.Stepper { return s.fork() }
+
+func (s *raceStepper) fork() *raceStepper {
+	f := *s
+	f.cm = s.cm.Fork()
+	return &f
+}
+
+func (s *raceStepper) StateKey() uint64 {
+	h := machine.Mix64(uint64(s.stage) ^ 0x726163)
+	if s.stage == rsInitScan {
+		// The only point after construction where the input is still read.
+		h = mix2(h, uint64(s.input))
+	}
+	h = mix2(h, s.cm.Key())
+	return mix2(h, opInfoKey(s.pending))
+}
+
+// --- the Lemma 5.2 multi-valued lift -----------------------------------------
+
+// slotOps is the stepper-side ValueSlot codec: Record is one instruction,
+// Recover a mini state machine driven through recoverStep.
+type slotOps interface {
+	size() int
+	recordOp(base, val int) sim.OpInfo
+	recoverStart(base int) sim.OpInfo
+	// recoverStep consumes one read result; done=false issues next. On
+	// done, ok reports whether a value was recovered.
+	recoverStep(res machine.Value, base int, j *int) (next sim.OpInfo, done bool, val int, ok bool)
+}
+
+// multiSlotOps mirrors MultiSlot: one {read, write(x)} location.
+type multiSlotOps struct{}
+
+func (multiSlotOps) size() int { return 1 }
+
+func (multiSlotOps) recordOp(base, val int) sim.OpInfo {
+	return sim.OpInfo{Loc: base, Op: machine.OpWrite, Args: []machine.Value{machine.Int(int64(val) + 1)}}
+}
+
+func (multiSlotOps) recoverStart(base int) sim.OpInfo {
+	return sim.OpInfo{Loc: base, Op: machine.OpRead}
+}
+
+func (multiSlotOps) recoverStep(res machine.Value, _ int, _ *int) (sim.OpInfo, bool, int, bool) {
+	if res == nil {
+		return sim.OpInfo{}, true, 0, false
+	}
+	x := machine.MustInt(res)
+	if x.Sign() == 0 {
+		return sim.OpInfo{}, true, 0, false
+	}
+	return sim.OpInfo{}, true, int(x.Int64()) - 1, true
+}
+
+// bitSlotOps mirrors BitSlot: a run of `values` bit locations.
+type bitSlotOps struct {
+	values int
+	setOne machine.Op
+}
+
+func (s bitSlotOps) size() int { return s.values }
+
+func (s bitSlotOps) recordOp(base, val int) sim.OpInfo {
+	return sim.OpInfo{Loc: base + val, Op: s.setOne}
+}
+
+func (s bitSlotOps) recoverStart(base int) sim.OpInfo {
+	return sim.OpInfo{Loc: base, Op: machine.OpRead}
+}
+
+func (s bitSlotOps) recoverStep(res machine.Value, base int, j *int) (sim.OpInfo, bool, int, bool) {
+	if machine.MustInt(res).Sign() != 0 {
+		return sim.OpInfo{}, true, *j, true
+	}
+	*j++
+	if *j < s.values {
+		return sim.OpInfo{Loc: base + *j, Op: machine.OpRead}, false, 0, false
+	}
+	return sim.OpInfo{}, true, 0, false
+}
+
+// mvStepper phases.
+const (
+	mvpRecord  = iota // the candidate-record instruction is in flight
+	mvpRound          // the round's binary consensus sub-stepper is running
+	mvpRecover        // recovering the value behind the agreed bit
+)
+
+// mvStepper is MultiValued as an explicit state machine: k =
+// ceil(log2 values) rounds of record / binary-consensus / recover, with the
+// per-round binary consensus a nested raceStepper.
+type mvStepper struct {
+	k, c     int
+	slot     slotOps
+	newRound func(binBase, bit int) *raceStepper
+
+	v       int // current candidate value
+	round   int
+	bit     int // this round's proposed bit
+	base    int // this round's location base
+	phase   int
+	sub     *raceStepper
+	recJ    int
+	pending sim.OpInfo
+
+	done     bool
+	decision int
+	err      error
+}
+
+func newMVStepper(values, c int, slot slotOps, input int, newRound func(binBase, bit int) *raceStepper) *mvStepper {
+	s := &mvStepper{k: bitsFor(values), c: c, slot: slot, newRound: newRound, v: input}
+	s.startRound()
+	return s
+}
+
+func (s *mvStepper) startRound() {
+	s.base = s.round * (2*s.slot.size() + s.c)
+	s.bit = (s.v >> (s.k - 1 - s.round)) & 1
+	if s.round == s.k-1 {
+		// Final round: no designated slots.
+		s.phase = mvpRound
+		s.sub = s.newRound(s.base, s.bit)
+		return
+	}
+	s.phase = mvpRecord
+	s.pending = s.slot.recordOp(s.base+s.bit*s.slot.size(), s.v)
+}
+
+// finishRound folds the agreed bit into the candidate and advances.
+func (s *mvStepper) advanceRound() {
+	s.round++
+	if s.round == s.k {
+		s.done, s.decision = true, s.v
+		return
+	}
+	s.startRound()
+}
+
+func (s *mvStepper) Poise() (sim.OpInfo, bool) {
+	if s.done || s.err != nil {
+		return sim.OpInfo{}, false
+	}
+	if s.phase == mvpRound {
+		return s.sub.Poise()
+	}
+	return s.pending, true
+}
+
+func (s *mvStepper) Resume(res machine.Value) bool {
+	switch s.phase {
+	case mvpRecord:
+		s.phase = mvpRound
+		s.sub = s.newRound(s.base+2*s.slot.size(), s.bit)
+	case mvpRound:
+		if !s.sub.Resume(res) {
+			return false
+		}
+		agreed := s.sub.decision
+		s.sub = nil
+		if agreed == s.bit {
+			s.advanceRound()
+			return s.done
+		}
+		if s.round == s.k-1 {
+			s.v = (s.v &^ 1) | agreed
+			s.advanceRound()
+			return s.done
+		}
+		s.phase = mvpRecover
+		s.recJ = 0
+		s.pending = s.slot.recoverStart(s.base + agreed*s.slot.size())
+	case mvpRecover:
+		agreedBase := s.pending.Loc - s.recJ // recover reads walk the slot run
+		next, doneRec, val, ok := s.slot.recoverStep(res, agreedBase, &s.recJ)
+		if !doneRec {
+			s.pending = next
+			return false
+		}
+		if !ok {
+			// The agreed bit was proposed by some process, which recorded its
+			// value first: it must be visible (the Lemma 5.2 invariant).
+			s.err = fmt.Errorf("consensus: round %d agreed bit has no recorded value", s.round)
+			return true
+		}
+		s.v = val
+		s.advanceRound()
+		return s.done
+	}
+	return false
+}
+
+func (s *mvStepper) Outcome() (bool, int, error) { return s.done, s.decision, s.err }
+func (s *mvStepper) Halt()                       {}
+
+func (s *mvStepper) Fork() sim.Stepper {
+	f := *s
+	if s.sub != nil {
+		f.sub = s.sub.fork()
+	}
+	return &f
+}
+
+func (s *mvStepper) StateKey() uint64 {
+	h := machine.Mix64(uint64(s.v) ^ 0x6d7635)
+	h = mix2(h, uint64(s.round)|uint64(s.phase)<<16|uint64(s.recJ)<<32)
+	if s.phase == mvpRound {
+		return mix2(h, s.sub.StateKey())
+	}
+	return mix2(h, opInfoKey(s.pending))
+}
+
+// --- constructors shared by the protocol wiring ------------------------------
+
+// steppersOf builds one stepper per input with build(pid, input).
+func steppersOf(inputs []int, build func(i, input int) sim.Stepper) []sim.Stepper {
+	out := make([]sim.Stepper, len(inputs))
+	for i, in := range inputs {
+		out[i] = build(i, in)
+	}
+	return out
+}

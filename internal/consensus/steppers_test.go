@@ -1,0 +1,173 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// portedProtocols enumerates every protocol carrying explicit forkable
+// steppers, with instance sizes small enough for exhaustive-ish sweeps.
+func portedProtocols() []struct {
+	name   string
+	build  func() *Protocol
+	inputs []int
+} {
+	return []struct {
+		name   string
+		build  func() *Protocol
+		inputs []int
+	}{
+		{"cas", func() *Protocol { return CAS(3) }, []int{2, 0, 1}},
+		{"intro-faa2-tas", func() *Protocol { return IntroFAA2TAS(3) }, []int{1, 0, 1}},
+		{"intro-dec-mul", func() *Protocol { return IntroDecMul(3) }, []int{0, 1, 0}},
+		{"max-registers", func() *Protocol { return MaxRegisters(3) }, []int{2, 0, 1}},
+		{"multiply", func() *Protocol { return Multiply(3) }, []int{1, 2, 0}},
+		{"fetch-multiply", func() *Protocol { return FetchMultiply(3) }, []int{2, 1, 0}},
+		{"add", func() *Protocol { return Add(3) }, []int{0, 2, 1}},
+		{"fetch-add", func() *Protocol { return FetchAdd(3) }, []int{1, 0, 2}},
+		{"set-bit", func() *Protocol { return SetBit(3) }, []int{2, 0, 1}},
+		{"increment-binary", func() *Protocol { return IncrementBinary(3) }, []int{1, 0, 1}},
+		{"increment", func() *Protocol { return Increment(4) }, []int{3, 1, 2, 0}},
+		{"fetch-increment", func() *Protocol { return FetchIncrement(3) }, []int{2, 1, 0}},
+		{"binary-bits", func() *Protocol { return BinaryBits(3) }, []int{1, 0, 1}},
+		{"write-bits", func() *Protocol { return WriteBits(3) }, []int{2, 0, 1}},
+		{"tas-reset", func() *Protocol { return TASReset(3) }, []int{1, 2, 0}},
+	}
+}
+
+func stepString(st sim.StepInfo) string {
+	s := fmt.Sprintf("%d:%v(", st.PID, st.Info)
+	for _, a := range st.Info.Args {
+		s += fmt.Sprintf("%v,", machine.MustInt(a))
+	}
+	return s + fmt.Sprintf(")=%v", st.Result)
+}
+
+// TestSteppersMatchBodies pins the explicit state machines to their Body
+// twins: under identical seeded schedules both runs must produce identical
+// instruction traces (pid, op, location, arguments, result), identical
+// decisions, and identical final memory — across a seed sweep.
+func TestSteppersMatchBodies(t *testing.T) {
+	for _, tc := range portedProtocols() {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 12; seed++ {
+				pr := tc.build()
+				if pr.Steppers == nil {
+					t.Fatal("protocol carries no steppers")
+				}
+				bodySys := sim.NewSystem(pr.NewMemory(), tc.inputs, pr.Body, sim.WithTrace())
+				stepSys := sim.NewSystemSteppers(pr.NewMemory(), tc.inputs, pr.Steppers(tc.inputs), sim.WithTrace())
+
+				bres, berr := bodySys.Run(sim.NewRandom(seed), 500_000)
+				sres, serr := stepSys.Run(sim.NewRandom(seed), 500_000)
+				if berr != nil || serr != nil {
+					t.Fatalf("seed %d: body err %v, stepper err %v", seed, berr, serr)
+				}
+				bt, st := bodySys.Trace(), stepSys.Trace()
+				if len(bt) != len(st) {
+					t.Fatalf("seed %d: trace lengths %d vs %d", seed, len(bt), len(st))
+				}
+				for i := range bt {
+					if bt[i].PID != st[i].PID || bt[i].Info.Loc != st[i].Info.Loc ||
+						bt[i].Info.Op != st[i].Info.Op || len(bt[i].Info.Args) != len(st[i].Info.Args) {
+						t.Fatalf("seed %d step %d: body %s vs stepper %s",
+							seed, i, stepString(bt[i]), stepString(st[i]))
+					}
+					for j := range bt[i].Info.Args {
+						if !machine.EqualValues(bt[i].Info.Args[j], st[i].Info.Args[j]) {
+							t.Fatalf("seed %d step %d arg %d: body %s vs stepper %s",
+								seed, i, j, stepString(bt[i]), stepString(st[i]))
+						}
+					}
+				}
+				if fmt.Sprint(bres.Decisions) != fmt.Sprint(sres.Decisions) {
+					t.Fatalf("seed %d: decisions %v vs %v", seed, bres.Decisions, sres.Decisions)
+				}
+				if bf, sf := bodySys.Mem().Fingerprint(), stepSys.Mem().Fingerprint(); bf != sf {
+					t.Fatalf("seed %d: final memory %q vs %q", seed, bf, sf)
+				}
+				bodySys.Close()
+				stepSys.Close()
+			}
+		})
+	}
+}
+
+// TestSteppersForkNatively: every ported protocol builds a natively
+// forkable system, and a mid-run fork continues to a correct decision.
+func TestSteppersForkNatively(t *testing.T) {
+	for _, tc := range portedProtocols() {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := tc.build()
+			sys, err := pr.NewSystem(tc.inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			if !sys.ForksNatively() {
+				t.Fatal("ported protocol does not fork natively")
+			}
+			// Take a few steps, fork, and run both to completion.
+			sched := sim.NewRandom(7)
+			for i := 0; i < 5 && len(sys.LiveSet()) > 0; i++ {
+				if _, err := sys.Step(sched.Next(sys)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fk, err := sys.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fk.Close()
+			for _, s := range []*sim.System{sys, fk} {
+				res, err := s.Run(sim.NewRandom(11), 500_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.CheckConsensus(tc.inputs); err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Undecided) > 0 {
+					t.Fatalf("undecided: %v", res)
+				}
+			}
+		})
+	}
+}
+
+// TestStepperStateKeysDiverge: keys must reflect state — two systems driven
+// down different schedules (with different memory) never share a key, while
+// a fork shares its parent's key until one of them moves.
+func TestStepperStateKeysDiverge(t *testing.T) {
+	pr := MaxRegisters(3)
+	inputs := []int{2, 0, 1}
+	sys := pr.MustSystem(inputs)
+	defer sys.Close()
+	for _, pid := range []int{0, 1, 2, 0} {
+		if _, err := sys.Step(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk, err := sys.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fk.Close()
+	k1, ok1 := sys.StateKey()
+	k2, ok2 := fk.StateKey()
+	if !ok1 || !ok2 {
+		t.Fatal("ported systems must be keyable")
+	}
+	if k1 != k2 {
+		t.Fatal("fork does not share its parent's state key")
+	}
+	if _, err := fk.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if k3, _ := fk.StateKey(); k3 == k1 {
+		t.Fatal("state key unchanged after a step")
+	}
+}

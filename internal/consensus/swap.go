@@ -27,6 +27,20 @@ func (c swapCell) fingerprint() string {
 	return fmt.Sprintf("%d.%d", c.pid, c.seq)
 }
 
+// Hash64 implements machine.Hashable so the memory fingerprint and the
+// result-replay history hash do not fall back to reflective formatting on
+// the swap hot path. All three fields enter the hash: the explorer's dedup
+// table compares configurations across different schedules, where cells
+// with equal (pid, seq) can carry different lap vectors.
+func (c swapCell) Hash64() uint64 {
+	h := machine.Mix64(uint64(c.pid) ^ 0x73776170)
+	h = machine.Mix64(h ^ uint64(c.seq))
+	for _, lap := range c.laps {
+		h = machine.Mix64(h ^ uint64(lap))
+	}
+	return h
+}
+
 // Swap solves n-consensus using n-1 {read, swap(x)} locations.
 func Swap(n int) *Protocol {
 	if n < 2 {

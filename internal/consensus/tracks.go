@@ -56,9 +56,9 @@ func TASTracks(n int) *Protocol {
 func WriteOneTracksSticky(n int) *Protocol {
 	pr := WriteOneTracks(n)
 	pr.Name = "write(1)-tracks-sticky"
-	pr.Body = func(p *sim.Proc) int {
+	pr.SetBody(func(p *sim.Proc) int {
 		return RaceUnboundedSticky(counter.NewTracks(p, 0, n), n, p.Input())
-	}
+	})
 	return pr
 }
 
@@ -66,8 +66,8 @@ func WriteOneTracksSticky(n int) *Protocol {
 func TASTracksSticky(n int) *Protocol {
 	pr := TASTracks(n)
 	pr.Name = "test-and-set-tracks-sticky"
-	pr.Body = func(p *sim.Proc) int {
+	pr.SetBody(func(p *sim.Proc) int {
 		return RaceUnboundedSticky(counter.NewTracksTAS(p, 0, n), n, p.Input())
-	}
+	})
 	return pr
 }

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// ExploreRow exhaustively model-checks a row's protocol on the given inputs
+// up to the explore.Options bounds, returning the exploration report. The
+// default options use the fork-based strategy with seen-state
+// deduplication, which collapses interleavings of commuting steps into one
+// canonical configuration — the intended way to verify a row over a whole
+// schedule envelope rather than one seeded run.
+func ExploreRow(r Row, inputs []int, opts explore.Options) (*explore.Report, error) {
+	if r.Build == nil {
+		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
+	}
+	f := func() (*sim.System, error) {
+		return r.Build(len(inputs)).NewSystem(inputs)
+	}
+	return explore.Exhaustive(f, opts)
+}

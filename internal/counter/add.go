@@ -73,11 +73,17 @@ func (c *Add) Scan() []int64 {
 	} else {
 		x = machine.MustInt(c.p.Apply(c.loc, machine.OpRead))
 	}
-	out := make([]int64, c.m)
+	return decodeDigits(x, c.base, c.m)
+}
+
+// decodeDigits decomposes x into its m least significant base-`base` digits.
+// Pure local computation shared with the forkable AddMachine.
+func decodeDigits(x, base *big.Int, m int) []int64 {
+	out := make([]int64, m)
 	x = new(big.Int).Set(x)
 	digit := new(big.Int)
-	for v := 0; v < c.m; v++ {
-		x.QuoRem(x, c.base, digit)
+	for v := 0; v < m; v++ {
+		x.QuoRem(x, base, digit)
 		out[v] = digit.Int64()
 	}
 	return out

@@ -1,0 +1,529 @@
+package counter
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/machine"
+	"repro/internal/primes"
+	"repro/internal/sim"
+)
+
+// This file provides the explicit-state, forkable counterparts of the
+// *sim.Proc-bound counters above. A Machine issues the exact same
+// instruction stream as its Counter twin but holds every scrap of state —
+// persistent (set-bit tallies) and transient (scan progress) — in a plain
+// struct, so a process built on it can be snapshotted with a struct copy.
+// The forkable protocol steppers in internal/consensus drive Machines; the
+// cross-engine differential suite pins the instruction streams to the Body
+// versions step for step.
+
+// Machine is an m-component counter as a resumable, forkable state machine.
+// An operation (Inc, Dec, or Scan) is begun with the corresponding Start
+// call, which returns the operation's first instruction; Step consumes each
+// instruction's result and either returns the next instruction (more=true)
+// or completes the operation. At most one operation is in flight at a time.
+type Machine interface {
+	// Components returns m.
+	Components() int
+	// Fork returns an independent copy, including mid-operation progress.
+	Fork() Machine
+	// Key returns a canonical hash of all machine-local state. It is part
+	// of the explorer's per-process dedup key, so any state that can affect
+	// future instructions must enter it.
+	Key() uint64
+	// StartInc begins an increment of component v.
+	StartInc(v int) sim.OpInfo
+	// StartDec begins a decrement of component v; it panics on machines for
+	// unbounded counters, mirroring the Counter/BoundedCounter split.
+	StartDec(v int) sim.OpInfo
+	// StartScan begins an atomic-looking scan of all components.
+	StartScan() sim.OpInfo
+	// Step consumes the result of the previously issued instruction.
+	Step(res machine.Value) (next sim.OpInfo, more bool)
+	// Counts returns the result of the last completed scan. Callers must
+	// not retain it across operations or mutate it.
+	Counts() []int64
+}
+
+func mixKey(h, x uint64) uint64 { return machine.Mix64(h ^ x) }
+
+// mixCounts folds a count slice (with a length prefix, so nil and empty
+// distinguish from longer states) into a rolling key.
+func mixCounts(h uint64, xs []int64) uint64 {
+	h = mixKey(h, uint64(len(xs)))
+	for _, x := range xs {
+		h = mixKey(h, uint64(x))
+	}
+	return h
+}
+
+func mustInt64(res machine.Value) int64 {
+	x, ok := machine.AsInt64(res)
+	if !ok {
+		panic(fmt.Sprintf("counter: non-numeric scan result %v (%T)", res, res))
+	}
+	return x
+}
+
+// opKind tracks which operation a machine is executing.
+type opKind uint8
+
+const (
+	opIdle opKind = iota
+	opInc
+	opDec
+	opScan
+)
+
+// --- single-location machines (add, multiply, set-bit) -----------------------
+
+// flatMachine is the shared shape of the single-location counters: Inc/Dec
+// are one instruction, Scan is one read (or fetch-style no-op update) plus a
+// pure decode.
+type flatMachine struct {
+	loc    int
+	m      int
+	op     opKind
+	counts []int64
+}
+
+func (f *flatMachine) Components() int { return f.m }
+
+func (f *flatMachine) Counts() []int64 { return f.counts }
+
+func (f *flatMachine) baseKey(tag uint64) uint64 {
+	return mixKey(tag, uint64(f.op))
+}
+
+// AddMachine is the forkable twin of Add: one {read, add} (or
+// {fetch-and-add}) location, component v in the (v+1)'st base-3n digit.
+type AddMachine struct {
+	flatMachine
+	base  *big.Int
+	pows  []*big.Int // shared, immutable
+	fetch bool
+}
+
+// NewAddMachine mirrors NewAdd/NewFetchAdd.
+func NewAddMachine(loc, m, n int, fetch bool) *AddMachine {
+	base := big.NewInt(int64(3 * n))
+	pows := make([]*big.Int, m)
+	pow := big.NewInt(1)
+	for v := 0; v < m; v++ {
+		pows[v] = new(big.Int).Set(pow)
+		pow = new(big.Int).Mul(pow, base)
+	}
+	return &AddMachine{flatMachine: flatMachine{loc: loc, m: m}, base: base, pows: pows, fetch: fetch}
+}
+
+func (c *AddMachine) Fork() Machine {
+	f := *c
+	return &f
+}
+
+func (c *AddMachine) Key() uint64 { return c.baseKey(0x61646430) }
+
+func (c *AddMachine) addOp() machine.Op {
+	if c.fetch {
+		return machine.OpFetchAndAdd
+	}
+	return machine.OpAdd
+}
+
+func (c *AddMachine) StartInc(v int) sim.OpInfo {
+	c.op = opInc
+	return sim.OpInfo{Loc: c.loc, Op: c.addOp(), Args: []machine.Value{c.pows[v]}}
+}
+
+func (c *AddMachine) StartDec(v int) sim.OpInfo {
+	c.op = opDec
+	return sim.OpInfo{Loc: c.loc, Op: c.addOp(), Args: []machine.Value{new(big.Int).Neg(c.pows[v])}}
+}
+
+func (c *AddMachine) StartScan() sim.OpInfo {
+	c.op = opScan
+	if c.fetch {
+		return sim.OpInfo{Loc: c.loc, Op: machine.OpFetchAndAdd, Args: []machine.Value{machine.Int(0)}}
+	}
+	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
+}
+
+func (c *AddMachine) Step(res machine.Value) (sim.OpInfo, bool) {
+	if c.op == opScan {
+		c.counts = decodeDigits(machine.MustInt(res), c.base, c.m)
+	}
+	c.op = opIdle
+	return sim.OpInfo{}, false
+}
+
+// MulMachine is the forkable twin of Multiply: one {read, multiply} (or
+// {fetch-and-multiply}) location, component v in the exponent of the
+// (v+1)'st prime.
+type MulMachine struct {
+	flatMachine
+	prms  []*big.Int // shared, immutable
+	fetch bool
+}
+
+// NewMulMachine mirrors NewMultiply/NewFetchMultiply.
+func NewMulMachine(loc, m int, fetch bool) *MulMachine {
+	ps := primes.First(m)
+	prms := make([]*big.Int, m)
+	for i, q := range ps {
+		prms[i] = big.NewInt(q)
+	}
+	return &MulMachine{flatMachine: flatMachine{loc: loc, m: m}, prms: prms, fetch: fetch}
+}
+
+func (c *MulMachine) Fork() Machine {
+	f := *c
+	return &f
+}
+
+func (c *MulMachine) Key() uint64 { return c.baseKey(0x6d756c30) }
+
+func (c *MulMachine) mulOp() machine.Op {
+	if c.fetch {
+		return machine.OpFetchAndMultiply
+	}
+	return machine.OpMultiply
+}
+
+func (c *MulMachine) StartInc(v int) sim.OpInfo {
+	c.op = opInc
+	return sim.OpInfo{Loc: c.loc, Op: c.mulOp(), Args: []machine.Value{c.prms[v]}}
+}
+
+func (c *MulMachine) StartDec(int) sim.OpInfo {
+	panic("counter: MulMachine is unbounded; Dec unsupported")
+}
+
+func (c *MulMachine) StartScan() sim.OpInfo {
+	c.op = opScan
+	if c.fetch {
+		return sim.OpInfo{Loc: c.loc, Op: machine.OpFetchAndMultiply, Args: []machine.Value{machine.Int(1)}}
+	}
+	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
+}
+
+func (c *MulMachine) Step(res machine.Value) (sim.OpInfo, bool) {
+	if c.op == opScan {
+		c.counts = decodeFactors(machine.MustInt(res), c.prms)
+	}
+	c.op = opIdle
+	return sim.OpInfo{}, false
+}
+
+// SetBitMachine is the forkable twin of SetBit: one {read, set-bit}
+// location, per-(component, process) lanes in consecutive blocks. Its
+// `mine` tallies are persistent process-local state and enter the key.
+type SetBitMachine struct {
+	flatMachine
+	n, id int
+	mine  []int64
+}
+
+// NewSetBitMachine mirrors NewSetBit for process id of n.
+func NewSetBitMachine(loc, m, n, id int) *SetBitMachine {
+	return &SetBitMachine{flatMachine: flatMachine{loc: loc, m: m}, n: n, id: id, mine: make([]int64, m)}
+}
+
+func (c *SetBitMachine) Fork() Machine {
+	f := *c
+	f.mine = append([]int64(nil), c.mine...)
+	return &f
+}
+
+func (c *SetBitMachine) Key() uint64 {
+	return mixCounts(c.baseKey(0x73657430), c.mine)
+}
+
+func (c *SetBitMachine) StartInc(v int) sim.OpInfo {
+	b := c.mine[v]
+	c.mine[v]++
+	block := int64(c.m * c.n)
+	idx := b*block + int64(v*c.n+c.id)
+	c.op = opInc
+	return sim.OpInfo{Loc: c.loc, Op: machine.OpSetBit, Args: []machine.Value{machine.Int(idx)}}
+}
+
+func (c *SetBitMachine) StartDec(int) sim.OpInfo {
+	panic("counter: SetBitMachine is unbounded; Dec unsupported")
+}
+
+func (c *SetBitMachine) StartScan() sim.OpInfo {
+	c.op = opScan
+	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
+}
+
+func (c *SetBitMachine) Step(res machine.Value) (sim.OpInfo, bool) {
+	if c.op == opScan {
+		c.counts = decodeBitBlocks(machine.MustInt(res), c.m, c.n)
+	}
+	c.op = opIdle
+	return sim.OpInfo{}, false
+}
+
+// --- multi-location machines (increment, unary bits) -------------------------
+
+// IncMachine is the forkable twin of Increment: m {read, increment} (or
+// fetch-and-increment) locations, double-collect scans.
+type IncMachine struct {
+	base, m int
+	fai     bool
+	op      opKind
+	idx     int
+	cur     []int64
+	prev    []int64
+	counts  []int64
+}
+
+// NewIncMachine mirrors NewIncrement/NewFetchIncrement over locations
+// base..base+m-1.
+func NewIncMachine(base, m int, fai bool) *IncMachine {
+	return &IncMachine{base: base, m: m, fai: fai}
+}
+
+func (c *IncMachine) Components() int { return c.m }
+
+func (c *IncMachine) Counts() []int64 { return c.counts }
+
+func (c *IncMachine) Fork() Machine {
+	f := *c
+	f.cur = append([]int64(nil), c.cur...)
+	f.prev = append([]int64(nil), c.prev...)
+	return &f
+}
+
+func (c *IncMachine) Key() uint64 {
+	h := mixKey(0x696e6330, uint64(c.op))
+	h = mixKey(h, uint64(c.idx))
+	h = mixCounts(h, c.cur)
+	if c.prev == nil {
+		return mixKey(h, 0)
+	}
+	return mixCounts(mixKey(h, 1), c.prev)
+}
+
+func (c *IncMachine) StartInc(v int) sim.OpInfo {
+	c.op = opInc
+	op := machine.OpIncrement
+	if c.fai {
+		op = machine.OpFetchAndIncrement
+	}
+	return sim.OpInfo{Loc: c.base + v, Op: op}
+}
+
+func (c *IncMachine) StartDec(int) sim.OpInfo {
+	panic("counter: IncMachine is unbounded; Dec unsupported")
+}
+
+func (c *IncMachine) read(i int) sim.OpInfo {
+	return sim.OpInfo{Loc: c.base + i, Op: machine.OpRead}
+}
+
+func (c *IncMachine) StartScan() sim.OpInfo {
+	c.op = opScan
+	c.idx = 0
+	c.cur = make([]int64, c.m)
+	c.prev = nil
+	return c.read(0)
+}
+
+func (c *IncMachine) Step(res machine.Value) (sim.OpInfo, bool) {
+	if c.op != opScan {
+		c.op = opIdle
+		return sim.OpInfo{}, false
+	}
+	c.cur[c.idx] = mustInt64(res)
+	c.idx++
+	if c.idx < c.m {
+		return c.read(c.idx), true
+	}
+	// One collect complete: the double-collect rule of doubleCollect.
+	if c.prev != nil && equalCounts(c.cur, c.prev) {
+		c.counts = c.cur
+		c.cur, c.prev = nil, nil
+		c.op = opIdle
+		return sim.OpInfo{}, false
+	}
+	c.prev = c.cur
+	c.cur = make([]int64, c.m)
+	c.idx = 0
+	return c.read(0), true
+}
+
+func equalCounts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unary sub-phases.
+const (
+	uSearch uint8 = iota // scanning bits for the one to flip (inc/dec)
+	uFlip                // the set/clear instruction is in flight
+)
+
+// UnaryMachine is the forkable twin of Unary: m components of width
+// single-bit locations, write(1)/write(0) or test-and-set/reset.
+type UnaryMachine struct {
+	base, m, width int
+	setOp, clearOp machine.Op
+	confirming     int
+
+	op   opKind
+	sub  uint8
+	v    int // component of the in-flight inc/dec
+	j    int // bit cursor of the in-flight inc/dec
+	idx  int // collect cursor of the in-flight scan
+	bits []bool
+	prev []bool
+	same int
+	cnt  []int64
+}
+
+// NewUnaryMachine mirrors NewUnary (tas=false) and NewUnaryTAS (tas=true).
+func NewUnaryMachine(base, m, width int, tas bool) *UnaryMachine {
+	u := &UnaryMachine{base: base, m: m, width: width,
+		setOp: machine.OpWriteOne, clearOp: machine.OpWriteZero, confirming: 2}
+	if tas {
+		u.setOp, u.clearOp = machine.OpTestAndSet, machine.OpReset
+	}
+	return u
+}
+
+func (c *UnaryMachine) Components() int { return c.m }
+
+func (c *UnaryMachine) Counts() []int64 { return c.cnt }
+
+func (c *UnaryMachine) Fork() Machine {
+	f := *c
+	f.bits = append([]bool(nil), c.bits...)
+	f.prev = append([]bool(nil), c.prev...)
+	return &f
+}
+
+func (c *UnaryMachine) Key() uint64 {
+	h := mixKey(0x756e7230, uint64(c.op))
+	h = mixKey(h, uint64(c.sub)|uint64(c.v)<<8)
+	h = mixKey(h, uint64(c.j)|uint64(c.idx)<<16|uint64(c.same)<<32)
+	for _, bs := range [][]bool{c.bits, c.prev} {
+		h = mixKey(h, uint64(len(bs)))
+		for _, b := range bs {
+			if b {
+				h = mixKey(h, 3)
+			} else {
+				h = mixKey(h, 5)
+			}
+		}
+	}
+	return h
+}
+
+func (c *UnaryMachine) loc(v, j int) int { return c.base + v*c.width + j }
+
+func (c *UnaryMachine) readBit(v, j int) sim.OpInfo {
+	return sim.OpInfo{Loc: c.loc(v, j), Op: machine.OpRead}
+}
+
+func (c *UnaryMachine) StartInc(v int) sim.OpInfo {
+	c.op, c.sub, c.v, c.j = opInc, uSearch, v, 0
+	return c.readBit(v, 0)
+}
+
+func (c *UnaryMachine) StartDec(v int) sim.OpInfo {
+	c.op, c.sub, c.v, c.j = opDec, uSearch, v, c.width-1
+	return c.readBit(v, c.j)
+}
+
+func (c *UnaryMachine) StartScan() sim.OpInfo {
+	c.op = opScan
+	c.idx = 0
+	c.bits = make([]bool, c.m*c.width)
+	c.prev = nil
+	c.same = 0
+	return sim.OpInfo{Loc: c.base, Op: machine.OpRead}
+}
+
+func (c *UnaryMachine) Step(res machine.Value) (sim.OpInfo, bool) {
+	switch c.op {
+	case opInc:
+		if c.sub == uFlip {
+			c.op = opIdle
+			return sim.OpInfo{}, false
+		}
+		if mustInt64(res) == 0 { // lowest clear bit found: set it
+			c.sub = uFlip
+			return sim.OpInfo{Loc: c.loc(c.v, c.j), Op: c.setOp}, true
+		}
+		c.j++
+		if c.j == c.width { // all observed set: transient contention; rescan
+			c.j = 0
+		}
+		return c.readBit(c.v, c.j), true
+	case opDec:
+		if c.sub == uFlip {
+			c.op = opIdle
+			return sim.OpInfo{}, false
+		}
+		if mustInt64(res) != 0 { // highest set bit found: clear it
+			c.sub = uFlip
+			return sim.OpInfo{Loc: c.loc(c.v, c.j), Op: c.clearOp}, true
+		}
+		c.j--
+		if c.j < 0 { // all observed clear: transient; rescan
+			c.j = c.width - 1
+		}
+		return c.readBit(c.v, c.j), true
+	case opScan:
+		c.bits[c.idx] = mustInt64(res) != 0
+		c.idx++
+		if c.idx < len(c.bits) {
+			return sim.OpInfo{Loc: c.base + c.idx, Op: machine.OpRead}, true
+		}
+		// One collect complete: require `confirming` consecutive identical
+		// collects, exactly as Unary.Scan does.
+		if c.prev != nil && equalBits(c.bits, c.prev) {
+			c.same++
+		} else {
+			c.same = 1
+		}
+		c.prev = c.bits
+		if c.same >= c.confirming {
+			c.cnt = make([]int64, c.m)
+			for i, b := range c.prev {
+				if b {
+					c.cnt[i/c.width]++
+				}
+			}
+			c.bits, c.prev = nil, nil
+			c.op = opIdle
+			return sim.OpInfo{}, false
+		}
+		c.bits = make([]bool, c.m*c.width)
+		c.idx = 0
+		return sim.OpInfo{Loc: c.base, Op: machine.OpRead}, true
+	}
+	c.op = opIdle
+	return sim.OpInfo{}, false
+}
+
+func equalBits(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

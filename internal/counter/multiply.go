@@ -68,9 +68,15 @@ func (c *Multiply) Scan() []int64 {
 	} else {
 		x = machine.MustInt(c.p.Apply(c.loc, machine.OpRead))
 	}
-	out := make([]int64, len(c.prms))
+	return decodeFactors(x, c.prms)
+}
+
+// decodeFactors recovers per-component counts as prime multiplicities. Pure
+// local computation shared with the forkable MulMachine.
+func decodeFactors(x *big.Int, prms []*big.Int) []int64 {
+	out := make([]int64, len(prms))
 	x = new(big.Int).Set(x)
-	for v, q := range c.prms {
+	for v, q := range prms {
 		quo, rem := new(big.Int), new(big.Int)
 		for {
 			quo.QuoRem(x, q, rem)

@@ -1,6 +1,8 @@
 package counter
 
 import (
+	"math/big"
+
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -40,11 +42,17 @@ func (c *SetBit) Inc(v int) {
 // set bits lying in component v's lanes across all blocks.
 func (c *SetBit) Scan() []int64 {
 	x := machine.MustInt(c.p.Apply(c.loc, machine.OpRead))
-	out := make([]int64, c.m)
-	block := c.m * c.n
+	return decodeBitBlocks(x, c.m, c.n)
+}
+
+// decodeBitBlocks counts set bits per component lane. Pure local
+// computation shared with the forkable SetBitMachine.
+func decodeBitBlocks(x *big.Int, m, n int) []int64 {
+	out := make([]int64, m)
+	block := m * n
 	for j := 0; j < x.BitLen(); j++ {
 		if x.Bit(j) == 1 {
-			v := (j % block) / c.n
+			v := (j % block) / n
 			out[v]++
 		}
 	}

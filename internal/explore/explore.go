@@ -1,19 +1,24 @@
 // Package explore systematically enumerates process interleavings of a
 // deterministic protocol, checking consensus safety over every schedule up
-// to a bound. Process state lives on a coroutine stack (the step-VM's Body
-// adapter) and cannot be snapshotted, so exploration is replay-based: each
-// schedule prefix is re-executed from a fresh system. That is exponential,
-// but the paper's wait-free protocols terminate within a couple of steps
-// per process and small instances of the obstruction-free ones fit
-// comfortably — and replay is exactly the operation the step-VM makes
-// cheap, since building and stepping a system involves no goroutine
-// handoffs.
+// to a bound. Configurations are first-class: System.Fork snapshots a
+// configuration in O(state) for protocols expressed as explicit forkable
+// steppers (every racing/TAS/CAS/max-register row — see
+// internal/consensus/steppers.go) and by per-process result-replay for the
+// coroutine Body adapters, so the default exploration strategy forks at
+// branch points instead of re-executing the whole schedule prefix from a
+// fresh system. A seen-state table keyed on the canonical configuration —
+// incremental memory fingerprint, per-process local-state keys, decisions —
+// optionally deduplicates the search: most interleavings of commuting steps
+// converge to identical configurations, and the transposition table
+// collapses that blow-up. The pre-fork replay strategy is retained behind
+// Options.Strategy as a differential-testing oracle.
 //
 // The package also provides the bounded CanDecide/Bivalent oracles that the
 // paper's valency arguments (Lemmas 6.4-6.7, 9.1) are phrased in terms of.
 package explore
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
@@ -22,6 +27,20 @@ import (
 // Factory builds a fresh system in its initial configuration. Systems are
 // closed by the explorer after use.
 type Factory func() (*sim.System, error)
+
+// Strategy selects how the explorer materializes configurations.
+type Strategy int
+
+const (
+	// StrategyAuto forks when the systems support it (all built-in
+	// protocols do) and falls back to replay otherwise. The default.
+	StrategyAuto Strategy = iota
+	// StrategyReplay re-executes each schedule prefix from a fresh system —
+	// the pre-fork explorer, kept as a differential oracle.
+	StrategyReplay
+	// StrategyFork forks the parent configuration at every branch point.
+	StrategyFork
+)
 
 // Options bounds an exploration.
 type Options struct {
@@ -36,6 +55,17 @@ type Options struct {
 	// decide within SoloBudget steps. This multiplies the cost by roughly
 	// n×SoloBudget per configuration.
 	SoloBudget int64
+	// Strategy selects fork- or replay-based materialization.
+	Strategy Strategy
+	// Dedup enables the seen-state table: a configuration whose canonical
+	// state key (memory fingerprint, per-process local state, decisions)
+	// was already visited with at least as much remaining depth is pruned.
+	// Pruning is sound for safety violations — the first visit explores a
+	// superset of the pruned subtree — but it changes the Runs/States
+	// accounting, so the fork-vs-replay differential tests run with it off.
+	// Silently ignored when the systems expose no state key (external
+	// steppers without sim.StateKeyer).
+	Dedup bool
 }
 
 // Violation describes a safety violation found during exploration.
@@ -53,8 +83,13 @@ type Report struct {
 	// Runs counts maximal schedules examined (all processes finished, or
 	// depth reached).
 	Runs int64
-	// States counts configurations visited (internal nodes included).
+	// States counts configurations expanded (internal nodes included).
+	// With Dedup this is close to, but not exactly, the number of distinct
+	// canonical states: the depth-aware table re-expands a state when it is
+	// reached again with more remaining depth than its recorded visit had.
 	States int64
+	// Deduped counts configurations pruned by the seen-state table.
+	Deduped int64
 	// Truncated reports whether MaxRuns stopped the search early.
 	Truncated bool
 	// Violations lists any safety violations (empty means the protocol is
@@ -80,44 +115,143 @@ func replay(f Factory, prefix []int) (*sim.System, error) {
 // Exhaustive explores every interleaving of the live processes up to
 // opts.MaxDepth, validating agreement and validity at every configuration.
 func Exhaustive(f Factory, opts Options) (*Report, error) {
-	rep := &Report{}
+	switch opts.Strategy {
+	case StrategyReplay:
+		return exhaustiveReplay(f, opts)
+	case StrategyFork:
+		return exhaustiveFork(f, opts)
+	default:
+		rep, err := exhaustiveFork(f, opts)
+		if errors.Is(err, sim.ErrNotForkable) {
+			return exhaustiveReplay(f, opts)
+		}
+		return rep, err
+	}
+}
+
+// walk carries the shared per-exploration state of both strategies.
+type walk struct {
+	opts   Options
+	rep    *Report
+	inputs []int
+	// seen maps canonical state key -> shallowest depth at which the state
+	// was expanded. A revisit is pruned only when it has no more remaining
+	// depth than the recorded visit, which keeps pruning sound under
+	// MaxDepth (the recorded visit explored a superset).
+	seen   map[string]int
+	keyBuf []byte // scratch for allocation-free seen lookups
+}
+
+func newWalk(opts Options) *walk {
+	w := &walk{opts: opts, rep: &Report{}}
+	if opts.Dedup {
+		w.seen = make(map[string]int)
+	}
+	return w
+}
+
+// cutRuns reports whether the run cap is exhausted, recording truncation.
+func (w *walk) cutRuns() bool {
+	if w.opts.MaxRuns > 0 && w.rep.Runs >= w.opts.MaxRuns {
+		w.rep.Truncated = true
+		return true
+	}
+	return false
+}
+
+// dedup reports whether the configuration of sys at depth was already
+// expanded with at least as much remaining depth. The lookup is
+// allocation-free: the key string is only materialized when a new state is
+// recorded.
+func (w *walk) dedup(sys *sim.System, depth int) bool {
+	if w.seen == nil {
+		return false
+	}
+	key, ok := sys.AppendStateKey(w.keyBuf[:0])
+	w.keyBuf = key[:0]
+	if !ok {
+		w.seen = nil // unkeyable steppers: dedup off for the whole walk
+		return false
+	}
+	if prev, hit := w.seen[string(key)]; hit && prev <= depth {
+		w.rep.Deduped++
+		return true
+	}
+	w.seen[string(key)] = depth
+	return false
+}
+
+// visit performs the per-configuration work — state accounting and the
+// safety check. sched lazily materializes the schedule for violation
+// reports.
+func (w *walk) visit(sys *sim.System, sched func() []int) {
+	w.rep.States++
+	if problem := checkSafety(sys, w.inputs); problem != "" {
+		w.rep.Violations = append(w.rep.Violations, Violation{
+			Schedule: sched(),
+			Problem:  problem,
+		})
+	}
+}
+
+// soloCheck verifies obstruction-freedom probes at a configuration.
+// soloFrom must yield a fresh system advanced to the configuration, owned
+// by soloCheck.
+func (w *walk) soloCheck(live []int, sched func() []int, soloFrom func() (*sim.System, error)) error {
+	for _, pid := range live {
+		sys, err := soloFrom()
+		if err != nil {
+			return err
+		}
+		ok, err := soloDecides(sys, pid, w.opts.SoloBudget)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			w.rep.Violations = append(w.rep.Violations, Violation{
+				Schedule: sched(),
+				Problem: fmt.Sprintf("obstruction-freedom: process %d undecided after %d solo steps",
+					pid, w.opts.SoloBudget),
+			})
+		}
+	}
+	return nil
+}
+
+// exhaustiveReplay is the pre-fork explorer: each configuration is
+// materialized by re-executing its schedule prefix from a fresh system.
+func exhaustiveReplay(f Factory, opts Options) (*Report, error) {
+	w := newWalk(opts)
 	var rec func(prefix []int) error
 	rec = func(prefix []int) error {
-		if opts.MaxRuns > 0 && rep.Runs >= opts.MaxRuns {
-			rep.Truncated = true
+		if w.cutRuns() {
 			return nil
 		}
 		sys, err := replay(f, prefix)
 		if err != nil {
 			return err
 		}
-		rep.States++
-		// Safety check at this configuration.
-		if problem := checkSafety(sys); problem != "" {
-			rep.Violations = append(rep.Violations, Violation{
-				Schedule: append([]int(nil), prefix...),
-				Problem:  problem,
-			})
+		if w.inputs == nil {
+			w.inputs = sys.Inputs() // the root replay doubles as input probe
 		}
+		if w.dedup(sys, len(prefix)) {
+			sys.Close()
+			return nil
+		}
+		sched := func() []int { return append([]int(nil), prefix...) }
+		w.visit(sys, sched)
 		live := sys.LiveSet()
 		sys.Close()
 		if opts.SoloBudget > 0 {
-			for _, pid := range live {
-				ok, err := soloDecides(f, prefix, pid, opts.SoloBudget)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					rep.Violations = append(rep.Violations, Violation{
-						Schedule: append([]int(nil), prefix...),
-						Problem: fmt.Sprintf("obstruction-freedom: process %d undecided after %d solo steps",
-							pid, opts.SoloBudget),
-					})
-				}
+			err := w.soloCheck(live, sched, func() (*sim.System, error) {
+				return replay(f, prefix)
+			})
+			if err != nil {
+				return err
 			}
 		}
 		if len(live) == 0 || (opts.MaxDepth > 0 && len(prefix) >= opts.MaxDepth) {
-			rep.Runs++
+			w.rep.Runs++
 			return nil
 		}
 		for _, pid := range live {
@@ -133,16 +267,104 @@ func Exhaustive(f Factory, opts Options) (*Report, error) {
 	if err := rec(nil); err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return w.rep, nil
 }
 
-// soloDecides replays prefix and then runs pid alone for at most budget
-// steps, reporting whether it decides.
-func soloDecides(f Factory, prefix []int, pid int, budget int64) (bool, error) {
-	sys, err := replay(f, prefix)
+// exhaustiveFork is the fork-based explorer: an iterative DFS whose stack
+// holds live forked systems, so materializing a child costs one Fork plus
+// one step instead of a fresh system plus the whole prefix. Visit order is
+// identical to exhaustiveReplay's recursion.
+func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
+	w := newWalk(opts)
+	root, err := f()
 	if err != nil {
-		return false, err
+		return nil, err
 	}
+	w.inputs = root.Inputs()
+
+	// Nodes carry their schedule as a parent chain, materialized into a
+	// slice only when a violation needs reporting.
+	type node struct {
+		sys    *sim.System
+		parent *node
+		pid    int // step taken from the parent; meaningless at the root
+		depth  int
+	}
+	schedOf := func(nd *node) []int {
+		out := make([]int, nd.depth)
+		for n := nd; n.parent != nil; n = n.parent {
+			out[n.depth-1] = n.pid
+		}
+		return out
+	}
+	stack := []*node{{sys: root}}
+	// Every stacked system is closed exactly once: popped nodes by the loop
+	// body, unpopped ones here on early error returns.
+	defer func() {
+		for _, nd := range stack {
+			nd.sys.Close()
+		}
+	}()
+
+	var liveBuf []int
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sys := nd.sys
+
+		if w.cutRuns() || w.dedup(sys, nd.depth) {
+			sys.Close()
+			continue
+		}
+		sched := func() []int { return schedOf(nd) }
+		w.visit(sys, sched)
+		live := sys.AppendLive(liveBuf[:0])
+		liveBuf = live
+		if opts.SoloBudget > 0 {
+			err := w.soloCheck(live, sched, func() (*sim.System, error) {
+				return sys.Fork()
+			})
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
+		if len(live) == 0 || (opts.MaxDepth > 0 && nd.depth >= opts.MaxDepth) {
+			w.rep.Runs++
+			sys.Close()
+			continue
+		}
+		// Push children in reverse so they pop in ascending pid order,
+		// matching the replay recursion's visit order. The first child
+		// (pushed last) takes ownership of the parent system and steps it in
+		// place — one fork per sibling beyond the first, none for chains.
+		for i := len(live) - 1; i >= 1; i-- {
+			pid := live[i]
+			child, err := sys.Fork()
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			if _, err := child.Step(pid); err != nil {
+				child.Close()
+				sys.Close()
+				return nil, fmt.Errorf("explore: extending %v by %d: %w", schedOf(nd), pid, err)
+			}
+			stack = append(stack, &node{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
+		}
+		pid := live[0]
+		if _, err := sys.Step(pid); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("explore: extending %v by %d: %w", schedOf(nd), pid, err)
+		}
+		stack = append(stack, &node{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
+	}
+	return w.rep, nil
+}
+
+// soloDecides runs pid alone on sys (which it owns and closes) for at most
+// budget steps, reporting whether it decides.
+func soloDecides(sys *sim.System, pid int, budget int64) (bool, error) {
 	defer sys.Close()
 	for i := int64(0); i < budget && sys.Live(pid); i++ {
 		if _, err := sys.Step(pid); err != nil {
@@ -154,13 +376,36 @@ func soloDecides(f Factory, prefix []int, pid int, budget int64) (bool, error) {
 }
 
 // checkSafety validates the decisions made so far in sys against agreement
-// and validity; it returns a description of the problem or "".
-func checkSafety(sys *sim.System) string {
+// and validity; it returns a description of the problem or "". It is
+// allocation-free on the no-decision fast path and mirrors
+// Result.CheckConsensus's messages.
+func checkSafety(sys *sim.System, inputs []int) string {
 	if err := sys.Err(); err != nil {
 		return err.Error()
 	}
-	if err := sys.Result().CheckConsensus(sys.Inputs()); err != nil {
-		return err.Error()
+	firstPid, agreed := -1, 0
+	for pid := 0; pid < sys.N(); pid++ {
+		d, ok := sys.Decided(pid)
+		if !ok {
+			continue
+		}
+		valid := false
+		for _, in := range inputs {
+			if d == in {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Sprintf("validity violated: process %d decided %d, not an input %v",
+				pid, d, inputs)
+		}
+		if firstPid < 0 {
+			firstPid, agreed = pid, d
+		} else if d != agreed {
+			return fmt.Sprintf("agreement violated: process %d decided %d, process %d decided %d",
+				firstPid, agreed, pid, d)
+		}
 	}
 	return ""
 }
@@ -168,8 +413,102 @@ func checkSafety(sys *sim.System) string {
 // CanDecide reports whether value v can be decided from the configuration
 // reached by prefix using only steps of the processes in set, searching
 // schedules up to extraDepth additional steps. It is the bounded executable
-// form of the paper's "P can decide v from C".
+// form of the paper's "P can decide v from C". The search forks
+// configurations (with seen-state dedup) when the systems support it and
+// falls back to schedule replay otherwise.
 func CanDecide(f Factory, prefix []int, set []int, v, extraDepth int) (bool, error) {
+	base, err := replay(f, prefix)
+	if err != nil {
+		return false, err
+	}
+	got, err := CanDecideFrom(base, set, v, extraDepth)
+	if errors.Is(err, sim.ErrNotForkable) {
+		return canDecideReplay(f, prefix, set, v, extraDepth)
+	}
+	return got, err
+}
+
+// CanDecideFrom is CanDecide starting from a live configuration, which it
+// owns and closes. The lower-bound machinery calls it directly with forked
+// configurations to avoid re-materializing the prefix per oracle query.
+func CanDecideFrom(base *sim.System, set []int, v, extraDepth int) (found bool, err error) {
+	inSet := make(map[int]bool, len(set))
+	for _, p := range set {
+		inSet[p] = true
+	}
+	type node struct {
+		sys   *sim.System
+		depth int
+	}
+	stack := []node{{sys: base, depth: 0}}
+	defer func() {
+		for _, nd := range stack {
+			nd.sys.Close()
+		}
+	}()
+	// seen maps state key -> shallowest depth expanded, as in Exhaustive.
+	seen := make(map[string]int)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sys := nd.sys
+		decided := false
+		for pid := 0; pid < sys.N(); pid++ {
+			if d, ok := sys.Decided(pid); ok && d == v {
+				decided = true
+				break
+			}
+		}
+		if decided {
+			sys.Close()
+			return true, nil
+		}
+		if nd.depth >= extraDepth {
+			sys.Close()
+			continue
+		}
+		if key, ok := sys.StateKey(); ok {
+			if prev, hit := seen[key]; hit && prev <= nd.depth {
+				sys.Close()
+				continue
+			}
+			seen[key] = nd.depth
+		}
+		var pids []int
+		for _, pid := range sys.LiveSet() {
+			if inSet[pid] {
+				pids = append(pids, pid)
+			}
+		}
+		if len(pids) == 0 {
+			sys.Close()
+			continue
+		}
+		// The first child reuses the parent system in place.
+		for _, pid := range pids[1:] {
+			child, err := sys.Fork()
+			if err != nil {
+				sys.Close()
+				return false, err
+			}
+			if _, err := child.Step(pid); err != nil {
+				child.Close()
+				sys.Close()
+				return false, fmt.Errorf("explore: extending by %d: %w", pid, err)
+			}
+			stack = append(stack, node{sys: child, depth: nd.depth + 1})
+		}
+		if _, err := sys.Step(pids[0]); err != nil {
+			sys.Close()
+			return false, fmt.Errorf("explore: extending by %d: %w", pids[0], err)
+		}
+		stack = append(stack, node{sys: sys, depth: nd.depth + 1})
+	}
+	return false, nil
+}
+
+// canDecideReplay is the replay fallback for systems that cannot fork.
+func canDecideReplay(f Factory, prefix []int, set []int, v, extraDepth int) (bool, error) {
 	inSet := make(map[int]bool, len(set))
 	for _, p := range set {
 		inSet[p] = true

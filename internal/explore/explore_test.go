@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/consensus"
@@ -111,6 +112,96 @@ func TestExhaustiveCatchesBrokenProtocol(t *testing.T) {
 	}
 	if len(rep.Violations) == 0 {
 		t.Fatal("explorer failed to detect an agreement violation")
+	}
+}
+
+// TestStrategiesAgree is the fork-vs-replay differential: with dedup off,
+// both strategies must produce byte-identical Reports — same runs, same
+// states, same truncation, same violations in the same order — across
+// natively forkable protocols, coroutine-body protocols (result-replay
+// forking), a depth-bounded instance, a MaxRuns-truncated instance, a
+// SoloBudget instance, and a deliberately broken protocol.
+func TestStrategiesAgree(t *testing.T) {
+	broken := func() (*sim.System, error) {
+		mem := machine.New(machine.SetReadWrite, 1)
+		body := func(p *sim.Proc) int {
+			p.Apply(0, machine.OpRead)
+			return p.Input()
+		}
+		return sim.NewSystem(mem, []int{0, 1}, body), nil
+	}
+	cases := []struct {
+		name string
+		f    Factory
+		opts Options
+	}{
+		{"cas3", factoryFor(func() *consensus.Protocol { return consensus.CAS(3) }, []int{0, 1, 2}), Options{}},
+		{"intro-faa2-tas", factoryFor(func() *consensus.Protocol { return consensus.IntroFAA2TAS(3) }, []int{0, 1, 0}), Options{}},
+		{"max-registers-depth8", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}), Options{MaxDepth: 8}},
+		{"add-depth7", factoryFor(func() *consensus.Protocol { return consensus.Add(2) }, []int{1, 0}), Options{MaxDepth: 7}},
+		{"buffered-depth7", factoryFor(func() *consensus.Protocol { return consensus.Buffered(2, 2) }, []int{1, 0}), Options{MaxDepth: 7}},
+		{"maxruns", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2}), Options{MaxDepth: 12, MaxRuns: 5}},
+		{"solo", factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1}), Options{SoloBudget: 5}},
+		{"broken", broken, Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ro, fo := tc.opts, tc.opts
+			ro.Strategy, fo.Strategy = StrategyReplay, StrategyFork
+			rrep, err := Exhaustive(tc.f, ro)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frep, err := Exhaustive(tc.f, fo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rrep, frep) {
+				t.Fatalf("strategies disagree:\nreplay %+v\nfork   %+v", rrep, frep)
+			}
+		})
+	}
+}
+
+// TestDedupCollapsesStates: seen-state deduplication must visit strictly
+// fewer configurations on protocols with commuting steps while reaching the
+// same safety verdict, and must still catch violations of an unsafe
+// protocol.
+func TestDedupCollapsesStates(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	plain, err := Exhaustive(f, Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := Exhaustive(f, Options{MaxDepth: 10, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Violations) != 0 || len(dedup.Violations) != 0 {
+		t.Fatalf("violations: plain %v dedup %v", plain.Violations, dedup.Violations)
+	}
+	if dedup.States >= plain.States {
+		t.Fatalf("dedup visited %d states, plain %d: no collapse", dedup.States, plain.States)
+	}
+	if dedup.Deduped == 0 {
+		t.Fatal("dedup pruned nothing")
+	}
+
+	// A broken protocol must still be caught with dedup on.
+	broken := func() (*sim.System, error) {
+		mem := machine.New(machine.SetReadWrite, 1)
+		body := func(p *sim.Proc) int {
+			p.Apply(0, machine.OpRead)
+			return p.Input()
+		}
+		return sim.NewSystem(mem, []int{0, 1}, body), nil
+	}
+	rep, err := Exhaustive(broken, Options{Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("dedup exploration missed an agreement violation")
 	}
 }
 

@@ -3,11 +3,14 @@
 // bivalent configurations (Lemma 6.4), executions splitting two processes
 // onto different decisions (Lemma 6.6), coverage census over poised
 // instructions, and block-write indistinguishability probes (Lemma 6.5's
-// engine). Everything operates on replayable executions — a Factory builds
-// the initial configuration and a schedule prefix identifies a reachable
-// configuration — because process state (a coroutine stack in the step-VM's
-// Body adapter) cannot be snapshotted. Replays are cheap: materializing a
-// configuration costs one synchronous VM step per prefix entry.
+// engine). A Config identifies a reachable configuration by its schedule
+// prefix, and materializes it through System.Fork: for protocols expressed
+// as explicit forkable steppers each Config lazily caches a snapshot, so
+// re-materializing — which the probes do constantly — costs one O(state)
+// fork of the nearest cached ancestor plus the remaining suffix steps,
+// instead of a fresh system plus the whole prefix. Protocols on the
+// coroutine Body adapter transparently fall back to full schedule replay,
+// which the step-VM keeps cheap.
 //
 // These are bounded, executable forms: the lemmas quantify over all
 // protocols and use unbounded executions; the functions here verify or
@@ -16,6 +19,7 @@
 package lowerbound
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/explore"
@@ -26,10 +30,19 @@ import (
 type Factory = explore.Factory
 
 // Config identifies a reachable configuration: the schedule prefix that
-// leads to it from the initial configuration.
+// leads to it from the initial configuration. Configs derived via Extend
+// remember their parent, and each Config caches a forkable snapshot the
+// first time it is materialized (when the protocol forks natively), so a
+// chain of extensions re-materializes from the nearest snapshot instead of
+// from scratch. Snapshots of natively forkable systems hold no coroutines
+// or goroutines and are reclaimed by the garbage collector with the Config.
 type Config struct {
 	f      Factory
 	Prefix []int
+	parent *Config
+	tail   []int       // Prefix = parent.Prefix + tail when parent != nil
+	snap   *sim.System // cached snapshot; only for natively forkable systems
+	used   bool        // materialized at least once; gates snapshot caching
 }
 
 // At returns the configuration reached by prefix.
@@ -37,19 +50,46 @@ func At(f Factory, prefix ...int) *Config {
 	return &Config{f: f, Prefix: append([]int(nil), prefix...)}
 }
 
-// Materialize replays the configuration into a live system. Callers own the
-// returned system and must Close it.
+// Materialize produces a live system at the configuration, by forking the
+// nearest cached snapshot up the Extend chain and stepping the remaining
+// suffix — or, for protocols that do not fork natively, by replaying the
+// whole prefix from a fresh system. Callers own the returned system and
+// must Close it.
 func (c *Config) Materialize() (*sim.System, error) {
-	sys, err := c.f()
+	if c.snap != nil {
+		return c.snap.Fork()
+	}
+	var (
+		sys  *sim.System
+		tail []int
+		err  error
+	)
+	if c.parent != nil {
+		sys, err = c.parent.Materialize()
+		tail = c.tail
+	} else {
+		sys, err = c.f()
+		tail = c.Prefix
+	}
 	if err != nil {
 		return nil, err
 	}
-	for _, pid := range c.Prefix {
+	for _, pid := range tail {
 		if _, err := sys.Step(pid); err != nil {
 			sys.Close()
 			return nil, fmt.Errorf("lowerbound: replaying %v: %w", c.Prefix, err)
 		}
 	}
+	// Cache a snapshot only from the second materialization on: throwaway
+	// Configs (materialized once, then dropped — the block-write probes'
+	// extensions) never pay the extra fork, while any Config used as a base
+	// for repeated probes or extensions gets cached on its first reuse.
+	if c.used && sys.ForksNatively() {
+		if snap, err := sys.Fork(); err == nil {
+			c.snap = snap
+		}
+	}
+	c.used = true
 	return sys, nil
 }
 
@@ -58,7 +98,7 @@ func (c *Config) Extend(pids ...int) *Config {
 	next := make([]int, 0, len(c.Prefix)+len(pids))
 	next = append(next, c.Prefix...)
 	next = append(next, pids...)
-	return &Config{f: c.f, Prefix: next}
+	return &Config{f: c.f, Prefix: next, parent: c, tail: next[len(c.Prefix):]}
 }
 
 // SoloDecision runs pid alone from the configuration and returns its
@@ -82,20 +122,26 @@ func (c *Config) SoloDecision(pid int, maxSteps int64) (int, bool, error) {
 // Bivalent reports whether the process set can decide both 0 and 1 from the
 // configuration, searching set-only schedules up to extraDepth further
 // steps (the executable form of the paper's bivalence; Lemma 6.4 asserts it
-// for initial configurations with both inputs present).
+// for initial configurations with both inputs present). Each valency query
+// starts from a fork of the configuration rather than a fresh replay.
 func (c *Config) Bivalent(set []int, extraDepth int) (bool, error) {
-	can0, err := explore.CanDecide(c.f, c.Prefix, set, 0, extraDepth)
-	if err != nil {
-		return false, err
+	for _, v := range []int{0, 1} {
+		sys, err := c.Materialize()
+		if err != nil {
+			return false, err
+		}
+		can, err := explore.CanDecideFrom(sys, set, v, extraDepth)
+		if errors.Is(err, sim.ErrNotForkable) {
+			can, err = explore.CanDecide(c.f, c.Prefix, set, v, extraDepth)
+		}
+		if err != nil {
+			return false, err
+		}
+		if !can {
+			return false, nil
+		}
 	}
-	if !can0 {
-		return false, nil
-	}
-	can1, err := explore.CanDecide(c.f, c.Prefix, set, 1, extraDepth)
-	if err != nil {
-		return false, err
-	}
-	return can1, nil
+	return true, nil
 }
 
 // Split searches for an extension of the configuration after which two
@@ -223,8 +269,8 @@ func (cov *Coverage) KCovered(k int, among map[int]bool) []int {
 // delta·block and block alone — and compares what a subsequent buffer-read
 // of the location returns.
 func (c *Config) BlockWriteObliterates(loc int, writers []int, delta int) (bool, error) {
-	readAfter := func(prefix []int) (string, error) {
-		sys, err := At(c.f, prefix...).Materialize()
+	readAfter := func(ext ...int) (string, error) {
+		sys, err := c.Extend(ext...).Materialize()
 		if err != nil {
 			return "", err
 		}
@@ -232,13 +278,11 @@ func (c *Config) BlockWriteObliterates(loc int, writers []int, delta int) (bool,
 		vals := sys.Mem().PeekBuffer(loc)
 		return fmt.Sprint(vals), nil
 	}
-	withDelta := append(append(append([]int{}, c.Prefix...), delta), writers...)
-	withoutDelta := append(append([]int{}, c.Prefix...), writers...)
-	a, err := readAfter(withDelta)
+	a, err := readAfter(append([]int{delta}, writers...)...)
 	if err != nil {
 		return false, err
 	}
-	b, err := readAfter(withoutDelta)
+	b, err := readAfter(writers...)
 	if err != nil {
 		return false, err
 	}

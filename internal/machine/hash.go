@@ -1,0 +1,161 @@
+package machine
+
+import "math/big"
+
+// Canonical state hashing. The explorer deduplicates configurations by a
+// canonical key, whose memory component is a 64-bit fingerprint maintained
+// incrementally: every non-trivial instruction updates the memory's rolling
+// fingerprint by XORing out the touched location's old hash and XORing in
+// its new one, so keeping the fingerprint current costs O(touched location)
+// per step instead of O(memory) per query.
+//
+// "Canonical" means representation-independent: a word, a *big.Int, and (for
+// zero) the lazily-nil initial contents all hash identically when they stand
+// for the same integer, matching EqualValues. Locations in the canonical
+// zero state (value 0, empty buffer) hash to 0 and therefore contribute
+// nothing, so a bounded memory and an unbounded memory holding the same
+// values fingerprint equally regardless of how many zero locations have
+// materialized.
+
+const (
+	hashSeed      = 0x9e3779b97f4a7c15
+	hashBigTag    = 0x6a09e667f3bcc908
+	hashLocTag    = 0xbb67ae8584caa73b
+	hashBlobTag   = 0x3c6ef372fe94f82b
+	hashRawIntTag = 0xa54ff53a5f1d36f1
+	hashVecTag    = 0x510e527fade682d1
+	hashSliceTag  = 0x9b05688c2b3e6c1f
+)
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer used to chain
+// canonical state into rolling hashes. Exported for the sim and consensus
+// layers, which compose process-local state keys out of value hashes.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashInt64(x int64) uint64 {
+	return Mix64(uint64(x) ^ hashSeed)
+}
+
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	return Mix64(h ^ hashBlobTag)
+}
+
+// Hashable lets a structured payload provide its canonical 64-bit hash
+// directly. Payloads stored on hot protocol paths (the swap cells, the
+// single-writer register cells) implement it because the reflective
+// fallback — hashing the payload's formatted form — costs more than the
+// instruction it instruments. Implementations must agree with EqualValues:
+// payloads that compare equal must hash equal.
+type Hashable interface {
+	Hash64() uint64
+}
+
+// HashValue returns the canonical 64-bit hash of a Value: numeric values
+// hash by integer value regardless of representation (nil ≡ word(0) ≡ a
+// zero *big.Int), Hashable payloads by their own canonical hash, and other
+// structured payloads by their canonical string form — the same
+// equivalence EqualValues decides.
+func HashValue(v Value) uint64 {
+	switch t := v.(type) {
+	case nil:
+		return hashInt64(0)
+	case word:
+		return hashInt64(int64(t))
+	case *big.Int:
+		if t == nil {
+			return hashInt64(0)
+		}
+		if t.IsInt64() {
+			return hashInt64(t.Int64())
+		}
+		h := uint64(hashBigTag)
+		if t.Sign() < 0 {
+			h = Mix64(h ^ 1)
+		}
+		for _, w := range t.Bits() {
+			h = Mix64(h ^ uint64(w))
+		}
+		return h
+	case Hashable:
+		return t.Hash64()
+	case int:
+		// Raw-int payloads (register cell contents) are distinct from the
+		// numeric Value representations under EqualValues, so they get
+		// their own tagged hash.
+		return Mix64(hashInt64(int64(t)) ^ hashRawIntTag)
+	case string:
+		return hashString(t)
+	case []int64:
+		// Lap vectors and count slices, stored by the register protocols.
+		h := Mix64(uint64(len(t)) ^ hashVecTag)
+		for _, x := range t {
+			h = Mix64(h ^ uint64(x))
+		}
+		return h
+	case []Value:
+		// Buffer-read results and heterogeneous payload vectors.
+		h := Mix64(uint64(len(t)) ^ hashSliceTag)
+		for _, e := range t {
+			h = Mix64(h ^ HashValue(e))
+		}
+		return h
+	default:
+		return hashString(fingerprintValue(v))
+	}
+}
+
+// zeroValue reports whether v is the canonical zero contents of a plain
+// location: nil (never written) or any numeric representation of 0.
+func zeroValue(v Value) bool {
+	switch t := v.(type) {
+	case nil:
+		return true
+	case word:
+		return t == 0
+	case *big.Int:
+		return t == nil || t.Sign() == 0
+	default:
+		return false
+	}
+}
+
+// canonicalValueString renders a Value for the string fingerprint under the
+// same equivalence HashValue uses: all representations of an integer render
+// identically (nil renders as "0").
+func canonicalValueString(v Value) string {
+	if zeroValue(v) {
+		return "0"
+	}
+	return fingerprintValue(normValue(v))
+}
+
+// locHash is the canonical hash of one location's observable contents: its
+// plain value and its buffer, sequenced so that order and length matter. A
+// location in the zero state hashes to 0. The buffer-write total (`writes`)
+// is instrumentation, not observable state, and is excluded.
+func locHash(i int, l *location) uint64 {
+	if len(l.buf) == 0 && zeroValue(l.val) {
+		return 0
+	}
+	h := Mix64(uint64(i) ^ hashLocTag)
+	h = Mix64(h ^ HashValue(l.val))
+	for _, v := range l.buf {
+		h = Mix64(h ^ HashValue(v))
+	}
+	return h
+}

@@ -41,6 +41,10 @@ type Memory struct {
 	caps      []int // per-location buffer capacity; nil means uniform set l
 	unbounded bool
 	stats     Stats
+	// fp is the incrementally maintained canonical fingerprint: the XOR of
+	// locHash over all locations, updated per mutating instruction. See
+	// hash.go for the canonicalization rules.
+	fp uint64
 }
 
 // Option configures a Memory.
@@ -92,7 +96,37 @@ func New(set InstrSet, size int, opts ...Option) *Memory {
 	if m.caps != nil && len(m.caps) != size {
 		panic("machine: WithCapacities length mismatch")
 	}
+	for i := range m.locs {
+		m.locs[i].val = normValue(m.locs[i].val)
+		m.fp ^= locHash(i, &m.locs[i])
+	}
 	return m
+}
+
+// Clone returns an independent deep copy of the memory in O(locations):
+// plain values are copied defensively (words are immutable, big.Ints
+// duplicated), buffers get fresh backing arrays (entries are immutable by
+// convention), and the instrumentation counters are duplicated. The
+// instruction set, capacities, and fingerprint carry over unchanged; the
+// clone and the original never observe each other's subsequent instructions.
+func (m *Memory) Clone() *Memory {
+	n := &Memory{
+		set:       m.set,
+		caps:      m.caps, // immutable after construction
+		unbounded: m.unbounded,
+		fp:        m.fp,
+	}
+	n.locs = make([]location, len(m.locs))
+	copy(n.locs, m.locs)
+	for i := range n.locs {
+		l := &n.locs[i]
+		l.val = cloneValue(l.val)
+		if len(l.buf) > 0 {
+			l.buf = append([]Value(nil), l.buf...)
+		}
+	}
+	n.stats = m.stats.cloneInternal()
+	return n
 }
 
 // Set returns the memory's instruction set.
@@ -149,12 +183,28 @@ func (m *Memory) Apply(loc int, op Op, args ...Value) (Value, error) {
 	return res, nil
 }
 
-// apply dispatches without instrumentation; used by Apply and MultiAssign.
-// Numeric instructions run on the allocation-free word fast path whenever
-// the location contents and operands fit in int64, promoting to *big.Int
-// only on overflow (the paper's multiply rows grow without bound, so the
-// slow path stays reachable).
+// apply dispatches without instrumentation and keeps the canonical
+// fingerprint current: for a mutating instruction the touched location's
+// hash is XORed out before and back in after, so the rolling fingerprint is
+// updated per instruction rather than recomputed. Used by Apply and
+// MultiAssign.
 func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
+	if op.Trivial() {
+		return m.applyOp(loc, op, args)
+	}
+	pre := locHash(loc, &m.locs[loc])
+	res, err := m.applyOp(loc, op, args)
+	if err == nil {
+		m.fp ^= pre ^ locHash(loc, &m.locs[loc])
+	}
+	return res, err
+}
+
+// applyOp performs the instruction itself. Numeric instructions run on the
+// allocation-free word fast path whenever the location contents and operands
+// fit in int64, promoting to *big.Int only on overflow (the paper's multiply
+// rows grow without bound, so the slow path stays reachable).
+func (m *Memory) applyOp(loc int, op Op, args []Value) (Value, error) {
 	l := &m.locs[loc]
 	num := func(v Value) (*big.Int, error) {
 		x, ok := AsInt(v)
@@ -425,18 +475,26 @@ func (m *Memory) BufferWrites(loc int) int {
 // Stats returns a copy of the memory's instrumentation counters.
 func (m *Memory) Stats() Stats { return m.stats.clone() }
 
-// Fingerprint returns a deterministic string capturing the full contents of
-// memory; the systematic explorer uses it to recognize repeated
-// configurations.
+// Fingerprint returns a deterministic string capturing the canonical
+// contents of memory. Locations in the zero state (value 0, empty buffer)
+// are omitted, so two memories are observationally equivalent — every
+// instruction sequence returns the same results on both — exactly when
+// their fingerprints are equal, regardless of value representation or of
+// how many zero locations an unbounded memory has materialized. Tests and
+// the differential suites compare configurations with it; the explorer's
+// dedup key uses the incremental Fingerprint64 instead.
 func (m *Memory) Fingerprint() string {
 	out := make([]byte, 0, 64)
 	for i := range m.locs {
 		l := &m.locs[i]
-		out = append(out, fmt.Sprintf("%d=%s", i, fingerprintValue(l.val))...)
+		if len(l.buf) == 0 && zeroValue(l.val) {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%d=%s", i, canonicalValueString(l.val))...)
 		if len(l.buf) > 0 {
 			out = append(out, '[')
 			for _, v := range l.buf {
-				out = append(out, fingerprintValue(v)...)
+				out = append(out, canonicalValueString(v)...)
 				out = append(out, ',')
 			}
 			out = append(out, ']')
@@ -445,3 +503,11 @@ func (m *Memory) Fingerprint() string {
 	}
 	return string(out)
 }
+
+// Fingerprint64 returns the canonical 64-bit fingerprint of the memory
+// contents. It is maintained incrementally — each mutating instruction
+// updates it in O(touched location) — so reading it is free; equal states
+// always fingerprint equally, and distinct states collide only with the
+// usual 64-bit hash probability. It is the memory component of the
+// explorer's seen-state key.
+func (m *Memory) Fingerprint64() uint64 { return m.fp }

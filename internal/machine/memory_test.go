@@ -388,6 +388,120 @@ func TestFingerprintDistinguishes(t *testing.T) {
 	}
 }
 
+// TestCloneIndependence: a clone shares no mutable state with the original —
+// plain values (including promoted big.Ints), buffers, and stats all
+// diverge independently after mutation.
+func TestCloneIndependence(t *testing.T) {
+	m := New(NewInstrSet("t", OpRead, OpAdd, OpMultiply, OpBufferRead, OpBufferWrite).WithBuffers(2), 3)
+	mustApply(t, m, 0, OpAdd, Int(7))
+	// Push location 1 beyond int64 so it holds a *big.Int.
+	huge := new(big.Int).Lsh(Int(1), 100)
+	mustApply(t, m, 1, OpAdd, huge)
+	mustApply(t, m, 2, OpBufferWrite, Int(5))
+
+	c := m.Clone()
+	if m.Fingerprint() != c.Fingerprint() || m.Fingerprint64() != c.Fingerprint64() {
+		t.Fatal("clone fingerprints differ from original")
+	}
+	// Mutate the original: the clone must not move.
+	mustApply(t, m, 0, OpAdd, Int(1))
+	mustApply(t, m, 1, OpMultiply, Int(3))
+	mustApply(t, m, 2, OpBufferWrite, Int(6))
+	wantInt(t, mustApply(t, c, 0, OpRead), 7)
+	if got := MustInt(mustApply(t, c, 1, OpRead)); got.Cmp(huge) != 0 {
+		t.Fatalf("clone big value mutated: %v", got)
+	}
+	if buf := c.PeekBuffer(2); len(buf) != 1 {
+		t.Fatalf("clone buffer mutated: %v", buf)
+	}
+	// And mutating the clone must not move the original.
+	before := m.Fingerprint()
+	mustApply(t, c, 0, OpAdd, Int(100))
+	if m.Fingerprint() != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+	mustApply(t, m, 0, OpAdd, Int(1))
+	if m.Stats().Steps == c.Stats().Steps {
+		t.Fatal("stats shared between clone and original")
+	}
+}
+
+// TestFingerprint64Canonical: the incremental fingerprint respects canonical
+// value equality — word vs *big.Int representations, nil vs written zero —
+// and distinguishes genuinely different states.
+func TestFingerprint64Canonical(t *testing.T) {
+	set := NewInstrSet("t", OpRead, OpWrite, OpAdd)
+	// Same value via word and via big.Int representations.
+	a, b := New(set, 2), New(set, 2)
+	mustApply(t, a, 0, OpWrite, Word(42))
+	mustApply(t, b, 0, OpWrite, Int(42))
+	if a.Fingerprint64() != b.Fingerprint64() || a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("word and big.Int forms of 42 fingerprint differently")
+	}
+	// Writing an explicit 0 equals never touching the location.
+	fresh := New(set, 2)
+	mustApply(t, a, 0, OpWrite, Int(0))
+	if a.Fingerprint64() != fresh.Fingerprint64() || a.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("explicit zero differs from untouched location")
+	}
+	// An unbounded memory with the same contents matches a bounded one.
+	u := New(set, 0, WithUnbounded())
+	mustApply(t, u, 1, OpWrite, Int(9))
+	bb := New(set, 2)
+	mustApply(t, bb, 1, OpWrite, Word(9))
+	if u.Fingerprint64() != bb.Fingerprint64() || u.Fingerprint() != bb.Fingerprint() {
+		t.Fatal("unbounded and bounded memories with equal contents differ")
+	}
+	// Different values and different locations must not collide.
+	x, y := New(set, 2), New(set, 2)
+	mustApply(t, x, 0, OpWrite, Int(1))
+	mustApply(t, y, 1, OpWrite, Int(1))
+	if x.Fingerprint64() == y.Fingerprint64() {
+		t.Fatal("same value at different locations collided")
+	}
+	mustApply(t, y, 0, OpWrite, Int(2))
+	if x.Fingerprint64() == y.Fingerprint64() {
+		t.Fatal("different states collided")
+	}
+}
+
+// TestFingerprint64Incremental: the rolling fingerprint is path-independent —
+// states reached by different instruction orders (including through big.Int
+// promotion and back) fingerprint identically, and always match a fresh
+// memory rebuilt in that state.
+func TestFingerprint64Incremental(t *testing.T) {
+	set := NewInstrSet("t", OpRead, OpAdd, OpBufferRead, OpBufferWrite).WithBuffers(2)
+	a, b := New(set, 2), New(set, 2)
+	mustApply(t, a, 0, OpAdd, Int(5))
+	mustApply(t, a, 0, OpAdd, Int(3))
+	mustApply(t, b, 0, OpAdd, Int(3))
+	mustApply(t, b, 0, OpAdd, Int(5))
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("commuting adds fingerprint differently")
+	}
+	// Through promotion and back: +2^100, -2^100 returns to the word state.
+	huge := new(big.Int).Lsh(Int(1), 100)
+	mustApply(t, a, 0, OpAdd, huge)
+	mustApply(t, a, 0, OpAdd, new(big.Int).Neg(huge))
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("promotion round-trip changed the fingerprint")
+	}
+	// Buffer writes: capacity-evicted buffers with equal final contents match.
+	mustApply(t, a, 1, OpBufferWrite, Int(1))
+	mustApply(t, a, 1, OpBufferWrite, Int(2))
+	mustApply(t, a, 1, OpBufferWrite, Int(3))
+	mustApply(t, b, 1, OpBufferWrite, Int(9))
+	mustApply(t, b, 1, OpBufferWrite, Int(2))
+	mustApply(t, b, 1, OpBufferWrite, Int(3))
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Fatal("equal buffer contents fingerprint differently")
+	}
+	mustApply(t, b, 1, OpBufferWrite, Int(4))
+	if a.Fingerprint64() == b.Fingerprint64() {
+		t.Fatal("different buffers collided")
+	}
+}
+
 func TestInstrSetNames(t *testing.T) {
 	if got := SetReadWrite.Name(); got != "{read, write(x)}" {
 		t.Fatalf("name = %q", got)

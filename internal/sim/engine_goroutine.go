@@ -15,6 +15,7 @@ import (
 // engines over seed sweeps and requires step-for-step identical traces —
 // and as the baseline for the step-throughput benchmarks.
 type goroutineStepper struct {
+	replayLog
 	req      chan OpInfo
 	resp     chan machine.Value
 	done     chan goroutineOutcome
@@ -38,12 +39,13 @@ type goroutineOutcome struct {
 // poised on its first instruction (or has finished).
 func newGoroutineStepper(id, n, input int, clock *int64, body Body) *goroutineStepper {
 	g := &goroutineStepper{
-		req:  make(chan OpInfo),
-		resp: make(chan machine.Value),
-		done: make(chan goroutineOutcome, 1),
-		kill: make(chan struct{}),
+		replayLog: replayLog{id: id, n: n, input: input, body: body, clock: clock},
+		req:       make(chan OpInfo),
+		resp:      make(chan machine.Value),
+		done:      make(chan goroutineOutcome, 1),
+		kill:      make(chan struct{}),
 	}
-	p := &Proc{id: id, n: n, input: input, clock: clock}
+	p := &Proc{id: id, n: n, input: input, clock: clock, clockSeen: &g.clockDep}
 	p.submit = func(info OpInfo) machine.Value {
 		select {
 		case g.req <- info:
@@ -99,9 +101,30 @@ func (g *goroutineStepper) Poise() (OpInfo, bool) {
 }
 
 func (g *goroutineStepper) Resume(res machine.Value) bool {
+	g.record(res)
 	g.resp <- res
 	g.await()
 	return g.finished
+}
+
+// forkInto implements replayForker the same way the coroutine adapter does:
+// a fresh goroutine re-runs the body over the recorded results, with the
+// clock replaying its historical values (see coroStepper.forkInto). The
+// body only reads the clock between Resume and the next poise/finish, and
+// await blocks until then, so the temporary clock values never race.
+func (g *goroutineStepper) forkInto(clock *int64) (Stepper, bool) {
+	if g.overflow {
+		return nil, false
+	}
+	saved := *clock
+	*clock = 0 // the original body started at step 0
+	f := newGoroutineStepper(g.id, g.n, g.input, clock, g.body)
+	for i, res := range g.results {
+		*clock = g.clocks[i]
+		f.Resume(machine.CloneValue(res))
+	}
+	*clock = saved
+	return f, true
 }
 
 func (g *goroutineStepper) Outcome() (bool, int, error) {

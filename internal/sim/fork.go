@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ErrNotForkable is returned by System.Fork when some process's stepper
+// supports neither native forking (Forker) nor result-replay (the built-in
+// Body adapters, within their log budget).
+var ErrNotForkable = errors.New("sim: stepper does not support forking")
+
+// doneStepper stands in for a finished or crashed process in a forked
+// system: it only has to report the recorded outcome.
+type doneStepper struct {
+	decided  bool
+	decision int
+	err      error
+}
+
+func (d doneStepper) Poise() (OpInfo, bool)       { return OpInfo{}, false }
+func (d doneStepper) Resume(machine.Value) bool   { return true }
+func (d doneStepper) Outcome() (bool, int, error) { return d.decided, d.decision, d.err }
+func (d doneStepper) Halt()                       {}
+func (d doneStepper) Fork() Stepper               { return d }
+
+// Fork returns an independent copy of the system at its current
+// configuration: same memory contents (cloned in O(locations)), same
+// poised instructions, decisions, crashes, and step count. The fork and the
+// original never observe each other's subsequent steps.
+//
+// Live processes fork natively when their stepper implements Forker — a
+// struct copy, O(local state) — and otherwise by result-replay: the Body
+// adapters record the instruction results each process has consumed, and a
+// fresh coroutine re-runs the deterministic body over that log, which costs
+// O(steps taken by that process) but works for every protocol. Finished and
+// crashed processes fork as stubs. ErrNotForkable is returned (and the
+// partial fork torn down) only for external Stepper implementations that
+// support neither path.
+func (s *System) Fork() (*System, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	n := &System{
+		mem:     s.mem.Clone(),
+		inputs:  s.inputs, // never mutated after construction
+		steps:   s.steps,
+		tracing: s.tracing,
+		engine:  s.engine,
+	}
+	if len(s.trace) > 0 {
+		n.trace = append([]StepInfo(nil), s.trace...)
+	}
+	n.procs = make([]*procState, len(s.procs))
+	states := make([]procState, len(s.procs)) // one backing array for all
+	for i, ps := range s.procs {
+		var st Stepper
+		switch {
+		case !ps.hasPoise || ps.crashed:
+			st = doneStepper{decided: ps.decided, decision: ps.decision, err: ps.err}
+		default:
+			if f, ok := ps.st.(Forker); ok {
+				st = f.Fork()
+			} else if rf, ok := ps.st.(replayForker); ok {
+				if st, ok = rf.forkInto(&n.steps); !ok {
+					st = nil
+				}
+			}
+			if st == nil {
+				for _, built := range n.procs[:i] {
+					built.st.Halt()
+				}
+				return nil, fmt.Errorf("%w: process %d (%T)", ErrNotForkable, i, ps.st)
+			}
+		}
+		nps := &states[i]
+		nps.st, nps.crashed, nps.err = st, ps.crashed, ps.err
+		nps.refresh()
+		n.procs[i] = nps
+	}
+	return n, nil
+}
+
+// ForksNatively reports whether every live process is an explicit forkable
+// state machine (implements Forker), making Fork O(state) — no coroutine
+// construction, no result-replay. The explorer and the lower-bound
+// configuration cache use it to decide whether holding snapshots is cheap.
+func (s *System) ForksNatively() bool {
+	if s.closed {
+		return false
+	}
+	for _, ps := range s.procs {
+		if !ps.hasPoise || ps.crashed {
+			continue
+		}
+		if _, ok := ps.st.(Forker); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// StateKey returns a canonical encoding of the configuration — the memory's
+// incremental fingerprint, then per process either its terminal status
+// (decision value, crash, failure) or its local-state key. Configurations
+// with equal keys behave identically under every future schedule (up to
+// 64-bit hash collisions per component), which is what the explorer's
+// seen-state table relies on. ok is false when some live process implements
+// neither StateKeyer nor the built-in adapters' history hash, in which case
+// deduplication must stay off.
+func (s *System) StateKey() (key string, ok bool) {
+	dst, ok := s.AppendStateKey(make([]byte, 0, 8+10*len(s.procs)))
+	return string(dst), ok
+}
+
+// AppendStateKey is StateKey appending into dst, for callers that look the
+// key up allocation-free (map[string(dst)] compiles to a no-alloc access).
+func (s *System) AppendStateKey(dst []byte) (key []byte, ok bool) {
+	if s.closed {
+		return dst, false
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, s.mem.Fingerprint64())
+	adapters := false
+	for _, ps := range s.procs {
+		switch {
+		case ps.crashed:
+			dst = append(dst, 'x')
+		case ps.decided:
+			dst = append(dst, 'd')
+			dst = binary.AppendVarint(dst, int64(ps.decision))
+		case ps.err != nil:
+			dst = append(dst, 'e')
+		case !ps.hasPoise:
+			dst = append(dst, '?')
+		default:
+			k, keyed := ps.st.(StateKeyer)
+			if !keyed {
+				return dst, false
+			}
+			// A Body that has read Clock() may carry state the result
+			// history does not determine: no sound key exists for it.
+			if cd, ok := ps.st.(interface{ clockDependent() bool }); ok {
+				if cd.clockDependent() {
+					return dst, false
+				}
+				adapters = true
+			}
+			dst = append(dst, 'l')
+			dst = binary.LittleEndian.AppendUint64(dst, k.StateKey())
+		}
+	}
+	// A live Body adapter can read Clock() at any future point, and a
+	// process that has not read it yet gives no warning; folding the global
+	// step count into the key makes pruning sound for them (two merged
+	// configurations then expose identical clocks to every future read).
+	// Explicit steppers have no clock access, so their keys stay
+	// step-count-free and merge across schedules of different lengths.
+	if adapters {
+		dst = binary.AppendUvarint(dst, uint64(s.steps))
+	}
+	return dst, true
+}

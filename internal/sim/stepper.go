@@ -39,12 +39,98 @@ type Stepper interface {
 	Halt()
 }
 
+// Forker is the optional Stepper extension behind System.Fork: a stepper
+// that can produce an independent copy of itself at its current poise
+// point. Explicit state machines (the ported protocols in
+// internal/consensus) implement it with a struct copy, making a fork
+// O(local state). A system forks natively iff every process implements
+// Forker; the built-in Body adapters instead fork by result-replay (see
+// replayForker), which keeps System.Fork available for every protocol.
+type Forker interface {
+	Fork() Stepper
+}
+
+// StateKeyer is the optional Stepper extension behind System.StateKey: a
+// canonical 64-bit hash of the process's local state, used as the
+// per-process component of the explorer's seen-state dedup key. Two
+// steppers whose futures are identical given identical instruction results
+// must return equal keys; distinct states should collide only with hash
+// probability. The Body adapters hash the process's input plus the sequence
+// of instruction results it has consumed (local state is a deterministic
+// function of those); explicit state machines hash their actual state,
+// which also merges processes that reached the same state along different
+// histories.
+type StateKeyer interface {
+	StateKey() uint64
+}
+
+// replayForker is the internal fallback fork path for the Body adapters:
+// process-local state lives on a coroutine (or goroutine) stack and cannot
+// be copied, but bodies are deterministic, so feeding the recorded sequence
+// of instruction results into a fresh adapter rebuilds an equivalent
+// process at the same poise point — O(steps taken by this process), without
+// touching any memory. clock rebinds the fresh Proc to the forked system's
+// step counter.
+type replayForker interface {
+	forkInto(clock *int64) (Stepper, bool)
+}
+
+// maxReplayLog caps the per-process result log behind result-replay
+// forking. Explorations sit many orders of magnitude below it; unbounded
+// spin runs (the step-throughput benchmarks) cross it, at which point the
+// log is dropped and the process simply stops being forkable instead of
+// retaining memory proportional to the run length.
+var maxReplayLog = 1 << 20
+
+// replayLog is the recording half of replayForker, embedded in both Body
+// adapters: the per-process result history — with the system clock value
+// observed alongside each result, so replay reproduces Clock() readings —
+// plus a rolling canonical hash of it (the adapter's StateKey).
+type replayLog struct {
+	id, n, input int
+	body         Body
+	clock        *int64
+	results      []machine.Value
+	clocks       []int64
+	overflow     bool
+	resumes      uint64
+	histHash     uint64
+	// clockDep is set once the body reads Clock(): its local state may then
+	// depend on more than the result history, so the adapter withdraws from
+	// state-keyed deduplication (see System.StateKey).
+	clockDep bool
+}
+
+// record notes one consumed instruction result.
+func (r *replayLog) record(res machine.Value) {
+	r.resumes++
+	r.histHash = machine.Mix64(r.histHash ^ machine.HashValue(res))
+	if r.overflow {
+		return
+	}
+	if len(r.results) >= maxReplayLog {
+		r.results, r.clocks, r.overflow = nil, nil, true
+		return
+	}
+	r.results = append(r.results, machine.CloneValue(res))
+	r.clocks = append(r.clocks, *r.clock)
+}
+
+// StateKey hashes (input, result history); see StateKeyer.
+func (r *replayLog) StateKey() uint64 {
+	h := machine.Mix64(uint64(r.input) ^ r.histHash)
+	return machine.Mix64(h ^ r.resumes)
+}
+
+func (r *replayLog) clockDependent() bool { return r.clockDep }
+
 // coroStepper adapts a function-shaped Body onto the Stepper interface using
 // a pull coroutine (iter.Pull): the body runs on its own stack and control
 // transfers directly between it and the VM at poise points — no scheduler
 // round trip, no channel operation, no allocation per step. This is the
 // default engine.
 type coroStepper struct {
+	replayLog
 	// slot is the single rendezvous cell shared with the body's coroutine.
 	// Accesses never race: control is in exactly one of the two frames at a
 	// time (the defining property of a coroutine).
@@ -63,7 +149,7 @@ type coroStepper struct {
 // newCoroStepper starts body as a coroutine and runs it to its first poise
 // point (or to completion, for a body that decides without any instruction).
 func newCoroStepper(id, n, input int, clock *int64, body Body) *coroStepper {
-	c := &coroStepper{}
+	c := &coroStepper{replayLog: replayLog{id: id, n: n, input: input, body: body, clock: clock}}
 	seq := func(yield func(struct{}) bool) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -73,7 +159,7 @@ func newCoroStepper(id, n, input int, clock *int64, body Body) *coroStepper {
 				c.err = fmt.Errorf("sim: process %d failed: %v", id, r)
 			}
 		}()
-		p := &Proc{id: id, n: n, input: input, clock: clock}
+		p := &Proc{id: id, n: n, input: input, clock: clock, clockSeen: &c.clockDep}
 		p.submit = func(info OpInfo) machine.Value {
 			c.slot.info = info
 			if !yield(struct{}{}) {
@@ -100,11 +186,32 @@ func (c *coroStepper) Poise() (OpInfo, bool) {
 }
 
 func (c *coroStepper) Resume(res machine.Value) bool {
+	c.record(res)
 	c.slot.res = res
 	if _, ok := c.next(); !ok {
 		c.finished = true
 	}
 	return c.finished
+}
+
+// forkInto implements replayForker: a fresh coroutine re-runs the body over
+// the recorded results, landing at the same poise point. The forked
+// system's clock temporarily replays its historical values so a body that
+// reads Clock() recomputes exactly the state the original reached; the
+// fork-time value is restored before the stepper is handed back.
+func (c *coroStepper) forkInto(clock *int64) (Stepper, bool) {
+	if c.overflow {
+		return nil, false
+	}
+	saved := *clock
+	*clock = 0 // the original body started at step 0
+	f := newCoroStepper(c.id, c.n, c.input, clock, c.body)
+	for i, res := range c.results {
+		*clock = c.clocks[i]
+		f.Resume(machine.CloneValue(res))
+	}
+	*clock = saved
+	return f, true
 }
 
 func (c *coroStepper) Outcome() (bool, int, error) {

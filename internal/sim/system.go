@@ -97,6 +97,18 @@ func WithEngine(e Engine) SystemOption {
 	return func(s *System) { s.engine = e }
 }
 
+// EngineOf reports which engine a set of system options selects, without
+// building a system. Protocol constructors use it to decide between their
+// explicit forkable steppers (the VM path) and their Body form (which the
+// goroutine oracle engine requires).
+func EngineOf(opts ...SystemOption) Engine {
+	probe := &System{}
+	for _, o := range opts {
+		o(probe)
+	}
+	return probe.engine
+}
+
 // NewSystem starts n processes with the given inputs, all running body, and
 // returns with every process poised on its first instruction. bodies may
 // also differ per process via NewSystemBodies.

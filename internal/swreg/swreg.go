@@ -37,6 +37,13 @@ type cell struct {
 	val any
 }
 
+// Hash64 implements machine.Hashable so hashing register cells on the
+// racing hot paths does not fall back to reflective formatting.
+func (c cell) Hash64() uint64 {
+	h := machine.Mix64(uint64(c.seq) ^ 0x73777267)
+	return machine.Mix64(h ^ machine.HashValue(c.val))
+}
+
 // Direct is an Array over n read/write locations base..base+n-1.
 type Direct struct {
 	p    *sim.Proc

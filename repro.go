@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -62,22 +63,28 @@ type Outcome struct {
 
 // options configures Solve.
 type options struct {
-	seed     int64
-	l        int
-	maxSteps int64
+	seed        int64
+	l           int
+	maxSteps    int64
+	seedSet     bool
+	maxStepsSet bool
 }
 
 // Option configures Solve.
 type Option func(*options)
 
 // WithSeed selects the (reproducible) random schedule. Default 1.
-func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed, o.seedSet = seed, true }
+}
 
 // WithBufferCap sets l for the l-buffer rows. Default 2.
 func WithBufferCap(l int) Option { return func(o *options) { o.l = l } }
 
 // WithMaxSteps bounds the run. Default 50 million.
-func WithMaxSteps(s int64) Option { return func(o *options) { o.maxSteps = s } }
+func WithMaxSteps(s int64) Option {
+	return func(o *options) { o.maxSteps, o.maxStepsSet = s, true }
+}
 
 // Solve runs the upper-bound protocol of the given Table 1 row (for
 // example "T1.9" for two max-registers) on the given inputs — one input per
@@ -226,6 +233,63 @@ func SpaceBounds(rowID string, n, l int) (lower, upper int, err error) {
 	}
 	lower, upper = core.SP(row, n)
 	return lower, upper, nil
+}
+
+// VerifyReport summarizes an exhaustive safety exploration.
+type VerifyReport struct {
+	// Runs is the number of maximal schedules examined.
+	Runs int64
+	// States is the number of configurations expanded (deduplication makes
+	// this close to the number of distinct canonical states).
+	States int64
+	// Deduped counts configurations pruned by the canonical-state table.
+	Deduped int64
+	// Truncated reports whether MaxRuns stopped the search early.
+	Truncated bool
+	// Violations describes any safety violations found (empty = safe over
+	// the explored envelope).
+	Violations []string
+}
+
+// Verify exhaustively model-checks the row's protocol on the given inputs
+// over every interleaving up to maxDepth scheduler steps (0 = until all
+// processes decide; only safe for wait-free rows). Exploration runs on
+// forked configuration snapshots with canonical-state deduplication, so
+// commuting interleavings are collapsed rather than re-explored; use it to
+// certify a row over a schedule envelope where Solve samples a single seed.
+func Verify(rowID string, inputs []int, maxDepth int, opts ...Option) (*VerifyReport, error) {
+	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.seedSet || o.maxStepsSet {
+		return nil, errors.New("repro: Verify explores every schedule up to maxDepth; WithSeed/WithMaxSteps do not apply")
+	}
+	row, ok := core.RowByID(rowID, o.l)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	}
+	// Unbounded exploration only terminates when every process decides in a
+	// bounded number of own steps regardless of scheduling: the
+	// obstruction-free rows have infinite interleaving trees.
+	if maxDepth <= 0 && (row.Build == nil || !row.Build(len(inputs)).WaitFree) {
+		return nil, fmt.Errorf("repro: row %s is not wait-free; Verify needs maxDepth > 0 to bound the exploration", rowID)
+	}
+	rep, err := core.ExploreRow(row, inputs, explore.Options{
+		MaxDepth: maxDepth,
+		Strategy: explore.StrategyFork,
+		Dedup:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &VerifyReport{
+		Runs: rep.Runs, States: rep.States, Deduped: rep.Deduped, Truncated: rep.Truncated,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out, nil
 }
 
 // StepProfile re-exports the step-complexity measurement (the extra axis
