@@ -278,6 +278,84 @@ func BenchmarkExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreParallel records the worker-scaling curve of the parallel
+// explorer against the sequential fork baseline on instances large enough
+// (thousands to tens of thousands of configurations) for the pool to matter:
+// the full 6-process CAS tree and depth-bounded 2- and 3-process
+// max-register trees, with and without the sharded seen-state table. The
+// "seq" variant is StrategyFork; "p1".."p8" are StrategyParallel at 1/2/4/8
+// workers. Reports are verified identical to the sequential baseline every
+// iteration, so the benchmark doubles as a determinism check. On a
+// single-core host the curve measures pure synchronization overhead (see
+// EXPERIMENTS.md); the speedup column needs >= 4 hardware threads.
+func BenchmarkExploreParallel(b *testing.B) {
+	cases := []struct {
+		name   string
+		build  func(n int) *consensus.Protocol
+		inputs []int
+		depth  int
+		dedup  bool
+	}{
+		{"cas6-full", consensus.CAS, []int{0, 1, 2, 3, 4, 5}, 0, false},
+		{"maxreg2-depth12", consensus.MaxRegisters, []int{0, 1}, 12, false},
+		{"maxreg3-depth8", consensus.MaxRegisters, []int{0, 1, 2}, 8, false},
+		{"maxreg3-depth8-dedup", consensus.MaxRegisters, []int{0, 1, 2}, 8, true},
+	}
+	for _, tc := range cases {
+		f := func() (*sim.System, error) {
+			return tc.build(len(tc.inputs)).NewSystem(tc.inputs)
+		}
+		base := explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyFork, Dedup: tc.dedup}
+		seqWant, err := explore.Exhaustive(f, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		popts := func(w int) explore.Options {
+			return explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyParallel, Workers: w, Dedup: tc.dedup}
+		}
+		// With dedup the parallel pruning rule (exact (state, depth)) counts
+		// differently from the sequential depth-aware rule, so the p*
+		// variants pin against the worker-count-invariant parallel reference;
+		// DistinctStates must match across everything.
+		parWant, err := explore.Exhaustive(f, popts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if parWant.DistinctStates != seqWant.DistinctStates {
+			b.Fatalf("distinct states diverged: seq %d, parallel %d",
+				seqWant.DistinctStates, parWant.DistinctStates)
+		}
+		variants := []struct {
+			name string
+			opts explore.Options
+			want *explore.Report
+		}{
+			{"seq", base, seqWant},
+			{"p1", popts(1), parWant},
+			{"p2", popts(2), parWant},
+			{"p4", popts(4), parWant},
+			{"p8", popts(8), parWant},
+		}
+		for _, v := range variants {
+			b.Run(tc.name+"/"+v.name, func(b *testing.B) {
+				var rep *explore.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = explore.Exhaustive(f, v.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.States != v.want.States || rep.Runs != v.want.Runs ||
+						rep.DistinctStates != v.want.DistinctStates || len(rep.Violations) != 0 {
+						b.Fatalf("report diverged from baseline:\nwant %+v\ngot  %+v", v.want, rep)
+					}
+				}
+				b.ReportMetric(float64(rep.States), "states")
+			})
+		}
+	}
+}
+
 // BenchmarkSolveBatch runs a 64-seed sweep of the two-max-register protocol
 // per iteration, serially and on the parallel batch runner, so the speedup
 // of spreading independent schedules across cores is directly visible.

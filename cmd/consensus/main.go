@@ -7,7 +7,7 @@
 //	consensus -row T1.9 -inputs 3,1,4,1,2 [-l cap] [-sched random|rr|solo]
 //	          [-seed s] [-crash p] [-trace]
 //	consensus -row T1.9 -inputs 3,1,4,1,2 -batch 1000 [-workers w]
-//	consensus -row T1.10 -inputs 0,1,2 -explore 6
+//	consensus -row T1.10 -inputs 0,1,2 -explore 6 [-workers w]
 //
 // The number of processes is the number of inputs. With -batch N the run
 // becomes a seed sweep: N independent schedules (seeds 1..N) executed in
@@ -15,7 +15,9 @@
 // aggregate throughput instead of a single trace. With -explore D the run
 // becomes an exhaustive safety check over every interleaving up to depth D
 // (0 = to completion; wait-free rows only), on forked configuration
-// snapshots with canonical-state deduplication.
+// snapshots with canonical-state deduplication; -workers spreads the
+// exploration across a work-stealing worker pool without changing the
+// report.
 package main
 
 import (
@@ -56,7 +58,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print every executed step")
 	maxSteps := flag.Int64("max-steps", 50_000_000, "step budget")
 	batch := flag.Int("batch", 0, "run seeds 1..N in parallel and report the aggregate")
-	workers := flag.Int("workers", 0, "parallel workers for -batch (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel workers for -batch and -explore (0 = GOMAXPROCS)")
 	exploreDepth := flag.Int("explore", -1, "exhaustively check every interleaving up to depth D (0 = to completion)")
 	flag.Parse()
 
@@ -66,14 +68,17 @@ func main() {
 	}
 	if *exploreDepth >= 0 {
 		// Exploration covers every schedule up to the depth bound; the
-		// single-run and batch flags have no meaning there.
+		// single-run and batch flags have no meaning there. -workers does:
+		// it sizes the parallel explorer's pool.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sched", "seed", "crash", "trace", "max-steps", "batch", "workers":
+			case "sched", "seed", "crash", "trace", "max-steps", "batch":
 				log.Fatalf("-%s is not supported with -explore (exploration covers every schedule up to the depth bound)", f.Name)
 			}
 		})
-		runExplore(*rowID, inputs, *l, *exploreDepth)
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		runExplore(*rowID, inputs, *l, *exploreDepth, *workers, workersSet)
 		return
 	}
 	if *batch > 0 {
@@ -153,17 +158,22 @@ func main() {
 }
 
 // runExplore model-checks one row's protocol over every interleaving up to
-// depth, reporting the explored envelope and any violation.
-func runExplore(rowID string, inputs []int, l, depth int) {
+// depth, reporting the explored envelope and any violation. With workersSet
+// the exploration runs on the parallel work-stealing explorer.
+func runExplore(rowID string, inputs []int, l, depth, workers int, workersSet bool) {
+	opts := []repro.Option{repro.WithBufferCap(l)}
+	if workersSet {
+		opts = append(opts, repro.WithWorkers(workers))
+	}
 	start := time.Now()
-	rep, err := repro.Verify(rowID, inputs, depth, repro.WithBufferCap(l))
+	rep, err := repro.Verify(rowID, inputs, depth, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("explored %s (n=%d) to depth %d in %v\n",
 		rowID, len(inputs), depth, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  %d configurations expanded, %d maximal schedules, %d deduplicated\n",
-		rep.States, rep.Runs, rep.Deduped)
+	fmt.Printf("  %d configurations expanded (%d distinct), %d maximal schedules, %d deduplicated, decided values %v\n",
+		rep.States, rep.DistinctStates, rep.Runs, rep.Deduped, rep.DecidedValues)
 	if rep.Truncated {
 		fmt.Println("  (truncated by the run cap)")
 	}

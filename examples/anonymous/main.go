@@ -10,18 +10,19 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/consensus"
 	"repro/internal/sim"
 )
 
-func main() {
-	log.SetFlags(0)
+func run(w io.Writer) error {
 	const sensors = 7
 	readings := []int{4, 4, 2, 6, 4, 0, 2} // candidate reading ids, one per sensor
 
-	fmt.Printf("%d anonymous sensors agreeing over %d swap locations\n",
+	fmt.Fprintf(w, "%d anonymous sensors agreeing over %d swap locations\n",
 		sensors, sensors-1)
 
 	scenarios := []struct {
@@ -38,17 +39,19 @@ func main() {
 		pr := consensus.Swap(sensors)
 		sys, err := pr.NewSystem(readings)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := sys.Run(sc.sched(), 10_000_000)
 		if err != nil {
-			log.Fatal(err)
+			sys.Close()
+			return err
 		}
 		if err := res.CheckConsensus(readings); err != nil {
-			log.Fatalf("%s: %v", sc.name, err)
+			sys.Close()
+			return fmt.Errorf("%s: %w", sc.name, err)
 		}
 		v, _ := res.AgreedValue()
-		fmt.Printf("  %-20s -> reading %d (steps %d, crashed %v)\n",
+		fmt.Fprintf(w, "  %-20s -> reading %d (steps %d, crashed %v)\n",
 			sc.name, v, res.Steps, res.Crashed)
 		sys.Close()
 	}
@@ -57,14 +60,25 @@ func main() {
 	pr := consensus.Swap(sensors)
 	sys, err := pr.NewSystem(readings)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer sys.Close()
 	res, err := sys.Run(sim.Solo{PID: 3}, 10_000_000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d := res.Decisions[3]
-	fmt.Printf("solo sensor 3 decided its own reading %d in %d steps (Lemma 8.7 bound: %d scans)\n",
+	fmt.Fprintf(w, "solo sensor 3 decided its own reading %d in %d steps (Lemma 8.7 bound: %d scans)\n",
 		d, res.Steps, 3*sensors-2)
+	if d != readings[3] {
+		return fmt.Errorf("solo sensor decided %d, want its own reading %d", d, readings[3])
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests anonymous agreement across all three scheduling
+// scenarios plus the Lemma 8.7 solo run.
+func TestRun(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"7 anonymous sensors agreeing over 6 swap locations",
+		"fair round-robin",
+		"random with crashes",
+		"solo sensor 3 decided its own reading 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

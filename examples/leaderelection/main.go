@@ -13,14 +13,15 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/consensus"
 	"repro/internal/sim"
 )
 
-func main() {
-	log.SetFlags(0)
+func run(w io.Writer) error {
 	const workers = 6
 
 	// Every worker proposes its own id as leader.
@@ -30,12 +31,12 @@ func main() {
 	}
 
 	pr := consensus.FetchAdd(workers)
-	fmt.Printf("electing a leader among %d workers over %s (1 location)\n",
+	fmt.Fprintf(w, "electing a leader among %d workers over %s (1 location)\n",
 		workers, pr.Set)
 
 	sys, err := pr.NewSystem(proposals)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer sys.Close()
 
@@ -45,22 +46,30 @@ func main() {
 	sched := sim.NewRandomCrash(sim.NewRandom(2024), 0.02, 7)
 	res, err := sys.Run(sched, 10_000_000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := res.CheckConsensus(proposals); err != nil {
-		log.Fatalf("election unsafe: %v", err)
+		return fmt.Errorf("election unsafe: %w", err)
 	}
 
 	leader, ok := res.AgreedValue()
 	if !ok {
-		log.Fatal("no survivor decided (raise the step budget)")
+		return fmt.Errorf("no survivor decided (raise the step budget)")
 	}
-	fmt.Printf("crashed workers: %v\n", res.Crashed)
-	fmt.Printf("elected leader: worker %d\n", leader)
+	fmt.Fprintf(w, "crashed workers: %v\n", res.Crashed)
+	fmt.Fprintf(w, "elected leader: worker %d\n", leader)
 	for pid, d := range res.Decisions {
-		fmt.Printf("  worker %d acknowledges leader %d\n", pid, d)
+		fmt.Fprintf(w, "  worker %d acknowledges leader %d\n", pid, d)
 	}
 	st := sys.Mem().Stats()
-	fmt.Printf("shared state: %d location, %d atomic steps, widest value %d bits\n",
+	fmt.Fprintf(w, "shared state: %d location, %d atomic steps, widest value %d bits\n",
 		st.Footprint(), st.Steps, st.MaxBits)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

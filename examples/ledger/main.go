@@ -14,7 +14,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/consensus"
 	"repro/internal/machine"
@@ -26,8 +28,7 @@ const (
 	bufferCap = 2
 )
 
-func main() {
-	log.SetFlags(0)
+func run(w io.Writer) error {
 	batches := []string{
 		"batch-a: 12 transfers",
 		"batch-b: 7 transfers",
@@ -64,31 +65,39 @@ func main() {
 		return batch
 	})
 
-	fmt.Printf("committing one of %d batches across %d replicas over %s\n",
+	fmt.Fprintf(w, "committing one of %d batches across %d replicas over %s\n",
 		len(batches), replicas, pr.Set)
-	fmt.Printf("consensus uses %d 2-buffer locations (ceil(n/l); plain registers would need %d)\n",
+	fmt.Fprintf(w, "consensus uses %d 2-buffer locations (ceil(n/l); plain registers would need %d)\n",
 		consensusLocs, replicas)
 
 	sys, err := pr.NewSystem(proposals)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer sys.Close()
 	res, err := sys.Run(sim.NewRandom(99), 10_000_000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := res.CheckConsensus(proposals); err != nil {
-		log.Fatalf("ledger diverged: %v", err)
+		return fmt.Errorf("ledger diverged: %w", err)
 	}
 	batch, _ := res.AgreedValue()
-	fmt.Printf("committed: %s\n", batches[batch])
+	fmt.Fprintf(w, "committed: %s\n", batches[batch])
 
 	// The audit location holds the last two publishes (it is a 2-buffer).
 	for _, v := range sys.Mem().PeekBuffer(auditLoc) {
-		fmt.Printf("audit: %v\n", v)
+		fmt.Fprintf(w, "audit: %v\n", v)
 	}
 	st := sys.Mem().Stats()
-	fmt.Printf("%d locations touched, %d steps, %d atomic multiple assignments\n",
+	fmt.Fprintf(w, "%d locations touched, %d steps, %d atomic multiple assignments\n",
 		st.Footprint(), st.Steps, st.MultiAssigns)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the ledger commit: a batch is committed over the
+// ceil(n/l)-location buffered memory and the atomic publish lands in the
+// audit buffer.
+func TestRun(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"consensus uses 3 2-buffer locations",
+		"committed: batch-",
+		"audit: replica",
+		"atomic multiple assignments",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

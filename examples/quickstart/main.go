@@ -5,44 +5,53 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
-func main() {
-	log.SetFlags(0)
+func run(w io.Writer) error {
 	// One proposal per process; values must lie in [0, n).
 	proposals := []int{3, 1, 4, 1, 5, 2, 6, 0}
 
 	out, err := repro.Solve("T1.9", proposals, repro.WithSeed(42))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("proposals: %v\n", proposals)
-	fmt.Printf("agreed on %d using %d memory locations in %d steps\n",
+	fmt.Fprintf(w, "proposals: %v\n", proposals)
+	fmt.Fprintf(w, "agreed on %d using %d memory locations in %d steps\n",
 		out.Value, out.Footprint, out.Steps)
 
 	// The hierarchy tells us this is optimal for max-registers:
 	lo, up, err := repro.SpaceBounds("T1.9", len(proposals), 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("paper bounds for this instruction set: lower=%d upper=%d\n", lo, up)
+	fmt.Fprintf(w, "paper bounds for this instruction set: lower=%d upper=%d\n", lo, up)
 
 	// The same agreement over plain registers needs n locations...
 	reg, err := repro.Solve("T1.3", proposals, repro.WithSeed(42))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("plain registers: agreed on %d using %d locations (n=%d is tight)\n",
+	fmt.Fprintf(w, "plain registers: agreed on %d using %d locations (n=%d is tight)\n",
 		reg.Value, reg.Footprint, len(proposals))
 
 	// ...while a single fetch-and-add word suffices.
 	faa, err := repro.Solve("T1.14", proposals, repro.WithSeed(42))
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "one fetch-and-add word: agreed on %d using %d location\n",
+		faa.Value, faa.Footprint)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("one fetch-and-add word: agreed on %d using %d location\n",
-		faa.Value, faa.Footprint)
 }

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/machine"
 	"repro/internal/objects"
@@ -18,8 +20,7 @@ import (
 
 const workers = 4
 
-func main() {
-	log.SetFlags(0)
+func run(w io.Writer) error {
 	mem := machine.New(machine.SetBuffers(workers), 2)
 	const queueLoc, controlLoc = 0, 1
 
@@ -57,22 +58,33 @@ func main() {
 	defer sys.Close()
 	res, err := sys.Run(sim.NewRandom(17), 5_000_000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	coord, _ := res.AgreedValue()
-	fmt.Printf("agreed coordinator: worker %d\n", coord)
+	fmt.Fprintf(w, "agreed coordinator: worker %d\n", coord)
 
 	// Every task must be processed exactly once, across all workers.
 	seen := map[any]bool{}
-	for w, tasks := range processed {
-		fmt.Printf("worker %d processed %d tasks: %v\n", w, len(tasks), tasks)
+	for wid, tasks := range processed {
+		fmt.Fprintf(w, "worker %d processed %d tasks: %v\n", wid, len(tasks), tasks)
 		for _, task := range tasks {
 			if seen[task] {
-				log.Fatalf("task %v processed twice!", task)
+				return fmt.Errorf("task %v processed twice", task)
 			}
 			seen[task] = true
 		}
 	}
-	fmt.Printf("%d distinct tasks processed, queue + control in %d memory locations\n",
+	fmt.Fprintf(w, "%d distinct tasks processed, queue + control in %d memory locations\n",
 		len(seen), mem.Stats().Footprint())
+	if len(seen) != 2*workers {
+		return fmt.Errorf("processed %d distinct tasks, want %d", len(seen), 2*workers)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,34 +8,10 @@ import (
 	"repro/internal/sim"
 )
 
-// portedProtocols enumerates every protocol carrying explicit forkable
-// steppers, with instance sizes small enough for exhaustive-ish sweeps.
-func portedProtocols() []struct {
-	name   string
-	build  func() *Protocol
-	inputs []int
-} {
-	return []struct {
-		name   string
-		build  func() *Protocol
-		inputs []int
-	}{
-		{"cas", func() *Protocol { return CAS(3) }, []int{2, 0, 1}},
-		{"intro-faa2-tas", func() *Protocol { return IntroFAA2TAS(3) }, []int{1, 0, 1}},
-		{"intro-dec-mul", func() *Protocol { return IntroDecMul(3) }, []int{0, 1, 0}},
-		{"max-registers", func() *Protocol { return MaxRegisters(3) }, []int{2, 0, 1}},
-		{"multiply", func() *Protocol { return Multiply(3) }, []int{1, 2, 0}},
-		{"fetch-multiply", func() *Protocol { return FetchMultiply(3) }, []int{2, 1, 0}},
-		{"add", func() *Protocol { return Add(3) }, []int{0, 2, 1}},
-		{"fetch-add", func() *Protocol { return FetchAdd(3) }, []int{1, 0, 2}},
-		{"set-bit", func() *Protocol { return SetBit(3) }, []int{2, 0, 1}},
-		{"increment-binary", func() *Protocol { return IncrementBinary(3) }, []int{1, 0, 1}},
-		{"increment", func() *Protocol { return Increment(4) }, []int{3, 1, 2, 0}},
-		{"fetch-increment", func() *Protocol { return FetchIncrement(3) }, []int{2, 1, 0}},
-		{"binary-bits", func() *Protocol { return BinaryBits(3) }, []int{1, 0, 1}},
-		{"write-bits", func() *Protocol { return WriteBits(3) }, []int{2, 0, 1}},
-		{"tas-reset", func() *Protocol { return TASReset(3) }, []int{1, 2, 0}},
-	}
+// portedProtocols is the exported ForkablePortfolio under the test file's
+// historical name.
+func portedProtocols() []ForkableInstance {
+	return ForkablePortfolio()
 }
 
 func stepString(st sim.StepInfo) string {
@@ -52,14 +28,14 @@ func stepString(st sim.StepInfo) string {
 // decisions, and identical final memory — across a seed sweep.
 func TestSteppersMatchBodies(t *testing.T) {
 	for _, tc := range portedProtocols() {
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			for seed := int64(1); seed <= 12; seed++ {
-				pr := tc.build()
+				pr := tc.Build()
 				if pr.Steppers == nil {
 					t.Fatal("protocol carries no steppers")
 				}
-				bodySys := sim.NewSystem(pr.NewMemory(), tc.inputs, pr.Body, sim.WithTrace())
-				stepSys := sim.NewSystemSteppers(pr.NewMemory(), tc.inputs, pr.Steppers(tc.inputs), sim.WithTrace())
+				bodySys := sim.NewSystem(pr.NewMemory(), tc.Inputs, pr.Body, sim.WithTrace())
+				stepSys := sim.NewSystemSteppers(pr.NewMemory(), tc.Inputs, pr.Steppers(tc.Inputs), sim.WithTrace())
 
 				bres, berr := bodySys.Run(sim.NewRandom(seed), 500_000)
 				sres, serr := stepSys.Run(sim.NewRandom(seed), 500_000)
@@ -100,9 +76,9 @@ func TestSteppersMatchBodies(t *testing.T) {
 // forkable system, and a mid-run fork continues to a correct decision.
 func TestSteppersForkNatively(t *testing.T) {
 	for _, tc := range portedProtocols() {
-		t.Run(tc.name, func(t *testing.T) {
-			pr := tc.build()
-			sys, err := pr.NewSystem(tc.inputs)
+		t.Run(tc.Name, func(t *testing.T) {
+			pr := tc.Build()
+			sys, err := pr.NewSystem(tc.Inputs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +103,7 @@ func TestSteppersForkNatively(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := res.CheckConsensus(tc.inputs); err != nil {
+				if err := res.CheckConsensus(tc.Inputs); err != nil {
 					t.Fatal(err)
 				}
 				if len(res.Undecided) > 0 {

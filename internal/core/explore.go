@@ -12,7 +12,9 @@ import (
 // default options use the fork-based strategy with seen-state
 // deduplication, which collapses interleavings of commuting steps into one
 // canonical configuration — the intended way to verify a row over a whole
-// schedule envelope rather than one seeded run.
+// schedule envelope rather than one seeded run. Set opts.Strategy to
+// explore.StrategyParallel (with opts.Workers) to spread the exploration
+// across a worker pool; the report does not depend on the worker count.
 func ExploreRow(r Row, inputs []int, opts explore.Options) (*explore.Report, error) {
 	if r.Build == nil {
 		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)

@@ -40,6 +40,21 @@ func rowInputs(values, n int) []int {
 	return inputs
 }
 
+// rowSeed derives the per-row schedule seed from the caller's base seed and
+// the row identity. Folding the row id in decorrelates the rows (previously
+// every row replayed the same schedule stream, a correlation artifact) and,
+// more importantly, pins the seeding to the job's identity alone: a row's
+// schedule can never depend on which worker picks the job up, in what
+// order, or where the row sits in the measured slice. MeasureRow and
+// MeasureAll share it, so the two stay result-identical by construction.
+func rowSeed(seed int64, rowID string) int64 {
+	h := uint64(seed)
+	for i := 0; i < len(rowID); i++ {
+		h = machine.Mix64(h ^ uint64(rowID[i]))
+	}
+	return int64(h)
+}
+
 // MeasureRow runs the row's protocol for n processes with adversarially
 // shuffled inputs under a seeded random schedule and returns the
 // measurement. maxSteps bounds the run (random schedules are fair, so
@@ -55,7 +70,7 @@ func MeasureRow(r Row, n int, seed int64, maxSteps int64) (*Measurement, error) 
 		return nil, err
 	}
 	defer sys.Close()
-	res, err := sys.Run(sim.NewRandom(seed), maxSteps)
+	res, err := sys.Run(sim.NewRandom(rowSeed(seed, r.ID)), maxSteps)
 	if err != nil {
 		return nil, fmt.Errorf("core: row %s n=%d: %w", r.ID, n, err)
 	}
@@ -90,10 +105,12 @@ func finishMeasurement(r Row, n int, pr *consensus.Protocol, inputs []int, res *
 	}, nil
 }
 
-// MeasureAll measures every constructive row of rows at n under the same
-// seed, running the rows in parallel on the batch runner (workers <= 0 uses
-// GOMAXPROCS). The returned slice aligns with rows; entries for rows without
-// a constructive protocol are nil. Results are identical to calling
+// MeasureAll measures every constructive row of rows at n, running the rows
+// in parallel on the batch runner (workers <= 0 uses GOMAXPROCS). Each row's
+// schedule seed derives from (seed, row id) via rowSeed, so per-job seeding
+// is independent of worker assignment, execution order, and the row's
+// position in rows. The returned slice aligns with rows; entries for rows
+// without a constructive protocol are nil. Results are identical to calling
 // MeasureRow per row — runs share nothing.
 func MeasureAll(rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measurement, error) {
 	type slot struct {
@@ -120,7 +137,7 @@ func MeasureAll(rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measur
 				slots[i] = slot{pr: pr, inputs: inputs, mem: sys.Mem()}
 				return sys, nil
 			},
-			Sched:    func() sim.Scheduler { return sim.NewRandom(seed) },
+			Sched:    func() sim.Scheduler { return sim.NewRandom(rowSeed(seed, r.ID)) },
 			MaxSteps: maxSteps,
 		})
 		jobRow = append(jobRow, i)

@@ -20,6 +20,7 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -40,6 +41,21 @@ const (
 	StrategyReplay
 	// StrategyFork forks the parent configuration at every branch point.
 	StrategyFork
+	// StrategyParallel is the fork strategy spread across a worker pool:
+	// workers pop forked configurations from per-worker work-stealing deques
+	// and deduplicate through a sharded concurrent seen-state table. Without
+	// Dedup its Report is byte-identical to StrategyFork's. With Dedup the
+	// pruning rule is the order-independent exact (state, depth) claim
+	// rather than the sequential walk's depth-aware rule, so
+	// Runs/States/Deduped are compared to the sequential oracle through the
+	// order-invariant DecidedValues and DistinctStates fields; every counter
+	// is identical across runs and worker counts, with one caveat — when
+	// Dedup merges several same-depth configurations sharing a canonical
+	// state, which of their schedules labels a violation found at or below
+	// that state depends on the claim winner, so for a *violating* protocol
+	// only the set of violated properties (not the witness schedules) is
+	// run-invariant. See parallel.go.
+	StrategyParallel
 )
 
 // Options bounds an exploration.
@@ -66,6 +82,12 @@ type Options struct {
 	// Silently ignored when the systems expose no state key (external
 	// steppers without sim.StateKeyer).
 	Dedup bool
+	// Workers is the worker-pool size for StrategyParallel (and for
+	// StrategyAuto when set above 1); <= 0 means GOMAXPROCS. Worker count
+	// changes wall-clock time, never the accounting: the parallel
+	// explorer's counters are order-independent by construction (violation
+	// witness schedules excepted under Dedup — see StrategyParallel).
+	Workers int
 }
 
 // Violation describes a safety violation found during exploration.
@@ -93,8 +115,22 @@ type Report struct {
 	// Truncated reports whether MaxRuns stopped the search early.
 	Truncated bool
 	// Violations lists any safety violations (empty means the protocol is
-	// safe over the explored space).
+	// safe over the explored space), ordered lexicographically by schedule —
+	// which is exactly the sequential DFS discovery order.
 	Violations []Violation
+	// DecidedValues is the sorted set of values decided in any explored
+	// configuration. It is invariant across strategies, worker counts, and
+	// (for the depth-bounded search) the Dedup setting: pruning only ever
+	// removes configurations whose decisions also occur in a retained twin
+	// subtree.
+	DecidedValues []int
+	// DistinctStates counts distinct canonical state keys among all
+	// configurations reached (including ones pruned by the seen-state
+	// table), or 0 when some configuration exposed no state key. Like
+	// DecidedValues it is invariant across strategies, worker counts, and
+	// Dedup, which makes it the reachable-state quantity the
+	// parallel-vs-sequential differential suite pins.
+	DistinctStates int64
 }
 
 // replay builds a fresh system and applies the schedule prefix.
@@ -120,8 +156,14 @@ func Exhaustive(f Factory, opts Options) (*Report, error) {
 		return exhaustiveReplay(f, opts)
 	case StrategyFork:
 		return exhaustiveFork(f, opts)
+	case StrategyParallel:
+		return exhaustiveParallel(f, opts)
 	default:
-		rep, err := exhaustiveFork(f, opts)
+		run := exhaustiveFork
+		if opts.Workers > 1 {
+			run = exhaustiveParallel
+		}
+		rep, err := run(f, opts)
 		if errors.Is(err, sim.ErrNotForkable) {
 			return exhaustiveReplay(f, opts)
 		}
@@ -129,25 +171,67 @@ func Exhaustive(f Factory, opts Options) (*Report, error) {
 	}
 }
 
-// walk carries the shared per-exploration state of both strategies.
+// walk carries the shared per-exploration state of both sequential
+// strategies.
 type walk struct {
 	opts   Options
 	rep    *Report
 	inputs []int
-	// seen maps canonical state key -> shallowest depth at which the state
-	// was expanded. A revisit is pruned only when it has no more remaining
-	// depth than the recorded visit, which keeps pruning sound under
-	// MaxDepth (the recorded visit explored a superset).
-	seen   map[string]int
-	keyBuf []byte // scratch for allocation-free seen lookups
+	// seen (Dedup on) maps canonical state key -> shallowest depth at which
+	// the state was expanded: a revisit is pruned only when it has no more
+	// remaining depth than the recorded visit, which keeps pruning sound
+	// under MaxDepth (the recorded visit explored a superset).
+	seen map[string]int
+	// seenHashes (Dedup off) records 64-bit hashes of the visited keys so
+	// Report.DistinctStates stays comparable across strategies without
+	// retaining full key strings per state. The parallel explorer hashes
+	// with the same function, so counts match exactly even under the (~2^-64
+	// per pair) collision odds the state-key machinery already accepts.
+	seenHashes map[uint64]struct{}
+	// decided accumulates every decision value observed at a visited
+	// configuration (Report.DecidedValues).
+	decided map[int]struct{}
+	keyBuf  []byte // scratch for allocation-free seen lookups
 }
 
 func newWalk(opts Options) *walk {
-	w := &walk{opts: opts, rep: &Report{}}
+	w := &walk{
+		opts:    opts,
+		rep:     &Report{},
+		decided: make(map[int]struct{}),
+	}
 	if opts.Dedup {
 		w.seen = make(map[string]int)
+	} else {
+		w.seenHashes = make(map[uint64]struct{})
 	}
 	return w
+}
+
+// finish fills the order-invariant summary fields and returns the report.
+func (w *walk) finish() *Report {
+	w.rep.DecidedValues = sortedValueSet(w.decided)
+	switch {
+	case w.seen != nil:
+		w.rep.DistinctStates = int64(len(w.seen))
+	case w.seenHashes != nil:
+		w.rep.DistinctStates = int64(len(w.seenHashes))
+	}
+	return w.rep
+}
+
+// sortedValueSet flattens a decision-value set into a sorted slice (nil when
+// empty, so reports compare equal across strategies).
+func sortedValueSet(set map[int]struct{}) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // cutRuns reports whether the run cap is exhausted, recording truncation.
@@ -159,33 +243,45 @@ func (w *walk) cutRuns() bool {
 	return false
 }
 
-// dedup reports whether the configuration of sys at depth was already
-// expanded with at least as much remaining depth. The lookup is
-// allocation-free: the key string is only materialized when a new state is
-// recorded.
+// dedup records the configuration of sys in the seen table and, with Dedup
+// enabled, reports whether it was already expanded with at least as much
+// remaining depth. The lookup is allocation-free: the key string is only
+// materialized when a new state is recorded.
 func (w *walk) dedup(sys *sim.System, depth int) bool {
-	if w.seen == nil {
+	if w.seen == nil && w.seenHashes == nil {
 		return false
 	}
 	key, ok := sys.AppendStateKey(w.keyBuf[:0])
 	w.keyBuf = key[:0]
 	if !ok {
-		w.seen = nil // unkeyable steppers: dedup off for the whole walk
+		// Unkeyable steppers: dedup and distinct counting off for the walk.
+		w.seen, w.seenHashes = nil, nil
 		return false
 	}
-	if prev, hit := w.seen[string(key)]; hit && prev <= depth {
-		w.rep.Deduped++
-		return true
+	if w.seenHashes != nil {
+		w.seenHashes[hashKey(key)] = struct{}{}
+		return false
+	}
+	if prev, hit := w.seen[string(key)]; hit {
+		if prev <= depth {
+			w.rep.Deduped++
+			return true
+		}
 	}
 	w.seen[string(key)] = depth
 	return false
 }
 
-// visit performs the per-configuration work — state accounting and the
-// safety check. sched lazily materializes the schedule for violation
-// reports.
+// visit performs the per-configuration work — state accounting, decided-
+// value collection, and the safety check. sched lazily materializes the
+// schedule for violation reports.
 func (w *walk) visit(sys *sim.System, sched func() []int) {
 	w.rep.States++
+	for pid := 0; pid < sys.N(); pid++ {
+		if d, ok := sys.Decided(pid); ok {
+			w.decided[d] = struct{}{}
+		}
+	}
 	if problem := checkSafety(sys, w.inputs); problem != "" {
 		w.rep.Violations = append(w.rep.Violations, Violation{
 			Schedule: sched(),
@@ -198,24 +294,38 @@ func (w *walk) visit(sys *sim.System, sched func() []int) {
 // soloFrom must yield a fresh system advanced to the configuration, owned
 // by soloCheck.
 func (w *walk) soloCheck(live []int, sched func() []int, soloFrom func() (*sim.System, error)) error {
+	vs, err := soloViolations(live, w.opts.SoloBudget, sched, soloFrom)
+	if err != nil {
+		return err
+	}
+	w.rep.Violations = append(w.rep.Violations, vs...)
+	return nil
+}
+
+// soloViolations runs the obstruction-freedom probes at one configuration:
+// each live process, alone on a fresh copy of the configuration (soloFrom),
+// must decide within budget steps. Shared between the sequential walks and
+// the parallel workers.
+func soloViolations(live []int, budget int64, sched func() []int, soloFrom func() (*sim.System, error)) ([]Violation, error) {
+	var out []Violation
 	for _, pid := range live {
 		sys, err := soloFrom()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ok, err := soloDecides(sys, pid, w.opts.SoloBudget)
+		ok, err := soloDecides(sys, pid, budget)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
-			w.rep.Violations = append(w.rep.Violations, Violation{
+			out = append(out, Violation{
 				Schedule: sched(),
 				Problem: fmt.Sprintf("obstruction-freedom: process %d undecided after %d solo steps",
-					pid, w.opts.SoloBudget),
+					pid, budget),
 			})
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // exhaustiveReplay is the pre-fork explorer: each configuration is
@@ -267,7 +377,25 @@ func exhaustiveReplay(f Factory, opts Options) (*Report, error) {
 	if err := rec(nil); err != nil {
 		return nil, err
 	}
-	return w.rep, nil
+	return w.finish(), nil
+}
+
+// treeNode is one live configuration of the fork-based explorers. Nodes
+// carry their schedule as a parent chain — immutable after construction —
+// materialized into a slice only when a violation needs reporting.
+type treeNode struct {
+	sys    *sim.System
+	parent *treeNode
+	pid    int // step taken from the parent; meaningless at the root
+	depth  int
+}
+
+func (nd *treeNode) schedule() []int {
+	out := make([]int, nd.depth)
+	for n := nd; n.parent != nil; n = n.parent {
+		out[n.depth-1] = n.pid
+	}
+	return out
 }
 
 // exhaustiveFork is the fork-based explorer: an iterative DFS whose stack
@@ -282,22 +410,7 @@ func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
 	}
 	w.inputs = root.Inputs()
 
-	// Nodes carry their schedule as a parent chain, materialized into a
-	// slice only when a violation needs reporting.
-	type node struct {
-		sys    *sim.System
-		parent *node
-		pid    int // step taken from the parent; meaningless at the root
-		depth  int
-	}
-	schedOf := func(nd *node) []int {
-		out := make([]int, nd.depth)
-		for n := nd; n.parent != nil; n = n.parent {
-			out[n.depth-1] = n.pid
-		}
-		return out
-	}
-	stack := []*node{{sys: root}}
+	stack := []*treeNode{{sys: root}}
 	// Every stacked system is closed exactly once: popped nodes by the loop
 	// body, unpopped ones here on early error returns.
 	defer func() {
@@ -316,7 +429,7 @@ func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
 			sys.Close()
 			continue
 		}
-		sched := func() []int { return schedOf(nd) }
+		sched := func() []int { return nd.schedule() }
 		w.visit(sys, sched)
 		live := sys.AppendLive(liveBuf[:0])
 		liveBuf = live
@@ -348,18 +461,18 @@ func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
 			if _, err := child.Step(pid); err != nil {
 				child.Close()
 				sys.Close()
-				return nil, fmt.Errorf("explore: extending %v by %d: %w", schedOf(nd), pid, err)
+				return nil, fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err)
 			}
-			stack = append(stack, &node{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
+			stack = append(stack, &treeNode{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
 		}
 		pid := live[0]
 		if _, err := sys.Step(pid); err != nil {
 			sys.Close()
-			return nil, fmt.Errorf("explore: extending %v by %d: %w", schedOf(nd), pid, err)
+			return nil, fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err)
 		}
-		stack = append(stack, &node{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
+		stack = append(stack, &treeNode{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
 	}
-	return w.rep, nil
+	return w.finish(), nil
 }
 
 // soloDecides runs pid alone on sys (which it owns and closes) for at most

@@ -1,0 +1,433 @@
+package explore
+
+// This file is the parallel fork-based explorer behind StrategyParallel: a
+// worker pool over the same fork-at-branch-points search that exhaustiveFork
+// runs sequentially.
+//
+//   - Frontier: each worker owns a deque of live forked configurations. The
+//     owner pushes and pops at the tail (depth-first, so memory stays
+//     O(workers x depth x branching)); an idle worker steals from the head
+//     of a victim's deque, which hands it the shallowest — largest — pending
+//     subtree, keeping steals rare.
+//   - Dedup: a seen-state table sharded seenShardCount ways by a hash of the
+//     canonical state key, one mutex per shard. Unlike the sequential walk's
+//     depth-aware rule, the parallel table claims exact (state, depth)
+//     pairs, which makes the set of expanded configurations — and therefore
+//     every Report counter — independent of scheduling: each reachable
+//     (state, depth) pair is expanded exactly once no matter which worker
+//     gets there first.
+//   - Merge: workers accumulate results into private buffers; the merge sums
+//     the counters, unions the decided-value sets, and sorts violations into
+//     lexicographic schedule order, which is exactly the sequential DFS
+//     discovery order. Without Dedup the merged Report is byte-identical to
+//     StrategyFork's; with Dedup it is byte-identical across runs and worker
+//     counts (the one exception, noted on Options.Dedup semantics here: when
+//     several same-depth configurations share a canonical state, which of
+//     their schedules labels a violation found at that state depends on the
+//     claim winner; the set of violated properties does not).
+//
+// MaxRuns is inherently a sequential notion — "the first k maximal schedules
+// in DFS order" — so a run cap routes to the sequential fork explorer rather
+// than making truncation racy.
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// seenShardCount is the number of independently locked shards of the
+// parallel seen-state table. 64 shards keep the expected number of workers
+// contending on one mutex below W^2/64 pairs even at W=16 workers, while the
+// table stays one cache line of mutexes away from a flat map. Must be a
+// power of two.
+const seenShardCount = 64
+
+// seenTable is the sharded concurrent seen-state table. Keys are canonical
+// configuration encodings (sim.System.AppendStateKey). In dedup mode each
+// shard records the depths at which a state has been claimed for expansion;
+// in count-only mode (dedup off) the shards hold 64-bit key hashes — the
+// same hashKey the sequential walk uses, so Report.DistinctStates matches
+// it exactly — and every touch claims.
+type seenTable struct {
+	dedup  bool
+	shards [seenShardCount]seenShard
+}
+
+type seenShard struct {
+	mu sync.Mutex
+	// m points at the claimed-depth list so that claiming a further depth
+	// of a known state mutates through the pointer — the full key string is
+	// materialized once per state, never per claim.
+	m      map[string]*[]int32 // dedup mode: key -> claimed depths
+	hashes map[uint64]struct{} // count-only mode
+	// pad spaces the shards a cache line apart so two workers claiming
+	// through neighboring shards do not false-share.
+	_ [64]byte
+}
+
+func newSeenTable(dedup bool) *seenTable {
+	t := &seenTable{dedup: dedup}
+	for i := range t.shards {
+		if dedup {
+			t.shards[i].m = make(map[string]*[]int32)
+		} else {
+			t.shards[i].hashes = make(map[uint64]struct{})
+		}
+	}
+	return t
+}
+
+// hashKey hashes a full state key (FNV-1a 64; the key already starts with
+// the well-mixed memory fingerprint, but hashing all bytes keeps the
+// distribution flat even for states differing only in process-local keys).
+// The low bits pick the shard; the sequential walk uses the same function
+// for its count-only set.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// touch records the (key, depth) visit. claimed reports whether the caller
+// owns the expansion of this pair (always true in count-only mode); newKey
+// reports whether the key itself was first recorded by this call. The
+// lookup is allocation-free on the hit path.
+func (t *seenTable) touch(key []byte, depth int) (claimed, newKey bool) {
+	h := hashKey(key)
+	sh := &t.shards[h&(seenShardCount-1)]
+	sh.mu.Lock()
+	if !t.dedup {
+		if _, hit := sh.hashes[h]; !hit {
+			sh.hashes[h] = struct{}{}
+			newKey = true
+		}
+		sh.mu.Unlock()
+		return true, newKey
+	}
+	ds, hit := sh.m[string(key)]
+	if !hit {
+		list := append(make([]int32, 0, 2), int32(depth))
+		sh.m[string(key)] = &list
+		sh.mu.Unlock()
+		return true, true
+	}
+	if slices.Contains(*ds, int32(depth)) {
+		sh.mu.Unlock()
+		return false, false
+	}
+	*ds = append(*ds, int32(depth))
+	sh.mu.Unlock()
+	return true, false
+}
+
+// distinct counts distinct keys across all shards. Callers must have joined
+// all writers first.
+func (t *seenTable) distinct() int64 {
+	var n int64
+	for i := range t.shards {
+		if t.dedup {
+			n += int64(len(t.shards[i].m))
+		} else {
+			n += int64(len(t.shards[i].hashes))
+		}
+	}
+	return n
+}
+
+// deque is one worker's end of the frontier: owner pushes and pops at the
+// tail, thieves steal from the head. A plain mutex suffices — every node
+// costs at least one fork plus one step, orders of magnitude more than an
+// uncontended lock — and keeps the stealing path trivially correct.
+type deque struct {
+	mu    sync.Mutex
+	items []*treeNode
+	_     [64]byte // shard the deques a cache line apart
+}
+
+func (d *deque) push(nd *treeNode) {
+	d.mu.Lock()
+	d.items = append(d.items, nd)
+	d.mu.Unlock()
+}
+
+// pop takes from the tail (the owner's depth-first end).
+func (d *deque) pop() *treeNode {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	nd := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return nd
+}
+
+// steal takes from the head — the shallowest pending node, i.e. the largest
+// unexplored subtree, so a successful steal buys the thief the most work per
+// synchronization.
+func (d *deque) steal() *treeNode {
+	d.mu.Lock()
+	if len(d.items) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	nd := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	d.mu.Unlock()
+	return nd
+}
+
+// pworker is one worker's private state: its deque end of the frontier, its
+// result buffer, and scratch space.
+type pworker struct {
+	id         int
+	dq         deque
+	runs       int64
+	states     int64
+	deduped    int64
+	violations []Violation
+	decided    map[int]struct{}
+	keyBuf     []byte
+	liveBuf    []int
+}
+
+// pwalk is the shared state of one parallel exploration.
+type pwalk struct {
+	opts    Options
+	inputs  []int
+	table   *seenTable
+	workers []*pworker
+	// pending counts frontier nodes that exist but have not finished
+	// processing; it reaches zero exactly when the search space is
+	// exhausted. A node's count is released only after its children have
+	// been counted and pushed, so pending > 0 while any work exists or can
+	// still be created.
+	pending atomic.Int64
+	// stopped flips on the first error; workers then drain without
+	// expanding.
+	stopped atomic.Bool
+	// sawUnkeyable records that some configuration exposed no canonical
+	// state key, in which case DistinctStates reports 0 — matching the
+	// sequential walk, which drops its seen table wholesale at that point.
+	sawUnkeyable atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+func (w *pwalk) fail(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+	w.stopped.Store(true)
+}
+
+// exhaustiveParallel explores the same space as exhaustiveFork across a
+// worker pool. See the file comment for the determinism argument.
+func exhaustiveParallel(f Factory, opts Options) (*Report, error) {
+	if opts.MaxRuns > 0 {
+		// "The first k maximal schedules" is defined by the sequential DFS
+		// order; a parallel run cap would truncate a racy subset.
+		return exhaustiveFork(f, opts)
+	}
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	root, err := f()
+	if err != nil {
+		return nil, err
+	}
+	w := &pwalk{
+		opts:    opts,
+		inputs:  root.Inputs(),
+		table:   newSeenTable(opts.Dedup),
+		workers: make([]*pworker, nw),
+	}
+	for i := range w.workers {
+		w.workers[i] = &pworker{id: i, decided: make(map[int]struct{})}
+	}
+	w.pending.Store(1)
+	w.workers[0].dq.push(&treeNode{sys: root})
+
+	var wg sync.WaitGroup
+	for _, pw := range w.workers {
+		wg.Add(1)
+		go func(pw *pworker) {
+			defer wg.Done()
+			w.run(pw)
+		}(pw)
+	}
+	wg.Wait()
+	// On an error stop, nodes may remain on the deques; their systems are
+	// torn down here so every fork is closed exactly once on every path.
+	for _, pw := range w.workers {
+		for nd := pw.dq.pop(); nd != nil; nd = pw.dq.pop() {
+			nd.sys.Close()
+		}
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.merge(), nil
+}
+
+// run is one worker's loop: pop own work, steal when dry, exit when the
+// frontier is globally exhausted.
+func (w *pwalk) run(pw *pworker) {
+	spins := 0
+	for {
+		nd := pw.dq.pop()
+		if nd == nil {
+			for off := 1; off < len(w.workers) && nd == nil; off++ {
+				nd = w.workers[(pw.id+off)%len(w.workers)].dq.steal()
+			}
+		}
+		if nd == nil {
+			if w.pending.Load() == 0 || w.stopped.Load() {
+				return
+			}
+			// Another worker is expanding a node and may publish children.
+			// Yield on every failed scan — an idle scan takes every deque
+			// mutex, so spinning hot would contend with the busy workers'
+			// push/pop exactly when they are the critical path — and park
+			// briefly once starvation persists.
+			spins++
+			runtime.Gosched()
+			if spins > 128 {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		spins = 0
+		w.process(pw, nd)
+	}
+}
+
+// process performs the per-configuration work of the sequential explorer —
+// dedup, accounting, safety check, solo probes, expansion — against the
+// worker's private buffers and the shared table.
+func (w *pwalk) process(pw *pworker, nd *treeNode) {
+	sys := nd.sys
+	nd.sys = nil // ownership leaves the frontier here
+	if w.stopped.Load() {
+		sys.Close()
+		w.pending.Add(-1)
+		return
+	}
+	key, keyable := sys.AppendStateKey(pw.keyBuf[:0])
+	pw.keyBuf = key[:0]
+	if keyable {
+		claimed, _ := w.table.touch(key, nd.depth)
+		if !claimed {
+			pw.deduped++
+			sys.Close()
+			w.pending.Add(-1)
+			return
+		}
+	} else {
+		w.sawUnkeyable.Store(true)
+	}
+	pw.states++
+	for pid := 0; pid < sys.N(); pid++ {
+		if d, ok := sys.Decided(pid); ok {
+			pw.decided[d] = struct{}{}
+		}
+	}
+	sched := func() []int { return nd.schedule() }
+	if problem := checkSafety(sys, w.inputs); problem != "" {
+		pw.violations = append(pw.violations, Violation{Schedule: sched(), Problem: problem})
+	}
+	live := sys.AppendLive(pw.liveBuf[:0])
+	pw.liveBuf = live
+	if w.opts.SoloBudget > 0 {
+		vs, err := soloViolations(live, w.opts.SoloBudget, sched, sys.Fork)
+		if err != nil {
+			w.fail(err)
+			sys.Close()
+			w.pending.Add(-1)
+			return
+		}
+		pw.violations = append(pw.violations, vs...)
+	}
+	if len(live) == 0 || (w.opts.MaxDepth > 0 && nd.depth >= w.opts.MaxDepth) {
+		pw.runs++
+		sys.Close()
+		w.pending.Add(-1)
+		return
+	}
+	// Fork a child per live process beyond the first; the first child takes
+	// over the parent system and steps it in place, exactly like the
+	// sequential fork explorer. Children are pushed deepest-last so the
+	// owner's tail pop continues depth-first in ascending pid order.
+	for i := len(live) - 1; i >= 1; i-- {
+		pid := live[i]
+		child, err := sys.Fork()
+		if err != nil {
+			w.fail(err)
+			sys.Close()
+			w.pending.Add(-1)
+			return
+		}
+		if _, err := child.Step(pid); err != nil {
+			w.fail(fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err))
+			child.Close()
+			sys.Close()
+			w.pending.Add(-1)
+			return
+		}
+		w.pending.Add(1)
+		pw.dq.push(&treeNode{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
+	}
+	pid := live[0]
+	if _, err := sys.Step(pid); err != nil {
+		w.fail(fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err))
+		sys.Close()
+		w.pending.Add(-1)
+		return
+	}
+	w.pending.Add(1)
+	pw.dq.push(&treeNode{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
+	w.pending.Add(-1)
+}
+
+// merge combines the per-worker buffers into the final Report. Violations
+// sort into lexicographic schedule order — the sequential DFS discovery
+// order — with a stable sort so the safety-then-solo emission order within
+// one configuration survives (one configuration is processed by exactly one
+// worker, so its violations are contiguous in that worker's buffer).
+func (w *pwalk) merge() *Report {
+	rep := &Report{}
+	decided := make(map[int]struct{})
+	for _, pw := range w.workers {
+		rep.Runs += pw.runs
+		rep.States += pw.states
+		rep.Deduped += pw.deduped
+		rep.Violations = append(rep.Violations, pw.violations...)
+		for v := range pw.decided {
+			decided[v] = struct{}{}
+		}
+	}
+	sort.SliceStable(rep.Violations, func(i, j int) bool {
+		return slices.Compare(rep.Violations[i].Schedule, rep.Violations[j].Schedule) < 0
+	})
+	rep.DecidedValues = sortedValueSet(decided)
+	if !w.sawUnkeyable.Load() {
+		rep.DistinctStates = w.table.distinct()
+	}
+	return rep
+}

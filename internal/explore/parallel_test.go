@@ -1,0 +1,316 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// battery drives one factory through the parallel explorer at several worker
+// counts and compares against the sequential StrategyFork oracle.
+//
+// Without dedup the comparison is byte-identity of the whole Report: the
+// parallel explorer walks the exact same tree, and its deterministic merge
+// must reproduce the sequential counters and the DFS-ordered violations.
+//
+// With dedup the pruning rules differ (depth-aware sequential vs
+// order-independent exact (state, depth) parallel), so the comparison pins
+// the order-invariant quantities — decided-value sets, distinct reachable
+// states, violation presence — plus byte-identity of the parallel report
+// across worker counts, which is the determinism claim of StrategyParallel.
+func battery(t *testing.T, f Factory, opts Options, workers []int) {
+	t.Helper()
+	seq := opts
+	seq.Strategy = StrategyFork
+	oracle, err := Exhaustive(f, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Report
+	for _, wk := range workers {
+		po := opts
+		po.Strategy, po.Workers = StrategyParallel, wk
+		par, err := Exhaustive(f, po)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", wk, err)
+		}
+		if !opts.Dedup {
+			if !reflect.DeepEqual(par, oracle) {
+				t.Fatalf("workers=%d dedup=off: parallel report diverged\nseq %+v\npar %+v", wk, oracle, par)
+			}
+			continue
+		}
+		if !slices.Equal(par.DecidedValues, oracle.DecidedValues) {
+			t.Fatalf("workers=%d: decided values %v, oracle %v", wk, par.DecidedValues, oracle.DecidedValues)
+		}
+		if par.DistinctStates != oracle.DistinctStates {
+			t.Fatalf("workers=%d: distinct states %d, oracle %d", wk, par.DistinctStates, oracle.DistinctStates)
+		}
+		if (len(par.Violations) == 0) != (len(oracle.Violations) == 0) {
+			t.Fatalf("workers=%d: violations %v, oracle %v", wk, par.Violations, oracle.Violations)
+		}
+		if base == nil {
+			base = par
+		} else if !reflect.DeepEqual(par, base) {
+			t.Fatalf("workers=%d dedup=on: parallel report not worker-count invariant\nfirst %+v\nthis  %+v", wk, base, par)
+		}
+	}
+}
+
+// portfolioDepth bounds the per-protocol exploration so the undeduplicated
+// trees stay in the thousands of nodes (branching is the process count).
+func portfolioDepth(inputs []int) int {
+	if len(inputs) >= 4 {
+		return 5
+	}
+	return 6
+}
+
+// TestParallelMatchesSequential is the headline differential battery: every
+// forkable protocol x worker counts {1,2,4,8} x dedup on/off against the
+// StrategyFork oracle, then the CanDecide oracle cross-checked against the
+// parallel report's decided-value set.
+func TestParallelMatchesSequential(t *testing.T) {
+	workers := []int{1, 2, 4, 8}
+	for _, tc := range consensus.ForkablePortfolio() {
+		t.Run(tc.Name, func(t *testing.T) {
+			f := factoryFor(tc.Build, tc.Inputs)
+			depth := portfolioDepth(tc.Inputs)
+			for _, dedup := range []bool{false, true} {
+				battery(t, f, Options{MaxDepth: depth, Dedup: dedup}, workers)
+			}
+
+			// CanDecide verdicts: over the same schedule envelope, the
+			// bounded valency oracle must say v is decidable exactly when the
+			// parallel exploration observed a decision on v.
+			par, err := Exhaustive(f, Options{
+				MaxDepth: depth, Strategy: StrategyParallel, Workers: 4, Dedup: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			all := make([]int, len(tc.Inputs))
+			for i := range all {
+				all[i] = i
+			}
+			checked := map[int]bool{}
+			for _, v := range tc.Inputs {
+				if checked[v] {
+					continue
+				}
+				checked[v] = true
+				can, err := CanDecide(f, nil, all, v, depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := slices.Contains(par.DecidedValues, v); can != want {
+					t.Fatalf("CanDecide(%d) = %v, parallel decided set %v", v, can, par.DecidedValues)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSoloBudget: the obstruction-freedom probes run inside workers;
+// the report stays byte-identical to the sequential oracle.
+func TestParallelSoloBudget(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1})
+	battery(t, f, Options{SoloBudget: 5}, []int{1, 2, 4})
+	f = factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	battery(t, f, Options{MaxDepth: 7, SoloBudget: 60}, []int{1, 4})
+}
+
+// TestParallelBodyProtocols: coroutine-body systems fork by result-replay;
+// the parallel explorer must handle them identically.
+func TestParallelBodyProtocols(t *testing.T) {
+	body := func() (*sim.System, error) {
+		pr := consensus.MaxRegisters(2)
+		return sim.NewSystem(pr.NewMemory(), []int{0, 1}, pr.Body), nil
+	}
+	for _, dedup := range []bool{false, true} {
+		battery(t, body, Options{MaxDepth: 7, Dedup: dedup}, []int{1, 2, 4})
+	}
+}
+
+// TestParallelCatchesBrokenProtocol: the planted agreement violation must
+// surface with the identical DFS-ordered witness schedules, at every worker
+// count.
+func TestParallelCatchesBrokenProtocol(t *testing.T) {
+	broken := func() (*sim.System, error) {
+		mem := machine.New(machine.SetReadWrite, 1)
+		b := func(p *sim.Proc) int {
+			p.Apply(0, machine.OpRead)
+			return p.Input()
+		}
+		return sim.NewSystem(mem, []int{0, 1}, b), nil
+	}
+	battery(t, broken, Options{}, []int{1, 2, 4, 8})
+	// With dedup the violated-property set must survive pruning too.
+	rep, err := Exhaustive(broken, Options{Strategy: StrategyParallel, Workers: 4, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("parallel dedup exploration missed the agreement violation")
+	}
+}
+
+// TestParallelMaxRunsFallsBack: a run cap is a DFS-order notion, so the
+// parallel strategy must route to the sequential explorer and stay
+// byte-identical.
+func TestParallelMaxRunsFallsBack(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	opts := Options{MaxDepth: 12, MaxRuns: 5}
+	seq := opts
+	seq.Strategy = StrategyFork
+	want, err := Exhaustive(f, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Strategy, par.Workers = StrategyParallel, 8
+	got, err := Exhaustive(f, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MaxRuns fallback diverged:\nseq %+v\npar %+v", want, got)
+	}
+	if !got.Truncated {
+		t.Fatal("expected truncation")
+	}
+}
+
+// TestParallelDedupCollapsesStates: the sharded (state, depth) table must
+// prune commuting interleavings, not just match the no-dedup tree.
+func TestParallelDedupCollapsesStates(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	plain, err := Exhaustive(f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := Exhaustive(f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup.States >= plain.States {
+		t.Fatalf("dedup visited %d states, plain %d: no collapse", dedup.States, plain.States)
+	}
+	if dedup.Deduped == 0 {
+		t.Fatal("dedup pruned nothing")
+	}
+	if dedup.DistinctStates != plain.DistinctStates {
+		t.Fatalf("distinct states changed under dedup: %d vs %d", dedup.DistinctStates, plain.DistinctStates)
+	}
+}
+
+// --- randomized-protocol fuzzing ---------------------------------------------
+
+// fuzzSet is the instruction set the random programs draw from.
+var fuzzSet = machine.NewInstrSet("fuzz",
+	machine.OpRead, machine.OpWrite, machine.OpFetchAndAdd, machine.OpCompareAndSwap)
+
+// fuzzOp is one instruction of a random program.
+type fuzzOp struct {
+	loc        int
+	op         machine.Op
+	arg, cmpTo int64
+}
+
+// fuzzStepper executes a fixed random program as a forkable state machine.
+// Control flow is data-dependent — an odd result hash skips the next
+// instruction — so the state graph is irregular and two interleavings
+// rarely commute, which is exactly what shakes races out of the sharded
+// table and the frontier. Every process decides 0 (an input), keeping the
+// protocol trivially safe: the fuzz compares exploration accounting, not
+// consensus semantics.
+type fuzzStepper struct {
+	prog []fuzzOp // shared immutable program
+	pc   int
+	acc  uint64 // rolling hash of consumed results: the local state
+}
+
+func (s *fuzzStepper) Poise() (sim.OpInfo, bool) {
+	if s.pc >= len(s.prog) {
+		return sim.OpInfo{}, false
+	}
+	op := s.prog[s.pc]
+	switch op.op {
+	case machine.OpRead:
+		return sim.OpInfo{Loc: op.loc, Op: op.op}, true
+	case machine.OpCompareAndSwap:
+		return sim.OpInfo{Loc: op.loc, Op: op.op,
+			Args: []machine.Value{machine.Int(op.cmpTo), machine.Int(op.arg)}}, true
+	default: // write, fetch-add
+		return sim.OpInfo{Loc: op.loc, Op: op.op, Args: []machine.Value{machine.Int(op.arg)}}, true
+	}
+}
+
+func (s *fuzzStepper) Resume(res machine.Value) bool {
+	s.acc = machine.Mix64(s.acc ^ machine.HashValue(res))
+	s.pc++
+	if s.acc&1 == 1 {
+		s.pc++ // data-dependent branch
+	}
+	return s.pc >= len(s.prog)
+}
+
+func (s *fuzzStepper) Outcome() (bool, int, error) { return s.pc >= len(s.prog), 0, nil }
+func (s *fuzzStepper) Halt()                       {}
+
+func (s *fuzzStepper) Fork() sim.Stepper {
+	f := *s
+	return &f
+}
+
+func (s *fuzzStepper) StateKey() uint64 {
+	return machine.Mix64(machine.Mix64(uint64(s.pc)^0x66757a7a) ^ s.acc)
+}
+
+// TestParallelFuzzRandomPrograms: seeded random programs, random worker
+// counts, dedup on and off — 60 iterations so a table-sharding or
+// frontier-handoff race cannot hide behind the fixed portfolio's regular
+// state graphs.
+func TestParallelFuzzRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.Intn(3)    // 2..4 processes
+		locs := 1 + rng.Intn(3) // 1..3 locations
+		progs := make([][]fuzzOp, n)
+		for p := range progs {
+			plen := 3 + rng.Intn(4)
+			prog := make([]fuzzOp, plen)
+			for i := range prog {
+				prog[i] = fuzzOp{
+					loc:   rng.Intn(locs),
+					op:    []machine.Op{machine.OpRead, machine.OpWrite, machine.OpFetchAndAdd, machine.OpCompareAndSwap}[rng.Intn(4)],
+					arg:   int64(rng.Intn(5)),
+					cmpTo: int64(rng.Intn(3)),
+				}
+			}
+			progs[p] = prog
+		}
+		f := func() (*sim.System, error) {
+			steppers := make([]sim.Stepper, n)
+			for p := range steppers {
+				steppers[p] = &fuzzStepper{prog: progs[p]}
+			}
+			return sim.NewSystemSteppers(machine.New(fuzzSet, locs), make([]int, n), steppers), nil
+		}
+		depth := 4 + rng.Intn(2)
+		if n == 4 {
+			depth = 4
+		}
+		dedup := iter%2 == 0
+		wk := []int{1 + rng.Intn(8), 1 + rng.Intn(8)}
+		t.Run(fmt.Sprintf("iter%02d-n%d-depth%d-dedup%v", iter, n, depth, dedup), func(t *testing.T) {
+			battery(t, f, Options{MaxDepth: depth, Dedup: dedup}, wk)
+		})
+	}
+}

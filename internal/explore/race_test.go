@@ -1,0 +1,138 @@
+package explore
+
+// Race-focused hammering of the parallel explorer's shared structures.
+// These tests are meaningful under -race (the CI workflow runs the package
+// with it explicitly) but also verify the claim-accounting invariants that
+// the deterministic-report argument rests on.
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestSeenTableClaimRace hammers one seenTable from many goroutines with
+// overlapping (key, depth) pairs and verifies the claim invariant behind the
+// parallel explorer's determinism: every pair is claimed by exactly one
+// caller, no matter how the insertions interleave, and the distinct-key
+// count is exact.
+func TestSeenTableClaimRace(t *testing.T) {
+	const (
+		goroutines = 16
+		keys       = 97 // not a multiple of the shard count: uneven shards
+		depths     = 7
+		rounds     = 50
+	)
+	table := newSeenTable(true)
+	claims := make([]atomic.Int64, keys*depths)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf [16]byte
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					// Perturb the visiting order per goroutine so shards are
+					// hit in different sequences.
+					key := (k*(g+1) + r) % keys
+					depth := (k + g + r) % depths
+					binary.LittleEndian.PutUint64(buf[:8], uint64(key)*0x9e3779b97f4a7c15)
+					binary.LittleEndian.PutUint64(buf[8:], uint64(key))
+					claimed, _ := table.touch(buf[:], depth)
+					if claimed {
+						claims[key*depths+depth].Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range claims {
+		if got := claims[i].Load(); got != 1 {
+			t.Fatalf("pair %d claimed %d times, want exactly 1", i, got)
+		}
+	}
+	if got := table.distinct(); got != keys {
+		t.Fatalf("distinct keys %d, want %d", got, keys)
+	}
+}
+
+// TestSeenTableCountRace is the dedup-off mode of the same hammer: touch
+// always claims, and the distinct count stays exact.
+func TestSeenTableCountRace(t *testing.T) {
+	const goroutines, keys = 12, 256
+	table := newSeenTable(false)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf [8]byte
+			for k := 0; k < keys; k++ {
+				binary.LittleEndian.PutUint64(buf[:], uint64((k*(g+1))%keys))
+				if claimed, _ := table.touch(buf[:], k%5); !claimed {
+					t.Error("dedup-off touch refused a claim")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := table.distinct(); got != keys {
+		t.Fatalf("distinct keys %d, want %d", got, keys)
+	}
+}
+
+// TestParallelExplorerUnderLoad runs the full parallel explorer with far
+// more workers than subtrees of the instance at a shallow depth, so the
+// steal path and the idle/termination protocol are exercised hard rather
+// than every worker staying busy on its own deque.
+func TestParallelExplorerUnderLoad(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	for _, dedup := range []bool{false, true} {
+		battery(t, f, Options{MaxDepth: 9, Dedup: dedup}, []int{16, 32})
+	}
+}
+
+// TestParallelErrorTeardown: a factory whose systems fail mid-exploration
+// must abort the pool without leaking or double-closing systems (the -race
+// run would flag a post-Close use) and surface the error.
+func TestParallelErrorTeardown(t *testing.T) {
+	f := func() (*sim.System, error) {
+		pr := consensus.MaxRegisters(2)
+		// Bounded memory: a step on an out-of-range location errors, which
+		// surfaces as an exploration failure mid-expansion.
+		return sim.NewSystemSteppers(pr.NewMemory(), []int{0, 1},
+			[]sim.Stepper{&failingStepper{fuse: 2}, &failingStepper{fuse: 3}}), nil
+	}
+	_, err := Exhaustive(f, Options{MaxDepth: 6, Strategy: StrategyParallel, Workers: 8})
+	if err == nil {
+		t.Fatal("expected the planted process failure to surface")
+	}
+}
+
+// failingStepper performs max-register reads until its fuse burns, then
+// poises an out-of-range access whose Step fails. It forks natively so the
+// parallel explorer exercises its error path rather than ErrNotForkable.
+type failingStepper struct {
+	fuse int
+}
+
+func (s *failingStepper) Poise() (sim.OpInfo, bool) {
+	loc := 0
+	if s.fuse <= 0 {
+		loc = 1 << 30 // out of range: Step errors
+	}
+	return sim.OpInfo{Loc: loc, Op: machine.OpReadMax}, true
+}
+func (s *failingStepper) Resume(res machine.Value) bool { s.fuse--; return false }
+func (s *failingStepper) Outcome() (bool, int, error)   { return false, 0, nil }
+func (s *failingStepper) Halt()                         {}
+func (s *failingStepper) Fork() sim.Stepper             { f := *s; return &f }
+func (s *failingStepper) StateKey() uint64              { return uint64(s.fuse + 1) }

@@ -109,6 +109,9 @@ func New(set InstrSet, size int, opts ...Option) *Memory {
 // convention), and the instrumentation counters are duplicated. The
 // instruction set, capacities, and fingerprint carry over unchanged; the
 // clone and the original never observe each other's subsequent instructions.
+// Clone only reads the receiver: concurrent Clones of one Memory are safe as
+// long as no goroutine concurrently applies instructions to it (the
+// System.Fork concurrency contract).
 func (m *Memory) Clone() *Memory {
 	n := &Memory{
 		set:       m.set,

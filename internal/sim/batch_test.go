@@ -171,3 +171,41 @@ func TestRunBatchPropagatesErrors(t *testing.T) {
 		t.Fatalf("stats = %+v", stats)
 	}
 }
+
+// TestRunBatchWorkerInvariance is the seeding-determinism regression at the
+// batch-runner layer: per-job results must be identical at every worker
+// count, because each job's scheduler is built from the job's own seed —
+// never from which worker executes it or in what order.
+func TestRunBatchWorkerInvariance(t *testing.T) {
+	inputs := []int{4, 2, 0, 3}
+	const runs = 48
+	mkJobs := func() []BatchJob {
+		jobs := make([]BatchJob, runs)
+		for i := range jobs {
+			seed := int64(i + 1)
+			jobs[i] = BatchJob{
+				Make:     func() (*System, error) { return newCASSystem(inputs), nil },
+				Sched:    func() Scheduler { return NewRandom(seed) },
+				MaxSteps: 1000,
+			}
+		}
+		return jobs
+	}
+	var base []BatchResult
+	for _, workers := range []int{1, 3, 8} {
+		results, stats := RunBatch(mkJobs(), workers)
+		if stats.Failed != 0 {
+			t.Fatalf("workers=%d: %d failed", workers, stats.Failed)
+		}
+		if base == nil {
+			base = results
+			continue
+		}
+		for i := range results {
+			got, want := results[i].Result, base[i].Result
+			if got.Steps != want.Steps || fmt.Sprint(got.Decisions) != fmt.Sprint(want.Decisions) {
+				t.Fatalf("workers=%d job %d: %+v, want %+v", workers, i, got, want)
+			}
+		}
+	}
+}

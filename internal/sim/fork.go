@@ -40,6 +40,14 @@ func (d doneStepper) Fork() Stepper               { return d }
 // crashed processes fork as stubs. ErrNotForkable is returned (and the
 // partial fork torn down) only for external Stepper implementations that
 // support neither path.
+//
+// Concurrency: Fork only reads the receiver, so multiple goroutines may
+// Fork the same System concurrently — and transfer the forks across
+// goroutines — provided no goroutine concurrently calls Step, Crash, or
+// Close on it. External Forker implementations must honor the same
+// contract (the built-in steppers fork by copying). The parallel explorer
+// relies on this when its workers fork a shared configuration's descendants
+// from several deques at once.
 func (s *System) Fork() (*System, error) {
 	if s.closed {
 		return nil, ErrClosed
@@ -118,6 +126,8 @@ func (s *System) StateKey() (key string, ok bool) {
 
 // AppendStateKey is StateKey appending into dst, for callers that look the
 // key up allocation-free (map[string(dst)] compiles to a no-alloc access).
+// Like Fork it is read-only: safe to call concurrently with Forks of the
+// same system, but not with Step/Crash/Close.
 func (s *System) AppendStateKey(dst []byte) (key []byte, ok bool) {
 	if s.closed {
 		return dst, false

@@ -66,8 +66,10 @@ type options struct {
 	seed        int64
 	l           int
 	maxSteps    int64
+	workers     int
 	seedSet     bool
 	maxStepsSet bool
+	workersSet  bool
 }
 
 // Option configures Solve.
@@ -86,6 +88,18 @@ func WithMaxSteps(s int64) Option {
 	return func(o *options) { o.maxSteps, o.maxStepsSet = s, true }
 }
 
+// WithWorkers spreads Verify's exhaustive exploration across a worker pool
+// (0 = GOMAXPROCS). Worker count changes wall-clock time, never the
+// accounting: every counter and the decided-value set are order-independent,
+// and the differential suite pins them against the sequential oracle. The
+// one scheduling-dependent residue: for a protocol that *violates* safety,
+// which of several equivalent schedules labels a violation may vary between
+// runs (the set of violated properties does not). Verify-only; Solve runs
+// one schedule and has nothing to parallelize.
+func WithWorkers(w int) Option {
+	return func(o *options) { o.workers, o.workersSet = w, true }
+}
+
 // Solve runs the upper-bound protocol of the given Table 1 row (for
 // example "T1.9" for two max-registers) on the given inputs — one input per
 // process, values in [0, n) — under a fair random schedule, and returns the
@@ -94,6 +108,9 @@ func Solve(rowID string, inputs []int, opts ...Option) (*Outcome, error) {
 	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.workersSet {
+		return nil, errors.New("repro: WithWorkers applies to Verify; Solve runs a single schedule")
 	}
 	row, ok := core.RowByID(rowID, o.l)
 	if !ok {
@@ -249,6 +266,12 @@ type VerifyReport struct {
 	// Violations describes any safety violations found (empty = safe over
 	// the explored envelope).
 	Violations []string
+	// DecidedValues is the sorted set of values decided somewhere in the
+	// explored envelope; invariant across worker counts and deduplication.
+	DecidedValues []int
+	// DistinctStates counts distinct canonical configurations reached
+	// within the envelope (0 if the systems expose no state key).
+	DistinctStates int64
 }
 
 // Verify exhaustively model-checks the row's protocol on the given inputs
@@ -257,6 +280,10 @@ type VerifyReport struct {
 // forked configuration snapshots with canonical-state deduplication, so
 // commuting interleavings are collapsed rather than re-explored; use it to
 // certify a row over a schedule envelope where Solve samples a single seed.
+// WithWorkers spreads the exploration across a pool of workers popping
+// forked configurations from a work-stealing frontier; all counters and
+// the decided-value set are identical at every worker count (only a
+// violating protocol's witness schedules may vary between runs).
 func Verify(rowID string, inputs []int, maxDepth int, opts ...Option) (*VerifyReport, error) {
 	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
 	for _, f := range opts {
@@ -275,16 +302,21 @@ func Verify(rowID string, inputs []int, maxDepth int, opts ...Option) (*VerifyRe
 	if maxDepth <= 0 && (row.Build == nil || !row.Build(len(inputs)).WaitFree) {
 		return nil, fmt.Errorf("repro: row %s is not wait-free; Verify needs maxDepth > 0 to bound the exploration", rowID)
 	}
-	rep, err := core.ExploreRow(row, inputs, explore.Options{
+	eo := explore.Options{
 		MaxDepth: maxDepth,
 		Strategy: explore.StrategyFork,
 		Dedup:    true,
-	})
+	}
+	if o.workersSet {
+		eo.Strategy, eo.Workers = explore.StrategyParallel, o.workers
+	}
+	rep, err := core.ExploreRow(row, inputs, eo)
 	if err != nil {
 		return nil, err
 	}
 	out := &VerifyReport{
 		Runs: rep.Runs, States: rep.States, Deduped: rep.Deduped, Truncated: rep.Truncated,
+		DecidedValues: rep.DecidedValues, DistinctStates: rep.DistinctStates,
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, v.String())

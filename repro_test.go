@@ -2,6 +2,7 @@ package repro
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -150,5 +151,39 @@ func TestSteps(t *testing.T) {
 	}
 	if _, err := Steps("nope", 4, 1); !errors.Is(err, ErrUnknownRow) {
 		t.Fatal("unknown row accepted")
+	}
+}
+
+// TestVerifyWorkers: the parallel verifier must agree with the sequential
+// one on the order-invariant quantities and be identical across worker
+// counts; Solve rejects the Verify-only option.
+func TestVerifyWorkers(t *testing.T) {
+	inputs := []int{0, 1, 2}
+	seq, err := Verify("T1.10", inputs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *VerifyReport
+	for _, w := range []int{1, 4} {
+		par, err := Verify("T1.10", inputs, 6, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Violations) != 0 {
+			t.Fatalf("workers=%d: %v", w, par.Violations)
+		}
+		if !reflect.DeepEqual(par.DecidedValues, seq.DecidedValues) ||
+			par.DistinctStates != seq.DistinctStates {
+			t.Fatalf("workers=%d: decided %v distinct %d, sequential %v / %d",
+				w, par.DecidedValues, par.DistinctStates, seq.DecidedValues, seq.DistinctStates)
+		}
+		if first == nil {
+			first = par
+		} else if !reflect.DeepEqual(par, first) {
+			t.Fatalf("verify report depends on worker count:\n%+v\n%+v", first, par)
+		}
+	}
+	if _, err := Solve("T1.10", inputs, WithWorkers(4)); err == nil {
+		t.Fatal("Solve accepted WithWorkers")
 	}
 }
