@@ -1,0 +1,180 @@
+package repro
+
+// TestAPIGolden pins the package's exported surface to api.txt: any change
+// to the public API — a new verb, a changed signature, a removed option —
+// fails this test until api.txt is deliberately regenerated with
+//
+//	go test -run TestAPIGolden -update-api .
+//
+// which makes public-surface changes explicit in review instead of
+// incidental.
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt with the current exported surface")
+
+func TestAPIGolden(t *testing.T) {
+	got := renderAPI(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestAPIGolden -update-api .`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API surface changed; if intentional, run `go test -run TestAPIGolden -update-api .`\n--- api.txt\n+++ current\n%s", diffLines(string(want), got))
+	}
+}
+
+// renderAPI renders one sorted line per exported symbol of the root
+// package: functions and methods with their signatures, types with their
+// exported fields and methods, consts and vars.
+func renderAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["repro"]
+	if !ok {
+		t.Fatalf("package repro not found in %v", pkgs)
+	}
+	render := func(n any) string {
+		var b bytes.Buffer
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				cp := *d
+				cp.Body, cp.Doc = nil, nil
+				lines = append(lines, render(&cp))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, typeLines(s, render)...)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if !n.IsExported() {
+								continue
+							}
+							kw := "var"
+							if d.Tok == token.CONST {
+								kw = "const"
+							}
+							lines = append(lines, kw+" "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedRecv reports whether a method's receiver type is exported (or the
+// decl is a plain function).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	base := d.Recv.List[0].Type
+	if se, ok := base.(*ast.StarExpr); ok {
+		base = se.X
+	}
+	id, ok := base.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+// typeLines renders a type declaration: the head line plus one line per
+// exported struct field or interface method, keeping unexported internals
+// out of the golden surface.
+func typeLines(s *ast.TypeSpec, render func(any) string) []string {
+	name := s.Name.Name
+	if s.Assign.IsValid() {
+		return []string{"type " + name + " = " + render(s.Type)}
+	}
+	switch tt := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{"type " + name + " struct"}
+		for _, f := range tt.Fields.List {
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, "type "+name+" struct: "+fn.Name+" "+render(f.Type))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{"type " + name + " interface"}
+		for _, m := range tt.Methods.List {
+			if len(m.Names) == 0 {
+				// Embedded interface.
+				lines = append(lines, "type "+name+" interface: "+render(m.Type))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					lines = append(lines, "type "+name+" interface: "+mn.Name+" "+render(m.Type))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{"type " + name + " " + render(s.Type)}
+	}
+}
+
+// diffLines renders a minimal line diff for the failure message.
+func diffLines(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ package repro
 // ns/op measures the simulator, not any hardware claim.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -263,7 +264,7 @@ func BenchmarkExplore(b *testing.B) {
 				var rep *explore.Report
 				for i := 0; i < b.N; i++ {
 					var err error
-					rep, err = explore.Exhaustive(v.f, v.opts)
+					rep, err = explore.Exhaustive(context.Background(), v.f, v.opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -306,7 +307,7 @@ func BenchmarkExploreParallel(b *testing.B) {
 			return tc.build(len(tc.inputs)).NewSystem(tc.inputs)
 		}
 		base := explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyFork, Dedup: tc.dedup}
-		seqWant, err := explore.Exhaustive(f, base)
+		seqWant, err := explore.Exhaustive(context.Background(), f, base)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func BenchmarkExploreParallel(b *testing.B) {
 		// differently from the sequential depth-aware rule, so the p*
 		// variants pin against the worker-count-invariant parallel reference;
 		// DistinctStates must match across everything.
-		parWant, err := explore.Exhaustive(f, popts(1))
+		parWant, err := explore.Exhaustive(context.Background(), f, popts(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,7 +342,7 @@ func BenchmarkExploreParallel(b *testing.B) {
 				var rep *explore.Report
 				for i := 0; i < b.N; i++ {
 					var err error
-					rep, err = explore.Exhaustive(f, v.opts)
+					rep, err = explore.Exhaustive(context.Background(), f, v.opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -438,6 +439,62 @@ func BenchmarkAblation_SwapScaling(b *testing.B) {
 	for _, n := range []int{4, 8, 12} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchRow(b, "T1.5", n, 1)
+		})
+	}
+}
+
+// BenchmarkCompiledSolveSweep measures the tentpole amortization of the
+// compiled-handle API: a 100-seed sweep through one compiled handle (each
+// run forks the pristine snapshot) against the same sweep with per-run
+// construction (row resolution + protocol build + fresh memory and
+// steppers per seed, the pre-handle path). Rows: the two-max-register
+// protocol and the one-location add-counter row, both natively forkable.
+func BenchmarkCompiledSolveSweep(b *testing.B) {
+	const sweep = 100
+	inputs := []int{3, 1, 4, 1, 2, 0, 6, 7}
+	ctx := context.Background()
+	for _, rowID := range []string{"T1.9", "T1.12"} {
+		b.Run(rowID+"/compiled", func(b *testing.B) {
+			p, err := Compile(rowID, len(inputs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for seed := int64(1); seed <= sweep; seed++ {
+					if _, err := p.Solve(ctx, inputs, Seed(seed)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sweep), "ns/run")
+		})
+		b.Run(rowID+"/fresh", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for seed := int64(1); seed <= sweep; seed++ {
+					// The pre-handle per-run path: resolve the row, build
+					// the protocol, construct a fresh system.
+					row, ok := core.RowByID(rowID, 2)
+					if !ok {
+						b.Fatal("unknown row")
+					}
+					sys, err := row.Build(len(inputs)).NewSystem(inputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sys.Run(sim.NewRandom(seed), 50_000_000)
+					if err != nil {
+						sys.Close()
+						b.Fatal(err)
+					}
+					if _, ok := res.AgreedValue(); !ok {
+						sys.Close()
+						b.Fatal("no decision")
+					}
+					sys.Close()
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sweep), "ns/run")
 		})
 	}
 }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/adversary"
 	"repro/internal/consensus"
@@ -24,6 +26,8 @@ func main() {
 	if len(os.Args) < 2 {
 		log.Fatal("usage: adversary <maxreg|fai|flood> [flags]")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	switch os.Args[1] {
 	case "maxreg":
 		runMaxReg()
@@ -33,7 +37,7 @@ func main() {
 		fs := flag.NewFlagSet("flood", flag.ExitOnError)
 		k := fs.Int("k", 50, "target number of memory locations to force")
 		_ = fs.Parse(os.Args[2:])
-		runFlood(*k)
+		runFlood(ctx, *k)
 	default:
 		log.Fatalf("unknown demo %q", os.Args[1])
 	}
@@ -81,13 +85,13 @@ func runFAI() {
 	}
 }
 
-func runFlood(k int) {
+func runFlood(ctx context.Context, k int) {
 	fmt.Printf("Lemma 9.1 — forcing %d locations over {read, write(1)} memory\n", k)
 	fmt.Println("with the write-staller schedule (no process ever decides):")
 	pr := consensus.WriteOneTracksSticky(3)
 	sys := pr.MustSystem([]int{0, 1, 2})
 	defer sys.Close()
-	rep, err := adversary.Flood(sys, k, 100_000_000)
+	rep, err := adversary.Flood(ctx, sys, k, 100_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}

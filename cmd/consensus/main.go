@@ -18,12 +18,20 @@
 // snapshots with canonical-state deduplication; -workers spreads the
 // exploration across a work-stealing worker pool without changing the
 // report.
+//
+// Batch and explore modes run on one compiled repro.Protocol handle: the
+// row is resolved once, and every run of the sweep forks the handle's
+// pristine snapshot instead of rebuilding the system. Both modes are
+// interruptible — Ctrl-C cancels the sweep or exploration promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +70,9 @@ func main() {
 	exploreDepth := flag.Int("explore", -1, "exhaustively check every interleaving up to depth D (0 = to completion)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	inputs, err := parseInputs(*inputsFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +89,7 @@ func main() {
 		})
 		workersSet := false
 		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-		runExplore(*rowID, inputs, *l, *exploreDepth, *workers, workersSet)
+		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet)
 		return
 	}
 	if *batch > 0 {
@@ -91,7 +102,7 @@ func main() {
 				log.Fatalf("-%s is not supported with -batch (batch sweeps seeds 1..N under the random scheduler)", f.Name)
 			}
 		})
-		runBatch(*rowID, inputs, *l, *batch, *workers, *maxSteps)
+		runBatch(ctx, *rowID, inputs, *l, *batch, *workers, *maxSteps)
 		return
 	}
 	row, ok := core.RowByID(*rowID, *l)
@@ -140,7 +151,7 @@ func main() {
 			}
 			fmt.Printf("%6d  p%-2d %v\n", sys.Steps(), st.PID, st.Info)
 		}
-	} else if _, err := sys.Run(sched, *maxSteps); err != nil {
+	} else if _, err := sys.RunContext(ctx, sched, *maxSteps); err != nil {
 		log.Fatal(err)
 	}
 
@@ -160,13 +171,17 @@ func main() {
 // runExplore model-checks one row's protocol over every interleaving up to
 // depth, reporting the explored envelope and any violation. With workersSet
 // the exploration runs on the parallel work-stealing explorer.
-func runExplore(rowID string, inputs []int, l, depth, workers int, workersSet bool) {
-	opts := []repro.Option{repro.WithBufferCap(l)}
+func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet bool) {
+	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opts []repro.VerifyOption
 	if workersSet {
-		opts = append(opts, repro.WithWorkers(workers))
+		opts = append(opts, repro.Workers(workers))
 	}
 	start := time.Now()
-	rep, err := repro.Verify(rowID, inputs, depth, opts...)
+	rep, err := p.Verify(ctx, inputs, depth, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -186,30 +201,38 @@ func runExplore(rowID string, inputs []int, l, depth, workers int, workersSet bo
 	fmt.Println("  safe: agreement and validity hold over the explored envelope")
 }
 
-// runBatch sweeps seeds 1..n of one row in parallel and prints the decision
-// distribution with aggregate step throughput.
-func runBatch(rowID string, inputs []int, l, n, workers int, maxSteps int64) {
-	specs := make([]repro.BatchSpec, n)
+// runBatch sweeps seeds 1..n of one compiled handle in parallel and prints
+// the decision distribution with aggregate step throughput.
+func runBatch(ctx context.Context, rowID string, inputs []int, l, n, workers int, maxSteps int64) {
+	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]repro.RunSpec, n)
 	for i := range specs {
-		specs[i] = repro.BatchSpec{
-			Row: rowID, Inputs: inputs, Seed: int64(i + 1), L: l, MaxSteps: maxSteps,
-		}
+		specs[i] = repro.RunSpec{Inputs: inputs, Seed: int64(i + 1)}
+	}
+	opts := []repro.BatchOption{repro.Workers(workers)}
+	if maxSteps > 0 {
+		// -max-steps 0 keeps the library default, matching the legacy
+		// zero-means-default BatchSpec convention.
+		opts = append(opts, repro.MaxSteps(maxSteps))
 	}
 	start := time.Now()
-	outs := repro.SolveBatch(specs, workers)
+	outs := p.SolveBatch(ctx, specs, opts...)
 	elapsed := time.Since(start)
 
 	decisions := make(map[int]int)
 	var totalSteps int64
 	failures := 0
-	for _, bo := range outs {
-		if bo.Err != nil {
+	for _, ro := range outs {
+		if ro.Err != nil {
 			failures++
-			log.Printf("seed %d: %v", bo.Spec.Seed, bo.Err)
+			log.Printf("seed %d: %v", ro.Spec.Seed, ro.Err)
 			continue
 		}
-		decisions[bo.Outcome.Value]++
-		totalSteps += bo.Outcome.Steps
+		decisions[ro.Outcome.Value]++
+		totalSteps += ro.Outcome.Steps
 	}
 	fmt.Printf("batch: %d runs of %s (n=%d) in %v, %d failed\n",
 		n, rowID, len(inputs), elapsed.Round(time.Millisecond), failures)

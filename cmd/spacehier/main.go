@@ -8,15 +8,22 @@
 //	spacehier [-n processes] [-l bufferCap] [-seed s] [-sweep]
 //
 // With -sweep, the buffer rows are additionally evaluated for l = 1..4 and
-// the Lemma 5.2 rows for a range of n, showing how the bounds scale.
+// the Lemma 5.2 rows for a range of n, showing how the bounds scale. The
+// buffer sweep runs on compiled repro.Protocol handles — one Compile per
+// (n, l) point, measured footprint from Protocol.Solve, bounds from
+// Protocol.Bounds. Interrupting the command (Ctrl-C) cancels the
+// measurement runs cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
+	"repro"
 	"repro/internal/core"
 )
 
@@ -29,14 +36,17 @@ func main() {
 	steps := flag.Bool("steps", false, "also print the step-complexity companion table (Section 10)")
 	flag.Parse()
 
-	out, err := core.RenderTable(*n, *l, *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	out, err := core.RenderTable(ctx, *n, *l, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(out)
 
 	if *steps {
-		st, err := core.RenderStepTable(*n, *l)
+		st, err := core.RenderStepTable(ctx, *n, *l)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,14 +60,21 @@ func main() {
 	fmt.Println("\nBuffer sweep (row T1.6): measured locations vs ⌈n/l⌉")
 	fmt.Printf("%4s %4s %10s %10s %10s\n", "n", "l", "lower", "upper", "measured")
 	for _, nn := range []int{4, 6, 8, 10} {
+		inputs := make([]int, nn)
+		for i := range inputs {
+			inputs[i] = i
+		}
 		for ll := 1; ll <= 4; ll++ {
-			row, _ := core.RowByID("T1.6", ll)
-			m, err := core.MeasureRow(row, nn, *seed, 50_000_000)
+			p, err := repro.Compile("T1.6", nn, repro.BufferCap(ll))
 			if err != nil {
 				log.Fatal(err)
 			}
-			lo, up := core.SP(row, nn)
-			fmt.Printf("%4d %4d %10d %10d %10d\n", nn, ll, lo, up, m.Footprint)
+			out, err := p.Solve(ctx, inputs, repro.Seed(*seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			lo, up := p.Bounds()
+			fmt.Printf("%4d %4d %10d %10d %10d\n", nn, ll, lo, up, out.Footprint)
 		}
 	}
 	fmt.Println("\nLemma 5.2 sweep (row T1.7): locations = 4⌈log2 n⌉-2")

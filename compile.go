@@ -1,0 +1,382 @@
+package repro
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// ErrBadInput reports invalid consensus inputs: an empty input vector, a
+// vector whose length does not match the compiled n, or a value outside
+// [0, n). It is detected up front, before any protocol construction, and
+// unwraps with errors.Is.
+var ErrBadInput = errors.New("repro: invalid inputs")
+
+// Protocol is a compiled handle for one Table 1 row at a fixed number of
+// processes: the row is resolved once, the upper-bound protocol is built
+// once, and every operation of the package hangs off the handle — Solve,
+// SolveBatch, SolveSeq, Verify, Steps, Bounds. A handle is immutable after
+// Compile and safe for concurrent use; SolveBatch drives many runs of one
+// handle across a worker pool.
+//
+// Handles amortize per-run setup: the first run on a given input vector
+// builds a fresh system and, for rows whose processes are explicit forkable
+// state machines (every row ported in internal/consensus/steppers.go),
+// snapshots it in its pristine initial configuration. Subsequent runs on the
+// same inputs fork that snapshot — O(locations + local state) — instead of
+// re-resolving the row and rebuilding memory and processes, which is what
+// makes seed sweeps over one handle measurably faster than per-run
+// construction (see BenchmarkCompiledSolveSweep). The handle keeps one
+// snapshot per distinct input vector, up to pristineCacheCap; runs on
+// further vectors simply construct fresh systems.
+type Protocol struct {
+	row core.Row // already specialized for the compile-time buffer capacity
+	n   int
+	// pr is the compile-time protocol instance. It is used only for
+	// metadata reads (Values, WaitFree, Name); runs build fresh instances
+	// or fork a pristine snapshot, so no constructor state is shared
+	// across concurrent runs. nil when the row has no constructive
+	// protocol (Bounds still works).
+	pr *consensus.Protocol
+
+	mu       sync.Mutex
+	pristine map[string]*sim.System // inputs key -> never-stepped snapshot
+}
+
+// pristineCacheCap bounds the handle's snapshot cache. Entries are never
+// evicted — eviction under a mixed-input sweep would pay a fork+close per
+// run without ever amortizing — so vectors beyond the cap run on plain
+// per-run construction, exactly the pre-handle cost.
+const pristineCacheCap = 8
+
+// inputsKey encodes an input vector as the snapshot-cache key.
+func inputsKey(inputs []int) string {
+	buf := make([]byte, 0, 2*len(inputs))
+	for _, in := range inputs {
+		buf = binary.AppendVarint(buf, int64(in))
+	}
+	return string(buf)
+}
+
+// Compile resolves a Table 1 row (for example "T1.9" for two max-registers)
+// for n processes and returns the reusable handle. Unknown rows report
+// ErrUnknownRow; n < 1 reports ErrBadInput.
+func Compile(rowID string, n int, opts ...CompileOption) (*Protocol, error) {
+	c := compileConfig{l: defaultOptions().l}
+	for _, o := range opts {
+		o.applyCompile(&c)
+	}
+	row, ok := core.RowByID(rowID, c.l)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: need at least one process, got n=%d", ErrBadInput, n)
+	}
+	p := &Protocol{row: row, n: n}
+	if row.Build != nil {
+		p.pr = row.Build(n)
+	}
+	return p, nil
+}
+
+// ID returns the compiled row's Table 1 identifier.
+func (p *Protocol) ID() string { return p.row.ID }
+
+// N returns the number of processes the handle is compiled for.
+func (p *Protocol) N() int { return p.n }
+
+// Row returns the compiled hierarchy row descriptor.
+func (p *Protocol) Row() Row { return p.row }
+
+// Bounds evaluates the paper's lower and upper bound on SP(I, n) at the
+// compiled n (Unbounded = ∞).
+func (p *Protocol) Bounds() (lower, upper int) {
+	return core.SP(p.row, p.n)
+}
+
+// checkInputs validates an input vector against the compiled n.
+func (p *Protocol) checkInputs(inputs []int) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("%w: no inputs", ErrBadInput)
+	}
+	if len(inputs) != p.n {
+		return fmt.Errorf("%w: %d inputs for a %s handle compiled for n=%d",
+			ErrBadInput, len(inputs), p.row.ID, p.n)
+	}
+	for i, in := range inputs {
+		if in < 0 || in >= p.n {
+			return fmt.Errorf("%w: input %d of process %d outside [0, %d)",
+				ErrBadInput, in, i, p.n)
+		}
+	}
+	return nil
+}
+
+// errNoProtocol reports a run verb on a row without a constructive protocol.
+func (p *Protocol) errNoProtocol() error {
+	return fmt.Errorf("repro: row %s has no constructive protocol", p.row.ID)
+}
+
+// newRun materializes a fresh system at the protocol's initial
+// configuration: a fork of the cached pristine snapshot when one exists for
+// these inputs, a full construction otherwise (caching a snapshot for next
+// time when the row's processes fork natively and the cache has room).
+// Inputs must already be validated.
+func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
+	key := inputsKey(inputs)
+	p.mu.Lock()
+	snap, cacheable := p.pristine[key], len(p.pristine) < pristineCacheCap
+	p.mu.Unlock()
+	if snap != nil {
+		// Forking outside the lock keeps concurrent runs parallel: Fork
+		// only reads the snapshot, cached snapshots are never stepped, and
+		// the no-eviction cache means snap stays live for the handle's
+		// lifetime.
+		fk, err := snap.Fork()
+		if err == nil {
+			return fk, nil
+		}
+		// A failed fork falls back to full construction below.
+	}
+	// Build a fresh protocol instance per construction, exactly like the
+	// pre-handle API: constructors stay free of cross-run sharing.
+	sys, err := p.row.Build(p.n).NewSystem(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable && sys.ForksNatively() {
+		if fk, err := sys.Fork(); err == nil {
+			p.mu.Lock()
+			if p.pristine == nil {
+				p.pristine = make(map[string]*sim.System)
+			}
+			if _, raced := p.pristine[key]; raced || len(p.pristine) >= pristineCacheCap {
+				// Another run cached this vector first (or filled the
+				// cache) between our check and now.
+				p.mu.Unlock()
+				fk.Close()
+			} else {
+				p.pristine[key] = fk
+				p.mu.Unlock()
+			}
+		}
+	}
+	return sys, nil
+}
+
+// finishSolve checks a finished run and assembles its Outcome.
+func finishSolve(inputs []int, maxSteps int64, res *sim.Result, mem *machine.Memory) (*Outcome, error) {
+	if err := res.CheckConsensus(inputs); err != nil {
+		return nil, err
+	}
+	v, ok := res.AgreedValue()
+	if !ok {
+		return nil, fmt.Errorf("%w (%d steps)", ErrNoDecision, maxSteps)
+	}
+	st := mem.Stats()
+	return &Outcome{
+		Value:     v,
+		Footprint: st.Footprint(),
+		Steps:     st.Steps,
+		MaxBits:   st.MaxBits,
+	}, nil
+}
+
+// Solve runs the compiled protocol on the given inputs — one per process,
+// values in [0, n) — under a fair random schedule and returns the agreed
+// value with space and step measurements. Long runs are cancellable through
+// ctx; cancellation returns ctx.Err().
+func (p *Protocol) Solve(ctx context.Context, inputs []int, opts ...SolveOption) (*Outcome, error) {
+	c := p.solveConfig(opts)
+	return p.solveOne(ctx, inputs, c.seed, c.maxSteps)
+}
+
+// solveOne is the shared single-run path of Solve, SolveBatch error
+// pre-checks, and SolveSeq.
+func (p *Protocol) solveOne(ctx context.Context, inputs []int, seed, maxSteps int64) (*Outcome, error) {
+	if p.pr == nil {
+		return nil, p.errNoProtocol()
+	}
+	if err := p.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	sys, err := p.newRun(inputs)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	res, err := sys.RunContext(ctx, sim.NewRandom(seed), maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return finishSolve(inputs, maxSteps, res, sys.Mem())
+}
+
+// RunSpec describes one run in a SolveBatch or SolveSeq sweep over a
+// compiled handle: the process inputs and the schedule seed. Seed is used
+// verbatim, so a sweep entry equals Solve(ctx, Inputs, Seed(Seed)) exactly;
+// a zero MaxSteps takes the batch default (MaxSteps option, else 50
+// million).
+type RunSpec struct {
+	Inputs   []int
+	Seed     int64
+	MaxSteps int64
+}
+
+// RunResult pairs a RunSpec with its result. Exactly one of Outcome and Err
+// is set.
+type RunResult struct {
+	Spec    RunSpec
+	Outcome *Outcome
+	Err     error
+}
+
+// budget resolves a spec's step budget against the batch default.
+func (sp RunSpec) budget(dflt int64) int64 {
+	if sp.MaxSteps != 0 {
+		return sp.MaxSteps
+	}
+	return dflt
+}
+
+// SolveBatch runs many independent sweeps of the compiled protocol in
+// parallel across a worker pool (Workers option; default GOMAXPROCS) and
+// returns one result per spec, in order. Each run gets its own memory,
+// processes, and scheduler — forked from the handle's pristine snapshot
+// when the inputs repeat — so results are bit-identical to running the
+// specs one at a time through Solve. Cancelling ctx stops the batch
+// promptly; unfinished specs report ctx.Err().
+func (p *Protocol) SolveBatch(ctx context.Context, specs []RunSpec, opts ...BatchOption) []RunResult {
+	c := p.batchConfig(opts)
+	out := make([]RunResult, len(specs))
+	jobs := make([]sim.BatchJob, len(specs))
+	mems := make([]*machine.Memory, len(specs))
+	for i, sp := range specs {
+		out[i].Spec = sp
+		i, sp := i, sp
+		jobs[i] = sim.BatchJob{
+			Make: func() (*sim.System, error) {
+				sys, err := p.makeRun(sp.Inputs)
+				if err != nil {
+					return nil, err
+				}
+				mems[i] = sys.Mem()
+				return sys, nil
+			},
+			Sched:    func() sim.Scheduler { return sim.NewRandom(sp.Seed) },
+			MaxSteps: sp.budget(c.maxSteps),
+		}
+	}
+	results, _ := sim.RunBatch(ctx, jobs, c.workers)
+	for i, r := range results {
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[i].MaxSteps, r.Result, mems[i])
+	}
+	return out
+}
+
+// makeRun is newRun behind the verb-independent validity checks, for batch
+// job factories.
+func (p *Protocol) makeRun(inputs []int) (*sim.System, error) {
+	if p.pr == nil {
+		return nil, p.errNoProtocol()
+	}
+	if err := p.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	return p.newRun(inputs)
+}
+
+// SolveSeq streams a sweep: it returns an iterator yielding (index, result)
+// pairs in spec order, running each spec lazily when the consumer asks for
+// it. Breaking out of the range stops the sweep; a cancelled ctx yields
+// exactly one result carrying ctx.Err() — the interrupted or first
+// unstarted spec — and then stops. Memory use is one live run regardless
+// of sweep length, which is the intended way to scan very long (or
+// unbounded, via a generated slice) seed sweeps for a condition.
+func (p *Protocol) SolveSeq(ctx context.Context, specs []RunSpec) iter.Seq2[int, RunResult] {
+	dflt := defaultOptions().maxSteps
+	return func(yield func(int, RunResult) bool) {
+		for i, sp := range specs {
+			if err := ctx.Err(); err != nil {
+				yield(i, RunResult{Spec: sp, Err: err})
+				return
+			}
+			out, err := p.solveOne(ctx, sp.Inputs, sp.Seed, sp.budget(dflt))
+			if !yield(i, RunResult{Spec: sp, Outcome: out, Err: err}) {
+				return
+			}
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				// The interrupted run already carried the cancellation;
+				// don't report the next spec as a second failure.
+				return
+			}
+		}
+	}
+}
+
+// Verify exhaustively model-checks the compiled protocol on the given
+// inputs over every interleaving up to maxDepth scheduler steps (0 = until
+// all processes decide; only safe for wait-free rows). Exploration runs on
+// forked configuration snapshots with canonical-state deduplication; the
+// Workers option spreads it across a work-stealing pool without changing
+// the report. Cancelling ctx aborts the exploration with ctx.Err().
+func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts ...VerifyOption) (*VerifyReport, error) {
+	c := p.verifyConfig(opts)
+	if p.pr == nil {
+		return nil, p.errNoProtocol()
+	}
+	if err := p.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	// Unbounded exploration only terminates when every process decides in a
+	// bounded number of own steps regardless of scheduling: the
+	// obstruction-free rows have infinite interleaving trees.
+	if maxDepth <= 0 && !p.pr.WaitFree {
+		return nil, fmt.Errorf("repro: row %s is not wait-free; Verify needs maxDepth > 0 to bound the exploration", p.row.ID)
+	}
+	eo := explore.Options{
+		MaxDepth:   maxDepth,
+		MaxRuns:    c.maxRuns,
+		SoloBudget: c.soloBudget,
+		Strategy:   explore.StrategyFork,
+		Dedup:      true,
+	}
+	if c.workersSet {
+		eo.Strategy, eo.Workers = explore.StrategyParallel, c.workers
+	}
+	rep, err := explore.Exhaustive(ctx, func() (*sim.System, error) {
+		return p.newRun(inputs)
+	}, eo)
+	if err != nil {
+		return nil, err
+	}
+	out := &VerifyReport{
+		Runs: rep.Runs, States: rep.States, Deduped: rep.Deduped, Truncated: rep.Truncated,
+		DecidedValues: rep.DecidedValues, DistinctStates: rep.DistinctStates,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out, nil
+}
+
+// Steps profiles the compiled protocol's solo and contended step complexity
+// at the compiled n — the extra hierarchy axis the paper's conclusion calls
+// for.
+func (p *Protocol) Steps(ctx context.Context) (*StepProfile, error) {
+	return core.MeasureSteps(ctx, p.row, p.n, defaultOptions().maxSteps)
+}

@@ -1,0 +1,220 @@
+package repro
+
+// Tests for the compiled-handle API itself: input validation with
+// ErrBadInput, the fork-amortized run path, the streaming sweep, and the
+// verify-only options.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestCompileBadArguments(t *testing.T) {
+	if _, err := Compile("T9.99", 3); !errors.Is(err, ErrUnknownRow) {
+		t.Fatalf("unknown row: got %v", err)
+	}
+	for _, n := range []int{0, -2} {
+		if _, err := Compile("T1.9", n); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("n=%d: want ErrBadInput, got %v", n, err)
+		}
+	}
+}
+
+func TestSolveBadInputs(t *testing.T) {
+	p, err := Compile("T1.9", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]int{
+		"empty":        {},
+		"wrong length": {0, 1},
+		"too large":    {0, 1, 3},
+		"negative":     {0, -1, 2},
+	}
+	for name, inputs := range cases {
+		if _, err := p.Solve(context.Background(), inputs); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("%s: want ErrBadInput, got %v", name, err)
+		}
+		if _, err := p.Verify(context.Background(), inputs, 4); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("verify %s: want ErrBadInput, got %v", name, err)
+		}
+		outs := p.SolveBatch(context.Background(), []RunSpec{{Inputs: inputs, Seed: 1}})
+		if !errors.Is(outs[0].Err, ErrBadInput) {
+			t.Fatalf("batch %s: want ErrBadInput, got %v", name, outs[0].Err)
+		}
+	}
+	// The legacy free function inherits the up-front validation.
+	if _, err := Solve("T1.9", []int{0, 9, 1}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("legacy Solve: want ErrBadInput, got %v", err)
+	}
+	if _, err := Solve("T1.9", nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("legacy Solve empty: want ErrBadInput, got %v", err)
+	}
+}
+
+// TestHandleAmortizesForkableRows: after one run on a natively forkable row
+// the handle holds a pristine snapshot, and runs from the snapshot remain
+// identical to fresh constructions. Rows without native forking skip the
+// snapshot but stay correct.
+func TestHandleAmortizesForkableRows(t *testing.T) {
+	inputs := []int{1, 0, 2}
+	forkable, err := Compile("T1.9", len(inputs)) // explicit steppers
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := forkable.Solve(context.Background(), inputs, Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkable.mu.Lock()
+	hasPristine := forkable.pristine[inputsKey(inputs)] != nil
+	forkable.mu.Unlock()
+	if !hasPristine {
+		t.Fatal("forkable row did not cache a pristine snapshot")
+	}
+	second, err := forkable.Solve(context.Background(), inputs, Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *second {
+		t.Fatalf("fork-amortized run %+v != fresh run %+v", *second, *first)
+	}
+
+	// A second input vector gets its own cache slot — both stay live, so
+	// alternating sweeps amortize instead of thrashing — and stays correct.
+	other := []int{2, 2, 1}
+	viaCache, err := forkable.Solve(context.Background(), other, Seed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkable.mu.Lock()
+	bothCached := forkable.pristine[inputsKey(inputs)] != nil && forkable.pristine[inputsKey(other)] != nil
+	forkable.mu.Unlock()
+	if !bothCached {
+		t.Fatal("snapshot cache evicted an earlier input vector")
+	}
+	fresh, err := Compile("T1.9", len(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve(context.Background(), other, Seed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *viaCache != *want {
+		t.Fatalf("after input swap %+v != fresh handle %+v", *viaCache, *want)
+	}
+
+	// Swap (T1.5) runs on the coroutine Body adapter — no native forking,
+	// no snapshot, same results either way.
+	body, err := Compile("T1.5", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := body.Solve(context.Background(), inputs, Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := body.Solve(context.Background(), inputs, Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *b1 != *b2 {
+		t.Fatalf("body-row runs diverged: %+v vs %+v", *b1, *b2)
+	}
+}
+
+// TestSolveSeqMatchesBatch: the streaming sweep yields exactly the batch
+// results, in order, and stops early when the consumer breaks.
+func TestSolveSeqMatchesBatch(t *testing.T) {
+	inputs := []int{2, 0, 1}
+	p, err := Compile("T1.10", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]RunSpec, 10)
+	for i := range specs {
+		specs[i] = RunSpec{Inputs: inputs, Seed: int64(i + 1)}
+	}
+	batch := p.SolveBatch(context.Background(), specs)
+	var n int
+	for i, r := range p.SolveSeq(context.Background(), specs) {
+		if r.Err != nil {
+			t.Fatalf("seq %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(r.Outcome, batch[i].Outcome) {
+			t.Fatalf("seq %d: %+v != batch %+v", i, *r.Outcome, *batch[i].Outcome)
+		}
+		n++
+		if i == 4 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Fatalf("consumer break: stream ran %d elements, want 5", n)
+	}
+}
+
+// TestVerifyMaxRuns: the run cap truncates the exploration and reports it.
+func TestVerifyMaxRuns(t *testing.T) {
+	inputs := []int{0, 1, 2}
+	p, err := Compile("T1.10", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Verify(context.Background(), inputs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := p.Verify(context.Background(), inputs, 6, MaxRuns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Truncated {
+		t.Fatal("run cap did not mark the report truncated")
+	}
+	if capped.Runs > 2 || capped.Runs == 0 {
+		t.Fatalf("capped runs = %d, want 1..2", capped.Runs)
+	}
+	if full.Truncated {
+		t.Fatal("uncapped exploration reported truncation")
+	}
+}
+
+// TestVerifySoloBudget: the obstruction-freedom probe runs through the
+// handle — the wait-free CAS row decides within any reasonable solo budget
+// at every reachable configuration.
+func TestVerifySoloBudget(t *testing.T) {
+	inputs := []int{0, 1}
+	p, err := Compile("T1.10", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Verify(context.Background(), inputs, 0, SoloBudget(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok.Violations) != 0 {
+		t.Fatalf("generous solo budget flagged: %v", ok.Violations)
+	}
+}
+
+// TestHandleAccessors covers the metadata verbs.
+func TestHandleAccessors(t *testing.T) {
+	p, err := Compile("T1.6", 7, BufferCap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != "T1.6" || p.N() != 7 {
+		t.Fatalf("ID/N = %s/%d", p.ID(), p.N())
+	}
+	if p.Row().ID != "T1.6" {
+		t.Fatalf("Row().ID = %s", p.Row().ID)
+	}
+	lo, up := p.Bounds()
+	if lo != 3 || up != 4 {
+		t.Fatalf("bounds (%d,%d), want (3,4)", lo, up)
+	}
+}

@@ -1,15 +1,20 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 // Five processes agree using the tight two-max-register protocol of
-// Theorem 4.2 (Table 1 row T1.9).
-func ExampleSolve() {
-	out, err := repro.Solve("T1.9", []int{3, 1, 4, 1, 2}, repro.WithSeed(7))
+// Theorem 4.2 (Table 1 row T1.9): compile the row once, then run it.
+func ExampleCompile() {
+	p, err := repro.Compile("T1.9", 5)
+	if err != nil {
+		panic(err)
+	}
+	out, err := p.Solve(context.Background(), []int{3, 1, 4, 1, 2}, repro.Seed(7))
 	if err != nil {
 		panic(err)
 	}
@@ -18,9 +23,14 @@ func ExampleSolve() {
 }
 
 // The buffer row's space scales as ceil(n/l): six processes fit in two
-// 3-buffers.
-func ExampleSolve_buffers() {
-	out, err := repro.Solve("T1.6", []int{0, 1, 2, 3, 4, 5}, repro.WithBufferCap(3))
+// 3-buffers. Buffer capacity is part of the row's identity, so it is a
+// compile-time option.
+func ExampleProtocol_Solve() {
+	p, err := repro.Compile("T1.6", 6, repro.BufferCap(3))
+	if err != nil {
+		panic(err)
+	}
+	out, err := p.Solve(context.Background(), []int{0, 1, 2, 3, 4, 5})
 	if err != nil {
 		panic(err)
 	}
@@ -28,12 +38,54 @@ func ExampleSolve_buffers() {
 	// Output: locations used: 2
 }
 
-// SpaceBounds evaluates the paper's bound formulas without running anything.
-func ExampleSpaceBounds() {
-	lo, up, err := repro.SpaceBounds("T1.6", 7, 2)
+// Verify model-checks a compiled protocol over every interleaving of a
+// schedule envelope — here the single-location wait-free CAS row, explored
+// to completion.
+func ExampleProtocol_Verify() {
+	p, err := repro.Compile("T1.10", 3)
 	if err != nil {
 		panic(err)
 	}
+	rep, err := p.Verify(context.Background(), []int{0, 1, 2}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(rep.Violations))
+	fmt.Println("decided values:", rep.DecidedValues)
+	// Output:
+	// violations: 0
+	// decided values: [0 1 2]
+}
+
+// A compiled handle sweeps many schedules in parallel; each spec's seed
+// makes the run reproducible.
+func ExampleProtocol_SolveBatch() {
+	p, err := repro.Compile("T1.14", 4)
+	if err != nil {
+		panic(err)
+	}
+	specs := []repro.RunSpec{
+		{Inputs: []int{3, 0, 2, 1}, Seed: 1},
+		{Inputs: []int{3, 0, 2, 1}, Seed: 2},
+	}
+	for _, r := range p.SolveBatch(context.Background(), specs) {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		fmt.Println("locations used:", r.Outcome.Footprint)
+	}
+	// Output:
+	// locations used: 1
+	// locations used: 1
+}
+
+// Bounds evaluates the paper's bound formulas without running anything.
+func ExampleProtocol_Bounds() {
+	p, err := repro.Compile("T1.6", 7, repro.BufferCap(2))
+	if err != nil {
+		panic(err)
+	}
+	lo, up := p.Bounds()
 	fmt.Printf("SP bounds for 7 processes over 2-buffers: [%d, %d]\n", lo, up)
 	// Output: SP bounds for 7 processes over 2-buffers: [3, 4]
 }

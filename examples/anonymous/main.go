@@ -2,35 +2,53 @@
 //
 // A fleet of identical, anonymous sensors (no ids in the algorithm's logic)
 // must agree on which of n candidate readings to report, over n-1 locations
-// supporting read and swap. The example runs the paper's Algorithm 1 under
-// increasingly hostile schedules — fair, unfair, and crash-ridden — and
-// also demonstrates the Lemma 8.7 guarantee: a sensor left alone decides
-// within 3n-2 scans.
+// supporting read and swap. The example compiles the row once into a
+// repro.Protocol handle, runs the paper's Algorithm 1 under increasingly
+// hostile schedules — fair, unfair, and crash-ridden (the latter two driven
+// through the simulator directly, which the public API deliberately keeps
+// out of scope) — and demonstrates the Lemma 8.7 guarantee through the
+// handle's step profiler: a sensor left alone decides within 3n-2 scans.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"repro"
 	"repro/internal/consensus"
 	"repro/internal/sim"
 )
 
-func run(w io.Writer) error {
+func run(ctx context.Context, w io.Writer) error {
 	const sensors = 7
 	readings := []int{4, 4, 2, 6, 4, 0, 2} // candidate reading ids, one per sensor
 
 	fmt.Fprintf(w, "%d anonymous sensors agreeing over %d swap locations\n",
 		sensors, sensors-1)
 
+	// The public handle drives the benign scenarios: Table 1 row T1.5 is
+	// {read, swap(x)} with the tight n-1 upper bound.
+	p, err := repro.Compile("T1.5", sensors)
+	if err != nil {
+		return err
+	}
+	out, err := p.Solve(ctx, readings, repro.Seed(5))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-20s -> reading %d (steps %d, locations %d)\n",
+		"random", out.Value, out.Steps, out.Footprint)
+
+	// Hostile scenarios need scheduler control the handle does not expose:
+	// drive the same protocol through the simulator.
 	scenarios := []struct {
 		name  string
 		sched func() sim.Scheduler
 	}{
 		{"fair round-robin", func() sim.Scheduler { return &sim.RoundRobin{} }},
-		{"random", func() sim.Scheduler { return sim.NewRandom(5) }},
 		{"random with crashes", func() sim.Scheduler {
 			return sim.NewRandomCrash(sim.NewRandom(5), 0.01, 11)
 		}},
@@ -41,7 +59,7 @@ func run(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := sys.Run(sc.sched(), 10_000_000)
+		res, err := sys.RunContext(ctx, sc.sched(), 10_000_000)
 		if err != nil {
 			sys.Close()
 			return err
@@ -56,20 +74,35 @@ func run(w io.Writer) error {
 		sys.Close()
 	}
 
-	// Lemma 8.7: a solo sensor decides after at most 3n-2 scans.
+	// Lemma 8.7 via the handle's step profiler: the solo column is the
+	// number of steps an unobstructed sensor needs, bounded by 3n-2 scans.
+	// A scan costs at most 2(n-1) steps (a read and possibly a swap per
+	// location), so solo steps stay within (3n-2)·2(n-1).
+	prof, err := p.Steps(ctx)
+	if err != nil {
+		return err
+	}
+	maxSolo := int64((3*sensors - 2) * 2 * (sensors - 1))
+	fmt.Fprintf(w, "solo sensor decides in %d steps (Lemma 8.7 bound: %d scans, ≤%d steps)\n",
+		prof.Solo, 3*sensors-2, maxSolo)
+	if prof.Solo > maxSolo {
+		return fmt.Errorf("solo run took %d steps, above the Lemma 8.7 bound %d", prof.Solo, maxSolo)
+	}
+
+	// The original narrative run: sensor 3 alone must decide its own
+	// reading.
 	pr := consensus.Swap(sensors)
 	sys, err := pr.NewSystem(readings)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
-	res, err := sys.Run(sim.Solo{PID: 3}, 10_000_000)
+	res, err := sys.RunContext(ctx, sim.Solo{PID: 3}, 10_000_000)
 	if err != nil {
 		return err
 	}
 	d := res.Decisions[3]
-	fmt.Fprintf(w, "solo sensor 3 decided its own reading %d in %d steps (Lemma 8.7 bound: %d scans)\n",
-		d, res.Steps, 3*sensors-2)
+	fmt.Fprintf(w, "solo sensor 3 decided its own reading %d in %d steps\n", d, res.Steps)
 	if d != readings[3] {
 		return fmt.Errorf("solo sensor decided %d, want its own reading %d", d, readings[3])
 	}
@@ -78,7 +111,7 @@ func run(w io.Writer) error {
 
 func main() {
 	log.SetFlags(0)
-	if err := run(os.Stdout); err != nil {
+	if err := run(context.Background(), os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

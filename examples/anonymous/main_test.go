@@ -1,15 +1,17 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
-// TestRun smoke-tests anonymous agreement across all three scheduling
-// scenarios plus the Lemma 8.7 solo run.
+// TestRun smoke-tests anonymous agreement across the scheduling scenarios
+// plus the Lemma 8.7 solo guarantee (checked through the handle's step
+// profile and a direct solo run).
 func TestRun(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b); err != nil {
+	if err := run(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -17,6 +19,7 @@ func TestRun(t *testing.T) {
 		"7 anonymous sensors agreeing over 6 swap locations",
 		"fair round-robin",
 		"random with crashes",
+		"solo sensor decides in",
 		"solo sensor 3 decided its own reading 6",
 	} {
 		if !strings.Contains(out, want) {

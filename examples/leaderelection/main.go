@@ -6,22 +6,27 @@
 // agree on a single worker id — obstruction-free, tolerating any number of
 // worker crashes, with one machine word of shared state.
 //
-// The example drives the protocol directly through the simulator so it can
-// inject crashes and an unfair scheduler, the conditions a real election
-// faces.
+// The election itself is driven through the simulator so it can inject
+// crashes and an unfair scheduler, the conditions a real election faces.
+// Before trusting the protocol with that, the example compiles it into a
+// repro.Protocol handle and certifies it: Verify model-checks every
+// interleaving of a schedule envelope, and Bounds confirms the one-word
+// space optimum.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"repro"
 	"repro/internal/consensus"
 	"repro/internal/sim"
 )
 
-func run(w io.Writer) error {
+func run(ctx context.Context, w io.Writer) error {
 	const workers = 6
 
 	// Every worker proposes its own id as leader.
@@ -30,10 +35,26 @@ func run(w io.Writer) error {
 		proposals[i] = i
 	}
 
-	pr := consensus.FetchAdd(workers)
-	fmt.Fprintf(w, "electing a leader among %d workers over %s (1 location)\n",
-		workers, pr.Set)
+	// Certify the protocol before deploying it: exhaustively model-check
+	// agreement and validity over every interleaving of the first steps.
+	handle, err := repro.Compile("T1.14", workers)
+	if err != nil {
+		return err
+	}
+	lo, up := handle.Bounds()
+	fmt.Fprintf(w, "electing a leader among %d workers over 1 fetch-and-add word (paper bounds [%d, %d])\n",
+		workers, lo, up)
+	cert, err := handle.Verify(ctx, proposals, 5)
+	if err != nil {
+		return err
+	}
+	if len(cert.Violations) > 0 {
+		return fmt.Errorf("certification failed: %v", cert.Violations)
+	}
+	fmt.Fprintf(w, "certified safe over %d configurations (%d distinct states) to depth 5\n",
+		cert.States, cert.DistinctStates)
 
+	pr := consensus.FetchAdd(workers)
 	sys, err := pr.NewSystem(proposals)
 	if err != nil {
 		return err
@@ -44,7 +65,7 @@ func run(w io.Writer) error {
 	// some worker crashes (obstruction-free protocols tolerate any number
 	// of crash failures).
 	sched := sim.NewRandomCrash(sim.NewRandom(2024), 0.02, 7)
-	res, err := sys.Run(sched, 10_000_000)
+	res, err := sys.RunContext(ctx, sched, 10_000_000)
 	if err != nil {
 		return err
 	}
@@ -69,7 +90,7 @@ func run(w io.Writer) error {
 
 func main() {
 	log.SetFlags(0)
-	if err := run(os.Stdout); err != nil {
+	if err := run(context.Background(), os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

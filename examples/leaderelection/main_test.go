@@ -1,19 +1,22 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
-// TestRun smoke-tests the election: one leader over one fetch-and-add word,
-// under crash injection.
+// TestRun smoke-tests the election: the handle-level certification must
+// pass and exactly one leader emerges over one fetch-and-add word, under
+// crash injection.
 func TestRun(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b); err != nil {
+	if err := run(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
+		"certified safe over",
 		"elected leader: worker",
 		"shared state: 1 location",
 	} {

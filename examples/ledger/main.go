@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"repro"
 	"repro/internal/consensus"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -28,7 +30,7 @@ const (
 	bufferCap = 2
 )
 
-func run(w io.Writer) error {
+func run(ctx context.Context, w io.Writer) error {
 	batches := []string{
 		"batch-a: 12 transfers",
 		"batch-b: 7 transfers",
@@ -70,12 +72,22 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "consensus uses %d 2-buffer locations (ceil(n/l); plain registers would need %d)\n",
 		consensusLocs, replicas)
 
+	// The compiled handle for the same row documents why: the paper bounds
+	// SP for l-buffers with multiple assignment between ceil((n-1)/2l) and
+	// ceil(n/l).
+	handle, err := repro.Compile("T1.MA", replicas, repro.BufferCap(bufferCap))
+	if err != nil {
+		return err
+	}
+	lo, up := handle.Bounds()
+	fmt.Fprintf(w, "paper bounds for this instruction set at n=%d: [%d, %d]\n", replicas, lo, up)
+
 	sys, err := pr.NewSystem(proposals)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
-	res, err := sys.Run(sim.NewRandom(99), 10_000_000)
+	res, err := sys.RunContext(ctx, sim.NewRandom(99), 10_000_000)
 	if err != nil {
 		return err
 	}
@@ -97,7 +109,7 @@ func run(w io.Writer) error {
 
 func main() {
 	log.SetFlags(0)
-	if err := run(os.Stdout); err != nil {
+	if err := run(context.Background(), os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

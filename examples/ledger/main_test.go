@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,12 +11,13 @@ import (
 // audit buffer.
 func TestRun(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b); err != nil {
+	if err := run(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
 		"consensus uses 3 2-buffer locations",
+		"paper bounds for this instruction set at n=5: [1, 3]",
 		"committed: batch-",
 		"audit: replica",
 		"atomic multiple assignments",

@@ -1,9 +1,15 @@
 // Quickstart: eight processes with conflicting proposals agree using two
 // max-registers (Table 1 row T1.9, Theorem 4.2) — the tight minimum for the
 // {read-max, write-max} instruction set.
+//
+// The example compiles each instruction set once into a repro.Protocol
+// handle and runs every agreement through the handle's verbs: Solve for a
+// seeded run, Bounds for the paper's space bounds, and a SolveSeq seed
+// stream showing that the agreement is schedule-independent.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -12,11 +18,15 @@ import (
 	"repro"
 )
 
-func run(w io.Writer) error {
+func run(ctx context.Context, w io.Writer) error {
 	// One proposal per process; values must lie in [0, n).
 	proposals := []int{3, 1, 4, 1, 5, 2, 6, 0}
 
-	out, err := repro.Solve("T1.9", proposals, repro.WithSeed(42))
+	maxreg, err := repro.Compile("T1.9", len(proposals))
+	if err != nil {
+		return err
+	}
+	out, err := maxreg.Solve(ctx, proposals, repro.Seed(42))
 	if err != nil {
 		return err
 	}
@@ -25,14 +35,15 @@ func run(w io.Writer) error {
 		out.Value, out.Footprint, out.Steps)
 
 	// The hierarchy tells us this is optimal for max-registers:
-	lo, up, err := repro.SpaceBounds("T1.9", len(proposals), 1)
-	if err != nil {
-		return err
-	}
+	lo, up := maxreg.Bounds()
 	fmt.Fprintf(w, "paper bounds for this instruction set: lower=%d upper=%d\n", lo, up)
 
 	// The same agreement over plain registers needs n locations...
-	reg, err := repro.Solve("T1.3", proposals, repro.WithSeed(42))
+	registers, err := repro.Compile("T1.3", len(proposals))
+	if err != nil {
+		return err
+	}
+	reg, err := registers.Solve(ctx, proposals, repro.Seed(42))
 	if err != nil {
 		return err
 	}
@@ -40,18 +51,40 @@ func run(w io.Writer) error {
 		reg.Value, reg.Footprint, len(proposals))
 
 	// ...while a single fetch-and-add word suffices.
-	faa, err := repro.Solve("T1.14", proposals, repro.WithSeed(42))
+	faaHandle, err := repro.Compile("T1.14", len(proposals))
+	if err != nil {
+		return err
+	}
+	faa, err := faaHandle.Solve(ctx, proposals, repro.Seed(42))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "one fetch-and-add word: agreed on %d using %d location\n",
 		faa.Value, faa.Footprint)
+
+	// A compiled handle amortizes setup across runs: stream a short seed
+	// sweep through it — every schedule ends in a valid agreement over the
+	// same two locations.
+	specs := make([]repro.RunSpec, 16)
+	for i := range specs {
+		specs[i] = repro.RunSpec{Inputs: proposals, Seed: int64(i + 1)}
+	}
+	sweepLocs := 0
+	for _, r := range maxreg.SolveSeq(ctx, specs) {
+		if r.Err != nil {
+			return r.Err
+		}
+		if r.Outcome.Footprint > sweepLocs {
+			sweepLocs = r.Outcome.Footprint
+		}
+	}
+	fmt.Fprintf(w, "16-seed sweep: every schedule agreed within %d locations\n", sweepLocs)
 	return nil
 }
 
 func main() {
 	log.SetFlags(0)
-	if err := run(os.Stdout); err != nil {
+	if err := run(context.Background(), os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // the tight two-max-register agreement.
 func TestRun(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b); err != nil {
+	if err := run(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -18,6 +19,7 @@ func TestRun(t *testing.T) {
 		"lower=2 upper=2",
 		"using 8 locations",
 		"using 1 location",
+		"16-seed sweep: every schedule agreed within 2 locations",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)

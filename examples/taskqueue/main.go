@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -20,7 +21,7 @@ import (
 
 const workers = 4
 
-func run(w io.Writer) error {
+func run(ctx context.Context, w io.Writer) error {
 	mem := machine.New(machine.SetBuffers(workers), 2)
 	const queueLoc, controlLoc = 0, 1
 
@@ -56,7 +57,7 @@ func run(w io.Writer) error {
 
 	sys := sim.NewSystem(mem, make([]int, workers), body)
 	defer sys.Close()
-	res, err := sys.Run(sim.NewRandom(17), 5_000_000)
+	res, err := sys.RunContext(ctx, sim.NewRandom(17), 5_000_000)
 	if err != nil {
 		return err
 	}
@@ -84,7 +85,7 @@ func run(w io.Writer) error {
 
 func main() {
 	log.SetFlags(0)
-	if err := run(os.Stdout); err != nil {
+	if err := run(context.Background(), os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // processed exactly once over the two-location memory.
 func TestRun(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b); err != nil {
+	if err := run(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

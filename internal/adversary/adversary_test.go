@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/consensus"
@@ -94,7 +95,7 @@ func TestFloodForcesUnboundedFootprint(t *testing.T) {
 		} {
 			pr := build(3)
 			sys := pr.MustSystem([]int{0, 1, 2})
-			rep, err := Flood(sys, target, 2_000_000)
+			rep, err := Flood(context.Background(), sys, target, 2_000_000)
 			if err != nil {
 				t.Fatalf("%s target %d: %v", pr.Name, target, err)
 			}
@@ -117,7 +118,7 @@ func TestFloodContrastBounded(t *testing.T) {
 	pr := consensus.FetchAdd(3)
 	sys := pr.MustSystem([]int{0, 1, 1})
 	defer sys.Close()
-	rep, _ := Flood(sys, 2, 50_000)
+	rep, _ := Flood(context.Background(), sys, 2, 50_000)
 	if rep.Footprint > 1 {
 		t.Fatalf("fetch-and-add protocol touched %d locations", rep.Footprint)
 	}

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -69,10 +70,17 @@ type FloodReport struct {
 // Flood drives sys with the WriteStaller until the memory footprint reaches
 // target locations or maxSteps elapse. It reports the footprint achieved;
 // reaching an arbitrary target with nobody deciding is the executable face
-// of "SP = ∞" (Theorem 9.2).
-func Flood(sys *sim.System, target int, maxSteps int64) (*FloodReport, error) {
+// of "SP = ∞" (Theorem 9.2). Flood runs are unbounded by design (the
+// adversary prevents decisions), so ctx is the intended way to stop one
+// early; cancellation returns ctx.Err().
+func Flood(ctx context.Context, sys *sim.System, target int, maxSteps int64) (*FloodReport, error) {
 	sched := &WriteStaller{PIDs: sys.LiveSet()}
 	for sys.Steps() < maxSteps {
+		if sys.Steps()&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if sys.Mem().Stats().Footprint() >= target {
 			break
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -74,7 +75,7 @@ func TestMeasureRowsSmall(t *testing.T) {
 
 // TestRenderTable smoke-tests the harness output.
 func TestRenderTable(t *testing.T) {
-	out, err := RenderTable(4, 2, 5)
+	out, err := RenderTable(context.Background(), 4, 2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestMeasureSteps(t *testing.T) {
 		if r.Build == nil {
 			continue
 		}
-		p, err := MeasureSteps(r, 4, 10_000_000)
+		p, err := MeasureSteps(context.Background(), r, 4, 10_000_000)
 		if err != nil {
 			t.Fatalf("row %s: %v", r.ID, err)
 		}
@@ -122,7 +123,7 @@ func TestMeasureSteps(t *testing.T) {
 
 // TestRenderStepTable smoke-tests the companion table.
 func TestRenderStepTable(t *testing.T) {
-	out, err := RenderStepTable(4, 2)
+	out, err := RenderStepTable(context.Background(), 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

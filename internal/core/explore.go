@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/explore"
@@ -15,12 +16,13 @@ import (
 // schedule envelope rather than one seeded run. Set opts.Strategy to
 // explore.StrategyParallel (with opts.Workers) to spread the exploration
 // across a worker pool; the report does not depend on the worker count.
-func ExploreRow(r Row, inputs []int, opts explore.Options) (*explore.Report, error) {
+// Cancelling ctx aborts the exploration with ctx.Err().
+func ExploreRow(ctx context.Context, r Row, inputs []int, opts explore.Options) (*explore.Report, error) {
 	if r.Build == nil {
 		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
 	}
 	f := func() (*sim.System, error) {
 		return r.Build(len(inputs)).NewSystem(inputs)
 	}
-	return explore.Exhaustive(f, opts)
+	return explore.Exhaustive(ctx, f, opts)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -112,7 +113,7 @@ func finishMeasurement(r Row, n int, pr *consensus.Protocol, inputs []int, res *
 // position in rows. The returned slice aligns with rows; entries for rows
 // without a constructive protocol are nil. Results are identical to calling
 // MeasureRow per row — runs share nothing.
-func MeasureAll(rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measurement, error) {
+func MeasureAll(ctx context.Context, rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measurement, error) {
 	type slot struct {
 		pr     *consensus.Protocol
 		inputs []int
@@ -142,7 +143,7 @@ func MeasureAll(rows []Row, n int, seed, maxSteps int64, workers int) ([]*Measur
 		})
 		jobRow = append(jobRow, i)
 	}
-	results, _ := sim.RunBatch(jobs, workers)
+	results, _ := sim.RunBatch(ctx, jobs, workers)
 	out := make([]*Measurement, len(rows))
 	for j, res := range results {
 		i := jobRow[j]
@@ -187,9 +188,9 @@ func boundString(v int) string {
 // each row shows the paper's bound formulas, their evaluation at n, and the
 // measured footprint of the implemented protocol. The rows are measured in
 // parallel (MeasureAll); the rendering order is Table order regardless.
-func RenderTable(n, l int, seed int64) (string, error) {
+func RenderTable(ctx context.Context, n, l int, seed int64) (string, error) {
 	rows := Table(l)
-	ms, err := MeasureAll(rows, n, seed, 50_000_000, 0)
+	ms, err := MeasureAll(ctx, rows, n, seed, 50_000_000, 0)
 	if err != nil {
 		return "", err
 	}

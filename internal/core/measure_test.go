@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestMeasureAllWorkerInvariance(t *testing.T) {
 	const n, seed, maxSteps = 4, 11, 10_000_000
 	var base []*Measurement
 	for _, workers := range []int{1, 2, 8} {
-		ms, err := MeasureAll(rows, n, seed, maxSteps, workers)
+		ms, err := MeasureAll(context.Background(), rows, n, seed, maxSteps, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,8 +28,9 @@ type StepProfile struct {
 	ContendedPerProc int64
 }
 
-// MeasureSteps profiles the row's protocol.
-func MeasureSteps(r Row, n int, maxSteps int64) (*StepProfile, error) {
+// MeasureSteps profiles the row's protocol. Both measurement runs are
+// cancellable through ctx.
+func MeasureSteps(ctx context.Context, r Row, n int, maxSteps int64) (*StepProfile, error) {
 	if r.Build == nil {
 		return nil, fmt.Errorf("core: row %s has no constructive protocol", r.ID)
 	}
@@ -43,7 +45,7 @@ func MeasureSteps(r Row, n int, maxSteps int64) (*StepProfile, error) {
 		return nil, err
 	}
 	defer soloSys.Close()
-	if _, err := soloSys.Run(sim.Solo{PID: 0}, maxSteps); err != nil {
+	if _, err := soloSys.RunContext(ctx, sim.Solo{PID: 0}, maxSteps); err != nil {
 		return nil, err
 	}
 	if _, ok := soloSys.Decided(0); !ok {
@@ -57,7 +59,7 @@ func MeasureSteps(r Row, n int, maxSteps int64) (*StepProfile, error) {
 		return nil, err
 	}
 	defer contSys.Close()
-	res, err := contSys.Run(&sim.RoundRobin{}, maxSteps)
+	res, err := contSys.RunContext(ctx, &sim.RoundRobin{}, maxSteps)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func MeasureSteps(r Row, n int, maxSteps int64) (*StepProfile, error) {
 // RenderStepTable produces the step-complexity companion table for the
 // given n — the extra axis the conclusion asks about, side by side with the
 // space column.
-func RenderStepTable(n, l int) (string, error) {
+func RenderStepTable(ctx context.Context, n, l int) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Step complexity companion — n=%d processes, l=%d\n\n", n, l)
 	fmt.Fprintf(&b, "%-6s %-45s %10s %12s %12s\n",
@@ -86,7 +88,7 @@ func RenderStepTable(n, l int) (string, error) {
 		if r.Build == nil {
 			continue
 		}
-		p, err := MeasureSteps(r, n, 50_000_000)
+		p, err := MeasureSteps(ctx, r, n, 50_000_000)
 		if err != nil {
 			return "", err
 		}

@@ -18,6 +18,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -150,22 +151,26 @@ func replay(f Factory, prefix []int) (*sim.System, error) {
 
 // Exhaustive explores every interleaving of the live processes up to
 // opts.MaxDepth, validating agreement and validity at every configuration.
-func Exhaustive(f Factory, opts Options) (*Report, error) {
+// Every strategy checks ctx at its exploration frontier — the sequential
+// walks once per popped configuration, the parallel workers once per loop
+// iteration — so cancelling ctx aborts the search promptly with ctx.Err()
+// (all forked systems closed, all workers joined).
+func Exhaustive(ctx context.Context, f Factory, opts Options) (*Report, error) {
 	switch opts.Strategy {
 	case StrategyReplay:
-		return exhaustiveReplay(f, opts)
+		return exhaustiveReplay(ctx, f, opts)
 	case StrategyFork:
-		return exhaustiveFork(f, opts)
+		return exhaustiveFork(ctx, f, opts)
 	case StrategyParallel:
-		return exhaustiveParallel(f, opts)
+		return exhaustiveParallel(ctx, f, opts)
 	default:
 		run := exhaustiveFork
 		if opts.Workers > 1 {
 			run = exhaustiveParallel
 		}
-		rep, err := run(f, opts)
+		rep, err := run(ctx, f, opts)
 		if errors.Is(err, sim.ErrNotForkable) {
-			return exhaustiveReplay(f, opts)
+			return exhaustiveReplay(ctx, f, opts)
 		}
 		return rep, err
 	}
@@ -330,10 +335,13 @@ func soloViolations(live []int, budget int64, sched func() []int, soloFrom func(
 
 // exhaustiveReplay is the pre-fork explorer: each configuration is
 // materialized by re-executing its schedule prefix from a fresh system.
-func exhaustiveReplay(f Factory, opts Options) (*Report, error) {
+func exhaustiveReplay(ctx context.Context, f Factory, opts Options) (*Report, error) {
 	w := newWalk(opts)
 	var rec func(prefix []int) error
 	rec = func(prefix []int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if w.cutRuns() {
 			return nil
 		}
@@ -402,7 +410,7 @@ func (nd *treeNode) schedule() []int {
 // holds live forked systems, so materializing a child costs one Fork plus
 // one step instead of a fresh system plus the whole prefix. Visit order is
 // identical to exhaustiveReplay's recursion.
-func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
+func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, err error) {
 	w := newWalk(opts)
 	root, err := f()
 	if err != nil {
@@ -425,6 +433,10 @@ func exhaustiveFork(f Factory, opts Options) (rep *Report, err error) {
 		stack = stack[:len(stack)-1]
 		sys := nd.sys
 
+		if err := ctx.Err(); err != nil {
+			sys.Close()
+			return nil, err
+		}
 		if w.cutRuns() || w.dedup(sys, nd.depth) {
 			sys.Close()
 			continue

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -19,7 +20,7 @@ func factoryFor(build func() *consensus.Protocol, inputs []int) Factory {
 // three processes (each takes exactly one step, so the space is tiny and
 // exploration is complete, not bounded).
 func TestExhaustiveCAS(t *testing.T) {
-	rep, err := Exhaustive(
+	rep, err := Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.CAS(3) }, []int{0, 1, 2}),
 		Options{})
 	if err != nil {
@@ -48,7 +49,7 @@ func TestExhaustiveIntroProtocols(t *testing.T) {
 				for i := range inputs {
 					inputs[i] = (pattern >> i) & 1
 				}
-				rep, err := Exhaustive(
+				rep, err := Exhaustive(context.Background(),
 					factoryFor(func() *consensus.Protocol { return build(n) }, inputs),
 					Options{})
 				if err != nil {
@@ -66,7 +67,7 @@ func TestExhaustiveIntroProtocols(t *testing.T) {
 // for 2 processes to a depth beyond its solo decision length, catching any
 // interleaving-dependent safety bug near the root of the execution tree.
 func TestExhaustiveMaxRegistersBounded(t *testing.T) {
-	rep, err := Exhaustive(
+	rep, err := Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}),
 		Options{MaxDepth: 14})
 	if err != nil {
@@ -83,7 +84,7 @@ func TestExhaustiveMaxRegistersBounded(t *testing.T) {
 // TestExhaustiveBuffered explores the l-buffer protocol (n=2, l=2: a single
 // buffer) to bounded depth.
 func TestExhaustiveBuffered(t *testing.T) {
-	rep, err := Exhaustive(
+	rep, err := Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.Buffered(2, 2) }, []int{1, 0}),
 		Options{MaxDepth: 12})
 	if err != nil {
@@ -106,7 +107,7 @@ func TestExhaustiveCatchesBrokenProtocol(t *testing.T) {
 		}
 		return sim.NewSystem(mem, []int{0, 1}, body), nil
 	}
-	rep, err := Exhaustive(broken, Options{})
+	rep, err := Exhaustive(context.Background(), broken, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestStrategiesAgree(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ro, fo := tc.opts, tc.opts
 			ro.Strategy, fo.Strategy = StrategyReplay, StrategyFork
-			rrep, err := Exhaustive(tc.f, ro)
+			rrep, err := Exhaustive(context.Background(), tc.f, ro)
 			if err != nil {
 				t.Fatal(err)
 			}
-			frep, err := Exhaustive(tc.f, fo)
+			frep, err := Exhaustive(context.Background(), tc.f, fo)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -169,11 +170,11 @@ func TestStrategiesAgree(t *testing.T) {
 // protocol.
 func TestDedupCollapsesStates(t *testing.T) {
 	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
-	plain, err := Exhaustive(f, Options{MaxDepth: 10})
+	plain, err := Exhaustive(context.Background(), f, Options{MaxDepth: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dedup, err := Exhaustive(f, Options{MaxDepth: 10, Dedup: true})
+	dedup, err := Exhaustive(context.Background(), f, Options{MaxDepth: 10, Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestDedupCollapsesStates(t *testing.T) {
 		}
 		return sim.NewSystem(mem, []int{0, 1}, body), nil
 	}
-	rep, err := Exhaustive(broken, Options{Dedup: true})
+	rep, err := Exhaustive(context.Background(), broken, Options{Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestExhaustiveSingleLocationRows(t *testing.T) {
 	}
 	for name, build := range builds {
 		t.Run(name, func(t *testing.T) {
-			rep, err := Exhaustive(
+			rep, err := Exhaustive(context.Background(),
 				factoryFor(func() *consensus.Protocol { return build(2) }, []int{0, 1}),
 				Options{MaxDepth: 12})
 			if err != nil {
@@ -293,7 +294,7 @@ func TestExhaustiveMultiLocationRows(t *testing.T) {
 	}
 	for name, build := range builds {
 		t.Run(name, func(t *testing.T) {
-			rep, err := Exhaustive(
+			rep, err := Exhaustive(context.Background(),
 				factoryFor(func() *consensus.Protocol { return build(2) }, []int{1, 0}),
 				Options{MaxDepth: 11})
 			if err != nil {
@@ -310,7 +311,7 @@ func TestExhaustiveMultiLocationRows(t *testing.T) {
 // configuration within the explored envelope of the CAS and max-register
 // protocols.
 func TestObstructionFreedomExplored(t *testing.T) {
-	rep, err := Exhaustive(
+	rep, err := Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.CAS(2) }, []int{0, 1}),
 		Options{SoloBudget: 5})
 	if err != nil {
@@ -319,7 +320,7 @@ func TestObstructionFreedomExplored(t *testing.T) {
 	if len(rep.Violations) != 0 {
 		t.Fatalf("CAS: %v", rep.Violations[0])
 	}
-	rep, err = Exhaustive(
+	rep, err = Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}),
 		Options{MaxDepth: 8, SoloBudget: 60})
 	if err != nil {
@@ -332,7 +333,7 @@ func TestObstructionFreedomExplored(t *testing.T) {
 
 // TestMaxRunsTruncation checks the exploration cap.
 func TestMaxRunsTruncation(t *testing.T) {
-	rep, err := Exhaustive(
+	rep, err := Exhaustive(context.Background(),
 		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2}),
 		Options{MaxDepth: 20, MaxRuns: 5})
 	if err != nil {

@@ -31,6 +31,7 @@ package explore
 // than making truncation racy.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -238,11 +239,11 @@ func (w *pwalk) fail(err error) {
 
 // exhaustiveParallel explores the same space as exhaustiveFork across a
 // worker pool. See the file comment for the determinism argument.
-func exhaustiveParallel(f Factory, opts Options) (*Report, error) {
+func exhaustiveParallel(ctx context.Context, f Factory, opts Options) (*Report, error) {
 	if opts.MaxRuns > 0 {
 		// "The first k maximal schedules" is defined by the sequential DFS
 		// order; a parallel run cap would truncate a racy subset.
-		return exhaustiveFork(f, opts)
+		return exhaustiveFork(ctx, f, opts)
 	}
 	nw := opts.Workers
 	if nw <= 0 {
@@ -269,7 +270,7 @@ func exhaustiveParallel(f Factory, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func(pw *pworker) {
 			defer wg.Done()
-			w.run(pw)
+			w.run(ctx, pw)
 		}(pw)
 	}
 	wg.Wait()
@@ -287,10 +288,18 @@ func exhaustiveParallel(f Factory, opts Options) (*Report, error) {
 }
 
 // run is one worker's loop: pop own work, steal when dry, exit when the
-// frontier is globally exhausted.
-func (w *pwalk) run(pw *pworker) {
+// frontier is globally exhausted. Each iteration polls ctx: on
+// cancellation the shared stop flag flips and every worker drains its
+// remaining nodes without expanding them, so the pool exits promptly with
+// every forked system closed.
+func (w *pwalk) run(ctx context.Context, pw *pworker) {
 	spins := 0
 	for {
+		if !w.stopped.Load() {
+			if err := ctx.Err(); err != nil {
+				w.fail(err)
+			}
+		}
 		nd := pw.dq.pop()
 		if nd == nil {
 			for off := 1; off < len(w.workers) && nd == nil; off++ {

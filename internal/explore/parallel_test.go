@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -28,7 +29,7 @@ func battery(t *testing.T, f Factory, opts Options, workers []int) {
 	t.Helper()
 	seq := opts
 	seq.Strategy = StrategyFork
-	oracle, err := Exhaustive(f, seq)
+	oracle, err := Exhaustive(context.Background(), f, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func battery(t *testing.T, f Factory, opts Options, workers []int) {
 	for _, wk := range workers {
 		po := opts
 		po.Strategy, po.Workers = StrategyParallel, wk
-		par, err := Exhaustive(f, po)
+		par, err := Exhaustive(context.Background(), f, po)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", wk, err)
 		}
@@ -89,7 +90,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			// CanDecide verdicts: over the same schedule envelope, the
 			// bounded valency oracle must say v is decidable exactly when the
 			// parallel exploration observed a decision on v.
-			par, err := Exhaustive(f, Options{
+			par, err := Exhaustive(context.Background(), f, Options{
 				MaxDepth: depth, Strategy: StrategyParallel, Workers: 4, Dedup: true,
 			})
 			if err != nil {
@@ -152,7 +153,7 @@ func TestParallelCatchesBrokenProtocol(t *testing.T) {
 	}
 	battery(t, broken, Options{}, []int{1, 2, 4, 8})
 	// With dedup the violated-property set must survive pruning too.
-	rep, err := Exhaustive(broken, Options{Strategy: StrategyParallel, Workers: 4, Dedup: true})
+	rep, err := Exhaustive(context.Background(), broken, Options{Strategy: StrategyParallel, Workers: 4, Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,13 +170,13 @@ func TestParallelMaxRunsFallsBack(t *testing.T) {
 	opts := Options{MaxDepth: 12, MaxRuns: 5}
 	seq := opts
 	seq.Strategy = StrategyFork
-	want, err := Exhaustive(f, seq)
+	want, err := Exhaustive(context.Background(), f, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := opts
 	par.Strategy, par.Workers = StrategyParallel, 8
-	got, err := Exhaustive(f, par)
+	got, err := Exhaustive(context.Background(), f, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,11 +192,11 @@ func TestParallelMaxRunsFallsBack(t *testing.T) {
 // prune commuting interleavings, not just match the no-dedup tree.
 func TestParallelDedupCollapsesStates(t *testing.T) {
 	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
-	plain, err := Exhaustive(f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4})
+	plain, err := Exhaustive(context.Background(), f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dedup, err := Exhaustive(f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4, Dedup: true})
+	dedup, err := Exhaustive(context.Background(), f, Options{MaxDepth: 10, Strategy: StrategyParallel, Workers: 4, Dedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package explore
 // the deterministic-report argument rests on.
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
@@ -111,7 +112,7 @@ func TestParallelErrorTeardown(t *testing.T) {
 		return sim.NewSystemSteppers(pr.NewMemory(), []int{0, 1},
 			[]sim.Stepper{&failingStepper{fuse: 2}, &failingStepper{fuse: 3}}), nil
 	}
-	_, err := Exhaustive(f, Options{MaxDepth: 6, Strategy: StrategyParallel, Workers: 8})
+	_, err := Exhaustive(context.Background(), f, Options{MaxDepth: 6, Strategy: StrategyParallel, Workers: 8})
 	if err == nil {
 		t.Fatal("expected the planted process failure to surface")
 	}

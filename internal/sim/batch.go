@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,8 +56,12 @@ type BatchStats struct {
 // RunBatch executes the jobs across workers goroutines (workers <= 0 means
 // GOMAXPROCS) and returns per-job results, indexed like jobs, plus the
 // aggregate. Job order within the result slice is deterministic; execution
-// order is not, which is fine because jobs are fully isolated.
-func RunBatch(jobs []BatchJob, workers int) ([]BatchResult, BatchStats) {
+// order is not, which is fine because jobs are fully isolated. Cancelling
+// ctx stops the batch promptly: in-flight runs abort at their next
+// cancellation poll and unstarted jobs are never built; both report
+// ctx.Err() in their BatchResult. All workers are joined before RunBatch
+// returns on every path, so cancellation leaks no goroutines.
+func RunBatch(ctx context.Context, jobs []BatchJob, workers int) ([]BatchResult, BatchStats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,7 +80,11 @@ func RunBatch(jobs []BatchJob, workers int) ([]BatchResult, BatchStats) {
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runOne(i, jobs[i])
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Index: i, Err: err}
+					continue
+				}
+				results[i] = runOne(ctx, i, jobs[i])
 			}
 		}()
 	}
@@ -101,12 +110,12 @@ func RunBatch(jobs []BatchJob, workers int) ([]BatchResult, BatchStats) {
 	return results, stats
 }
 
-func runOne(i int, job BatchJob) BatchResult {
+func runOne(ctx context.Context, i int, job BatchJob) BatchResult {
 	sys, err := job.Make()
 	if err != nil {
 		return BatchResult{Index: i, Err: err}
 	}
 	defer sys.Close()
-	res, err := sys.Run(job.Sched(), job.MaxSteps)
+	res, err := sys.RunContext(ctx, job.Sched(), job.MaxSteps)
 	return BatchResult{Index: i, Result: res, Err: err}
 }

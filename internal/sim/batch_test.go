@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -121,7 +122,7 @@ func TestRunBatch(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = mk(int64(i + 1))
 	}
-	results, stats := RunBatch(jobs, 0)
+	results, stats := RunBatch(context.Background(), jobs, 0)
 	if stats.Runs != runs || stats.Failed != 0 || stats.Decided != runs {
 		t.Fatalf("stats = %+v", stats)
 	}
@@ -160,7 +161,7 @@ func TestRunBatchPropagatesErrors(t *testing.T) {
 			MaxSteps: 10,
 		},
 	}
-	results, stats := RunBatch(jobs, 2)
+	results, stats := RunBatch(context.Background(), jobs, 2)
 	if !errors.Is(results[0].Err, boom) {
 		t.Fatalf("job 0 error = %v", results[0].Err)
 	}
@@ -193,7 +194,7 @@ func TestRunBatchWorkerInvariance(t *testing.T) {
 	}
 	var base []BatchResult
 	for _, workers := range []int{1, 3, 8} {
-		results, stats := RunBatch(mkJobs(), workers)
+		results, stats := RunBatch(context.Background(), mkJobs(), workers)
 		if stats.Failed != 0 {
 			t.Fatalf("workers=%d: %d failed", workers, stats.Failed)
 		}

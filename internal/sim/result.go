@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -20,9 +21,32 @@ type Result struct {
 
 // Run drives the system under sched for at most maxSteps steps or until no
 // live process remains. It returns the accumulated Result; process failures
-// surface as an error.
+// surface as an error. It is RunContext with a background context.
 func (s *System) Run(sched Scheduler, maxSteps int64) (*Result, error) {
+	return s.RunContext(context.Background(), sched, maxSteps)
+}
+
+// cancelCheckMask gates the run loop's context poll: the context is checked
+// on entry and then every cancelCheckMask+1 steps, which keeps cancellation
+// latency in the microseconds while costing the hot path one branch per
+// step. Must be a power of two minus one.
+const cancelCheckMask = 1<<10 - 1
+
+// RunContext is Run bounded by a context: a cancelled or expired ctx stops
+// the run within cancelCheckMask+1 steps and returns ctx.Err(). Everything
+// else — scheduling, step accounting, error surfacing — is identical to
+// Run, so a run that finishes before cancellation is byte-identical to an
+// uncancellable one.
+func (s *System) RunContext(ctx context.Context, sched Scheduler, maxSteps int64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for s.steps < maxSteps {
+		if s.steps&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pid := sched.Next(s)
 		if pid < 0 {
 			break

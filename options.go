@@ -1,0 +1,147 @@
+package repro
+
+// This file defines the typed per-operation options of the compiled-handle
+// API. Each verb on *Protocol accepts its own option interface —
+// CompileOption, SolveOption, VerifyOption, BatchOption — so an option that
+// makes no sense for an operation (a schedule seed on the exhaustive
+// verifier, a worker-pool size on a single-schedule solve) cannot be passed
+// to it: the misuse the deprecated free functions rejected at runtime is a
+// type error here. Options meaningful to several verbs implement several
+// interfaces (MaxSteps is a RunOption, Workers a PoolOption) and remain a
+// single value at call sites.
+
+// defaults carries the package-wide run defaults: schedule seed 1, buffer
+// capacity l=2 for the l-buffer rows, and a 50-million-step budget. It is
+// the single source of truth for both the legacy options bag and the typed
+// configs of the compiled-handle API.
+func defaultOptions() options {
+	return options{seed: 1, l: 2, maxSteps: 50_000_000}
+}
+
+// CompileOption configures Compile.
+type CompileOption interface{ applyCompile(*compileConfig) }
+
+// SolveOption configures one Protocol.Solve run.
+type SolveOption interface{ applySolve(*solveConfig) }
+
+// VerifyOption configures one Protocol.Verify exploration.
+type VerifyOption interface{ applyVerify(*verifyConfig) }
+
+// BatchOption configures one Protocol.SolveBatch sweep.
+type BatchOption interface{ applyBatch(*batchConfig) }
+
+// RunOption is an option valid for both Solve and SolveBatch.
+type RunOption interface {
+	SolveOption
+	BatchOption
+}
+
+// PoolOption is an option valid for both Verify and SolveBatch — the two
+// operations that spread work across a worker pool.
+type PoolOption interface {
+	VerifyOption
+	BatchOption
+}
+
+type compileConfig struct {
+	l int
+}
+
+type solveConfig struct {
+	seed     int64
+	maxSteps int64
+}
+
+type verifyConfig struct {
+	workers    int
+	workersSet bool
+	maxRuns    int64
+	soloBudget int64
+}
+
+type batchConfig struct {
+	workers  int
+	maxSteps int64
+}
+
+func (p *Protocol) solveConfig(opts []SolveOption) solveConfig {
+	d := defaultOptions()
+	c := solveConfig{seed: d.seed, maxSteps: d.maxSteps}
+	for _, o := range opts {
+		o.applySolve(&c)
+	}
+	return c
+}
+
+func (p *Protocol) verifyConfig(opts []VerifyOption) verifyConfig {
+	var c verifyConfig
+	for _, o := range opts {
+		o.applyVerify(&c)
+	}
+	return c
+}
+
+func (p *Protocol) batchConfig(opts []BatchOption) batchConfig {
+	c := batchConfig{maxSteps: defaultOptions().maxSteps}
+	for _, o := range opts {
+		o.applyBatch(&c)
+	}
+	return c
+}
+
+// BufferCap sets the buffer capacity l for the l-buffer rows (T1.6, T1.MA).
+// Capacity is part of the row's identity — it changes the instruction set
+// and the space bounds — so it is fixed at compile time. Default 2.
+func BufferCap(l int) CompileOption { return bufferCapOption(l) }
+
+type bufferCapOption int
+
+func (o bufferCapOption) applyCompile(c *compileConfig) { c.l = int(o) }
+
+// Seed selects the (reproducible) random schedule of one Solve run.
+// Default 1.
+func Seed(seed int64) SolveOption { return seedOption(seed) }
+
+type seedOption int64
+
+func (o seedOption) applySolve(c *solveConfig) { c.seed = int64(o) }
+
+// MaxSteps bounds a run's step count (default 50 million). On SolveBatch it
+// is the default budget for specs that leave RunSpec.MaxSteps zero.
+func MaxSteps(s int64) RunOption { return maxStepsOption(s) }
+
+type maxStepsOption int64
+
+func (o maxStepsOption) applySolve(c *solveConfig) { c.maxSteps = int64(o) }
+func (o maxStepsOption) applyBatch(c *batchConfig) { c.maxSteps = int64(o) }
+
+// Workers sizes the worker pool (0 = GOMAXPROCS). On Verify it selects the
+// parallel work-stealing explorer; on SolveBatch it sets the number of
+// concurrent runs. Worker count changes wall-clock time, never results: the
+// exploration report and every batch outcome are worker-count-invariant.
+func Workers(w int) PoolOption { return workersOption(w) }
+
+type workersOption int
+
+func (o workersOption) applyVerify(c *verifyConfig) { c.workers, c.workersSet = int(o), true }
+func (o workersOption) applyBatch(c *batchConfig)   { c.workers = int(o) }
+
+// MaxRuns caps the number of maximal schedules Verify examines (0 =
+// unlimited); a capped exploration sets VerifyReport.Truncated. Run caps
+// are a DFS-order notion, so they route the exploration to the sequential
+// strategy even when Workers is given.
+func MaxRuns(k int64) VerifyOption { return maxRunsOption(k) }
+
+type maxRunsOption int64
+
+func (o maxRunsOption) applyVerify(c *verifyConfig) { c.maxRuns = int64(o) }
+
+// SoloBudget additionally checks obstruction-freedom at every explored
+// configuration: each live process, run alone, must decide within budget
+// steps. This multiplies the exploration cost by roughly n×budget per
+// configuration.
+func SoloBudget(budget int64) VerifyOption { return soloBudgetOption(budget) }
+
+type soloBudgetOption int64
+
+func (o soloBudgetOption) applyVerify(c *verifyConfig) { c.soloBudget = int64(o) }

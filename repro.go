@@ -7,24 +7,42 @@
 // The library simulates the paper's machine model — identical memory
 // locations all supporting one instruction set, adversarial scheduling,
 // crash failures — and implements every upper-bound protocol and every
-// executable lower-bound construction from the paper. Executions run on a
-// resumable step-VM (see internal/sim) fast enough for large schedule
-// sweeps; SolveBatch spreads independent runs across all cores. See
-// DESIGN.md for the full inventory and EXPERIMENTS.md for the reproduced
-// Table 1 and engine benchmarks.
+// executable lower-bound construction from the paper. The unit of work is a
+// compiled protocol handle: Compile resolves a Table 1 row for a fixed n
+// once, and the handle's verbs run it under one schedule (Solve), sweep
+// many schedules in parallel (SolveBatch) or as a lazy stream (SolveSeq),
+// exhaustively model-check a schedule envelope (Verify), and measure step
+// complexity (Steps) and the paper's space bounds (Bounds). Repeated runs
+// fork a pristine snapshot of the initial configuration instead of
+// rebuilding the system, and every long-running verb takes a
+// context.Context for cancellation and deadlines. See DESIGN.md for the
+// full inventory and EXPERIMENTS.md for the reproduced Table 1 and engine
+// benchmarks.
 //
 // Quick start:
 //
-//	out, err := repro.Solve("T1.9", []int{3, 1, 4, 1, 2}, repro.WithSeed(7))
+//	p, err := repro.Compile("T1.9", 5) // two max-registers, five processes
+//	if err != nil { ... }
+//	out, err := p.Solve(ctx, []int{3, 1, 4, 1, 2}, repro.Seed(7))
 //	// out.Value is the agreed value; out.Footprint is 2 — two max-registers.
+//
+// Options are typed per operation: a schedule Seed applies to Solve, a
+// worker-pool size to Verify and SolveBatch, a step budget to both run
+// verbs. Passing an option to a verb it does not configure is a compile
+// error, not a runtime rejection. The pre-handle free functions (Solve,
+// SolveBatch, Verify, Steps, SpaceBounds) remain as deprecated wrappers
+// over handles, pinned result-identical to them by a differential test
+// battery; the one deliberate behavior change is that they now inherit the
+// handles' up-front input validation, so misuse that previously failed
+// deep inside protocol construction (out-of-range inputs, empty input
+// vectors, n < 1) reports the ErrBadInput sentinel instead.
 package repro
 
 import (
+	"context"
 	"errors"
-	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/explore"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -61,7 +79,38 @@ type Outcome struct {
 	MaxBits int
 }
 
-// options configures Solve.
+// VerifyReport summarizes an exhaustive safety exploration.
+type VerifyReport struct {
+	// Runs is the number of maximal schedules examined.
+	Runs int64
+	// States is the number of configurations expanded (deduplication makes
+	// this close to the number of distinct canonical states).
+	States int64
+	// Deduped counts configurations pruned by the canonical-state table.
+	Deduped int64
+	// Truncated reports whether MaxRuns stopped the search early.
+	Truncated bool
+	// Violations describes any safety violations found (empty = safe over
+	// the explored envelope).
+	Violations []string
+	// DecidedValues is the sorted set of values decided somewhere in the
+	// explored envelope; invariant across worker counts and deduplication.
+	DecidedValues []int
+	// DistinctStates counts distinct canonical configurations reached
+	// within the envelope (0 if the systems expose no state key).
+	DistinctStates int64
+}
+
+// StepProfile re-exports the step-complexity measurement (the extra axis
+// the paper's conclusion calls for).
+type StepProfile = core.StepProfile
+
+// options is the legacy shared options bag of the deprecated free
+// functions. The compiled-handle API replaces it with per-operation typed
+// options (see options.go); it survives only so the deprecated wrappers
+// keep their historical behavior — in particular the runtime rejection of
+// options on verbs they never applied to (modulo the ErrBadInput
+// validation noted in the package doc).
 type options struct {
 	seed        int64
 	l           int
@@ -72,30 +121,38 @@ type options struct {
 	workersSet  bool
 }
 
-// Option configures Solve.
+// Option configures the deprecated free functions.
+//
+// Deprecated: use the per-operation typed options of the compiled-handle
+// API (Seed, BufferCap, MaxSteps, Workers, ...), which make per-verb
+// applicability a compile-time property.
 type Option func(*options)
 
 // WithSeed selects the (reproducible) random schedule. Default 1.
+//
+// Deprecated: use Compile and Protocol.Solve with Seed.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed, o.seedSet = seed, true }
 }
 
 // WithBufferCap sets l for the l-buffer rows. Default 2.
+//
+// Deprecated: use Compile with BufferCap.
 func WithBufferCap(l int) Option { return func(o *options) { o.l = l } }
 
 // WithMaxSteps bounds the run. Default 50 million.
+//
+// Deprecated: use Compile and Protocol.Solve with MaxSteps.
 func WithMaxSteps(s int64) Option {
 	return func(o *options) { o.maxSteps, o.maxStepsSet = s, true }
 }
 
 // WithWorkers spreads Verify's exhaustive exploration across a worker pool
 // (0 = GOMAXPROCS). Worker count changes wall-clock time, never the
-// accounting: every counter and the decided-value set are order-independent,
-// and the differential suite pins them against the sequential oracle. The
-// one scheduling-dependent residue: for a protocol that *violates* safety,
-// which of several equivalent schedules labels a violation may vary between
-// runs (the set of violated properties does not). Verify-only; Solve runs
-// one schedule and has nothing to parallelize.
+// accounting. Verify-only; Solve runs one schedule and has nothing to
+// parallelize.
+//
+// Deprecated: use Compile and Protocol.Verify with Workers.
 func WithWorkers(w int) Option {
 	return func(o *options) { o.workers, o.workersSet = w, true }
 }
@@ -104,46 +161,22 @@ func WithWorkers(w int) Option {
 // example "T1.9" for two max-registers) on the given inputs — one input per
 // process, values in [0, n) — under a fair random schedule, and returns the
 // agreed value with space and step measurements.
+//
+// Deprecated: use Compile and Protocol.Solve, which resolve the row once,
+// amortize system construction across runs, and accept a context.
 func Solve(rowID string, inputs []int, opts ...Option) (*Outcome, error) {
-	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
+	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
 	}
 	if o.workersSet {
 		return nil, errors.New("repro: WithWorkers applies to Verify; Solve runs a single schedule")
 	}
-	row, ok := core.RowByID(rowID, o.l)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
-	}
-	if row.Build == nil {
-		return nil, fmt.Errorf("repro: row %s has no constructive protocol", rowID)
-	}
-	n := len(inputs)
-	pr := row.Build(n)
-	sys, err := pr.NewSystem(inputs)
+	p, err := Compile(rowID, len(inputs), BufferCap(o.l))
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Close()
-	res, err := sys.Run(sim.NewRandom(o.seed), o.maxSteps)
-	if err != nil {
-		return nil, err
-	}
-	if err := res.CheckConsensus(inputs); err != nil {
-		return nil, err
-	}
-	v, ok := res.AgreedValue()
-	if !ok {
-		return nil, fmt.Errorf("%w (%d steps)", ErrNoDecision, o.maxSteps)
-	}
-	st := sys.Mem().Stats()
-	return &Outcome{
-		Value:     v,
-		Footprint: st.Footprint(),
-		Steps:     st.Steps,
-		MaxBits:   st.MaxBits,
-	}, nil
+	return p.Solve(context.Background(), inputs, Seed(o.seed), MaxSteps(o.maxSteps))
 }
 
 // BatchSpec describes one Solve configuration in a batch: a Table 1 row, the
@@ -171,168 +204,117 @@ type BatchOutcome struct {
 // returns one outcome per spec, in order. Each run gets its own memory,
 // processes, and scheduler, so results are bit-identical to running the
 // specs one at a time through Solve — parallelism changes wall-clock time,
-// never outcomes. It is the intended way to drive seed sweeps, row sweeps,
-// and adversarial scenario sampling.
+// never outcomes.
+//
+// Deprecated: use Compile and Protocol.SolveBatch (one row swept over
+// RunSpecs, fork-amortized, cancellable) — or several handles for
+// mixed-row sweeps.
 func SolveBatch(specs []BatchSpec, workers int) []BatchOutcome {
-	jobs := make([]sim.BatchJob, len(specs))
+	// Specs may mix rows, capacities, and process counts: compile one
+	// handle per distinct (row, l, n) so same-configuration specs still
+	// share a pristine snapshot.
+	type hkey struct {
+		row string
+		l   int
+		n   int
+	}
+	handles := make(map[hkey]*Protocol)
+	herrs := make(map[hkey]error)
+	out := make([]BatchOutcome, len(specs))
 	mems := make([]*machine.Memory, len(specs))
-	opts := make([]options, len(specs))
+	var jobs []sim.BatchJob
+	var jobSpec []int // job index -> specs index
 	for i, sp := range specs {
-		o := options{seed: sp.Seed, l: 2, maxSteps: 50_000_000}
+		o := defaultOptions()
+		o.seed = sp.Seed
 		if sp.L != 0 {
 			o.l = sp.L
 		}
 		if sp.MaxSteps != 0 {
 			o.maxSteps = sp.MaxSteps
 		}
-		opts[i] = o
-		sp := sp
-		i := i
-		jobs[i] = sim.BatchJob{
+		out[i].Spec = sp
+		k := hkey{sp.Row, o.l, len(sp.Inputs)}
+		if _, seen := handles[k]; !seen {
+			handles[k], herrs[k] = Compile(sp.Row, len(sp.Inputs), BufferCap(o.l))
+		}
+		if err := herrs[k]; err != nil {
+			out[i].Err = err
+			continue
+		}
+		i, sp, o, p := i, sp, o, handles[k]
+		jobs = append(jobs, sim.BatchJob{
 			Make: func() (*sim.System, error) {
-				row, ok := core.RowByID(sp.Row, opts[i].l)
-				if !ok {
-					return nil, fmt.Errorf("%w: %s", ErrUnknownRow, sp.Row)
-				}
-				if row.Build == nil {
-					return nil, fmt.Errorf("repro: row %s has no constructive protocol", sp.Row)
-				}
-				sys, err := row.Build(len(sp.Inputs)).NewSystem(sp.Inputs)
+				sys, err := p.makeRun(sp.Inputs)
 				if err != nil {
 					return nil, err
 				}
 				mems[i] = sys.Mem()
 				return sys, nil
 			},
-			Sched:    func() sim.Scheduler { return sim.NewRandom(opts[i].seed) },
+			Sched:    func() sim.Scheduler { return sim.NewRandom(o.seed) },
 			MaxSteps: o.maxSteps,
-		}
+		})
+		jobSpec = append(jobSpec, i)
 	}
-	results, _ := sim.RunBatch(jobs, workers)
-	out := make([]BatchOutcome, len(specs))
-	for i, r := range results {
-		out[i] = finishOutcome(specs[i], opts[i], r, mems[i])
+	results, _ := sim.RunBatch(context.Background(), jobs, workers)
+	for j, r := range results {
+		i := jobSpec[j]
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[j].MaxSteps, r.Result, mems[i])
 	}
 	return out
 }
 
-// finishOutcome turns one raw batch result into a checked BatchOutcome.
-func finishOutcome(sp BatchSpec, o options, r sim.BatchResult, mem *machine.Memory) BatchOutcome {
-	bo := BatchOutcome{Spec: sp, Err: r.Err}
-	if bo.Err != nil {
-		return bo
-	}
-	if err := r.Result.CheckConsensus(sp.Inputs); err != nil {
-		bo.Err = err
-		return bo
-	}
-	v, ok := r.Result.AgreedValue()
-	if !ok {
-		bo.Err = fmt.Errorf("%w (%d steps)", ErrNoDecision, o.maxSteps)
-		return bo
-	}
-	st := mem.Stats()
-	bo.Outcome = &Outcome{
-		Value:     v,
-		Footprint: st.Footprint(),
-		Steps:     st.Steps,
-		MaxBits:   st.MaxBits,
-	}
-	return bo
-}
-
 // SpaceBounds evaluates the paper's lower and upper bound on SP(I, n) for a
 // row at the given n (Unbounded = ∞).
+//
+// Deprecated: use Compile and Protocol.Bounds.
 func SpaceBounds(rowID string, n, l int) (lower, upper int, err error) {
-	row, ok := core.RowByID(rowID, l)
-	if !ok {
-		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	p, err := Compile(rowID, n, BufferCap(l))
+	if err != nil {
+		return 0, 0, err
 	}
-	lower, upper = core.SP(row, n)
+	lower, upper = p.Bounds()
 	return lower, upper, nil
-}
-
-// VerifyReport summarizes an exhaustive safety exploration.
-type VerifyReport struct {
-	// Runs is the number of maximal schedules examined.
-	Runs int64
-	// States is the number of configurations expanded (deduplication makes
-	// this close to the number of distinct canonical states).
-	States int64
-	// Deduped counts configurations pruned by the canonical-state table.
-	Deduped int64
-	// Truncated reports whether MaxRuns stopped the search early.
-	Truncated bool
-	// Violations describes any safety violations found (empty = safe over
-	// the explored envelope).
-	Violations []string
-	// DecidedValues is the sorted set of values decided somewhere in the
-	// explored envelope; invariant across worker counts and deduplication.
-	DecidedValues []int
-	// DistinctStates counts distinct canonical configurations reached
-	// within the envelope (0 if the systems expose no state key).
-	DistinctStates int64
 }
 
 // Verify exhaustively model-checks the row's protocol on the given inputs
 // over every interleaving up to maxDepth scheduler steps (0 = until all
-// processes decide; only safe for wait-free rows). Exploration runs on
-// forked configuration snapshots with canonical-state deduplication, so
-// commuting interleavings are collapsed rather than re-explored; use it to
-// certify a row over a schedule envelope where Solve samples a single seed.
-// WithWorkers spreads the exploration across a pool of workers popping
-// forked configurations from a work-stealing frontier; all counters and
-// the decided-value set are identical at every worker count (only a
-// violating protocol's witness schedules may vary between runs).
+// processes decide; only safe for wait-free rows). WithWorkers spreads the
+// exploration across a pool of workers.
+//
+// Deprecated: use Compile and Protocol.Verify, which add cancellation,
+// MaxRuns, and SoloBudget.
 func Verify(rowID string, inputs []int, maxDepth int, opts ...Option) (*VerifyReport, error) {
-	o := options{seed: 1, l: 2, maxSteps: 50_000_000}
+	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
 	}
 	if o.seedSet || o.maxStepsSet {
 		return nil, errors.New("repro: Verify explores every schedule up to maxDepth; WithSeed/WithMaxSteps do not apply")
 	}
-	row, ok := core.RowByID(rowID, o.l)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
-	}
-	// Unbounded exploration only terminates when every process decides in a
-	// bounded number of own steps regardless of scheduling: the
-	// obstruction-free rows have infinite interleaving trees.
-	if maxDepth <= 0 && (row.Build == nil || !row.Build(len(inputs)).WaitFree) {
-		return nil, fmt.Errorf("repro: row %s is not wait-free; Verify needs maxDepth > 0 to bound the exploration", rowID)
-	}
-	eo := explore.Options{
-		MaxDepth: maxDepth,
-		Strategy: explore.StrategyFork,
-		Dedup:    true,
-	}
-	if o.workersSet {
-		eo.Strategy, eo.Workers = explore.StrategyParallel, o.workers
-	}
-	rep, err := core.ExploreRow(row, inputs, eo)
+	p, err := Compile(rowID, len(inputs), BufferCap(o.l))
 	if err != nil {
 		return nil, err
 	}
-	out := &VerifyReport{
-		Runs: rep.Runs, States: rep.States, Deduped: rep.Deduped, Truncated: rep.Truncated,
-		DecidedValues: rep.DecidedValues, DistinctStates: rep.DistinctStates,
+	var vopts []VerifyOption
+	if o.workersSet {
+		vopts = append(vopts, Workers(o.workers))
 	}
-	for _, v := range rep.Violations {
-		out.Violations = append(out.Violations, v.String())
-	}
-	return out, nil
+	return p.Verify(context.Background(), inputs, maxDepth, vopts...)
 }
 
-// StepProfile re-exports the step-complexity measurement (the extra axis
-// the paper's conclusion calls for).
-type StepProfile = core.StepProfile
-
 // Steps profiles a row's solo and contended step complexity at the given n.
+//
+// Deprecated: use Compile and Protocol.Steps.
 func Steps(rowID string, n, l int) (*StepProfile, error) {
-	row, ok := core.RowByID(rowID, l)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
+	p, err := Compile(rowID, n, BufferCap(l))
+	if err != nil {
+		return nil, err
 	}
-	return core.MeasureSteps(row, n, 50_000_000)
+	return p.Steps(context.Background())
 }
