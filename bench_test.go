@@ -17,6 +17,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"slices"
 	"testing"
 
 	"repro/internal/consensus"
@@ -352,6 +353,62 @@ func BenchmarkExploreParallel(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(rep.States), "states")
+			})
+		}
+	}
+}
+
+// BenchmarkExploreSymmetry measures what the symmetry-reduced seen-state
+// key buys on symmetric instances: same exploration, dedup on, keyed exact
+// vs keyed up to location/process symmetry. The states metric is the
+// configurations actually expanded, orbits the distinct keys — with
+// symmetry the orbit count is the state-space quotient the ROADMAP's speed
+// axis is after, and the expanded count shrinks with it. Every iteration
+// cross-checks that the decided-value set is unchanged by the quotient.
+func BenchmarkExploreSymmetry(b *testing.B) {
+	cases := []struct {
+		name   string
+		build  func(n int) *consensus.Protocol
+		inputs []int
+		depth  int
+	}{
+		{"maxreg3-depth8", consensus.MaxRegisters, []int{2, 0, 1}, 8},
+		{"incbinary3-depth8", consensus.IncrementBinary, []int{1, 0, 1}, 8},
+		{"increment4-depth7", consensus.Increment, []int{1, 0, 1, 0}, 7},
+		{"writebits3-depth7", consensus.WriteBits, []int{1, 0, 1}, 7},
+	}
+	for _, tc := range cases {
+		f := func() (*sim.System, error) {
+			return tc.build(len(tc.inputs)).NewSystem(tc.inputs)
+		}
+		exact := explore.Options{MaxDepth: tc.depth, Strategy: explore.StrategyFork, Dedup: true}
+		want, err := explore.Exhaustive(context.Background(), f, exact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sym := exact
+		sym.Symmetry = true
+		for _, v := range []struct {
+			name string
+			opts explore.Options
+		}{{"exact", exact}, {"sym", sym}} {
+			b.Run(tc.name+"/"+v.name, func(b *testing.B) {
+				var rep *explore.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = explore.Exhaustive(context.Background(), f, v.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rep.Violations) != 0 {
+						b.Fatal(rep.Violations[0])
+					}
+					if !slices.Equal(rep.DecidedValues, want.DecidedValues) {
+						b.Fatalf("decided values %v, want %v", rep.DecidedValues, want.DecidedValues)
+					}
+				}
+				b.ReportMetric(float64(rep.States), "states")
+				b.ReportMetric(float64(rep.DistinctStates), "orbits")
 			})
 		}
 	}

@@ -7,7 +7,7 @@
 //	consensus -row T1.9 -inputs 3,1,4,1,2 [-l cap] [-sched random|rr|solo]
 //	          [-seed s] [-crash p] [-trace]
 //	consensus -row T1.9 -inputs 3,1,4,1,2 -batch 1000 [-workers w]
-//	consensus -row T1.10 -inputs 0,1,2 -explore 6 [-workers w]
+//	consensus -row T1.10 -inputs 0,1,2 -explore 6 [-workers w] [-sym]
 //
 // The number of processes is the number of inputs. With -batch N the run
 // becomes a seed sweep: N independent schedules (seeds 1..N) executed in
@@ -17,7 +17,9 @@
 // (0 = to completion; wait-free rows only), on forked configuration
 // snapshots with canonical-state deduplication; -workers spreads the
 // exploration across a work-stealing worker pool without changing the
-// report.
+// report, and -sym merges configurations that are equal up to a permutation
+// of the uniform memory locations (and of indistinguishable processes),
+// shrinking the state space without changing the safety verdict.
 //
 // Batch and explore modes run on one compiled repro.Protocol handle: the
 // row is resolved once, and every run of the sweep forks the handle's
@@ -68,6 +70,7 @@ func main() {
 	batch := flag.Int("batch", 0, "run seeds 1..N in parallel and report the aggregate")
 	workers := flag.Int("workers", 0, "parallel workers for -batch and -explore (0 = GOMAXPROCS)")
 	exploreDepth := flag.Int("explore", -1, "exhaustively check every interleaving up to depth D (0 = to completion)")
+	sym := flag.Bool("sym", false, "with -explore: deduplicate configurations up to location/process symmetry")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -89,8 +92,11 @@ func main() {
 		})
 		workersSet := false
 		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet)
+		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet, *sym)
 		return
+	}
+	if *sym {
+		log.Fatal("-sym only applies to -explore (it keys the exploration's seen-state table)")
 	}
 	if *batch > 0 {
 		// Batch mode sweeps seeds 1..N under the random scheduler; the
@@ -170,8 +176,10 @@ func main() {
 
 // runExplore model-checks one row's protocol over every interleaving up to
 // depth, reporting the explored envelope and any violation. With workersSet
-// the exploration runs on the parallel work-stealing explorer.
-func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet bool) {
+// the exploration runs on the parallel work-stealing explorer; with sym the
+// seen-state table merges configurations equal up to location/process
+// symmetry.
+func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet, sym bool) {
 	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
 	if err != nil {
 		log.Fatal(err)
@@ -179,6 +187,9 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 	var opts []repro.VerifyOption
 	if workersSet {
 		opts = append(opts, repro.Workers(workers))
+	}
+	if sym {
+		opts = append(opts, repro.WithSymmetry())
 	}
 	start := time.Now()
 	rep, err := p.Verify(ctx, inputs, depth, opts...)

@@ -16,9 +16,11 @@ import (
 )
 
 // ErrBadInput reports invalid consensus inputs: an empty input vector, a
-// vector whose length does not match the compiled n, or a value outside
-// [0, n). It is detected up front, before any protocol construction, and
-// unwraps with errors.Is.
+// vector whose length does not match the compiled n, a value outside the
+// handle's value domain [0, Values()) — which is [0, n) unless compiled
+// WithValues — or a WithValues request the row cannot satisfy. It is
+// detected up front, before any protocol construction, and unwraps with
+// errors.Is.
 var ErrBadInput = errors.New("repro: invalid inputs")
 
 // Protocol is a compiled handle for one Table 1 row at a fixed number of
@@ -41,6 +43,10 @@ var ErrBadInput = errors.New("repro: invalid inputs")
 type Protocol struct {
 	row core.Row // already specialized for the compile-time buffer capacity
 	n   int
+	// build constructs a fresh protocol instance for a run — the row's
+	// standard n-valued form, or its m-valued form under WithValues. nil
+	// when the row has no constructive protocol.
+	build func() *consensus.Protocol
 	// pr is the compile-time protocol instance. It is used only for
 	// metadata reads (Values, WaitFree, Name); runs build fresh instances
 	// or fork a pristine snapshot, so no constructor state is shared
@@ -83,10 +89,35 @@ func Compile(rowID string, n int, opts ...CompileOption) (*Protocol, error) {
 		return nil, fmt.Errorf("%w: need at least one process, got n=%d", ErrBadInput, n)
 	}
 	p := &Protocol{row: row, n: n}
-	if row.Build != nil {
-		p.pr = row.Build(n)
+	switch {
+	case c.valuesSet:
+		if c.values < 1 {
+			return nil, fmt.Errorf("%w: WithValues(%d) needs at least one value", ErrBadInput, c.values)
+		}
+		// The row id itself is valid, so this is not ErrUnknownRow: the
+		// requested value domain is what the row cannot provide.
+		if row.BuildValues == nil {
+			return nil, fmt.Errorf("%w: row %s has no multi-valued form (WithValues)", ErrBadInput, rowID)
+		}
+		m := c.values
+		p.build = func() *consensus.Protocol { return row.BuildValues(n, m) }
+	case row.Build != nil:
+		p.build = func() *consensus.Protocol { return row.Build(n) }
+	}
+	if p.build != nil {
+		p.pr = p.build()
 	}
 	return p, nil
+}
+
+// Values returns the number of distinct input values the handle accepts:
+// inputs must lie in [0, Values()). It is N() unless the handle was
+// compiled WithValues (or the row's protocol fixes another domain).
+func (p *Protocol) Values() int {
+	if p.pr != nil {
+		return p.pr.Values
+	}
+	return p.n
 }
 
 // ID returns the compiled row's Table 1 identifier.
@@ -104,7 +135,9 @@ func (p *Protocol) Bounds() (lower, upper int) {
 	return core.SP(p.row, p.n)
 }
 
-// checkInputs validates an input vector against the compiled n.
+// checkInputs validates an input vector against the compiled n and the
+// protocol's value domain. The domain is the row's, not [0, n): a handle
+// compiled WithValues(m) takes inputs in [0, m), for m above or below n.
 func (p *Protocol) checkInputs(inputs []int) error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("%w: no inputs", ErrBadInput)
@@ -113,10 +146,11 @@ func (p *Protocol) checkInputs(inputs []int) error {
 		return fmt.Errorf("%w: %d inputs for a %s handle compiled for n=%d",
 			ErrBadInput, len(inputs), p.row.ID, p.n)
 	}
+	dom := p.Values()
 	for i, in := range inputs {
-		if in < 0 || in >= p.n {
+		if in < 0 || in >= dom {
 			return fmt.Errorf("%w: input %d of process %d outside [0, %d)",
-				ErrBadInput, in, i, p.n)
+				ErrBadInput, in, i, dom)
 		}
 	}
 	return nil
@@ -150,7 +184,7 @@ func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
 	}
 	// Build a fresh protocol instance per construction, exactly like the
 	// pre-handle API: constructors stay free of cross-run sharing.
-	sys, err := p.row.Build(p.n).NewSystem(inputs)
+	sys, err := p.build().NewSystem(inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -193,9 +227,9 @@ func finishSolve(inputs []int, maxSteps int64, res *sim.Result, mem *machine.Mem
 }
 
 // Solve runs the compiled protocol on the given inputs — one per process,
-// values in [0, n) — under a fair random schedule and returns the agreed
-// value with space and step measurements. Long runs are cancellable through
-// ctx; cancellation returns ctx.Err().
+// values in [0, Values()) — under a fair random schedule and returns the
+// agreed value with space and step measurements. Long runs are cancellable
+// through ctx; cancellation returns ctx.Err().
 func (p *Protocol) Solve(ctx context.Context, inputs []int, opts ...SolveOption) (*Outcome, error) {
 	c := p.solveConfig(opts)
 	return p.solveOne(ctx, inputs, c.seed, c.maxSteps)
@@ -333,7 +367,9 @@ func (p *Protocol) SolveSeq(ctx context.Context, specs []RunSpec) iter.Seq2[int,
 // all processes decide; only safe for wait-free rows). Exploration runs on
 // forked configuration snapshots with canonical-state deduplication; the
 // Workers option spreads it across a work-stealing pool without changing
-// the report. Cancelling ctx aborts the exploration with ctx.Err().
+// the report, and WithSymmetry additionally merges configurations equal up
+// to location/process symmetry without changing the verdict. Cancelling
+// ctx aborts the exploration with ctx.Err().
 func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts ...VerifyOption) (*VerifyReport, error) {
 	c := p.verifyConfig(opts)
 	if p.pr == nil {
@@ -354,6 +390,7 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 		SoloBudget: c.soloBudget,
 		Strategy:   explore.StrategyFork,
 		Dedup:      true,
+		Symmetry:   c.symmetry,
 	}
 	if c.workersSet {
 		eo.Strategy, eo.Workers = explore.StrategyParallel, c.workers

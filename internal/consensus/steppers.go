@@ -35,6 +35,27 @@ func opInfoKey(i sim.OpInfo) uint64 {
 
 func mix2(a, b uint64) uint64 { return machine.Mix64(a ^ b) }
 
+// opInfoSymKey is opInfoKey relative to a location relabeling: the poised
+// instruction's location is mapped through relabel before hashing, so the
+// key is invariant under the location permutations the symmetry-reduced
+// state key quotients by (sim.SymKeyer).
+func opInfoSymKey(i sim.OpInfo, relabel func(int) int) uint64 {
+	h := machine.Mix64(uint64(relabel(i.Loc)) ^ 0x706f6973)
+	h = machine.Mix64(h ^ uint64(i.Op))
+	for _, a := range i.Args {
+		h = machine.Mix64(h ^ machine.HashValue(a))
+	}
+	return h
+}
+
+// All the steppers in this file implement sim.SymKeyer: each is built from
+// its input alone (never its pid — see steppersOf call sites), and each
+// folds every location its future behavior can reference through the
+// relabeling, in a fixed role order, which is exactly the SymKeyer
+// contract. The set-bit machine is the one place a process id is genuine
+// behavioral state (it picks the bit lane); its SymKey folds the id, which
+// conservatively keeps those processes unmerged.
+
 // --- compare-and-swap (Table 1 row 10) ---------------------------------------
 
 type casStepper struct {
@@ -82,6 +103,10 @@ func (c *casStepper) Fork() sim.Stepper {
 
 func (c *casStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x636173) }
 
+func (c *casStepper) SymStateKey(relabel func(int) int) uint64 {
+	return mix2(c.StateKey(), uint64(relabel(0)))
+}
+
 // --- introduction protocols --------------------------------------------------
 
 type introFAA2TASStepper struct {
@@ -122,6 +147,10 @@ func (c *introFAA2TASStepper) Fork() sim.Stepper {
 }
 
 func (c *introFAA2TASStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x666161) }
+
+func (c *introFAA2TASStepper) SymStateKey(relabel func(int) int) uint64 {
+	return mix2(c.StateKey(), uint64(relabel(0)))
+}
 
 type introDecMulStepper struct {
 	input    int
@@ -170,6 +199,10 @@ func (c *introDecMulStepper) StateKey() uint64 {
 		return machine.Mix64(0x646d72)
 	}
 	return machine.Mix64(uint64(c.input) ^ 0x646d75)
+}
+
+func (c *introDecMulStepper) SymStateKey(relabel func(int) int) uint64 {
+	return mix2(c.StateKey(), uint64(relabel(0)))
 }
 
 // --- two max-registers (Theorem 4.2) -----------------------------------------
@@ -279,6 +312,17 @@ func (s *maxRegStepper) StateKey() uint64 {
 	return mix2(h, opInfoKey(s.pending))
 }
 
+func (s *maxRegStepper) SymStateKey(relabel func(int) int) uint64 {
+	h := machine.Mix64(uint64(s.pc) ^ 0x6d7872)
+	h = mix2(h, machine.HashValue(s.a))
+	h = mix2(h, machine.HashValue(s.b))
+	h = mix2(h, machine.HashValue(s.a2))
+	h = mix2(h, opInfoSymKey(s.pending, relabel))
+	// Role order: m1 then m2 — every pc references both registers.
+	h = mix2(h, uint64(relabel(0)))
+	return mix2(h, uint64(relabel(1)))
+}
+
 // --- the racing-counters loops (Lemmas 3.1/3.2) ------------------------------
 
 // raceStepper stages.
@@ -383,6 +427,15 @@ func (s *raceStepper) StateKey() uint64 {
 	}
 	h = mix2(h, s.cm.Key())
 	return mix2(h, opInfoKey(s.pending))
+}
+
+func (s *raceStepper) SymStateKey(relabel func(int) int) uint64 {
+	h := machine.Mix64(uint64(s.stage) ^ 0x726163)
+	if s.stage == rsInitScan {
+		h = mix2(h, uint64(s.input))
+	}
+	h = mix2(h, s.cm.SymKey(relabel))
+	return mix2(h, opInfoSymKey(s.pending, relabel))
 }
 
 // --- the Lemma 5.2 multi-valued lift -----------------------------------------
@@ -578,6 +631,24 @@ func (s *mvStepper) StateKey() uint64 {
 		return mix2(h, s.sub.StateKey())
 	}
 	return mix2(h, opInfoKey(s.pending))
+}
+
+func (s *mvStepper) SymStateKey(relabel func(int) int) uint64 {
+	h := machine.Mix64(uint64(s.v) ^ 0x6d7635)
+	h = mix2(h, uint64(s.round)|uint64(s.phase)<<16|uint64(s.recJ)<<32)
+	if s.phase == mvpRound {
+		h = mix2(h, s.sub.SymStateKey(relabel))
+	} else {
+		h = mix2(h, opInfoSymKey(s.pending, relabel))
+	}
+	// Future references: the rest of the construction's layout, from the
+	// current round's block to the final round's bin-consensus locations
+	// (completed rounds are never touched again, so they stay out).
+	total := (s.k-1)*(2*s.slot.size()+s.c) + s.c
+	for loc := s.base; loc < total; loc++ {
+		h = mix2(h, uint64(relabel(loc)))
+	}
+	return h
 }
 
 // --- constructors shared by the protocol wiring ------------------------------

@@ -45,6 +45,11 @@ type Row struct {
 	// Build constructs the upper-bound protocol for n processes; nil for
 	// rows whose upper bound is non-constructive in this codebase.
 	Build func(n int) *consensus.Protocol
+	// BuildValues constructs the row's m-valued form — n processes, inputs
+	// in [0, m) — for the rows whose protocol is stated for arbitrary value
+	// counts (the racing-counter constructions of Lemma 3.1); nil
+	// elsewhere. BuildValues(n, n) and Build(n) agree.
+	BuildValues func(n, m int) *consensus.Protocol
 	// Notes carries provenance (theorem numbers, caveats).
 	Notes string
 }
@@ -87,12 +92,13 @@ func Table(l int) []Row {
 			Notes: "Theorem 9.4 upper bound; n lower bound from [EGZ18] as cited",
 		},
 		{
-			ID:    "T1.3",
-			Sets:  "{read, write(x)}",
-			Lower: exact("n", func(n int) int { return n }),
-			Upper: exact("n", func(n int) int { return n }),
-			Build: consensus.Registers,
-			Notes: "racing counters over n single-writer registers; tight by [EGZ18]",
+			ID:          "T1.3",
+			Sets:        "{read, write(x)}",
+			Lower:       exact("n", func(n int) int { return n }),
+			Upper:       exact("n", func(n int) int { return n }),
+			Build:       consensus.Registers,
+			BuildValues: consensus.RegistersValues,
+			Notes:       "racing counters over n single-writer registers; tight by [EGZ18]",
 		},
 		{
 			ID:    "T1.4",
@@ -111,13 +117,14 @@ func Table(l int) []Row {
 			Notes: "Algorithm 1 / Theorem 8.8 (anonymous); lower bound from [FHS98]",
 		},
 		{
-			ID:    "T1.6",
-			Sets:  "{l-buffer-read, l-buffer-write}",
-			L:     l,
-			Lower: exact("⌈(n-1)/l⌉", func(n int) int { return ceilDiv(n-1, l) }),
-			Upper: exact("⌈n/l⌉", func(n int) int { return ceilDiv(n, l) }),
-			Build: func(n int) *consensus.Protocol { return consensus.Buffered(n, l) },
-			Notes: "Theorems 6.3/6.8; tight unless l divides n-1",
+			ID:          "T1.6",
+			Sets:        "{l-buffer-read, l-buffer-write}",
+			L:           l,
+			Lower:       exact("⌈(n-1)/l⌉", func(n int) int { return ceilDiv(n-1, l) }),
+			Upper:       exact("⌈n/l⌉", func(n int) int { return ceilDiv(n, l) }),
+			Build:       func(n int) *consensus.Protocol { return consensus.Buffered(n, l) },
+			BuildValues: func(n, m int) *consensus.Protocol { return consensus.BufferedValues(n, l, m) },
+			Notes:       "Theorems 6.3/6.8; tight unless l divides n-1",
 		},
 		{
 			ID:    "T1.7",
@@ -152,28 +159,31 @@ func Table(l int) []Row {
 			Notes: "single location; wait-free",
 		},
 		{
-			ID:    "T1.11",
-			Sets:  "{read, set-bit(x)}",
-			Lower: one,
-			Upper: one,
-			Build: consensus.SetBit,
-			Notes: "Theorem 3.3, bit-block unbounded counter",
+			ID:          "T1.11",
+			Sets:        "{read, set-bit(x)}",
+			Lower:       one,
+			Upper:       one,
+			Build:       consensus.SetBit,
+			BuildValues: consensus.SetBitValues,
+			Notes:       "Theorem 3.3, bit-block unbounded counter",
 		},
 		{
-			ID:    "T1.12",
-			Sets:  "{read, add(x)}",
-			Lower: one,
-			Upper: one,
-			Build: consensus.Add,
-			Notes: "Theorem 3.3, base-3n bounded counter (Lemma 3.2)",
+			ID:          "T1.12",
+			Sets:        "{read, add(x)}",
+			Lower:       one,
+			Upper:       one,
+			Build:       consensus.Add,
+			BuildValues: consensus.AddValues,
+			Notes:       "Theorem 3.3, base-3n bounded counter (Lemma 3.2)",
 		},
 		{
-			ID:    "T1.13",
-			Sets:  "{read, multiply(x)}",
-			Lower: one,
-			Upper: one,
-			Build: consensus.Multiply,
-			Notes: "Theorem 3.3, prime-exponent unbounded counter",
+			ID:          "T1.13",
+			Sets:        "{read, multiply(x)}",
+			Lower:       one,
+			Upper:       one,
+			Build:       consensus.Multiply,
+			BuildValues: consensus.MultiplyValues,
+			Notes:       "Theorem 3.3, prime-exponent unbounded counter",
 		},
 		{
 			ID:    "T1.14",

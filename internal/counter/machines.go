@@ -32,6 +32,13 @@ type Machine interface {
 	// of the explorer's per-process dedup key, so any state that can affect
 	// future instructions must enter it.
 	Key() uint64
+	// SymKey is Key relative to a memory-location relabeling: every
+	// location the machine's current and future operations may touch is
+	// folded in through relabel, in a fixed role order. It is the
+	// counter-machine component of the symmetry-reduced state key
+	// (sim.SymKeyer); machines reference their location span and nothing
+	// else, so folding the whole span satisfies the SymKeyer contract.
+	SymKey(relabel func(loc int) int) uint64
 	// StartInc begins an increment of component v.
 	StartInc(v int) sim.OpInfo
 	// StartDec begins a decrement of component v; it panics on machines for
@@ -96,6 +103,11 @@ func (f *flatMachine) baseKey(tag uint64) uint64 {
 	return mixKey(tag, uint64(f.op))
 }
 
+// symKey folds the machine's single location through the relabeling.
+func (f *flatMachine) symKey(tag uint64, relabel func(int) int) uint64 {
+	return mixKey(f.baseKey(tag), uint64(relabel(f.loc)))
+}
+
 // AddMachine is the forkable twin of Add: one {read, add} (or
 // {fetch-and-add}) location, component v in the (v+1)'st base-3n digit.
 type AddMachine struct {
@@ -123,6 +135,8 @@ func (c *AddMachine) Fork() Machine {
 }
 
 func (c *AddMachine) Key() uint64 { return c.baseKey(0x61646430) }
+
+func (c *AddMachine) SymKey(relabel func(int) int) uint64 { return c.symKey(0x61646430, relabel) }
 
 func (c *AddMachine) addOp() machine.Op {
 	if c.fetch {
@@ -183,6 +197,8 @@ func (c *MulMachine) Fork() Machine {
 
 func (c *MulMachine) Key() uint64 { return c.baseKey(0x6d756c30) }
 
+func (c *MulMachine) SymKey(relabel func(int) int) uint64 { return c.symKey(0x6d756c30, relabel) }
+
 func (c *MulMachine) mulOp() machine.Op {
 	if c.fetch {
 		return machine.OpFetchAndMultiply
@@ -237,6 +253,18 @@ func (c *SetBitMachine) Fork() Machine {
 
 func (c *SetBitMachine) Key() uint64 {
 	return mixCounts(c.baseKey(0x73657430), c.mine)
+}
+
+func (c *SetBitMachine) SymKey(relabel func(int) int) uint64 {
+	// The set-bit lanes are per-(component, process): which bit a future
+	// increment sets depends on the machine's id, so the id is genuine
+	// behavioral state here — unlike in the exact per-pid key, where the
+	// entry's position implies it. Folding it in keeps set-bit processes
+	// unmerged across pids, which is the sound under-approximation (merging
+	// them would equate memories whose lane blocks differ).
+	h := mixCounts(c.baseKey(0x73657430), c.mine)
+	h = mixKey(h, uint64(c.id))
+	return mixKey(h, uint64(relabel(c.loc)))
 }
 
 func (c *SetBitMachine) StartInc(v int) sim.OpInfo {
@@ -304,6 +332,14 @@ func (c *IncMachine) Key() uint64 {
 		return mixKey(h, 0)
 	}
 	return mixCounts(mixKey(h, 1), c.prev)
+}
+
+func (c *IncMachine) SymKey(relabel func(int) int) uint64 {
+	h := c.Key()
+	for v := 0; v < c.m; v++ {
+		h = mixKey(h, uint64(relabel(c.base+v)))
+	}
+	return h
 }
 
 func (c *IncMachine) StartInc(v int) sim.OpInfo {
@@ -424,6 +460,14 @@ func (c *UnaryMachine) Key() uint64 {
 				h = mixKey(h, 5)
 			}
 		}
+	}
+	return h
+}
+
+func (c *UnaryMachine) SymKey(relabel func(int) int) uint64 {
+	h := c.Key()
+	for i := 0; i < c.m*c.width; i++ {
+		h = mixKey(h, uint64(relabel(c.base+i)))
 	}
 	return h
 }

@@ -83,6 +83,18 @@ type Options struct {
 	// Silently ignored when the systems expose no state key (external
 	// steppers without sim.StateKeyer).
 	Dedup bool
+	// Symmetry keys the seen-state table (and the DistinctStates count) on
+	// the symmetry-reduced canonical state key instead of the exact one:
+	// configurations equal up to a permutation of the uniform memory
+	// locations — and up to a permutation of the process vector when every
+	// live stepper opts in via sim.SymKeyer — merge to one table entry.
+	// Safety verdicts and the decided-value set are unchanged (the retained
+	// orbit representative's subtree covers the pruned twin's up to the
+	// symmetry); Runs/States/Deduped shrink and DistinctStates counts
+	// orbits rather than exact states. Systems with live non-SymKeyer
+	// steppers transparently fall back to the exact key, so the option is
+	// sound for every protocol. It applies to all three strategies.
+	Symmetry bool
 	// Workers is the worker-pool size for StrategyParallel (and for
 	// StrategyAuto when set above 1); <= 0 means GOMAXPROCS. Worker count
 	// changes wall-clock time, never the accounting: the parallel
@@ -197,6 +209,8 @@ type walk struct {
 	// configuration (Report.DecidedValues).
 	decided map[int]struct{}
 	keyBuf  []byte // scratch for allocation-free seen lookups
+	// symScratch is the symmetric keyer's reusable buffers (Symmetry on).
+	symScratch sim.SymScratch
 }
 
 func newWalk(opts Options) *walk {
@@ -248,6 +262,18 @@ func (w *walk) cutRuns() bool {
 	return false
 }
 
+// appendKey materializes the configuration key the exploration deduplicates
+// and counts on: the exact canonical key, or the symmetry-reduced one when
+// Options.Symmetry is set (sc carries the keyer's reusable buffers). Both
+// sides of a run always use the same keyer, so counts stay comparable
+// within it.
+func appendKey(sys *sim.System, dst []byte, symmetry bool, sc *sim.SymScratch) ([]byte, bool) {
+	if symmetry {
+		return sys.AppendSymStateKey(dst, sc)
+	}
+	return sys.AppendStateKey(dst)
+}
+
 // dedup records the configuration of sys in the seen table and, with Dedup
 // enabled, reports whether it was already expanded with at least as much
 // remaining depth. The lookup is allocation-free: the key string is only
@@ -256,7 +282,7 @@ func (w *walk) dedup(sys *sim.System, depth int) bool {
 	if w.seen == nil && w.seenHashes == nil {
 		return false
 	}
-	key, ok := sys.AppendStateKey(w.keyBuf[:0])
+	key, ok := appendKey(sys, w.keyBuf[:0], w.opts.Symmetry, &w.symScratch)
 	w.keyBuf = key[:0]
 	if !ok {
 		// Unkeyable steppers: dedup and distinct counting off for the walk.

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // seenShardCount is the number of independently locked shards of the
@@ -202,6 +204,7 @@ type pworker struct {
 	decided    map[int]struct{}
 	keyBuf     []byte
 	liveBuf    []int
+	symScratch sim.SymScratch
 }
 
 // pwalk is the shared state of one parallel exploration.
@@ -338,7 +341,7 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 		w.pending.Add(-1)
 		return
 	}
-	key, keyable := sys.AppendStateKey(pw.keyBuf[:0])
+	key, keyable := appendKey(sys, pw.keyBuf[:0], w.opts.Symmetry, &pw.symScratch)
 	pw.keyBuf = key[:0]
 	if keyable {
 		claimed, _ := w.table.touch(key, nd.depth)

@@ -1,0 +1,266 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// run is a one-line Exhaustive wrapper for the symmetry batteries.
+func run(t *testing.T, f Factory, opts Options) *Report {
+	t.Helper()
+	rep, err := Exhaustive(context.Background(), f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSymmetryDifferential is the soundness battery for the symmetry-reduced
+// seen-state key: for the full forkable portfolio × dedup on/off × the
+// sequential, replay, and parallel (1/2/4 workers) strategies, the
+// decided-value set must be byte-identical with symmetry on and off and no
+// violation may appear or disappear, while DistinctStates (now counting
+// symmetry orbits) never grows and stays invariant across strategies,
+// worker counts, and dedup. Across the portfolio the orbit count must drop
+// strictly on at least 3 rows — the quotient has to actually buy something.
+func TestSymmetryDifferential(t *testing.T) {
+	reduced := 0
+	for _, tc := range consensus.ForkablePortfolio() {
+		t.Run(tc.Name, func(t *testing.T) {
+			f := factoryFor(tc.Build, tc.Inputs)
+			depth := portfolioDepth(tc.Inputs)
+
+			exact := run(t, f, Options{MaxDepth: depth, Strategy: StrategyFork, Dedup: true})
+			if len(exact.Violations) != 0 {
+				t.Fatalf("exact exploration found violations: %v", exact.Violations)
+			}
+
+			symDistinct := int64(-1)
+			check := func(label string, rep *Report) {
+				t.Helper()
+				if !slices.Equal(rep.DecidedValues, exact.DecidedValues) {
+					t.Fatalf("%s: decided values %v with symmetry, %v without",
+						label, rep.DecidedValues, exact.DecidedValues)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("%s: symmetry introduced violations: %v", label, rep.Violations)
+				}
+				if rep.DistinctStates > exact.DistinctStates {
+					t.Fatalf("%s: %d orbits exceed %d exact states",
+						label, rep.DistinctStates, exact.DistinctStates)
+				}
+				if symDistinct < 0 {
+					symDistinct = rep.DistinctStates
+				} else if rep.DistinctStates != symDistinct {
+					t.Fatalf("%s: orbit count %d not invariant (first run saw %d)",
+						label, rep.DistinctStates, symDistinct)
+				}
+			}
+
+			for _, dedup := range []bool{false, true} {
+				o := Options{MaxDepth: depth, Strategy: StrategyFork, Dedup: dedup, Symmetry: true}
+				check(fmt.Sprintf("fork dedup=%v", dedup), run(t, f, o))
+				for _, wk := range []int{1, 2, 4} {
+					o := Options{MaxDepth: depth, Strategy: StrategyParallel, Workers: wk, Dedup: dedup, Symmetry: true}
+					check(fmt.Sprintf("parallel w=%d dedup=%v", wk, dedup), run(t, f, o))
+				}
+			}
+			check("replay dedup=true",
+				run(t, f, Options{MaxDepth: depth, Strategy: StrategyReplay, Dedup: true, Symmetry: true}))
+
+			if symDistinct < exact.DistinctStates {
+				reduced++
+				t.Logf("orbits %d vs %d exact states", symDistinct, exact.DistinctStates)
+			}
+		})
+	}
+	if reduced < 3 {
+		t.Fatalf("symmetry reduced DistinctStates on %d portfolio rows, want >= 3", reduced)
+	}
+}
+
+// TestSymmetryReducesKnownRows pins strict orbit reductions on rows whose
+// symmetry is structural: repeated inputs (the anonymous-process pattern of
+// examples/anonymous) and dead-input states (max-registers past its
+// announcement), so a regression that silently falls back to the exact key
+// fails loudly rather than shrinking the battery's aggregate count.
+func TestSymmetryReducesKnownRows(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() *consensus.Protocol
+		inputs []int
+		depth  int
+	}{
+		{"intro-faa2-tas", func() *consensus.Protocol { return consensus.IntroFAA2TAS(3) }, []int{1, 0, 1}, 6},
+		{"intro-dec-mul", func() *consensus.Protocol { return consensus.IntroDecMul(3) }, []int{0, 1, 0}, 6},
+		{"increment-binary", func() *consensus.Protocol { return consensus.IncrementBinary(3) }, []int{1, 0, 1}, 6},
+		{"max-registers", func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{2, 0, 1}, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := factoryFor(tc.build, tc.inputs)
+			exact := run(t, f, Options{MaxDepth: tc.depth, Strategy: StrategyFork, Dedup: true})
+			sym := run(t, f, Options{MaxDepth: tc.depth, Strategy: StrategyFork, Dedup: true, Symmetry: true})
+			if !slices.Equal(sym.DecidedValues, exact.DecidedValues) {
+				t.Fatalf("decided values %v with symmetry, %v without", sym.DecidedValues, exact.DecidedValues)
+			}
+			if sym.DistinctStates >= exact.DistinctStates {
+				t.Fatalf("orbits %d did not drop below %d exact states", sym.DistinctStates, exact.DistinctStates)
+			}
+			if sym.States > exact.States {
+				t.Fatalf("symmetry expanded %d states, exact %d", sym.States, exact.States)
+			}
+		})
+	}
+}
+
+// TestSymmetryFallsBackForBodies: coroutine-body systems expose no SymKeyer,
+// so a symmetric exploration must transparently use the exact key — same
+// report as Symmetry off, not an error and not a bogus merge.
+func TestSymmetryFallsBackForBodies(t *testing.T) {
+	body := func() (*sim.System, error) {
+		pr := consensus.MaxRegisters(2)
+		return sim.NewSystem(pr.NewMemory(), []int{0, 1}, pr.Body), nil
+	}
+	exact := run(t, body, Options{MaxDepth: 7, Dedup: true, Strategy: StrategyFork})
+	sym := run(t, body, Options{MaxDepth: 7, Dedup: true, Strategy: StrategyFork, Symmetry: true})
+	if sym.States != exact.States || sym.Deduped != exact.Deduped ||
+		sym.DistinctStates != exact.DistinctStates ||
+		!slices.Equal(sym.DecidedValues, exact.DecidedValues) {
+		t.Fatalf("body fallback diverged:\nexact %+v\nsym   %+v", exact, sym)
+	}
+}
+
+// TestSymmetryCatchesBrokenProtocol: pruning up to symmetry must not lose a
+// planted violation — the orbit representative's subtree contains an
+// equivalent witness.
+func TestSymmetryCatchesBrokenProtocol(t *testing.T) {
+	broken := func() (*sim.System, error) {
+		inputs := []int{0, 1}
+		steppers := make([]sim.Stepper, len(inputs))
+		for i, in := range inputs {
+			steppers[i] = &disagreeStepper{input: in}
+		}
+		return sim.NewSystemSteppers(machine.New(machine.SetReadWrite, 1), inputs, steppers), nil
+	}
+	for _, strat := range []Strategy{StrategyFork, StrategyParallel} {
+		rep := run(t, broken, Options{Strategy: strat, Workers: 4, Dedup: true, Symmetry: true})
+		if len(rep.Violations) == 0 {
+			t.Fatalf("strategy %v: symmetric exploration missed the agreement violation", strat)
+		}
+	}
+}
+
+// disagreeStepper reads once and decides its own input — an agreement
+// violation whenever inputs differ — as an explicit SymKeyer stepper, so
+// the symmetric key path (not the body fallback) is what must catch it.
+type disagreeStepper struct {
+	input int
+	done  bool
+}
+
+func (s *disagreeStepper) Poise() (sim.OpInfo, bool) {
+	if s.done {
+		return sim.OpInfo{}, false
+	}
+	return sim.OpInfo{Loc: 0, Op: machine.OpRead}, true
+}
+
+func (s *disagreeStepper) Resume(machine.Value) bool {
+	s.done = true
+	return true
+}
+
+func (s *disagreeStepper) Outcome() (bool, int, error) { return s.done, s.input, nil }
+func (s *disagreeStepper) Halt()                       {}
+
+func (s *disagreeStepper) Fork() sim.Stepper {
+	f := *s
+	return &f
+}
+
+func (s *disagreeStepper) StateKey() uint64 { return machine.Mix64(uint64(s.input) ^ 0x6469) }
+
+func (s *disagreeStepper) SymStateKey(relabel func(int) int) uint64 {
+	return machine.Mix64(s.StateKey() ^ uint64(relabel(0)))
+}
+
+// symFuzzStepper lifts fuzzStepper into the symmetric key world: all
+// processes of one system share a single program (uniform code, so the
+// process-permutation quotient is sound) and the key folds every program
+// location through the relabeling (the full future-reference set).
+type symFuzzStepper struct {
+	fuzzStepper
+}
+
+func (s *symFuzzStepper) Fork() sim.Stepper {
+	f := *s
+	return &f
+}
+
+func (s *symFuzzStepper) SymStateKey(relabel func(int) int) uint64 {
+	h := s.StateKey()
+	for _, op := range s.prog {
+		h = machine.Mix64(h ^ uint64(relabel(op.loc)))
+	}
+	return h
+}
+
+// TestSymmetryFuzzSharedPrograms: seeded random shared-program systems —
+// data-dependent control flow, random worker counts — where symmetry must
+// preserve the decided set and the violation-free verdict while never
+// increasing the orbit count. This is the over-merge hunter: a bogus merge
+// of inequivalent states is overwhelmingly likely to perturb the
+// strategy-invariance of DistinctStates or the decided set somewhere in 40
+// irregular state graphs.
+func TestSymmetryFuzzSharedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(3)
+		locs := 1 + rng.Intn(3)
+		plen := 3 + rng.Intn(4)
+		prog := make([]fuzzOp, plen)
+		for i := range prog {
+			prog[i] = fuzzOp{
+				loc:   rng.Intn(locs),
+				op:    []machine.Op{machine.OpRead, machine.OpWrite, machine.OpFetchAndAdd, machine.OpCompareAndSwap}[rng.Intn(4)],
+				arg:   int64(rng.Intn(5)),
+				cmpTo: int64(rng.Intn(3)),
+			}
+		}
+		f := func() (*sim.System, error) {
+			steppers := make([]sim.Stepper, n)
+			for p := range steppers {
+				steppers[p] = &symFuzzStepper{fuzzStepper{prog: prog}}
+			}
+			return sim.NewSystemSteppers(machine.New(fuzzSet, locs), make([]int, n), steppers), nil
+		}
+		depth := 4 + rng.Intn(2)
+		wk := 1 + rng.Intn(4)
+		t.Run(fmt.Sprintf("iter%02d-n%d-locs%d-depth%d", iter, n, locs, depth), func(t *testing.T) {
+			exact := run(t, f, Options{MaxDepth: depth, Strategy: StrategyFork, Dedup: true})
+			symSeq := run(t, f, Options{MaxDepth: depth, Strategy: StrategyFork, Dedup: true, Symmetry: true})
+			symPar := run(t, f, Options{MaxDepth: depth, Strategy: StrategyParallel, Workers: wk, Dedup: true, Symmetry: true})
+			if !slices.Equal(symSeq.DecidedValues, exact.DecidedValues) {
+				t.Fatalf("decided values %v with symmetry, %v without", symSeq.DecidedValues, exact.DecidedValues)
+			}
+			if len(symSeq.Violations) != len(exact.Violations) {
+				t.Fatalf("violation count changed under symmetry: %d vs %d", len(symSeq.Violations), len(exact.Violations))
+			}
+			if symSeq.DistinctStates > exact.DistinctStates {
+				t.Fatalf("orbits %d exceed %d exact states", symSeq.DistinctStates, exact.DistinctStates)
+			}
+			if symPar.DistinctStates != symSeq.DistinctStates ||
+				!slices.Equal(symPar.DecidedValues, symSeq.DecidedValues) {
+				t.Fatalf("parallel symmetric run diverged:\nseq %+v\npar %+v", symSeq, symPar)
+			}
+		})
+	}
+}

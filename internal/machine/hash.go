@@ -1,6 +1,9 @@
 package machine
 
-import "math/big"
+import (
+	"math/big"
+	"sort"
+)
 
 // Canonical state hashing. The explorer deduplicates configurations by a
 // canonical key, whose memory component is a 64-bit fingerprint maintained
@@ -25,6 +28,8 @@ const (
 	hashRawIntTag = 0xa54ff53a5f1d36f1
 	hashVecTag    = 0x510e527fade682d1
 	hashSliceTag  = 0x9b05688c2b3e6c1f
+	hashCellTag   = 0x1f83d9abfb41bd6b
+	hashOrbitTag  = 0x5be0cd19137e2179
 )
 
 // Mix64 is the splitmix64 finalizer: a cheap bijective mixer used to chain
@@ -144,18 +149,82 @@ func canonicalValueString(v Value) string {
 	return fingerprintValue(normValue(v))
 }
 
-// locHash is the canonical hash of one location's observable contents: its
-// plain value and its buffer, sequenced so that order and length matter. A
-// location in the zero state hashes to 0. The buffer-write total (`writes`)
-// is instrumentation, not observable state, and is excluded.
-func locHash(i int, l *location) uint64 {
+// cellHash is the canonical, location-index-free hash of one location's
+// observable contents: its plain value and its buffer, sequenced so that
+// order and length matter. A location in the zero state hashes to 0, so the
+// hash doubles as a zero-state test; a non-zero cell whose hash lands on 0
+// (one in 2^64) is nudged to 1 to keep the two cases apart. The buffer-write
+// total (`writes`) is instrumentation, not observable state, and is
+// excluded. Being index-free makes equal-content locations hash equally,
+// which is what the symmetry machinery sorts on.
+func cellHash(l *location) uint64 {
 	if len(l.buf) == 0 && zeroValue(l.val) {
 		return 0
 	}
-	h := Mix64(uint64(i) ^ hashLocTag)
-	h = Mix64(h ^ HashValue(l.val))
+	h := Mix64(hashCellTag ^ HashValue(l.val))
 	for _, v := range l.buf {
 		h = Mix64(h ^ HashValue(v))
 	}
+	if h == 0 {
+		h = 1
+	}
 	return h
+}
+
+// locHash is cellHash bound to the location's index — the per-location term
+// of the exact rolling fingerprint, where position matters. Zero-state
+// locations hash to 0 and contribute nothing.
+func locHash(i int, l *location) uint64 {
+	ch := cellHash(l)
+	if ch == 0 {
+		return 0
+	}
+	return Mix64(ch ^ Mix64(uint64(i)^hashLocTag))
+}
+
+// CellHash pairs a location index with the index-free canonical hash of its
+// contents. It is the unit the symmetry-reduced state key sorts to
+// canonicalize the memory up to location permutation.
+type CellHash struct {
+	Loc  int
+	Hash uint64
+}
+
+// AppendCellHashes appends one entry per location outside the canonical zero
+// state — its index and index-free content hash — and returns the extended
+// slice. Zero locations are omitted, so bounded and unbounded memories
+// holding the same values report the same cells.
+func (m *Memory) AppendCellHashes(dst []CellHash) []CellHash {
+	for i := range m.locs {
+		if h := cellHash(&m.locs[i]); h != 0 {
+			dst = append(dst, CellHash{Loc: i, Hash: h})
+		}
+	}
+	return dst
+}
+
+// FoldCellHashes folds a sorted sequence of cell hashes into one 64-bit
+// digest. Callers must sort first: the fold is position-sensitive over the
+// sorted sequence, which preserves multiplicity (two equal cells do not
+// cancel the way an XOR would) while staying invariant under location
+// permutation.
+func FoldCellHashes(sorted []CellHash) uint64 {
+	h := uint64(hashOrbitTag)
+	for _, c := range sorted {
+		h = Mix64(h ^ c.Hash)
+	}
+	return h
+}
+
+// SymFingerprint64 returns the orbit-canonical fingerprint of the memory
+// contents: the canonical form is the multiset of non-zero cell contents —
+// the minimum of the exact representation over all location permutations,
+// realized cheaply by sorting the index-free cell hashes. Two memories
+// related by a permutation of their locations always fingerprint equally;
+// distinct orbits collide only with 64-bit hash probability. It is the
+// memory component of the explorer's symmetry-reduced state key.
+func (m *Memory) SymFingerprint64() uint64 {
+	cells := m.AppendCellHashes(make([]CellHash, 0, 16))
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Hash < cells[j].Hash })
+	return FoldCellHashes(cells)
 }

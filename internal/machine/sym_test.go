@@ -1,0 +1,74 @@
+package machine
+
+import "testing"
+
+// TestSymFingerprintLocationInvariant: memories holding the same multiset of
+// cell contents at permuted locations share one orbit fingerprint while
+// their exact fingerprints differ.
+func TestSymFingerprintLocationInvariant(t *testing.T) {
+	a := New(SetReadWrite, 3, WithInitial(map[int]Value{0: Int(5), 2: Int(9)}))
+	b := New(SetReadWrite, 3, WithInitial(map[int]Value{1: Int(9), 2: Int(5)}))
+	if a.SymFingerprint64() != b.SymFingerprint64() {
+		t.Fatalf("permuted contents: sym fingerprints %#x vs %#x",
+			a.SymFingerprint64(), b.SymFingerprint64())
+	}
+	if a.Fingerprint64() == b.Fingerprint64() {
+		t.Fatal("exact fingerprints unexpectedly merged permuted contents")
+	}
+}
+
+// TestSymFingerprintMultiset: the fold must preserve multiplicity — two
+// equal cells are not allowed to cancel the way an XOR pair would — and
+// distinct multisets must stay apart.
+func TestSymFingerprintMultiset(t *testing.T) {
+	empty := New(SetReadWrite, 2)
+	pair := New(SetReadWrite, 2, WithInitial(map[int]Value{0: Int(5), 1: Int(5)}))
+	single := New(SetReadWrite, 2, WithInitial(map[int]Value{0: Int(5)}))
+	if pair.SymFingerprint64() == empty.SymFingerprint64() {
+		t.Fatal("duplicate cells cancelled out of the orbit fingerprint")
+	}
+	if pair.SymFingerprint64() == single.SymFingerprint64() {
+		t.Fatal("multiplicity lost: {5,5} fingerprints like {5}")
+	}
+}
+
+// TestSymFingerprintZeroCells: untouched and zeroed locations contribute
+// nothing, so bounded and unbounded memories with equal observable contents
+// agree — the same equivalence the exact fingerprint grants.
+func TestSymFingerprintZeroCells(t *testing.T) {
+	bounded := New(SetReadWrite, 2, WithInitial(map[int]Value{1: Int(7)}))
+	unbounded := New(SetReadWrite, 0, WithUnbounded())
+	if _, err := unbounded.Apply(5, OpWrite, Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Apply(9, OpWrite, Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Apply(9, OpWrite, Int(0)); err != nil { // back to zero state
+		t.Fatal(err)
+	}
+	if bounded.SymFingerprint64() != unbounded.SymFingerprint64() {
+		t.Fatalf("zero cells leaked into the orbit fingerprint: %#x vs %#x",
+			bounded.SymFingerprint64(), unbounded.SymFingerprint64())
+	}
+}
+
+// TestAppendCellHashes: index-free hashes equal for equal contents at
+// different locations, zero cells omitted, and FoldCellHashes sensitive to
+// the sorted sequence.
+func TestAppendCellHashes(t *testing.T) {
+	m := New(SetReadWrite, 4, WithInitial(map[int]Value{1: Int(5), 3: Int(5)}))
+	cells := m.AppendCellHashes(nil)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %v, want the two non-zero locations", cells)
+	}
+	if cells[0].Hash != cells[1].Hash {
+		t.Fatalf("equal contents hash apart: %#x vs %#x", cells[0].Hash, cells[1].Hash)
+	}
+	if cells[0].Loc != 1 || cells[1].Loc != 3 {
+		t.Fatalf("cell locations = %v, want 1 and 3", cells)
+	}
+	if FoldCellHashes(cells) == FoldCellHashes(cells[:1]) {
+		t.Fatal("fold ignored a cell")
+	}
+}

@@ -87,6 +87,69 @@ func TestRunContextFinishedRunUnaffected(t *testing.T) {
 	}
 }
 
+// cancellingSched wraps a scheduler and cancels the context after a fixed
+// number of Next calls — a deterministic mid-run cancellation, no sleeps.
+type cancellingSched struct {
+	inner  Scheduler
+	after  int
+	cancel func()
+}
+
+func (c *cancellingSched) Next(s *System) int {
+	c.after--
+	if c.after == 0 {
+		c.cancel()
+	}
+	return c.inner.Next(s)
+}
+
+// TestRunContextShortBudgetObservesCancellation: a run whose MaxSteps is
+// below the poll interval used to exhaust its budget without ever looking
+// at the context again, so a stalled (never-deciding) schedule under a
+// cancelled context reported a normal budget-exhausted result. Polling at
+// min(interval, remaining-budget) boundaries must surface ctx.Err()
+// instead.
+func TestRunContextShortBudgetObservesCancellation(t *testing.T) {
+	const budget = 100 // well below cancelCheckInterval
+	mem := machine.New(machine.SetReadWrite, 1)
+	sys := NewSystem(mem, []int{0, 0}, spinBody)
+	defer sys.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched := &cancellingSched{inner: &RoundRobin{}, after: 10, cancel: cancel}
+	res, err := sys.RunContext(ctx, sched, budget)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled at the budget boundary, got err=%v res=%v", err, res)
+	}
+	if sys.Steps() != budget {
+		t.Fatalf("run stopped after %d steps, want the full %d-step budget", sys.Steps(), budget)
+	}
+}
+
+// TestRunContextCompletionBeatsCancellation: a run that finishes (every
+// process decided) inside the final burst still returns its Result even if
+// the context was cancelled meanwhile — completion is never retroactively
+// reported as cancellation.
+func TestRunContextCompletionBeatsCancellation(t *testing.T) {
+	inputs := []int{2, 0, 1}
+	steppers := make([]Stepper, len(inputs))
+	for i, in := range inputs {
+		steppers[i] = newCASStepper(in)
+	}
+	sys := NewSystemSteppers(machine.New(machine.SetCAS, 1), inputs, steppers)
+	defer sys.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched := &cancellingSched{inner: &RoundRobin{}, after: 1, cancel: cancel}
+	res, err := sys.RunContext(ctx, sched, 50)
+	if err != nil {
+		t.Fatalf("completed run reported %v", err)
+	}
+	if len(res.Decisions) != len(inputs) {
+		t.Fatalf("decisions = %v, want all %d processes decided", res.Decisions, len(inputs))
+	}
+}
+
 // TestRunBatchCancellation: cancelling a batch of never-deciding runs stops
 // every worker promptly, reports ctx.Err() per job, and leaks no
 // goroutines.

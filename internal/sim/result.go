@@ -26,33 +26,44 @@ func (s *System) Run(sched Scheduler, maxSteps int64) (*Result, error) {
 	return s.RunContext(context.Background(), sched, maxSteps)
 }
 
-// cancelCheckMask gates the run loop's context poll: the context is checked
-// on entry and then every cancelCheckMask+1 steps, which keeps cancellation
-// latency in the microseconds while costing the hot path one branch per
-// step. Must be a power of two minus one.
-const cancelCheckMask = 1<<10 - 1
+// cancelCheckInterval gates the run loop's context poll: the context is
+// checked on entry and then every min(cancelCheckInterval, remaining
+// budget) steps, which keeps cancellation latency in the microseconds while
+// costing the hot path one counter decrement per step. Bounding the burst
+// by the remaining budget matters for short runs: a run with MaxSteps below
+// the interval still re-polls when it exhausts its budget, so a stalled
+// schedule under a cancelled context reports ctx.Err() instead of
+// pretending the budget ran out first.
+const cancelCheckInterval = 1 << 10
 
 // RunContext is Run bounded by a context: a cancelled or expired ctx stops
-// the run within cancelCheckMask+1 steps and returns ctx.Err(). Everything
-// else — scheduling, step accounting, error surfacing — is identical to
-// Run, so a run that finishes before cancellation is byte-identical to an
-// uncancellable one.
+// the run at the next poll boundary and returns ctx.Err(). A run that
+// completes (no live process remains) returns its Result even if ctx was
+// cancelled meanwhile; a run stopped by the step budget re-checks ctx
+// first, so cancellation is never silently swallowed by a small budget.
+// Everything else — scheduling, step accounting, error surfacing — is
+// identical to Run, so a run that finishes before cancellation is
+// byte-identical to an uncancellable one.
 func (s *System) RunContext(ctx context.Context, sched Scheduler, maxSteps int64) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for s.steps < maxSteps {
-		if s.steps&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		pid := sched.Next(s)
-		if pid < 0 {
+		burst := maxSteps - s.steps
+		if burst <= 0 {
 			break
 		}
-		if _, err := s.Step(pid); err != nil {
-			return nil, err
+		if burst > cancelCheckInterval {
+			burst = cancelCheckInterval
+		}
+		for ; burst > 0; burst-- {
+			pid := sched.Next(s)
+			if pid < 0 {
+				return s.Result(), s.Err()
+			}
+			if _, err := s.Step(pid); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.Result(), s.Err()

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// This file is the symmetry-reduced counterpart of StateKey (fork.go): a
+// canonical configuration key that is additionally invariant under the two
+// symmetries the paper's model guarantees.
+//
+//   - Location symmetry. The model requires uniform memory locations — every
+//     location supports the same instruction set and locations are
+//     interchangeable — so a configuration and its image under a location
+//     permutation (memory contents permuted, every process-local location
+//     reference relabeled the same way) have corresponding futures. The key
+//     canonicalizes the memory to the sorted multiset of its non-zero cell
+//     contents and hands each process a relabeling that maps physical
+//     locations to their rank in that sorted order.
+//
+//   - Process symmetry. When every live process runs uniform code — its
+//     behavior a function of its local state only, never of its process id —
+//     a configuration and its image under a permutation of the process
+//     vector have corresponding futures, and the consensus safety properties
+//     (agreement, validity against the fixed input multiset, solo
+//     termination) are permutation-invariant. The key therefore encodes the
+//     per-process entries as a sorted multiset rather than a pid-indexed
+//     vector. Processes whose local state still depends on their input
+//     carry the input inside their local key, so only processes that have
+//     become indistinguishable — equal inputs, or inputs that are dead
+//     state — actually merge.
+//
+// Both quotients are opt-in per stepper through SymKeyer; a system with any
+// live non-SymKeyer process transparently falls back to the exact key, so
+// the symmetric key is sound for every protocol by construction.
+
+// SymKeyer is the optional Stepper extension behind System.SymStateKey: the
+// process's local-state key computed relative to a memory-location
+// relabeling. Implementations must fold relabel(loc) into the key for every
+// location their current and future behavior may reference, in a fixed,
+// state-independent role order, together with every piece of location-free
+// local state that StateKey would cover.
+//
+// Implementing SymKeyer is a double contract:
+//
+//   - Location uniformity: the stepper's future location references are
+//     determined by its (relabeled) local state — so if two steppers have
+//     equal SymStateKeys under relabelings that identify their references,
+//     their futures correspond under that relabeling.
+//
+//   - Pid independence: the stepper's behavior depends only on its local
+//     state, never on its process id, so configurations that differ by a
+//     permutation of the process vector are equivalent. (The built-in
+//     protocol steppers are constructed from the input alone; the Body
+//     adapters, whose bodies may read p.ID(), do not implement SymKeyer and
+//     keep the exact key.)
+type SymKeyer interface {
+	SymStateKey(relabel func(loc int) int) uint64
+}
+
+// symZeroBase is the relabeling offset for references to locations in the
+// canonical zero state: such a cell has no rank in the sorted non-zero cell
+// order, so it relabels conservatively to its own physical index in a
+// disjoint index space. This forgoes merging configurations that differ
+// only by which untouched location a process is about to operate on — a
+// sound under-approximation of the orbit.
+const symZeroBase = 1 << 32
+
+// symKeyTag bytes keep the symmetric and exact key encodings in disjoint
+// spaces, so a fallback key can never alias a symmetric one.
+const (
+	symKeyTagSym   = 's'
+	symKeyTagExact = 'e'
+)
+
+// SymScratch carries the reusable working buffers of AppendSymStateKey, so
+// callers keying every configuration of an exploration (the seen-state
+// tables) don't pay the cell/entry allocations per key. The zero value is
+// ready to use; a SymScratch must not be shared between concurrent keyers.
+type SymScratch struct {
+	cells   []machine.CellHash
+	rank    map[int]int
+	entries [][]byte
+}
+
+// SymStateKey is the symmetry-reduced form of StateKey: a canonical encoding
+// of the configuration's orbit under location permutations and (when every
+// live stepper implements SymKeyer) permutations of the process vector.
+// Configurations with equal keys behave identically under corresponding
+// future schedules, so the explorer's seen-state table may merge them; the
+// quotient only ever shrinks the table, never the explored semantics. If
+// some live stepper does not implement SymKeyer the exact StateKey is
+// returned (tagged into a disjoint key space); ok is false only when the
+// exact key is unavailable too.
+func (s *System) SymStateKey() (key string, ok bool) {
+	dst, ok := s.AppendSymStateKey(make([]byte, 0, 16+10*len(s.procs)), nil)
+	return string(dst), ok
+}
+
+// AppendSymStateKey is SymStateKey appending into dst, reusing sc's buffers
+// when non-nil. Like AppendStateKey it only reads the receiver: safe to
+// call concurrently with Forks of the same system, but not with
+// Step/Crash/Close (and each concurrent caller needs its own SymScratch).
+func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok bool) {
+	if s.closed {
+		return dst, false
+	}
+	for _, ps := range s.procs {
+		if !ps.live() {
+			continue
+		}
+		if _, keyed := ps.st.(SymKeyer); !keyed {
+			// Transparent fallback: the exact key, in its own tag space.
+			return s.AppendStateKey(append(dst, symKeyTagExact))
+		}
+	}
+	if sc == nil {
+		sc = &SymScratch{}
+	}
+	dst = append(dst, symKeyTagSym)
+
+	// Memory: canonicalize to the sorted multiset of non-zero cells — the
+	// same sorted-cell form Memory.SymFingerprint64 digests, pinned
+	// identical by TestSymStateKeyMemoryComponent — and derive the
+	// relabeling every process key is computed against. Ties (equal-content
+	// cells) are broken by physical index, which never merges
+	// configurations that are not equivalent — it only forgoes merges among
+	// equal-content cells, where distinguishing them is already content-free.
+	cells := s.mem.AppendCellHashes(sc.cells[:0])
+	sc.cells = cells[:0]
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Hash != cells[j].Hash {
+			return cells[i].Hash < cells[j].Hash
+		}
+		return cells[i].Loc < cells[j].Loc
+	})
+	dst = binary.LittleEndian.AppendUint64(dst, machine.FoldCellHashes(cells))
+	if len(cells) > 0 && sc.rank == nil {
+		sc.rank = make(map[int]int, len(cells))
+	}
+	clear(sc.rank)
+	for r, c := range cells {
+		sc.rank[c.Loc] = r
+	}
+	relabel := func(loc int) int {
+		if r, hit := sc.rank[loc]; hit {
+			return r
+		}
+		return symZeroBase + loc
+	}
+
+	// Processes: one self-delimiting entry each — terminal status or the
+	// relabeled local-state key — sorted so the key quotients by process
+	// permutation.
+	for len(sc.entries) < len(s.procs) {
+		sc.entries = append(sc.entries, nil)
+	}
+	entries := sc.entries[:len(s.procs)]
+	for i, ps := range s.procs {
+		e := entries[i][:0]
+		switch {
+		case ps.crashed:
+			e = append(e, 'x')
+		case ps.decided:
+			e = append(e, 'd')
+			e = binary.AppendVarint(e, int64(ps.decision))
+		case ps.err != nil:
+			e = append(e, 'e')
+		case !ps.hasPoise:
+			e = append(e, '?')
+		default:
+			e = append(e, 'l')
+			e = binary.LittleEndian.AppendUint64(e, ps.st.(SymKeyer).SymStateKey(relabel))
+		}
+		entries[i] = e
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i], entries[j]) < 0 })
+	for _, e := range entries {
+		dst = append(dst, e...)
+	}
+	return dst, true
+}

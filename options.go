@@ -44,7 +44,9 @@ type PoolOption interface {
 }
 
 type compileConfig struct {
-	l int
+	l         int
+	values    int
+	valuesSet bool
 }
 
 type solveConfig struct {
@@ -57,6 +59,7 @@ type verifyConfig struct {
 	workersSet bool
 	maxRuns    int64
 	soloBudget int64
+	symmetry   bool
 }
 
 type batchConfig struct {
@@ -97,6 +100,18 @@ func BufferCap(l int) CompileOption { return bufferCapOption(l) }
 type bufferCapOption int
 
 func (o bufferCapOption) applyCompile(c *compileConfig) { c.l = int(o) }
+
+// WithValues compiles the row's m-valued form: n processes with inputs
+// drawn from [0, m) rather than the default [0, n). The rows stated for
+// arbitrary value counts in the paper (the racing-counter rows T1.3, T1.6,
+// T1.11, T1.12, T1.13 — Lemma 3.1 is an m-valued statement) support it;
+// Compile reports ErrBadInput for rows without an m-valued form and for
+// m < 1. Steps and Bounds always profile the row's standard n-valued form.
+func WithValues(m int) CompileOption { return valuesOption(m) }
+
+type valuesOption int
+
+func (o valuesOption) applyCompile(c *compileConfig) { c.values, c.valuesSet = int(o), true }
 
 // Seed selects the (reproducible) random schedule of one Solve run.
 // Default 1.
@@ -145,3 +160,18 @@ func SoloBudget(budget int64) VerifyOption { return soloBudgetOption(budget) }
 type soloBudgetOption int64
 
 func (o soloBudgetOption) applyVerify(c *verifyConfig) { c.soloBudget = int64(o) }
+
+// WithSymmetry keys Verify's seen-state table on the symmetry-reduced
+// canonical configuration: the paper's model requires uniform,
+// interchangeable memory locations, so configurations equal up to a
+// permutation of the locations — and up to a permutation of
+// indistinguishable processes, for protocols whose steppers opt in — merge
+// to one table entry. The safety verdict and the decided-value set are
+// provably unchanged; States, Deduped, and DistinctStates shrink (the
+// latter then counts symmetry orbits). Protocols whose processes expose no
+// symmetric key fall back to the exact key transparently.
+func WithSymmetry() VerifyOption { return symmetryOption{} }
+
+type symmetryOption struct{}
+
+func (symmetryOption) applyVerify(c *verifyConfig) { c.symmetry = true }

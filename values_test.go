@@ -1,0 +1,196 @@
+package repro
+
+// Tests for the WithValues compile option and the value-domain input
+// validation it exposed: checkInputs must validate against the row's value
+// domain, not [0, n).
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// TestWithValuesWideDomain (m > n): inputs in [n, m) are legal and solvable
+// — before the fix checkInputs rejected them against [0, n).
+func TestWithValuesWideDomain(t *testing.T) {
+	p, err := Compile("T1.13", 3, WithValues(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Values(); got != 5 {
+		t.Fatalf("Values() = %d, want 5", got)
+	}
+	inputs := []int{4, 0, 3}
+	out, err := p.Solve(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(inputs, out.Value) {
+		t.Fatalf("decided %d, not an input %v", out.Value, inputs)
+	}
+	// The domain boundary still holds.
+	if _, err := p.Solve(context.Background(), []int{5, 0, 1}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("input 5 on a 5-valued handle: want ErrBadInput, got %v", err)
+	}
+}
+
+// TestWithValuesNarrowDomain (m < n): inputs must lie in [0, m) even though
+// they would pass the old [0, n) check — before the fix they slipped past
+// checkInputs and failed deep inside protocol construction without the
+// ErrBadInput sentinel.
+func TestWithValuesNarrowDomain(t *testing.T) {
+	p, err := Compile("T1.12", 3, WithValues(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Solve(context.Background(), []int{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 0 && out.Value != 1 {
+		t.Fatalf("decided %d outside the binary domain", out.Value)
+	}
+	for _, inputs := range [][]int{{2, 0, 1}, {0, 0, 2}} {
+		if _, err := p.Solve(context.Background(), inputs); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("inputs %v on a 2-valued handle: want ErrBadInput, got %v", inputs, err)
+		}
+		if _, err := p.Verify(context.Background(), inputs, 4); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("verify inputs %v: want ErrBadInput, got %v", inputs, err)
+		}
+	}
+}
+
+// TestWithValuesRejections: m < 1 and rows without an m-valued form both
+// report ErrBadInput (the row id is valid — the requested value domain is
+// what it cannot provide, so ErrUnknownRow would mislead).
+func TestWithValuesRejections(t *testing.T) {
+	if _, err := Compile("T1.13", 3, WithValues(0)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("WithValues(0): want ErrBadInput, got %v", err)
+	}
+	if _, err := Compile("T1.13", 3, WithValues(-1)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("WithValues(-1): want ErrBadInput, got %v", err)
+	}
+	if _, err := Compile("T1.10", 3, WithValues(5)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("WithValues on a row without an m-valued form: want ErrBadInput, got %v", err)
+	}
+	if _, err := Compile("T1.10", 3, WithValues(5)); errors.Is(err, ErrUnknownRow) {
+		t.Fatal("a valid row id must not report ErrUnknownRow under WithValues")
+	}
+}
+
+// TestWithValuesHandleAmortizes: the snapshot-forked second run of an
+// m-valued handle matches a fresh first run — the fork path must rebuild
+// through the m-valued constructor, not the row's default.
+func TestWithValuesHandleAmortizes(t *testing.T) {
+	inputs := []int{4, 0, 3}
+	fresh := func() *Outcome {
+		p, err := Compile("T1.13", 3, WithValues(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Solve(context.Background(), inputs, Seed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := fresh()
+	p, err := Compile("T1.13", 3, WithValues(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // run 0 caches the snapshot; 1, 2 fork it
+		got, err := p.Solve(context.Background(), inputs, Seed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// TestVerifyWithSymmetry: the public symmetry switch must leave the safety
+// verdict and decided-value set untouched while strictly shrinking the
+// distinct-configuration count on a symmetric instance (two processes share
+// input 1), at both worker settings.
+func TestVerifyWithSymmetry(t *testing.T) {
+	p, err := Compile("T1.9", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{0, 1, 1}
+	exact, err := p.Verify(context.Background(), inputs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]VerifyOption{
+		{WithSymmetry()},
+		{WithSymmetry(), Workers(4)},
+	} {
+		sym, err := p.Verify(context.Background(), inputs, 6, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sym.Violations) != 0 {
+			t.Fatalf("violations under symmetry: %v", sym.Violations)
+		}
+		if !reflect.DeepEqual(sym.DecidedValues, exact.DecidedValues) {
+			t.Fatalf("decided values %v with symmetry, %v without", sym.DecidedValues, exact.DecidedValues)
+		}
+		if sym.DistinctStates >= exact.DistinctStates {
+			t.Fatalf("orbits %d did not drop below %d exact states", sym.DistinctStates, exact.DistinctStates)
+		}
+	}
+}
+
+// TestPristineCacheConcurrentFirstRuns is the race hammer for newRun's
+// check-then-act window: many goroutines race first runs on more distinct
+// input vectors than the cache holds, repeatedly; the cache must never
+// overfill past pristineCacheCap (the insert-time re-check), every run must
+// still succeed, and -race must stay quiet.
+func TestPristineCacheConcurrentFirstRuns(t *testing.T) {
+	p, err := Compile("T1.10", 3) // CAS: cheap, forks natively
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 27 distinct vectors — more than three times the cache capacity.
+	var vectors [][]int
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 3; c++ {
+				vectors = append(vectors, []int{a, b, c})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(vectors)*4)
+	for round := 0; round < 4; round++ {
+		for i, v := range vectors {
+			wg.Add(1)
+			go func(slot int, inputs []int) {
+				defer wg.Done()
+				_, err := p.Solve(context.Background(), inputs)
+				errs[slot] = err
+			}(round*len(vectors)+i, v)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	p.mu.Lock()
+	size := len(p.pristine)
+	p.mu.Unlock()
+	if size > pristineCacheCap {
+		t.Fatalf("pristine cache overfilled: %d entries, cap %d", size, pristineCacheCap)
+	}
+	if size == 0 {
+		t.Fatal("pristine cache empty: the fork-amortized path never engaged")
+	}
+}
