@@ -56,6 +56,11 @@ type Protocol struct {
 
 	mu       sync.Mutex
 	pristine map[string]*sim.System // inputs key -> never-stepped snapshot
+	// pool recycles the per-run systems forked off the pristine snapshots:
+	// a repeat Solve's fork/run/close cycle rebuilds a recycled System in
+	// place instead of allocating one per run. Shared by all of the handle's
+	// snapshots; safe for concurrent SolveBatch workers.
+	pool sim.Pool
 }
 
 // pristineCacheCap bounds the handle's snapshot cache. Entries are never
@@ -200,6 +205,9 @@ func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
 				p.mu.Unlock()
 				fk.Close()
 			} else {
+				// Runs forked off this snapshot recycle through the handle's
+				// pool; the snapshot itself is never stepped or closed.
+				fk.SetPool(&p.pool)
 				p.pristine[key] = fk
 				p.mu.Unlock()
 			}
@@ -208,8 +216,10 @@ func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
 	return sys, nil
 }
 
-// finishSolve checks a finished run and assembles its Outcome.
-func finishSolve(inputs []int, maxSteps int64, res *sim.Result, mem *machine.Memory) (*Outcome, error) {
+// finishSolve checks a finished run and assembles its Outcome from a stats
+// snapshot taken while the run's System was still alive (pooled systems are
+// rebuilt after Close, invalidating their Memory).
+func finishSolve(inputs []int, maxSteps int64, res *sim.Result, st machine.Stats) (*Outcome, error) {
 	if err := res.CheckConsensus(inputs); err != nil {
 		return nil, err
 	}
@@ -217,7 +227,6 @@ func finishSolve(inputs []int, maxSteps int64, res *sim.Result, mem *machine.Mem
 	if !ok {
 		return nil, fmt.Errorf("%w (%d steps)", ErrNoDecision, maxSteps)
 	}
-	st := mem.Stats()
 	return &Outcome{
 		Value:     v,
 		Footprint: st.Footprint(),
@@ -253,7 +262,7 @@ func (p *Protocol) solveOne(ctx context.Context, inputs []int, seed, maxSteps in
 	if err != nil {
 		return nil, err
 	}
-	return finishSolve(inputs, maxSteps, res, sys.Mem())
+	return finishSolve(inputs, maxSteps, res, sys.Mem().Stats())
 }
 
 // RunSpec describes one run in a SolveBatch or SolveSeq sweep over a
@@ -294,20 +303,18 @@ func (p *Protocol) SolveBatch(ctx context.Context, specs []RunSpec, opts ...Batc
 	c := p.batchConfig(opts)
 	out := make([]RunResult, len(specs))
 	jobs := make([]sim.BatchJob, len(specs))
-	mems := make([]*machine.Memory, len(specs))
+	stats := make([]machine.Stats, len(specs))
 	for i, sp := range specs {
 		out[i].Spec = sp
 		i, sp := i, sp
 		jobs[i] = sim.BatchJob{
 			Make: func() (*sim.System, error) {
-				sys, err := p.makeRun(sp.Inputs)
-				if err != nil {
-					return nil, err
-				}
-				mems[i] = sys.Mem()
-				return sys, nil
+				return p.makeRun(sp.Inputs)
 			},
-			Sched:    func() sim.Scheduler { return sim.NewRandom(sp.Seed) },
+			Sched: func() sim.Scheduler { return sim.NewRandom(sp.Seed) },
+			// The run's System is recycled on Close (the handle's pool), so
+			// its measurements are snapshotted while it is still alive.
+			Done:     func(sys *sim.System) { stats[i] = sys.Mem().Stats() },
 			MaxSteps: sp.budget(c.maxSteps),
 		}
 	}
@@ -317,7 +324,7 @@ func (p *Protocol) SolveBatch(ctx context.Context, specs []RunSpec, opts ...Batc
 			out[i].Err = r.Err
 			continue
 		}
-		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[i].MaxSteps, r.Result, mems[i])
+		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[i].MaxSteps, r.Result, stats[i])
 	}
 	return out
 }

@@ -30,10 +30,16 @@ func binBitRound(n int, tas bool) BinaryRound {
 	}
 }
 
-// binBitRoundStepper is binBitRound in forkable stepper form.
-func binBitRoundStepper(n int, tas bool) func(binBase, bit int) *raceStepper {
-	return func(binBase, bit int) *raceStepper {
-		return newRaceStepper(counter.NewUnaryMachine(binBase, 2, unaryWidth(n), tas), n, bit, true)
+// binBitRoundStepper is binBitRound in forkable stepper form. A non-nil
+// spare (a retired round stepper) is rebuilt in place.
+func binBitRoundStepper(n int, tas bool) func(spare *raceStepper, binBase, bit int) *raceStepper {
+	return func(spare *raceStepper, binBase, bit int) *raceStepper {
+		var prevCM counter.Machine
+		if spare != nil {
+			prevCM = spare.cm
+		}
+		cm := counter.NewUnaryMachineInto(prevCM, binBase, 2, unaryWidth(n), tas)
+		return newRaceStepperInto(spare, cm, n, bit, true)
 	}
 }
 
@@ -54,7 +60,7 @@ func BinaryBits(n int) *Protocol {
 		},
 		Steppers: func(inputs []int) []sim.Stepper {
 			return steppersOf(inputs, func(_, in int) sim.Stepper {
-				return binBitRoundStepper(n, false)(0, in)
+				return binBitRoundStepper(n, false)(nil, 0, in)
 			})
 		},
 	}

@@ -26,10 +26,17 @@ func incrementRound(n int, fai bool) BinaryRound {
 	}
 }
 
-// incrementRoundStepper is incrementRound in forkable stepper form.
-func incrementRoundStepper(n int, fai bool) func(binBase, bit int) *raceStepper {
-	return func(binBase, bit int) *raceStepper {
-		return newRaceStepper(counter.NewIncMachine(binBase, 2, fai), n, bit, false)
+// incrementRoundStepper is incrementRound in forkable stepper form. A
+// non-nil spare (a retired round stepper) is rebuilt in place, machine and
+// collect buffers included.
+func incrementRoundStepper(n int, fai bool) func(spare *raceStepper, binBase, bit int) *raceStepper {
+	return func(spare *raceStepper, binBase, bit int) *raceStepper {
+		var prevCM counter.Machine
+		if spare != nil {
+			prevCM = spare.cm
+		}
+		cm := counter.NewIncMachineInto(prevCM, binBase, 2, fai)
+		return newRaceStepperInto(spare, cm, n, bit, false)
 	}
 }
 
@@ -47,7 +54,7 @@ func IncrementBinary(n int) *Protocol {
 		},
 		Steppers: func(inputs []int) []sim.Stepper {
 			return steppersOf(inputs, func(_, in int) sim.Stepper {
-				return incrementRoundStepper(n, false)(0, in)
+				return incrementRoundStepper(n, false)(nil, 0, in)
 			})
 		},
 	}

@@ -101,6 +101,22 @@ func (c *casStepper) Fork() sim.Stepper {
 	return &f
 }
 
+func (c *casStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	if p, ok := prev.(*casStepper); ok {
+		*p = *c
+		return p
+	}
+	return c.Fork()
+}
+
+// PoiseRun: the whole protocol is one instruction.
+func (c *casStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	if c.done {
+		return dst
+	}
+	return append(dst, sim.OpInfo{Loc: 0, Op: machine.OpCompareAndSwap, Args: c.args[:]})
+}
+
 func (c *casStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x636173) }
 
 func (c *casStepper) SymStateKey(relabel func(int) int) uint64 {
@@ -115,14 +131,27 @@ type introFAA2TASStepper struct {
 	decision int
 }
 
+// faa2Args is the shared, immutable argument of the protocol's
+// fetch-and-add(2): the memory never mutates instruction arguments, so one
+// package-level slice keeps Poise allocation-free.
+var faa2Args = []machine.Value{machine.Int(2)}
+
 func (c *introFAA2TASStepper) Poise() (sim.OpInfo, bool) {
 	if c.done {
 		return sim.OpInfo{}, false
 	}
 	if c.input == 0 {
-		return sim.OpInfo{Loc: 0, Op: machine.OpFetchAndAdd, Args: []machine.Value{machine.Int(2)}}, true
+		return sim.OpInfo{Loc: 0, Op: machine.OpFetchAndAdd, Args: faa2Args}, true
 	}
 	return sim.OpInfo{Loc: 0, Op: machine.OpTestAndSet}, true
+}
+
+// PoiseRun: one instruction, like CAS.
+func (c *introFAA2TASStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	if op, ok := c.Poise(); ok {
+		dst = append(dst, op)
+	}
+	return dst
 }
 
 func (c *introFAA2TASStepper) Resume(res machine.Value) bool {
@@ -146,6 +175,14 @@ func (c *introFAA2TASStepper) Fork() sim.Stepper {
 	return &f
 }
 
+func (c *introFAA2TASStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	if p, ok := prev.(*introFAA2TASStepper); ok {
+		*p = *c
+		return p
+	}
+	return c.Fork()
+}
+
 func (c *introFAA2TASStepper) StateKey() uint64 { return machine.Mix64(uint64(c.input) ^ 0x666161) }
 
 func (c *introFAA2TASStepper) SymStateKey(relabel func(int) int) uint64 {
@@ -158,6 +195,10 @@ type introDecMulStepper struct {
 	reading  bool // the update is done; the read is poised
 	done     bool
 	decision int
+	// mulArgs caches the multiply argument across Poise calls (lazily: the
+	// stepper is built by struct literal). Immutable once built; a fork
+	// sharing it is fine.
+	mulArgs []machine.Value
 }
 
 func (c *introDecMulStepper) Poise() (sim.OpInfo, bool) {
@@ -169,8 +210,26 @@ func (c *introDecMulStepper) Poise() (sim.OpInfo, bool) {
 	case c.input == 0:
 		return sim.OpInfo{Loc: 0, Op: machine.OpDecrement}, true
 	default:
-		return sim.OpInfo{Loc: 0, Op: machine.OpMultiply, Args: []machine.Value{machine.Int(int64(c.n))}}, true
+		if c.mulArgs == nil {
+			c.mulArgs = []machine.Value{machine.Int(int64(c.n))}
+		}
+		return sim.OpInfo{Loc: 0, Op: machine.OpMultiply, Args: c.mulArgs}, true
 	}
+}
+
+// PoiseRun: the update's result is ignored and the read follows it
+// unconditionally, so the whole protocol is one two-instruction run (or just
+// the read, when forked/keyed mid-protocol).
+func (c *introDecMulStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	op, ok := c.Poise()
+	if !ok {
+		return dst
+	}
+	dst = append(dst, op)
+	if !c.reading {
+		dst = append(dst, sim.OpInfo{Loc: 0, Op: machine.OpRead})
+	}
+	return dst
 }
 
 func (c *introDecMulStepper) Resume(res machine.Value) bool {
@@ -191,6 +250,14 @@ func (c *introDecMulStepper) Halt()                       {}
 func (c *introDecMulStepper) Fork() sim.Stepper {
 	f := *c
 	return &f
+}
+
+func (c *introDecMulStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	if p, ok := prev.(*introDecMulStepper); ok {
+		*p = *c
+		return p
+	}
+	return c.Fork()
 }
 
 func (c *introDecMulStepper) StateKey() uint64 {
@@ -285,6 +352,29 @@ func (s *maxRegStepper) Resume(res machine.Value) bool {
 	return false
 }
 
+// PoiseRun: every state but mrReadB2 continues deterministically into the
+// unrolled double collect — after a write the full collect [r1 r2 r1 r2] is
+// certain, and mid-collect the remaining reads are. Only the confirming
+// read's result (mrReadB2) branches: agree-and-decide, promote, catch up, or
+// recollect.
+func (s *maxRegStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	if s.done {
+		return dst
+	}
+	dst = append(dst, s.pending)
+	switch s.pc {
+	case mrAnnounce, mrWrite:
+		dst = append(dst, readMax(0), readMax(1), readMax(0), readMax(1))
+	case mrReadA:
+		dst = append(dst, readMax(1), readMax(0), readMax(1))
+	case mrReadB:
+		dst = append(dst, readMax(0), readMax(1))
+	case mrReadA2:
+		dst = append(dst, readMax(1))
+	}
+	return dst
+}
+
 func (s *maxRegStepper) Outcome() (bool, int, error) { return s.done, s.decision, nil }
 func (s *maxRegStepper) Halt()                       {}
 
@@ -300,6 +390,42 @@ func (s *maxRegStepper) Fork() sim.Stepper {
 		f.a2 = new(big.Int).Set(s.a2)
 	}
 	return &f
+}
+
+func (s *maxRegStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	p, ok := prev.(*maxRegStepper)
+	if !ok {
+		return s.Fork()
+	}
+	// The recollect arm of Resume ("collects disagree") assigns s.a = s.a2,
+	// so a recycled stepper's a and a2 may be the same big.Int: reusing both
+	// as distinct destinations would make the second Set clobber the first.
+	// Keep one of an aliased pair and allocate the other fresh.
+	a, b, a2 := p.a, p.b, p.a2
+	if a2 == a || a2 == b {
+		a2 = nil
+	}
+	if b == a {
+		b = nil
+	}
+	*p = *s
+	p.a = setBig(a, s.a)
+	p.b = setBig(b, s.b)
+	p.a2 = setBig(a2, s.a2)
+	return p
+}
+
+// setBig copies src into dst's storage when both exist, preserving src's
+// nil-ness; the recycled big.Ints are what make pooled maxReg forks
+// allocation-free once their limbs have grown to the register width.
+func setBig(dst, src *big.Int) *big.Int {
+	if src == nil {
+		return nil
+	}
+	if dst == nil {
+		return new(big.Int).Set(src)
+	}
+	return dst.Set(src)
 }
 
 func (s *maxRegStepper) StateKey() uint64 {
@@ -346,7 +472,20 @@ type raceStepper struct {
 }
 
 func newRaceStepper(cm counter.Machine, n, input int, bounded bool) *raceStepper {
-	s := &raceStepper{cm: cm, n: n, input: input, bounded: bounded}
+	return newRaceStepperInto(nil, cm, n, input, bounded)
+}
+
+// newRaceStepperInto is newRaceStepper rebuilding into spare's storage when
+// non-nil (a retired round stepper recycled by mvStepper), so round
+// transitions in a long-lived stepper stop allocating. cm is typically built
+// over spare.cm's storage first (NewIncMachineInto and friends); the rebuilt
+// stepper is indistinguishable from a fresh one.
+func newRaceStepperInto(spare *raceStepper, cm counter.Machine, n, input int, bounded bool) *raceStepper {
+	s := spare
+	if s == nil {
+		s = new(raceStepper)
+	}
+	*s = raceStepper{cm: cm, n: n, input: input, bounded: bounded}
 	if bounded {
 		s.stage = rsInitScan
 		s.pending = cm.StartScan()
@@ -408,6 +547,26 @@ func (s *raceStepper) Resume(res machine.Value) bool {
 	return false
 }
 
+// PoiseRun delegates the run structure to the counter machine: the poised
+// instruction, then whatever the machine's in-flight operation is certain to
+// issue next (the rest of a collect). When the poised update is certain to
+// complete its operation, the Resume above unconditionally starts a scan, so
+// the run crosses the operation boundary into the scan's deterministic first
+// collect — the payoff case, fusing update + collect into one scheduling
+// round trip. Decisions only happen after a completed scan whose final read
+// is always run-final, so the RunPoiser contract holds.
+func (s *raceStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	if s.done {
+		return dst
+	}
+	dst = append(dst, s.pending)
+	dst = s.cm.AppendRun(dst)
+	if s.stage == rsUpdate && s.cm.OpEndsAfterRun() {
+		dst = s.cm.AppendScanRun(dst)
+	}
+	return dst
+}
+
 func (s *raceStepper) Outcome() (bool, int, error) { return s.done, s.decision, nil }
 func (s *raceStepper) Halt()                       {}
 
@@ -417,6 +576,20 @@ func (s *raceStepper) fork() *raceStepper {
 	f := *s
 	f.cm = s.cm.Fork()
 	return &f
+}
+
+func (s *raceStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	if p, ok := prev.(*raceStepper); ok {
+		return s.forkInto(p)
+	}
+	return s.fork()
+}
+
+func (s *raceStepper) forkInto(p *raceStepper) *raceStepper {
+	cm := p.cm
+	*p = *s
+	p.cm = s.cm.ForkInto(cm)
+	return p
 }
 
 func (s *raceStepper) StateKey() uint64 {
@@ -515,23 +688,38 @@ const (
 type mvStepper struct {
 	k, c     int
 	slot     slotOps
-	newRound func(binBase, bit int) *raceStepper
+	newRound func(spare *raceStepper, binBase, bit int) *raceStepper
 
-	v       int // current candidate value
-	round   int
-	bit     int // this round's proposed bit
-	base    int // this round's location base
-	phase   int
-	sub     *raceStepper
-	recJ    int
-	pending sim.OpInfo
+	v     int // current candidate value
+	round int
+	bit   int // this round's proposed bit
+	base  int // this round's location base
+	phase int
+	sub   *raceStepper
+	// spareSub parks a retired round stepper — the sub of a finished round,
+	// or a recycled round stepper displaced by a pooled fork whose source was
+	// between rounds — so the next round (or a later fork landing mid-round
+	// in this storage) rebuilds over it instead of allocating. Always
+	// exclusively owned: Fork clears it on the copy and ForkInto never takes
+	// the source's, so two steppers cannot share one.
+	spareSub *raceStepper
+	recJ     int
+	pending  sim.OpInfo
 
 	done     bool
 	decision int
 	err      error
 }
 
-func newMVStepper(values, c int, slot slotOps, input int, newRound func(binBase, bit int) *raceStepper) *mvStepper {
+// takeSpare hands out the parked round stepper (nil when none), clearing the
+// slot so its storage is never handed out twice.
+func (s *mvStepper) takeSpare() *raceStepper {
+	sp := s.spareSub
+	s.spareSub = nil
+	return sp
+}
+
+func newMVStepper(values, c int, slot slotOps, input int, newRound func(spare *raceStepper, binBase, bit int) *raceStepper) *mvStepper {
 	s := &mvStepper{k: bitsFor(values), c: c, slot: slot, newRound: newRound, v: input}
 	s.startRound()
 	return s
@@ -543,7 +731,7 @@ func (s *mvStepper) startRound() {
 	if s.round == s.k-1 {
 		// Final round: no designated slots.
 		s.phase = mvpRound
-		s.sub = s.newRound(s.base, s.bit)
+		s.sub = s.newRound(s.takeSpare(), s.base, s.bit)
 		return
 	}
 	s.phase = mvpRecord
@@ -574,13 +762,16 @@ func (s *mvStepper) Resume(res machine.Value) bool {
 	switch s.phase {
 	case mvpRecord:
 		s.phase = mvpRound
-		s.sub = s.newRound(s.base+2*s.slot.size(), s.bit)
+		s.sub = s.newRound(s.takeSpare(), s.base+2*s.slot.size(), s.bit)
 	case mvpRound:
 		if !s.sub.Resume(res) {
 			return false
 		}
 		agreed := s.sub.decision
-		s.sub = nil
+		// Retire the finished round's stepper into the spare slot: the next
+		// round rebuilds over it (stepper, machine, and collect buffers)
+		// instead of allocating afresh.
+		s.spareSub, s.sub = s.sub, nil
 		if agreed == s.bit {
 			s.advanceRound()
 			return s.done
@@ -613,15 +804,55 @@ func (s *mvStepper) Resume(res machine.Value) bool {
 	return false
 }
 
+// PoiseRun: inside a round the nested binary-consensus stepper defines the
+// run; the record and recover instructions branch per result (record's
+// successor is a fresh sub-stepper, recover's next read depends on the bit
+// observed), so they stay single-instruction runs.
+func (s *mvStepper) PoiseRun(dst []sim.OpInfo) []sim.OpInfo {
+	if s.done || s.err != nil {
+		return dst
+	}
+	if s.phase == mvpRound {
+		return s.sub.PoiseRun(dst)
+	}
+	return append(dst, s.pending)
+}
+
 func (s *mvStepper) Outcome() (bool, int, error) { return s.done, s.decision, s.err }
 func (s *mvStepper) Halt()                       {}
 
 func (s *mvStepper) Fork() sim.Stepper {
 	f := *s
+	f.spareSub = nil
 	if s.sub != nil {
 		f.sub = s.sub.fork()
 	}
 	return &f
+}
+
+func (s *mvStepper) ForkInto(prev sim.Stepper) sim.Stepper {
+	p, ok := prev.(*mvStepper)
+	if !ok {
+		return s.Fork()
+	}
+	sub, spare := p.sub, p.spareSub
+	if sub == nil {
+		sub, spare = spare, nil
+	}
+	*p = *s
+	if s.sub == nil {
+		// Between rounds: park the displaced round stepper for a later fork
+		// that lands mid-round in this storage.
+		p.sub, p.spareSub = nil, sub
+		return p
+	}
+	p.spareSub = spare
+	if sub != nil {
+		p.sub = s.sub.forkInto(sub)
+	} else {
+		p.sub = s.sub.fork()
+	}
+	return p
 }
 
 func (s *mvStepper) StateKey() uint64 {

@@ -117,7 +117,7 @@ func MeasureAll(ctx context.Context, rows []Row, n int, seed, maxSteps int64, wo
 	type slot struct {
 		pr     *consensus.Protocol
 		inputs []int
-		mem    *machine.Memory
+		stats  machine.Stats
 	}
 	slots := make([]slot, len(rows))
 	var jobs []sim.BatchJob
@@ -135,10 +135,13 @@ func MeasureAll(ctx context.Context, rows []Row, n int, seed, maxSteps int64, wo
 				if err != nil {
 					return nil, err
 				}
-				slots[i] = slot{pr: pr, inputs: inputs, mem: sys.Mem()}
+				slots[i].pr, slots[i].inputs = pr, inputs
 				return sys, nil
 			},
-			Sched:    func() sim.Scheduler { return sim.NewRandom(rowSeed(seed, r.ID)) },
+			Sched: func() sim.Scheduler { return sim.NewRandom(rowSeed(seed, r.ID)) },
+			// Snapshot while the System is alive; a pooled System's Memory
+			// is rebuilt for other runs after Close.
+			Done:     func(sys *sim.System) { slots[i].stats = sys.Mem().Stats() },
 			MaxSteps: maxSteps,
 		})
 		jobRow = append(jobRow, i)
@@ -150,7 +153,7 @@ func MeasureAll(ctx context.Context, rows []Row, n int, seed, maxSteps int64, wo
 		if res.Err != nil {
 			return nil, fmt.Errorf("core: row %s n=%d: %w", rows[i].ID, n, res.Err)
 		}
-		m, err := finishMeasurement(rows[i], n, slots[i].pr, slots[i].inputs, res.Result, slots[i].mem.Stats())
+		m, err := finishMeasurement(rows[i], n, slots[i].pr, slots[i].inputs, res.Result, slots[i].stats)
 		if err != nil {
 			return nil, err
 		}

@@ -28,6 +28,11 @@ type Machine interface {
 	Components() int
 	// Fork returns an independent copy, including mid-operation progress.
 	Fork() Machine
+	// ForkInto is Fork reusing prev's heap state (scratch slices) when prev
+	// is a discarded machine of the same concrete type — the counter-machine
+	// half of the pooled fork path (sim.ForkerInto). prev may be nil or of a
+	// foreign type, in which case ForkInto falls back to Fork.
+	ForkInto(prev Machine) Machine
 	// Key returns a canonical hash of all machine-local state. It is part
 	// of the explorer's per-process dedup key, so any state that can affect
 	// future instructions must enter it.
@@ -51,9 +56,38 @@ type Machine interface {
 	// Counts returns the result of the last completed scan. Callers must
 	// not retain it across operations or mutate it.
 	Counts() []int64
+
+	// The three methods below expose the machine's straight-line structure
+	// for superword step fusion (sim.RunPoiser); none of them mutates the
+	// machine.
+
+	// AppendRun appends the instructions that are certain to follow the
+	// operation's in-flight instruction, in order, stopping at the first
+	// result-dependent branch — e.g. the remaining reads of the collect in
+	// progress. Empty means the next instruction (if any) depends on the
+	// in-flight result.
+	AppendRun(dst []sim.OpInfo) []sim.OpInfo
+	// OpEndsAfterRun reports whether the in-flight operation is certain to
+	// complete once the in-flight instruction and the AppendRun suffix have
+	// consumed their results, regardless of what those results are.
+	OpEndsAfterRun() bool
+	// AppendScanRun appends the instruction prefix a StartScan would issue,
+	// up to the first result-dependent branch (one full collect for the
+	// multi-location machines), without starting the scan.
+	AppendScanRun(dst []sim.OpInfo) []sim.OpInfo
 }
 
 func mixKey(h, x uint64) uint64 { return machine.Mix64(h ^ x) }
+
+// appendInto copies src into dst's storage (growing if needed), preserving
+// src's nil-ness — several machines distinguish nil from empty in their keys.
+// It is the reuse half of the ForkInto implementations.
+func appendInto[E any](dst, src []E) []E {
+	if src == nil {
+		return nil
+	}
+	return append(dst[:0], src...)
+}
 
 // mixCounts folds a count slice (with a length prefix, so nil and empty
 // distinguish from longer states) into a rolling key.
@@ -99,6 +133,13 @@ func (f *flatMachine) Components() int { return f.m }
 
 func (f *flatMachine) Counts() []int64 { return f.counts }
 
+// Every flat-machine operation is a single instruction: nothing ever follows
+// the in-flight one within the operation, and consuming its result always
+// completes the operation.
+func (f *flatMachine) AppendRun(dst []sim.OpInfo) []sim.OpInfo { return dst }
+
+func (f *flatMachine) OpEndsAfterRun() bool { return true }
+
 func (f *flatMachine) baseKey(tag uint64) uint64 {
 	return mixKey(tag, uint64(f.op))
 }
@@ -115,6 +156,12 @@ type AddMachine struct {
 	base  *big.Int
 	pows  []*big.Int // shared, immutable
 	fetch bool
+	// Start* instructions precomputed once: the memory never mutates
+	// instruction arguments, so the OpInfos (and their Args backing arrays)
+	// are immutable and shared across calls and forks, making the Start
+	// methods allocation-free on the hot explore/solve paths.
+	incOps, decOps []sim.OpInfo
+	scanOp         sim.OpInfo
 }
 
 // NewAddMachine mirrors NewAdd/NewFetchAdd.
@@ -126,12 +173,33 @@ func NewAddMachine(loc, m, n int, fetch bool) *AddMachine {
 		pows[v] = new(big.Int).Set(pow)
 		pow = new(big.Int).Mul(pow, base)
 	}
-	return &AddMachine{flatMachine: flatMachine{loc: loc, m: m}, base: base, pows: pows, fetch: fetch}
+	c := &AddMachine{flatMachine: flatMachine{loc: loc, m: m}, base: base, pows: pows, fetch: fetch}
+	op := c.addOp()
+	c.incOps = make([]sim.OpInfo, m)
+	c.decOps = make([]sim.OpInfo, m)
+	for v := 0; v < m; v++ {
+		c.incOps[v] = sim.OpInfo{Loc: loc, Op: op, Args: []machine.Value{pows[v]}}
+		c.decOps[v] = sim.OpInfo{Loc: loc, Op: op, Args: []machine.Value{new(big.Int).Neg(pows[v])}}
+	}
+	if fetch {
+		c.scanOp = sim.OpInfo{Loc: loc, Op: machine.OpFetchAndAdd, Args: []machine.Value{machine.Int(0)}}
+	} else {
+		c.scanOp = sim.OpInfo{Loc: loc, Op: machine.OpRead}
+	}
+	return c
 }
 
 func (c *AddMachine) Fork() Machine {
 	f := *c
 	return &f
+}
+
+func (c *AddMachine) ForkInto(prev Machine) Machine {
+	if p, ok := prev.(*AddMachine); ok {
+		*p = *c
+		return p
+	}
+	return c.Fork()
 }
 
 func (c *AddMachine) Key() uint64 { return c.baseKey(0x61646430) }
@@ -147,20 +215,21 @@ func (c *AddMachine) addOp() machine.Op {
 
 func (c *AddMachine) StartInc(v int) sim.OpInfo {
 	c.op = opInc
-	return sim.OpInfo{Loc: c.loc, Op: c.addOp(), Args: []machine.Value{c.pows[v]}}
+	return c.incOps[v]
 }
 
 func (c *AddMachine) StartDec(v int) sim.OpInfo {
 	c.op = opDec
-	return sim.OpInfo{Loc: c.loc, Op: c.addOp(), Args: []machine.Value{new(big.Int).Neg(c.pows[v])}}
+	return c.decOps[v]
 }
 
 func (c *AddMachine) StartScan() sim.OpInfo {
 	c.op = opScan
-	if c.fetch {
-		return sim.OpInfo{Loc: c.loc, Op: machine.OpFetchAndAdd, Args: []machine.Value{machine.Int(0)}}
-	}
-	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
+	return c.scanOp
+}
+
+func (c *AddMachine) AppendScanRun(dst []sim.OpInfo) []sim.OpInfo {
+	return append(dst, c.scanOp)
 }
 
 func (c *AddMachine) Step(res machine.Value) (sim.OpInfo, bool) {
@@ -178,6 +247,9 @@ type MulMachine struct {
 	flatMachine
 	prms  []*big.Int // shared, immutable
 	fetch bool
+	// Precomputed immutable Start* instructions; see AddMachine.
+	incOps []sim.OpInfo
+	scanOp sim.OpInfo
 }
 
 // NewMulMachine mirrors NewMultiply/NewFetchMultiply.
@@ -187,12 +259,31 @@ func NewMulMachine(loc, m int, fetch bool) *MulMachine {
 	for i, q := range ps {
 		prms[i] = big.NewInt(q)
 	}
-	return &MulMachine{flatMachine: flatMachine{loc: loc, m: m}, prms: prms, fetch: fetch}
+	c := &MulMachine{flatMachine: flatMachine{loc: loc, m: m}, prms: prms, fetch: fetch}
+	op := c.mulOp()
+	c.incOps = make([]sim.OpInfo, m)
+	for v := 0; v < m; v++ {
+		c.incOps[v] = sim.OpInfo{Loc: loc, Op: op, Args: []machine.Value{prms[v]}}
+	}
+	if fetch {
+		c.scanOp = sim.OpInfo{Loc: loc, Op: machine.OpFetchAndMultiply, Args: []machine.Value{machine.Int(1)}}
+	} else {
+		c.scanOp = sim.OpInfo{Loc: loc, Op: machine.OpRead}
+	}
+	return c
 }
 
 func (c *MulMachine) Fork() Machine {
 	f := *c
 	return &f
+}
+
+func (c *MulMachine) ForkInto(prev Machine) Machine {
+	if p, ok := prev.(*MulMachine); ok {
+		*p = *c
+		return p
+	}
+	return c.Fork()
 }
 
 func (c *MulMachine) Key() uint64 { return c.baseKey(0x6d756c30) }
@@ -208,7 +299,7 @@ func (c *MulMachine) mulOp() machine.Op {
 
 func (c *MulMachine) StartInc(v int) sim.OpInfo {
 	c.op = opInc
-	return sim.OpInfo{Loc: c.loc, Op: c.mulOp(), Args: []machine.Value{c.prms[v]}}
+	return c.incOps[v]
 }
 
 func (c *MulMachine) StartDec(int) sim.OpInfo {
@@ -217,10 +308,11 @@ func (c *MulMachine) StartDec(int) sim.OpInfo {
 
 func (c *MulMachine) StartScan() sim.OpInfo {
 	c.op = opScan
-	if c.fetch {
-		return sim.OpInfo{Loc: c.loc, Op: machine.OpFetchAndMultiply, Args: []machine.Value{machine.Int(1)}}
-	}
-	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
+	return c.scanOp
+}
+
+func (c *MulMachine) AppendScanRun(dst []sim.OpInfo) []sim.OpInfo {
+	return append(dst, c.scanOp)
 }
 
 func (c *MulMachine) Step(res machine.Value) (sim.OpInfo, bool) {
@@ -249,6 +341,17 @@ func (c *SetBitMachine) Fork() Machine {
 	f := *c
 	f.mine = append([]int64(nil), c.mine...)
 	return &f
+}
+
+func (c *SetBitMachine) ForkInto(prev Machine) Machine {
+	p, ok := prev.(*SetBitMachine)
+	if !ok {
+		return c.Fork()
+	}
+	mine := p.mine
+	*p = *c
+	p.mine = append(mine[:0], c.mine...)
+	return p
 }
 
 func (c *SetBitMachine) Key() uint64 {
@@ -285,6 +388,10 @@ func (c *SetBitMachine) StartScan() sim.OpInfo {
 	return sim.OpInfo{Loc: c.loc, Op: machine.OpRead}
 }
 
+func (c *SetBitMachine) AppendScanRun(dst []sim.OpInfo) []sim.OpInfo {
+	return append(dst, sim.OpInfo{Loc: c.loc, Op: machine.OpRead})
+}
+
 func (c *SetBitMachine) Step(res machine.Value) (sim.OpInfo, bool) {
 	if c.op == opScan {
 		c.counts = decodeBitBlocks(machine.MustInt(res), c.m, c.n)
@@ -305,12 +412,51 @@ type IncMachine struct {
 	cur     []int64
 	prev    []int64
 	counts  []int64
+	// scratch is a retired collect buffer kept for reuse. Only buffers this
+	// machine owns exclusively land here (a superseded prev, or a harvested
+	// buffer in NewIncMachineInto) — never counts, whose backing array may be
+	// shared with forks of this machine and must stay immutable.
+	scratch []int64
 }
 
 // NewIncMachine mirrors NewIncrement/NewFetchIncrement over locations
 // base..base+m-1.
 func NewIncMachine(base, m int, fai bool) *IncMachine {
 	return &IncMachine{base: base, m: m, fai: fai}
+}
+
+// NewIncMachineInto is NewIncMachine rebuilding in place when spare is a
+// retired *IncMachine: the struct is reinitialized and one of its exclusively
+// owned collect buffers is kept as scratch, so the machine's first scan can
+// skip its allocation. The result behaves exactly like a fresh machine.
+func NewIncMachineInto(spare Machine, base, m int, fai bool) *IncMachine {
+	p, ok := spare.(*IncMachine)
+	if !ok {
+		return NewIncMachine(base, m, fai)
+	}
+	scratch := p.scratch
+	if scratch == nil {
+		scratch = p.prev // exclusively owned, unlike counts
+	}
+	if scratch == nil {
+		scratch = p.cur
+	}
+	*p = IncMachine{base: base, m: m, fai: fai, scratch: scratch}
+	return p
+}
+
+// scanBuf returns a zeroed collect buffer of m entries, reusing scratch when
+// it fits. Zeroing matters beyond hygiene: Key hashes the whole buffer, not
+// just the filled prefix, so a recycled buffer must look exactly like a fresh
+// make for mid-scan keys to stay deterministic.
+func (c *IncMachine) scanBuf() []int64 {
+	if cap(c.scratch) >= c.m {
+		b := c.scratch[:c.m]
+		c.scratch = nil
+		clear(b)
+		return b
+	}
+	return make([]int64, c.m)
 }
 
 func (c *IncMachine) Components() int { return c.m }
@@ -321,7 +467,47 @@ func (c *IncMachine) Fork() Machine {
 	f := *c
 	f.cur = append([]int64(nil), c.cur...)
 	f.prev = append([]int64(nil), c.prev...)
+	f.scratch = nil // scratch is exclusively owned; never share it
 	return &f
+}
+
+func (c *IncMachine) ForkInto(prev Machine) Machine {
+	p, ok := prev.(*IncMachine)
+	if !ok {
+		return c.Fork()
+	}
+	// Rotate p's exclusively owned buffers (cur, prev, scratch — never
+	// counts) into whichever slots this fork needs filled; a leftover one
+	// stays parked as scratch for the next scan.
+	pool := [3][]int64{p.cur, p.prev, p.scratch}
+	pi := 0
+	*p = *c
+	p.cur, pi = appendPooled(&pool, pi, c.cur)
+	p.prev, pi = appendPooled(&pool, pi, c.prev)
+	p.scratch = nil
+	for ; pi < 3; pi++ {
+		if pool[pi] != nil {
+			p.scratch = pool[pi]
+			break
+		}
+	}
+	return p
+}
+
+// appendPooled copies src into the next recycled buffer with capacity (nil
+// srcs stay nil), returning the copy and the advanced pool cursor.
+func appendPooled(pool *[3][]int64, pi int, src []int64) ([]int64, int) {
+	if src == nil {
+		return nil, pi
+	}
+	for pi < 3 {
+		b := pool[pi]
+		pi++
+		if b != nil {
+			return append(b[:0], src...), pi
+		}
+	}
+	return append([]int64(nil), src...), pi
 }
 
 func (c *IncMachine) Key() uint64 {
@@ -362,7 +548,7 @@ func (c *IncMachine) read(i int) sim.OpInfo {
 func (c *IncMachine) StartScan() sim.OpInfo {
 	c.op = opScan
 	c.idx = 0
-	c.cur = make([]int64, c.m)
+	c.cur = c.scanBuf()
 	c.prev = nil
 	return c.read(0)
 }
@@ -380,14 +566,42 @@ func (c *IncMachine) Step(res machine.Value) (sim.OpInfo, bool) {
 	// One collect complete: the double-collect rule of doubleCollect.
 	if c.prev != nil && equalCounts(c.cur, c.prev) {
 		c.counts = c.cur
+		c.scratch = c.prev // retired and exclusively owned: reuse next scan
 		c.cur, c.prev = nil, nil
 		c.op = opIdle
 		return sim.OpInfo{}, false
 	}
+	c.scratch = c.prev // superseded collect (nil on the first); reuse below
 	c.prev = c.cur
-	c.cur = make([]int64, c.m)
+	c.cur = c.scanBuf()
 	c.idx = 0
 	return c.read(0), true
+}
+
+// AppendRun: mid-scan, the in-flight read is read(idx) and the rest of the
+// collect — reads idx+1..m-1 — is certain to follow; the collect's final
+// result decides whether the scan repeats or completes, so the run stops
+// there. Inc is a single instruction with nothing following.
+func (c *IncMachine) AppendRun(dst []sim.OpInfo) []sim.OpInfo {
+	if c.op == opScan {
+		for i := c.idx + 1; i < c.m; i++ {
+			dst = append(dst, c.read(i))
+		}
+	}
+	return dst
+}
+
+// OpEndsAfterRun: an increment completes with its single result; a scan may
+// repeat its collect, so its completion is result-dependent.
+func (c *IncMachine) OpEndsAfterRun() bool { return c.op != opScan }
+
+// AppendScanRun: StartScan deterministically issues the first full collect,
+// reads 0..m-1, before its first result-dependent branch.
+func (c *IncMachine) AppendScanRun(dst []sim.OpInfo) []sim.OpInfo {
+	for i := 0; i < c.m; i++ {
+		dst = append(dst, c.read(i))
+	}
+	return dst
 }
 
 func equalCounts(a, b []int64) bool {
@@ -436,6 +650,19 @@ func NewUnaryMachine(base, m, width int, tas bool) *UnaryMachine {
 	return u
 }
 
+// NewUnaryMachineInto is NewUnaryMachine rebuilding in place when spare is a
+// retired *UnaryMachine, saving the struct allocation. The collect slices are
+// dropped rather than reused — cnt's backing array may be shared with forks —
+// so the result is field-for-field a fresh machine.
+func NewUnaryMachineInto(spare Machine, base, m, width int, tas bool) *UnaryMachine {
+	p, ok := spare.(*UnaryMachine)
+	if !ok {
+		return NewUnaryMachine(base, m, width, tas)
+	}
+	*p = *NewUnaryMachine(base, m, width, tas)
+	return p
+}
+
 func (c *UnaryMachine) Components() int { return c.m }
 
 func (c *UnaryMachine) Counts() []int64 { return c.cnt }
@@ -445,6 +672,18 @@ func (c *UnaryMachine) Fork() Machine {
 	f.bits = append([]bool(nil), c.bits...)
 	f.prev = append([]bool(nil), c.prev...)
 	return &f
+}
+
+func (c *UnaryMachine) ForkInto(prev Machine) Machine {
+	p, ok := prev.(*UnaryMachine)
+	if !ok {
+		return c.Fork()
+	}
+	bits, prv := p.bits, p.prev
+	*p = *c
+	p.bits = appendInto(bits, c.bits)
+	p.prev = appendInto(prv, c.prev)
+	return p
 }
 
 func (c *UnaryMachine) Key() uint64 {
@@ -558,6 +797,35 @@ func (c *UnaryMachine) Step(res machine.Value) (sim.OpInfo, bool) {
 	}
 	c.op = opIdle
 	return sim.OpInfo{}, false
+}
+
+// AppendRun: mid-scan, the remaining reads of the current collect (flat bit
+// index idx+1..m*width-1) are certain. The inc/dec search reads are each
+// result-dependent (the next location depends on the observed bit), so they
+// never fuse; the flip instruction has nothing following it.
+func (c *UnaryMachine) AppendRun(dst []sim.OpInfo) []sim.OpInfo {
+	if c.op == opScan {
+		for i := c.idx + 1; i < c.m*c.width; i++ {
+			dst = append(dst, sim.OpInfo{Loc: c.base + i, Op: machine.OpRead})
+		}
+	}
+	return dst
+}
+
+// OpEndsAfterRun: only the in-flight flip ends its operation unconditionally;
+// a search read may have to continue searching and a scan may recollect.
+func (c *UnaryMachine) OpEndsAfterRun() bool {
+	return (c.op == opInc || c.op == opDec) && c.sub == uFlip
+}
+
+// AppendScanRun: StartScan deterministically issues one full collect — reads
+// of all m*width bit locations — before its first result-dependent branch
+// (a first collect can never complete the scan: confirming >= 2).
+func (c *UnaryMachine) AppendScanRun(dst []sim.OpInfo) []sim.OpInfo {
+	for i := 0; i < c.m*c.width; i++ {
+		dst = append(dst, sim.OpInfo{Loc: c.base + i, Op: machine.OpRead})
+	}
+	return dst
 }
 
 func equalBits(a, b []bool) bool {

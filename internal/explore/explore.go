@@ -303,10 +303,23 @@ func (w *walk) dedup(sys *sim.System, depth int) bool {
 	return false
 }
 
+// schedSource lazily materializes a configuration's schedule for violation
+// reports. Passing an existing pointer (a *treeNode) through the interface
+// costs nothing on the no-violation fast path, unlike a per-configuration
+// closure, which allocates whether or not a violation ever reads it.
+type schedSource interface {
+	schedule() []int
+}
+
+// prefixSched adapts the replay strategy's explicit prefix to schedSource.
+type prefixSched []int
+
+func (p prefixSched) schedule() []int { return append([]int(nil), p...) }
+
 // visit performs the per-configuration work — state accounting, decided-
 // value collection, and the safety check. sched lazily materializes the
 // schedule for violation reports.
-func (w *walk) visit(sys *sim.System, sched func() []int) {
+func (w *walk) visit(sys *sim.System, sched schedSource) {
 	w.rep.States++
 	for pid := 0; pid < sys.N(); pid++ {
 		if d, ok := sys.Decided(pid); ok {
@@ -315,7 +328,7 @@ func (w *walk) visit(sys *sim.System, sched func() []int) {
 	}
 	if problem := checkSafety(sys, w.inputs); problem != "" {
 		w.rep.Violations = append(w.rep.Violations, Violation{
-			Schedule: sched(),
+			Schedule: sched.schedule(),
 			Problem:  problem,
 		})
 	}
@@ -324,7 +337,7 @@ func (w *walk) visit(sys *sim.System, sched func() []int) {
 // soloCheck verifies obstruction-freedom probes at a configuration.
 // soloFrom must yield a fresh system advanced to the configuration, owned
 // by soloCheck.
-func (w *walk) soloCheck(live []int, sched func() []int, soloFrom func() (*sim.System, error)) error {
+func (w *walk) soloCheck(live []int, sched schedSource, soloFrom func() (*sim.System, error)) error {
 	vs, err := soloViolations(live, w.opts.SoloBudget, sched, soloFrom)
 	if err != nil {
 		return err
@@ -337,7 +350,7 @@ func (w *walk) soloCheck(live []int, sched func() []int, soloFrom func() (*sim.S
 // each live process, alone on a fresh copy of the configuration (soloFrom),
 // must decide within budget steps. Shared between the sequential walks and
 // the parallel workers.
-func soloViolations(live []int, budget int64, sched func() []int, soloFrom func() (*sim.System, error)) ([]Violation, error) {
+func soloViolations(live []int, budget int64, sched schedSource, soloFrom func() (*sim.System, error)) ([]Violation, error) {
 	var out []Violation
 	for _, pid := range live {
 		sys, err := soloFrom()
@@ -350,7 +363,7 @@ func soloViolations(live []int, budget int64, sched func() []int, soloFrom func(
 		}
 		if !ok {
 			out = append(out, Violation{
-				Schedule: sched(),
+				Schedule: sched.schedule(),
 				Problem: fmt.Sprintf("obstruction-freedom: process %d undecided after %d solo steps",
 					pid, budget),
 			})
@@ -382,7 +395,7 @@ func exhaustiveReplay(ctx context.Context, f Factory, opts Options) (*Report, er
 			sys.Close()
 			return nil
 		}
-		sched := func() []int { return append([]int(nil), prefix...) }
+		sched := prefixSched(prefix)
 		w.visit(sys, sched)
 		live := sys.LiveSet()
 		sys.Close()
@@ -443,6 +456,10 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 		return nil, err
 	}
 	w.inputs = root.Inputs()
+	// Recycle the fork/step/close churn: every popped node's system returns
+	// to the pool on Close and the next Fork rebuilds in place, making the
+	// steady-state expansion allocation-free for natively forking protocols.
+	root.SetPool(new(sim.Pool))
 
 	stack := []*treeNode{{sys: root}}
 	// Every stacked system is closed exactly once: popped nodes by the loop
@@ -452,6 +469,22 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 			nd.sys.Close()
 		}
 	}()
+
+	// Node recycling mirrors the system pool: a popped node that pushes no
+	// children (pruned, deduped, or ending a run) was never made a parent, so
+	// nothing holds a reference to it and its storage can back the next push.
+	// Expanded nodes stay out of the list — their children's parent chains
+	// reach through them when a violation materializes its schedule.
+	var freeNodes []*treeNode
+	newNode := func(sys *sim.System, parent *treeNode, pid, depth int) *treeNode {
+		if n := len(freeNodes); n > 0 {
+			nd := freeNodes[n-1]
+			freeNodes = freeNodes[:n-1]
+			*nd = treeNode{sys: sys, parent: parent, pid: pid, depth: depth}
+			return nd
+		}
+		return &treeNode{sys: sys, parent: parent, pid: pid, depth: depth}
+	}
 
 	var liveBuf []int
 	for len(stack) > 0 {
@@ -465,14 +498,14 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 		}
 		if w.cutRuns() || w.dedup(sys, nd.depth) {
 			sys.Close()
+			freeNodes = append(freeNodes, nd)
 			continue
 		}
-		sched := func() []int { return nd.schedule() }
-		w.visit(sys, sched)
+		w.visit(sys, nd)
 		live := sys.AppendLive(liveBuf[:0])
 		liveBuf = live
 		if opts.SoloBudget > 0 {
-			err := w.soloCheck(live, sched, func() (*sim.System, error) {
+			err := w.soloCheck(live, nd, func() (*sim.System, error) {
 				return sys.Fork()
 			})
 			if err != nil {
@@ -483,6 +516,7 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 		if len(live) == 0 || (opts.MaxDepth > 0 && nd.depth >= opts.MaxDepth) {
 			w.rep.Runs++
 			sys.Close()
+			freeNodes = append(freeNodes, nd)
 			continue
 		}
 		// Push children in reverse so they pop in ascending pid order,
@@ -501,14 +535,14 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 				sys.Close()
 				return nil, fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err)
 			}
-			stack = append(stack, &treeNode{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
+			stack = append(stack, newNode(child, nd, pid, nd.depth+1))
 		}
 		pid := live[0]
 		if _, err := sys.Step(pid); err != nil {
 			sys.Close()
 			return nil, fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err)
 		}
-		stack = append(stack, &treeNode{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
+		stack = append(stack, newNode(sys, nd, pid, nd.depth+1))
 	}
 	return w.finish(), nil
 }

@@ -256,6 +256,9 @@ func exhaustiveParallel(ctx context.Context, f Factory, opts Options) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	// One pool shared by all workers: forks and closes hit it from several
+	// goroutines, which Pool is built for (a mutexed free list).
+	root.SetPool(new(sim.Pool))
 	w := &pwalk{
 		opts:    opts,
 		inputs:  root.Inputs(),
@@ -360,14 +363,13 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 			pw.decided[d] = struct{}{}
 		}
 	}
-	sched := func() []int { return nd.schedule() }
 	if problem := checkSafety(sys, w.inputs); problem != "" {
-		pw.violations = append(pw.violations, Violation{Schedule: sched(), Problem: problem})
+		pw.violations = append(pw.violations, Violation{Schedule: nd.schedule(), Problem: problem})
 	}
 	live := sys.AppendLive(pw.liveBuf[:0])
 	pw.liveBuf = live
 	if w.opts.SoloBudget > 0 {
-		vs, err := soloViolations(live, w.opts.SoloBudget, sched, sys.Fork)
+		vs, err := soloViolations(live, w.opts.SoloBudget, nd, sys.Fork)
 		if err != nil {
 			w.fail(err)
 			sys.Close()

@@ -132,6 +132,31 @@ func (m *Memory) Clone() *Memory {
 	return n
 }
 
+// CloneInto is Clone writing over a recycled Memory: semantically identical
+// to n = m.Clone(), but n's location and instrumentation buffers are reused
+// when they have capacity, so a steady-state fork-and-discard loop (the
+// explorer's, via sim.Pool) allocates nothing here beyond defensive copies
+// of big.Int contents. n's previous contents are destroyed. Like Clone it
+// only reads the receiver.
+func (m *Memory) CloneInto(n *Memory) {
+	n.set = m.set
+	n.caps = m.caps // immutable after construction
+	n.unbounded = m.unbounded
+	n.fp = m.fp
+	n.locs = append(n.locs[:0], m.locs...)
+	for i := range n.locs {
+		l := &n.locs[i]
+		l.val = cloneValue(l.val)
+		if len(l.buf) > 0 {
+			l.buf = append([]Value(nil), l.buf...)
+		}
+	}
+	perLoc := append(n.stats.PerLoc[:0], m.stats.PerLoc...)
+	n.stats = m.stats
+	n.stats.PerLoc = perLoc
+	n.stats.PerOp = nil
+}
+
 // Set returns the memory's instruction set.
 func (m *Memory) Set() InstrSet { return m.set }
 

@@ -25,6 +25,14 @@ type BatchJob struct {
 	Sched func() Scheduler
 	// MaxSteps bounds the run.
 	MaxSteps int64
+	// Done, when non-nil, runs after the run finishes, just before the
+	// runner closes the System — the last safe point to read statistics or
+	// memory contents off it. Systems forked from a pooled snapshot are
+	// recycled on Close, so pointers taken during Make (for example
+	// sys.Mem()) may be rebuilt for an unrelated run by the time the batch
+	// returns; capture what a result needs here instead. Not called when
+	// Make fails.
+	Done func(*System)
 }
 
 // BatchResult is the outcome of one batch job.
@@ -117,5 +125,8 @@ func runOne(ctx context.Context, i int, job BatchJob) BatchResult {
 	}
 	defer sys.Close()
 	res, err := sys.RunContext(ctx, job.Sched(), job.MaxSteps)
+	if job.Done != nil {
+		job.Done(sys)
+	}
 	return BatchResult{Index: i, Result: res, Err: err}
 }

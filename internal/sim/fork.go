@@ -4,9 +4,19 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/machine"
 )
+
+// forkTally counts successful System.Fork calls process-wide. It exists for
+// throughput accounting (forks/sec in the BENCH trajectory): one atomic add
+// per fork, read via ForkTally deltas around a measured region.
+var forkTally atomic.Int64
+
+// ForkTally returns the monotonically increasing count of successful Forks
+// performed by this process. Meaningful only as deltas.
+func ForkTally() int64 { return forkTally.Load() }
 
 // ErrNotForkable is returned by System.Fork when some process's stepper
 // supports neither native forking (Forker) nor result-replay (the built-in
@@ -48,29 +58,58 @@ func (d doneStepper) Fork() Stepper               { return d }
 // contract (the built-in steppers fork by copying). The parallel explorer
 // relies on this when its workers fork a shared configuration's descendants
 // from several deques at once.
+//
+// With a Pool attached (SetPool), Fork first tries to rebuild the copy
+// inside a recycled System, reusing its memory clone buffers, process
+// states, cached runs, and — through ForkerInto — the recycled steppers'
+// own heap state. In steady state a fork/step/close cycle then allocates
+// nothing.
 func (s *System) Fork() (*System, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	n := &System{
-		mem:     s.mem.Clone(),
-		inputs:  s.inputs, // never mutated after construction
-		steps:   s.steps,
-		tracing: s.tracing,
-		engine:  s.engine,
+	n := s.recycled()
+	if n == nil {
+		n = &System{mem: s.mem.Clone()}
+		n.procs = make([]*procState, len(s.procs))
+		states := make([]procState, len(s.procs)) // one backing array for all
+		for i := range states {
+			n.procs[i] = &states[i]
+		}
+	} else {
+		s.mem.CloneInto(n.mem)
 	}
+	n.inputs = s.inputs // never mutated after construction
+	n.steps = s.steps
+	n.tracing, n.engine, n.nofuse = s.tracing, s.engine, s.nofuse
+	n.pool, n.pooled = s.pool, s.pool != nil
+	n.closed = false
+	n.trace = n.trace[:0]
 	if len(s.trace) > 0 {
-		n.trace = append([]StepInfo(nil), s.trace...)
+		n.trace = append(n.trace, s.trace...)
 	}
-	n.procs = make([]*procState, len(s.procs))
-	states := make([]procState, len(s.procs)) // one backing array for all
 	for i, ps := range s.procs {
+		nps := n.procs[i]
+		prev := nps.st // recycled stepper storage, reusable via ForkerInto
+		if prev == &nps.doneSt {
+			// The slot last held a terminal stub; the displaced live stepper
+			// was parked in spare.
+			prev = nps.spare
+		}
+		nps.rp, nps.run, nps.pos = nil, nps.run[:0], 0
+		nps.poised, nps.hasPoise = OpInfo{}, false
+		nps.decided, nps.decision = ps.decided, ps.decision
+		nps.crashed, nps.err = ps.crashed, ps.err
 		var st Stepper
 		switch {
 		case !ps.hasPoise || ps.crashed:
-			st = doneStepper{decided: ps.decided, decision: ps.decision, err: ps.err}
+			nps.spare = prev // keep the live stepper storage for a later fork
+			nps.doneSt = doneStepper{decided: ps.decided, decision: ps.decision, err: ps.err}
+			st = &nps.doneSt
 		default:
-			if f, ok := ps.st.(Forker); ok {
+			if fi, ok := ps.st.(ForkerInto); ok {
+				st = fi.ForkInto(prev)
+			} else if f, ok := ps.st.(Forker); ok {
 				st = f.Fork()
 			} else if rf, ok := ps.st.(replayForker); ok {
 				if st, ok = rf.forkInto(&n.steps); !ok {
@@ -78,18 +117,53 @@ func (s *System) Fork() (*System, error) {
 				}
 			}
 			if st == nil {
-				for _, built := range n.procs[:i] {
-					built.st.Halt()
+				for _, built := range n.procs[:i+1] {
+					if built.st != nil {
+						built.st.Halt()
+					}
 				}
 				return nil, fmt.Errorf("%w: process %d (%T)", ErrNotForkable, i, ps.st)
 			}
 		}
-		nps := &states[i]
-		nps.st, nps.crashed, nps.err = st, ps.crashed, ps.err
+		nps.st = st
+		if ps.rp != nil {
+			if rp, ok := st.(RunPoiser); ok {
+				// The forked stepper is at the source's exact state, so the
+				// unexecuted remainder of the source's straight-line run is
+				// its run too: inherit it instead of re-asking the stepper.
+				// (A fresh PoiseRun could only extend it, and a shorter run
+				// just means an earlier re-poise — always sound.)
+				nps.rp = rp
+				nps.run = append(nps.run, ps.run[ps.pos:]...) // non-empty: the source is live
+				nps.hasPoise = true
+				continue
+			}
+		}
+		if !ps.hasPoise || ps.crashed {
+			// Terminal stub: the outcome fields are already copied.
+			continue
+		}
 		nps.refresh()
-		n.procs[i] = nps
 	}
+	forkTally.Add(1)
 	return n, nil
+}
+
+// recycled pops a compatible recycled System from the pool, or returns nil
+// when pooling is off, the pool is empty, or the candidate's shape does not
+// match (a pool shared across differently-sized systems).
+func (s *System) recycled() *System {
+	if s.pool == nil {
+		return nil
+	}
+	n := s.pool.get()
+	if n == nil {
+		return nil
+	}
+	if len(n.procs) != len(s.procs) {
+		return nil // drop the misfit; the GC reclaims it
+	}
+	return n
 }
 
 // ForksNatively reports whether every live process is an explicit forkable
@@ -126,8 +200,9 @@ func (s *System) StateKey() (key string, ok bool) {
 
 // AppendStateKey is StateKey appending into dst, for callers that look the
 // key up allocation-free (map[string(dst)] compiles to a no-alloc access).
-// Like Fork it is read-only: safe to call concurrently with Forks of the
-// same system, but not with Step/Crash/Close.
+//
+// Concurrency: like Fork, it only reads the receiver — safe concurrently
+// with Forks of the same system, but not with Step/Crash/Close.
 func (s *System) AppendStateKey(dst []byte) (key []byte, ok bool) {
 	if s.closed {
 		return dst, false

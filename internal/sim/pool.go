@@ -1,0 +1,61 @@
+package sim
+
+import "sync"
+
+// Pool recycles Systems across Fork/Close cycles. The explorer (and the
+// compiled protocol handles' solve loop) work in a tight rhythm — fork a
+// configuration, drive it a few steps, discard it — that would otherwise
+// allocate a System, a procState array, a Memory clone, and per-process
+// stepper state for every explored branch. A Pool breaks the cycle: Close
+// pushes the spent System onto a free list instead of abandoning it to the
+// garbage collector, and the next Fork pops it and rebuilds the fork in
+// place, reusing every buffer that has capacity. In steady state a
+// fork/step/close cycle allocates nothing (see TestForkPoolSteadyStateAllocs).
+//
+// Usage: attach with System.SetPool; every Fork inherits the pool, and every
+// Close of a pool-attached forked System recycles it. Only forked Systems are
+// recycled — a factory-built root returns to the garbage collector as usual,
+// so a pool never resurrects a System whose steppers it did not build.
+//
+// A Pool is safe for concurrent use: the parallel explorer's workers share
+// one pool, forking and closing against it from several goroutines. The
+// critical section is a slice push/pop.
+type Pool struct {
+	mu   sync.Mutex
+	free []*System
+}
+
+// maxPoolFree bounds the free list. The explorer's live frontier, not the
+// pool, holds the open configurations, so the list only needs to cover the
+// close-to-fork churn window; anything beyond is returned to the garbage
+// collector rather than hoarded.
+const maxPoolFree = 1024
+
+// get pops a recycled System, or returns nil when the pool is empty.
+func (p *Pool) get() *System {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+// put recycles a closed System.
+func (p *Pool) put(s *System) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < maxPoolFree {
+		p.free = append(p.free, s)
+	}
+}
+
+// SetPool attaches a recycling pool to the system: its Forks (and
+// transitively theirs) draw recycled Systems from p instead of allocating,
+// and return themselves to p when Closed. The caller must guarantee that no
+// reference to a Closed descendant is used afterwards — the usual Close
+// contract, made load-bearing by reuse. Passing nil detaches.
+func (s *System) SetPool(p *Pool) { s.pool = p }

@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
 // Scheduler chooses which live process takes the next step. Implementations
 // model the paper's adversary. Next returns a live process id, or -1 to stop
@@ -27,16 +30,49 @@ func (r *RoundRobin) Next(s *System) int {
 	return -1
 }
 
-// Random schedules live processes uniformly at random from a seeded source,
-// modelling an unpredictable adversary; runs are reproducible per seed.
+// Random schedules live processes uniformly at random from a seeded
+// generator, modelling an unpredictable adversary; runs are reproducible per
+// seed. The generator is splitmix64 — scheduling quality needs no more, and
+// constructing one costs a single word, where seeding a math/rand source
+// (607 words of state) used to dominate short seeded runs: the batch runner
+// builds one scheduler per run.
 type Random struct {
-	rng *rand.Rand
-	buf []int // reused across steps; Next is on the solve hot path
+	state uint64
+	buf   []int // reused across steps; Next is on the solve hot path
 }
 
-// NewRandom returns a Random scheduler with the given seed.
+// NewRandom returns a Random scheduler with the given seed. Schedules are a
+// deterministic function of the seed, but not stable across releases (the
+// underlying generator may change, as it has before).
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	return &Random{state: uint64(seed)}
+}
+
+// next64 is one splitmix64 step (Steele et al., "Fast splittable
+// pseudorandom number generators"): a Weyl sequence increment followed by a
+// finalizing mix, so even adjacent integer seeds give uncorrelated streams.
+func (r *Random) next64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) by Lemire's nearly-divisionless
+// bounded sampling: a 64x64->128 multiply in the common case, with the
+// modulo-computing rejection loop entered only when the low word lands in
+// the biased window (probability n/2^64).
+func (r *Random) intn(n int) int {
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.next64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.next64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Next picks a live process uniformly at random.
@@ -45,7 +81,7 @@ func (r *Random) Next(s *System) int {
 	if len(r.buf) == 0 {
 		return -1
 	}
-	return r.buf[r.rng.Intn(len(r.buf))]
+	return r.buf[r.intn(len(r.buf))]
 }
 
 // Solo runs a single process exclusively: the paper's solo execution, the

@@ -39,6 +39,36 @@ type Stepper interface {
 	Halt()
 }
 
+// RunPoiser is the optional Stepper extension behind superword step fusion:
+// a stepper that can expose, in one call, the straight-line run of
+// instructions it is committed to perform next. The returned run must start
+// with the instruction Poise would return, and every later entry must be
+// certain to be issued in exactly that order regardless of the results the
+// run's earlier instructions produce — no branch, no decision, no
+// data-dependent operand between them. A correct implementation therefore
+// never finishes (Resume reporting done) before the run's final result.
+//
+// The System executes such a run without re-consulting the stepper's poise
+// point between instructions: each result is still delivered through Resume
+// as it is produced (so stepper-observable state — keys, outcomes — is
+// identical to unfused execution at every step boundary), but the per-step
+// Poise call and its OpInfo copy are replaced by one PoiseRun per run, and
+// forks inherit the unexecuted remainder of the run instead of re-asking
+// the forked stepper. Fusion never changes how the execution interleaves —
+// each instruction remains one atomic scheduler step with its own
+// interleaving point. Because the run is predetermined, any Args slices its
+// entries carry must stay valid and unmutated until executed (the same
+// exposure a cached Poise result already has).
+//
+// PoiseRun appends to dst and returns the extended slice. An empty result
+// means the process has finished (the Poise ok=false case); a stepper that
+// can only predict its next instruction returns a one-element run.
+// WithoutFusion disables the fast path, driving RunPoisers through the
+// plain Poise/Resume protocol.
+type RunPoiser interface {
+	PoiseRun(dst []OpInfo) []OpInfo
+}
+
 // Forker is the optional Stepper extension behind System.Fork: a stepper
 // that can produce an independent copy of itself at its current poise
 // point. Explicit state machines (the ported protocols in
@@ -48,6 +78,19 @@ type Stepper interface {
 // replayForker), which keeps System.Fork available for every protocol.
 type Forker interface {
 	Fork() Stepper
+}
+
+// ForkerInto is the optional pooled-forking extension of Forker: ForkInto
+// returns an independent copy of the stepper exactly like Fork, but may
+// rebuild it inside prev — a discarded stepper popped from a recycled
+// System (sim.Pool) — when prev has the same concrete type, reusing its
+// heap-allocated state (big.Ints, scratch slices) instead of allocating.
+// Implementations must tolerate prev being nil or of a foreign type by
+// falling back to a fresh copy, and must leave the receiver unread by the
+// returned stepper (the Fork independence contract).
+type ForkerInto interface {
+	Forker
+	ForkInto(prev Stepper) Stepper
 }
 
 // StateKeyer is the optional Stepper extension behind System.StateKey: a
@@ -133,11 +176,19 @@ type coroStepper struct {
 	replayLog
 	// slot is the single rendezvous cell shared with the body's coroutine.
 	// Accesses never race: control is in exactly one of the two frames at a
-	// time (the defining property of a coroutine).
+	// time (the defining property of a coroutine). While the body is parked
+	// inside ApplyRun, ops holds its declared run and the VM appends each
+	// result to dst without a coroutine switch; the switch happens once,
+	// when the run's final result arrives. For a plain Apply, ops is nil
+	// and info/res rendezvous per instruction as before.
 	slot struct {
-		info OpInfo        // poised instruction, body → VM
-		res  machine.Value // instruction result, VM → body
+		info OpInfo          // poised instruction, body → VM (plain Apply)
+		res  machine.Value   // instruction result, VM → body (plain Apply)
+		ops  []OpInfo        // poised run, body → VM (ApplyRun)
+		dst  []machine.Value // run results, VM → body (ApplyRun)
 	}
+	buffered int // results of the current run consumed but not delivered
+	fused    bool
 	next     func() (struct{}, bool)
 	stop     func()
 	finished bool
@@ -148,8 +199,10 @@ type coroStepper struct {
 
 // newCoroStepper starts body as a coroutine and runs it to its first poise
 // point (or to completion, for a body that decides without any instruction).
-func newCoroStepper(id, n, input int, clock *int64, body Body) *coroStepper {
-	c := &coroStepper{replayLog: replayLog{id: id, n: n, input: input, body: body, clock: clock}}
+// fused enables superword runs: a body's ApplyRun then suspends once per
+// run instead of once per instruction (see Proc.ApplyRun).
+func newCoroStepper(id, n, input int, clock *int64, body Body, fused bool) *coroStepper {
+	c := &coroStepper{replayLog: replayLog{id: id, n: n, input: input, body: body, clock: clock}, fused: fused}
 	seq := func(yield func(struct{}) bool) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -168,6 +221,17 @@ func newCoroStepper(id, n, input int, clock *int64, body Body) *coroStepper {
 			}
 			return c.slot.res
 		}
+		if fused {
+			p.submitRun = func(dst []machine.Value, ops []OpInfo) []machine.Value {
+				c.slot.ops, c.slot.dst = ops, dst
+				if !yield(struct{}{}) {
+					panic(errKilled)
+				}
+				out := c.slot.dst
+				c.slot.ops, c.slot.dst = nil, nil
+				return out
+			}
+		}
 		v := body(p)
 		c.decided, c.decision = true, v
 	}
@@ -182,12 +246,27 @@ func (c *coroStepper) Poise() (OpInfo, bool) {
 	if c.finished {
 		return OpInfo{}, false
 	}
+	if len(c.slot.ops) != 0 {
+		return c.slot.ops[c.buffered], true
+	}
 	return c.slot.info, true
 }
 
 func (c *coroStepper) Resume(res machine.Value) bool {
 	c.record(res)
-	c.slot.res = res
+	if n := len(c.slot.ops); n != 0 {
+		// The body is parked inside ApplyRun: buffer the result and switch
+		// into the coroutine only on the run's final one. Recording above
+		// stays per-instruction, so state keys and result-replay forks are
+		// position-exact regardless of fusion.
+		c.slot.dst = append(c.slot.dst, res)
+		if c.buffered++; c.buffered < n {
+			return false
+		}
+		c.buffered = 0
+	} else {
+		c.slot.res = res
+	}
 	if _, ok := c.next(); !ok {
 		c.finished = true
 	}
@@ -205,7 +284,7 @@ func (c *coroStepper) forkInto(clock *int64) (Stepper, bool) {
 	}
 	saved := *clock
 	*clock = 0 // the original body started at step 0
-	f := newCoroStepper(c.id, c.n, c.input, clock, c.body)
+	f := newCoroStepper(c.id, c.n, c.input, clock, c.body, c.fused)
 	for i, res := range c.results {
 		*clock = c.clocks[i]
 		f.Resume(machine.CloneValue(res))

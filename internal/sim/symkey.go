@@ -2,8 +2,9 @@ package sim
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/binary"
-	"sort"
+	"slices"
 
 	"repro/internal/machine"
 )
@@ -84,6 +85,11 @@ type SymScratch struct {
 	cells   []machine.CellHash
 	rank    map[int]int
 	entries [][]byte
+	// relabel is the rank-lookup closure handed to every SymStateKey call,
+	// built once per scratch: closing over the scratch (whose rank map is
+	// cleared and refilled per key) instead of per-call state keeps the hot
+	// keying path from allocating a fresh closure per configuration.
+	relabel func(loc int) int
 }
 
 // SymStateKey is the symmetry-reduced form of StateKey: a canonical encoding
@@ -101,9 +107,10 @@ func (s *System) SymStateKey() (key string, ok bool) {
 }
 
 // AppendSymStateKey is SymStateKey appending into dst, reusing sc's buffers
-// when non-nil. Like AppendStateKey it only reads the receiver: safe to
-// call concurrently with Forks of the same system, but not with
-// Step/Crash/Close (and each concurrent caller needs its own SymScratch).
+// when non-nil. Its concurrency contract matches AppendStateKey's: it only
+// reads the receiver — safe concurrently with Forks of the same system, but
+// not with Step/Crash/Close (and each concurrent caller needs its own
+// SymScratch).
 func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok bool) {
 	if s.closed {
 		return dst, false
@@ -131,11 +138,11 @@ func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok b
 	// equal-content cells, where distinguishing them is already content-free.
 	cells := s.mem.AppendCellHashes(sc.cells[:0])
 	sc.cells = cells[:0]
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Hash != cells[j].Hash {
-			return cells[i].Hash < cells[j].Hash
+	slices.SortFunc(cells, func(a, b machine.CellHash) int {
+		if a.Hash != b.Hash {
+			return cmp.Compare(a.Hash, b.Hash)
 		}
-		return cells[i].Loc < cells[j].Loc
+		return cmp.Compare(a.Loc, b.Loc)
 	})
 	dst = binary.LittleEndian.AppendUint64(dst, machine.FoldCellHashes(cells))
 	if len(cells) > 0 && sc.rank == nil {
@@ -145,12 +152,15 @@ func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok b
 	for r, c := range cells {
 		sc.rank[c.Loc] = r
 	}
-	relabel := func(loc int) int {
-		if r, hit := sc.rank[loc]; hit {
-			return r
+	if sc.relabel == nil {
+		sc.relabel = func(loc int) int {
+			if r, hit := sc.rank[loc]; hit {
+				return r
+			}
+			return symZeroBase + loc
 		}
-		return symZeroBase + loc
 	}
+	relabel := sc.relabel
 
 	// Processes: one self-delimiting entry each — terminal status or the
 	// relabeled local-state key — sorted so the key quotients by process
@@ -177,7 +187,7 @@ func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok b
 		}
 		entries[i] = e
 	}
-	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i], entries[j]) < 0 })
+	slices.SortFunc(entries, bytes.Compare)
 	for _, e := range entries {
 		dst = append(dst, e...)
 	}

@@ -32,13 +32,31 @@ const (
 
 // procState is the System-side view of one process.
 type procState struct {
-	st       Stepper
-	poised   OpInfo // cached poised instruction; valid while hasPoised
+	st Stepper
+	// rp is non-nil when st opts into superword step fusion (RunPoiser) and
+	// the system has fusion enabled. The fused fast path then replaces the
+	// per-step Poise with one PoiseRun per straight-line run: run[pos] is the
+	// poised instruction, and the stepper is only re-asked when the run is
+	// exhausted. Results are still delivered to the stepper one Resume per
+	// step, so stepper-observable state is identical to unfused execution at
+	// every step boundary.
+	rp       RunPoiser
+	run      []OpInfo // rp only: cached straight-line run
+	pos      int      // rp only: next instruction within run
+	poised   OpInfo   // cached poised instruction; valid while hasPoise
 	hasPoise bool
 	decided  bool
 	decision int
 	crashed  bool
 	err      error
+	// doneSt is the in-place terminal stub a fork installs for a finished or
+	// crashed source process: boxing &doneSt into st costs no allocation,
+	// unlike boxing a doneStepper value.
+	doneSt doneStepper
+	// spare keeps the recycled live stepper a pooled fork displaced with the
+	// terminal stub, so a later fork of a live process into this slot can
+	// still rebuild over it (ForkerInto) instead of allocating afresh.
+	spare Stepper
 }
 
 func (ps *procState) live() bool {
@@ -46,18 +64,42 @@ func (ps *procState) live() bool {
 }
 
 // refresh re-reads the stepper's poise point into the cache, recording the
-// outcome if the process finished.
+// outcome if the process finished. For a fused stepper it re-poises the
+// whole straight-line run.
 func (ps *procState) refresh() {
+	if ps.rp != nil {
+		ps.run, ps.pos = ps.rp.PoiseRun(ps.run[:0]), 0
+		if len(ps.run) > 0 {
+			ps.hasPoise = true
+			return
+		}
+		ps.hasPoise = false
+		ps.recordOutcome()
+		return
+	}
 	if info, ok := ps.st.Poise(); ok {
 		ps.poised, ps.hasPoise = info, true
 		return
 	}
 	ps.poised, ps.hasPoise = OpInfo{}, false
+	ps.recordOutcome()
+}
+
+func (ps *procState) recordOutcome() {
 	decided, decision, err := ps.st.Outcome()
 	ps.decided, ps.decision = decided, decision
 	if err != nil {
 		ps.err = err
 	}
+}
+
+// poisedInfo returns the instruction the process will perform next. Valid
+// only while live.
+func (ps *procState) poisedInfo() OpInfo {
+	if ps.rp != nil {
+		return ps.run[ps.pos]
+	}
+	return ps.poised
 }
 
 // System is one execution of n processes against a shared memory. It is
@@ -73,7 +115,14 @@ type System struct {
 	trace   []StepInfo // recorded when tracing enabled
 	tracing bool
 	engine  Engine
+	nofuse  bool
 	closed  bool
+	// pool, when non-nil, recycles forked Systems across Fork/Close cycles;
+	// see Pool. Inherited by forks.
+	pool *Pool
+	// pooled marks a System built by a pooled Fork: its Close returns it to
+	// pool instead of abandoning it.
+	pooled bool
 }
 
 // StepInfo records one executed step.
@@ -95,6 +144,17 @@ func WithTrace() SystemOption {
 // WithEngine selects the execution engine for function-shaped bodies.
 func WithEngine(e Engine) SystemOption {
 	return func(s *System) { s.engine = e }
+}
+
+// WithoutFusion disables superword step fusion: steppers implementing
+// RunPoiser are driven through the plain per-instruction Poise/Resume
+// protocol, and bodies suspend once per instruction even inside ApplyRun.
+// Execution is step-for-step identical either way — fusion only batches
+// when stepper code runs between a process's own instructions — so the
+// option exists for the fused-vs-unfused differential batteries and for
+// isolating fusion when debugging.
+func WithoutFusion() SystemOption {
+	return func(s *System) { s.nofuse = true }
 }
 
 // EngineOf reports which engine a set of system options selects, without
@@ -132,7 +192,7 @@ func NewSystemBodies(mem *machine.Memory, inputs []int, bodies []Body, opts ...S
 		case EngineGoroutine:
 			st = newGoroutineStepper(i, len(inputs), inputs[i], &s.steps, body)
 		default:
-			st = newCoroStepper(i, len(inputs), inputs[i], &s.steps, body)
+			st = newCoroStepper(i, len(inputs), inputs[i], &s.steps, body, !s.nofuse)
 		}
 		s.adopt(i, st)
 	}
@@ -166,6 +226,11 @@ func newSystem(mem *machine.Memory, inputs []int, opts []SystemOption) *System {
 // adopt installs a stepper as process pid and caches its first poise point.
 func (s *System) adopt(pid int, st Stepper) {
 	ps := &procState{st: st}
+	if !s.nofuse {
+		if rp, ok := st.(RunPoiser); ok {
+			ps.rp = rp
+		}
+	}
 	ps.refresh()
 	s.procs[pid] = ps
 }
@@ -173,7 +238,10 @@ func (s *System) adopt(pid int, st Stepper) {
 // N returns the number of processes.
 func (s *System) N() int { return len(s.procs) }
 
-// Mem returns the shared memory.
+// Mem returns the shared memory. The reference is valid only until Close: a
+// pooled System's memory is rebuilt in place for an unrelated fork once the
+// System is recycled, so measurements must be snapshotted (mem.Stats())
+// while the run is alive.
 func (s *System) Mem() *machine.Memory { return s.mem }
 
 // Inputs returns the processes' consensus inputs.
@@ -244,7 +312,7 @@ func (s *System) Poised(pid int) (OpInfo, bool) {
 	if !ps.live() {
 		return OpInfo{}, false
 	}
-	return ps.poised, true
+	return ps.poisedInfo(), true
 }
 
 // Step lets process pid perform its poised instruction. The instruction is
@@ -262,7 +330,10 @@ func (s *System) Step(pid int) (StepInfo, error) {
 	if !ps.live() {
 		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
 	}
-	info := ps.poised
+	info := &ps.poised
+	if ps.rp != nil {
+		info = &ps.run[ps.pos]
+	}
 	var (
 		res machine.Value
 		err error
@@ -281,9 +352,16 @@ func (s *System) Step(pid int) (StepInfo, error) {
 		return StepInfo{}, ps.err
 	}
 	s.steps++
-	ps.st.Resume(res)
-	ps.refresh()
-	step := StepInfo{PID: pid, Info: info, Result: res}
+	step := StepInfo{PID: pid, Info: *info, Result: res} // before refresh: it may re-poise over *info
+	if ps.rp != nil {
+		ps.st.Resume(res)
+		if ps.pos++; ps.pos == len(ps.run) {
+			ps.refresh()
+		}
+	} else {
+		ps.st.Resume(res)
+		ps.refresh()
+	}
 	if s.tracing {
 		s.trace = append(s.trace, step)
 	}
@@ -307,7 +385,10 @@ func (s *System) Crash(pid int) {
 
 // Close tears down all processes. The System must not be used afterwards.
 // With the default VM engine this releases the bodies' coroutines; with
-// EngineGoroutine it terminates and joins the process goroutines.
+// EngineGoroutine it terminates and joins the process goroutines. A System
+// built by a pooled Fork is recycled into its Pool (which is why the
+// must-not-use-afterwards contract is load-bearing: the next Fork rebuilds
+// over the same storage).
 func (s *System) Close() {
 	if s.closed {
 		return
@@ -315,5 +396,8 @@ func (s *System) Close() {
 	s.closed = true
 	for _, ps := range s.procs {
 		ps.st.Halt()
+	}
+	if s.pooled && s.pool != nil {
+		s.pool.put(s)
 	}
 }

@@ -221,7 +221,7 @@ func SolveBatch(specs []BatchSpec, workers int) []BatchOutcome {
 	handles := make(map[hkey]*Protocol)
 	herrs := make(map[hkey]error)
 	out := make([]BatchOutcome, len(specs))
-	mems := make([]*machine.Memory, len(specs))
+	stats := make([]machine.Stats, len(specs))
 	var jobs []sim.BatchJob
 	var jobSpec []int // job index -> specs index
 	for i, sp := range specs {
@@ -245,14 +245,12 @@ func SolveBatch(specs []BatchSpec, workers int) []BatchOutcome {
 		i, sp, o, p := i, sp, o, handles[k]
 		jobs = append(jobs, sim.BatchJob{
 			Make: func() (*sim.System, error) {
-				sys, err := p.makeRun(sp.Inputs)
-				if err != nil {
-					return nil, err
-				}
-				mems[i] = sys.Mem()
-				return sys, nil
+				return p.makeRun(sp.Inputs)
 			},
-			Sched:    func() sim.Scheduler { return sim.NewRandom(o.seed) },
+			Sched: func() sim.Scheduler { return sim.NewRandom(o.seed) },
+			// Snapshot the measurements before the runner closes (and the
+			// handle's pool recycles) the run's System.
+			Done:     func(sys *sim.System) { stats[i] = sys.Mem().Stats() },
 			MaxSteps: o.maxSteps,
 		})
 		jobSpec = append(jobSpec, i)
@@ -264,7 +262,7 @@ func SolveBatch(specs []BatchSpec, workers int) []BatchOutcome {
 			out[i].Err = r.Err
 			continue
 		}
-		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[j].MaxSteps, r.Result, mems[i])
+		out[i].Outcome, out[i].Err = finishSolve(specs[i].Inputs, jobs[j].MaxSteps, r.Result, stats[i])
 	}
 	return out
 }
