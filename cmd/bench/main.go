@@ -56,7 +56,8 @@ type rowMeasurements struct {
 }
 
 // higherIsBetter classifies each metric for the -check regression gate.
-// Anything not listed here (allocs_per_state) is lower-is-better.
+// Anything not listed here (allocs_per_state, bytes_per_state) is
+// lower-is-better.
 var higherIsBetter = map[string]bool{
 	"steps_per_sec":  true,
 	"runs_per_sec":   true,
@@ -111,7 +112,7 @@ func main() {
 
 func fmtMetrics(m map[string]float64) string {
 	var parts []string
-	for _, k := range []string{"steps_per_sec", "runs_per_sec", "states_per_sec", "forks_per_sec", "allocs_per_state"} {
+	for _, k := range []string{"steps_per_sec", "runs_per_sec", "states_per_sec", "forks_per_sec", "allocs_per_state", "bytes_per_state"} {
 		if v, ok := m[k]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%.4g", k, v))
 		}
@@ -261,6 +262,16 @@ func measureAll(minTime time.Duration) ([]rowMeasurements, error) {
 		return nil, fmt.Errorf("increment4-sym-explore: %w", err)
 	}
 	rows = append(rows, rowMeasurements{Name: "increment4-sym-explore", Metrics: incM})
+	// The memory-bound row: the same symmetric increment lift explored twice
+	// as deep through the hash-compaction table, adding bytes_per_state —
+	// the metric the compacted modes exist to shrink.
+	cmpM, err := measureExplore(func() *consensus.Protocol { return consensus.Increment(4) },
+		[]int{1, 0, 1, 0}, explore.Options{MaxDepth: 12, Strategy: explore.StrategyFork,
+			Dedup: true, Symmetry: true, Table: explore.TableCompact}, minTime)
+	if err != nil {
+		return nil, fmt.Errorf("increment4-d12-compact-explore: %w", err)
+	}
+	rows = append(rows, rowMeasurements{Name: "increment4-d12-compact-explore", Metrics: cmpM})
 	return rows, nil
 }
 
@@ -318,6 +329,7 @@ func measureExplore(build func() *consensus.Protocol, inputs []int, opts explore
 	}
 	var (
 		states int64
+		last   *explore.Report
 		ms0    runtime.MemStats
 		ms1    runtime.MemStats
 	)
@@ -331,14 +343,22 @@ func measureExplore(build func() *consensus.Protocol, inputs []int, opts explore
 			return nil, err
 		}
 		states += rep.States
+		last = rep
 	}
 	el := time.Since(start).Seconds()
 	forks := sim.ForkTally() - forks0
 	runtime.ReadMemStats(&ms1)
 	allocs := ms1.Mallocs - ms0.Mallocs
-	return map[string]float64{
+	m := map[string]float64{
 		"states_per_sec":   float64(states) / el,
 		"forks_per_sec":    float64(forks) / el,
 		"allocs_per_state": float64(allocs) / float64(states),
-	}, nil
+	}
+	// Seen-state storage cost, the axis the compacted tables trade on.
+	// Deterministic across repeats (every iteration explores the same
+	// space), so the last report speaks for all of them.
+	if last.Mem.TableBytes > 0 && last.DistinctStates > 0 {
+		m["bytes_per_state"] = float64(last.Mem.TableBytes) / float64(last.DistinctStates)
+	}
+	return m, nil
 }

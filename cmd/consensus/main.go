@@ -71,6 +71,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for -batch and -explore (0 = GOMAXPROCS)")
 	exploreDepth := flag.Int("explore", -1, "exhaustively check every interleaving up to depth D (0 = to completion)")
 	sym := flag.Bool("sym", false, "with -explore: deduplicate configurations up to location/process symmetry")
+	table := flag.String("table", "exact", "with -explore: seen-state table mode (exact, compact, compact128, bitstate)")
+	tableMB := flag.Int64("table-mb", 0, "with -explore: compacted-table memory cap in MiB (0 = mode default)")
+	spill := flag.Int("spill", 0, "with -explore: spill the DFS frontier to disk beyond N resident nodes (sequential explorer only)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -92,12 +95,23 @@ func main() {
 		})
 		workersSet := false
 		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet, *sym)
+		mode, err := repro.ParseTableMode(*table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet, *sym,
+			mode, *tableMB<<20, *spill)
 		return
 	}
 	if *sym {
 		log.Fatal("-sym only applies to -explore (it keys the exploration's seen-state table)")
 	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "table", "table-mb", "spill":
+			log.Fatalf("-%s only applies to -explore (it shapes the exploration's memory)", f.Name)
+		}
+	})
 	if *batch > 0 {
 		// Batch mode sweeps seeds 1..N under the random scheduler; the
 		// single-run scheduling flags have no meaning there — reject them
@@ -178,8 +192,10 @@ func main() {
 // depth, reporting the explored envelope and any violation. With workersSet
 // the exploration runs on the parallel work-stealing explorer; with sym the
 // seen-state table merges configurations equal up to location/process
-// symmetry.
-func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet, sym bool) {
+// symmetry; mode/tableBytes/spill shape the exploration's memory (hash
+// compaction, bitstate, disk-spilled frontier).
+func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet, sym bool,
+	mode repro.TableMode, tableBytes int64, spill int) {
 	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
 	if err != nil {
 		log.Fatal(err)
@@ -191,6 +207,15 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 	if sym {
 		opts = append(opts, repro.WithSymmetry())
 	}
+	if mode != repro.TableExact {
+		opts = append(opts, repro.WithTable(mode))
+	}
+	if tableBytes > 0 {
+		opts = append(opts, repro.WithTableBytes(tableBytes))
+	}
+	if spill > 0 {
+		opts = append(opts, repro.WithSpillFrontier(spill, ""))
+	}
 	start := time.Now()
 	rep, err := p.Verify(ctx, inputs, depth, opts...)
 	if err != nil {
@@ -200,6 +225,19 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 		rowID, len(inputs), depth, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  %d configurations expanded (%d distinct), %d maximal schedules, %d deduplicated, decided values %v\n",
 		rep.States, rep.DistinctStates, rep.Runs, rep.Deduped, rep.DecidedValues)
+	fmt.Printf("  memory: %s table %.1f MiB", mode, float64(rep.Mem.TableBytes)/(1<<20))
+	if mode != repro.TableExact {
+		fmt.Printf(" (%.1f%% occupied)", 100*rep.Mem.TableOccupancy)
+	}
+	fmt.Printf(", peak frontier %d", rep.Mem.PeakFrontier)
+	if rep.Mem.SpilledBatches > 0 {
+		fmt.Printf(", %d batches spilled to disk", rep.Mem.SpilledBatches)
+	}
+	fmt.Println()
+	if rep.UnderApprox {
+		fmt.Printf("  under-approximation: fingerprint merges may have hidden states (P[any false merge] <= %.2e)\n",
+			rep.FalseMergeProb)
+	}
 	if rep.Truncated {
 		fmt.Println("  (truncated by the run cap)")
 	}

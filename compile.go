@@ -161,6 +161,22 @@ func (p *Protocol) checkInputs(inputs []int) error {
 	return nil
 }
 
+// exploreTable maps the public table mode onto the explorer's enum,
+// rejecting out-of-range values up front.
+func (m TableMode) exploreTable() (explore.Table, error) {
+	switch m {
+	case TableExact:
+		return explore.TableExact, nil
+	case TableCompact:
+		return explore.TableCompact, nil
+	case TableCompact128:
+		return explore.TableCompact128, nil
+	case TableBitstate:
+		return explore.TableBitstate, nil
+	}
+	return 0, fmt.Errorf("%w: invalid TableMode(%d)", ErrBadInput, int(m))
+}
+
 // errNoProtocol reports a run verb on a row without a constructive protocol.
 func (p *Protocol) errNoProtocol() error {
 	return fmt.Errorf("repro: row %s has no constructive protocol", p.row.ID)
@@ -391,6 +407,10 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 	if maxDepth <= 0 && !p.pr.WaitFree {
 		return nil, fmt.Errorf("repro: row %s is not wait-free; Verify needs maxDepth > 0 to bound the exploration", p.row.ID)
 	}
+	table, err := c.table.exploreTable()
+	if err != nil {
+		return nil, err
+	}
 	eo := explore.Options{
 		MaxDepth:   maxDepth,
 		MaxRuns:    c.maxRuns,
@@ -398,6 +418,10 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 		Strategy:   explore.StrategyFork,
 		Dedup:      true,
 		Symmetry:   c.symmetry,
+		Table:      table,
+		TableBytes: c.tableBytes,
+		SpillNodes: c.spillNodes,
+		SpillDir:   c.spillDir,
 	}
 	if c.workersSet {
 		eo.Strategy, eo.Workers = explore.StrategyParallel, c.workers
@@ -411,6 +435,13 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 	out := &VerifyReport{
 		Runs: rep.Runs, States: rep.States, Deduped: rep.Deduped, Truncated: rep.Truncated,
 		DecidedValues: rep.DecidedValues, DistinctStates: rep.DistinctStates,
+		UnderApprox: rep.UnderApprox, FalseMergeProb: rep.FalseMergeProb,
+		Mem: VerifyMemStats{
+			TableBytes:     rep.Mem.TableBytes,
+			TableOccupancy: rep.Mem.TableOccupancy,
+			PeakFrontier:   rep.Mem.PeakFrontier,
+			SpilledBatches: rep.Mem.SpilledBatches,
+		},
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, v.String())

@@ -7,6 +7,7 @@ package repro
 import (
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -216,5 +217,118 @@ func TestHandleAccessors(t *testing.T) {
 	lo, up := p.Bounds()
 	if lo != 3 || up != 4 {
 		t.Fatalf("bounds (%d,%d), want (3,4)", lo, up)
+	}
+}
+
+// stripVerifyMem clears the diagnostic fields of a VerifyReport for
+// identity comparisons: Mem is strategy-shaped by contract, and the
+// under-approximation certificate is only set by compacted tables.
+func stripVerifyMem(r *VerifyReport) *VerifyReport {
+	c := *r
+	c.Mem = VerifyMemStats{}
+	c.UnderApprox = false
+	c.FalseMergeProb = 0
+	return &c
+}
+
+// TestVerifyTableModes: the compacted table modes reproduce the exact
+// exploration through the public API (at these state counts a fingerprint
+// collision is implausible), fill the memory telemetry, and certify their
+// under-approximation; bitstate under-approximates with uncountable
+// distinct states but identical counters at negligible occupancy.
+func TestVerifyTableModes(t *testing.T) {
+	inputs := []int{0, 1, 1}
+	p, err := Compile("T1.7", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	exact, err := p.Verify(ctx, inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.UnderApprox || exact.FalseMergeProb != 0 {
+		t.Fatalf("exact run claims under-approximation: %+v", exact)
+	}
+	for _, mode := range []TableMode{TableCompact, TableCompact128} {
+		rep, err := p.Verify(ctx, inputs, 8, WithTable(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripVerifyMem(rep), stripVerifyMem(exact)) {
+			t.Fatalf("%v diverged from exact:\nexact   %+v\ncompact %+v", mode, exact, rep)
+		}
+		if !rep.UnderApprox || rep.FalseMergeProb <= 0 || rep.FalseMergeProb >= 1 {
+			t.Fatalf("%v: pruning compacted run must bound its risk: %+v", mode, rep)
+		}
+		if rep.Mem.TableBytes <= 0 || rep.Mem.TableOccupancy <= 0 {
+			t.Fatalf("%v: missing table telemetry: %+v", mode, rep.Mem)
+		}
+	}
+	bit, err := p.Verify(ctx, inputs, 8, WithTable(TableBitstate), WithTableBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bit.DistinctStates != 0 {
+		t.Fatalf("bitstate counted %d distinct states", bit.DistinctStates)
+	}
+	if !bit.UnderApprox || bit.FalseMergeProb <= 0 {
+		t.Fatalf("bitstate run must report under-approximation: %+v", bit)
+	}
+	if bit.Mem.TableBytes != 1<<20 {
+		t.Fatalf("bitstate table bytes = %d, want the 1 MiB cap", bit.Mem.TableBytes)
+	}
+}
+
+// TestVerifySpillFrontier: a spilled exploration returns the byte-identical
+// report (telemetry aside) and leaves no files behind.
+func TestVerifySpillFrontier(t *testing.T) {
+	inputs := []int{0, 1, 1}
+	p, err := Compile("T1.7", len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	plain, err := p.Verify(ctx, inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spilled, err := p.Verify(ctx, inputs, 8, WithSpillFrontier(8, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled.Mem.SpilledBatches == 0 {
+		t.Fatal("frontier never spilled")
+	}
+	if !reflect.DeepEqual(stripVerifyMem(spilled), stripVerifyMem(plain)) {
+		t.Fatalf("spilling changed the report:\nplain   %+v\nspilled %+v", plain, spilled)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill files not removed: %v", left)
+	}
+}
+
+// TestParseTableMode pins the flag spellings and their round trip.
+func TestParseTableMode(t *testing.T) {
+	for _, m := range []TableMode{TableExact, TableCompact, TableCompact128, TableBitstate} {
+		got, err := ParseTableMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip %v: got %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseTableMode("hashcompact"); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("unknown spelling: want ErrBadInput, got %v", err)
+	}
+	p, err := Compile("T1.7", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Verify(context.Background(), []int{0, 1}, 4, WithTable(TableMode(99))); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("invalid mode: want ErrBadInput, got %v", err)
 	}
 }

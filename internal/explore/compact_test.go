@@ -1,0 +1,551 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// stripApprox extends stripMem for compacted-vs-exact comparisons: the
+// compacted side additionally reports its under-approximation bound, which
+// the exact oracle by definition never sets, so those two fields are
+// compared separately (see TestCompactReportsUnderApprox) and cleared here.
+func stripApprox(r *Report) *Report {
+	c := *stripMem(r)
+	c.UnderApprox = false
+	c.FalseMergeProb = 0
+	return &c
+}
+
+// --- fingerprint-only key emission -------------------------------------------
+
+// TestStateHash128MatchesKey: the streaming fingerprint must be a pure
+// function of the canonical key — equal keys hash equal, distinct keys hash
+// distinct (up to the 128-bit collision bound, which these few thousand
+// states cannot plausibly hit) — and the ok flag must agree with
+// AppendStateKey's exactly. Checked over every configuration of several
+// portfolio explorations, native steppers and coroutine bodies both.
+func TestStateHash128MatchesKey(t *testing.T) {
+	body := func() (*sim.System, error) {
+		pr := consensus.MaxRegisters(2)
+		return sim.NewSystem(pr.NewMemory(), []int{0, 1}, pr.Body), nil
+	}
+	factories := []Factory{
+		factoryFor(func() *consensus.Protocol { return consensus.CAS(3) }, []int{0, 1, 2}),
+		factoryFor(func() *consensus.Protocol { return consensus.Increment(3) }, []int{1, 0, 1}),
+		factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}),
+		body,
+	}
+	byKey := make(map[string]machine.Hash128)
+	byFP := make(map[machine.Hash128]string)
+	checked := 0
+	for _, f := range factories {
+		root, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack := []*sim.System{root}
+		depth := map[*sim.System]int{root: 0}
+		for len(stack) > 0 {
+			sys := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			key, kok := sys.AppendStateKey(nil)
+			fp, fok := sys.StateHash128()
+			if kok != fok {
+				t.Fatalf("ok flags disagree: AppendStateKey %v, StateHash128 %v", kok, fok)
+			}
+			if kok {
+				checked++
+				if prev, hit := byKey[string(key)]; hit && prev != fp {
+					t.Fatalf("equal keys, distinct fingerprints: %x vs %x", prev, fp)
+				}
+				byKey[string(key)] = fp
+				if prev, hit := byFP[fp]; hit && prev != string(key) {
+					t.Fatalf("fingerprint collision between distinct keys:\n%q\n%q", prev, string(key))
+				}
+				byFP[fp] = string(key)
+			}
+			if d := depth[sys]; d < 4 {
+				for _, pid := range sys.LiveSet() {
+					child, err := sys.Fork()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := child.Step(pid); err != nil {
+						t.Fatal(err)
+					}
+					stack = append(stack, child)
+					depth[child] = d + 1
+				}
+			}
+			delete(depth, sys)
+			sys.Close()
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d keyed configurations checked", checked)
+	}
+}
+
+// --- compacted-vs-exact differential battery ---------------------------------
+
+// TestCompactMatchesExact is the soundness battery for hash compaction:
+// over the forkable portfolio x {replay, fork, parallel 1/2/4 workers} x
+// symmetry on/off x {compact, compact128}, the compacted run must reproduce
+// the exact run of the same strategy field-for-field (telemetry and the
+// under-approximation bound aside). At these state counts a 64-bit
+// fingerprint collision has probability ~2^-40 per instance, so any
+// divergence is a real bug, not bad luck.
+func TestCompactMatchesExact(t *testing.T) {
+	type variant struct {
+		name     string
+		strategy Strategy
+		workers  int
+	}
+	variants := []variant{
+		{"replay", StrategyReplay, 0},
+		{"fork", StrategyFork, 0},
+		{"par1", StrategyParallel, 1},
+		{"par2", StrategyParallel, 2},
+		{"par4", StrategyParallel, 4},
+	}
+	for _, tc := range consensus.ForkablePortfolio() {
+		t.Run(tc.Name, func(t *testing.T) {
+			f := factoryFor(tc.Build, tc.Inputs)
+			depth := portfolioDepth(tc.Inputs)
+			for _, sym := range []bool{false, true} {
+				if sym && tc.Name == "racing-board" {
+					// Replay-based symmetric runs of the slowest instance add
+					// little beyond the rest of the battery.
+					continue
+				}
+				for _, v := range variants {
+					opts := Options{MaxDepth: depth, Dedup: true, Symmetry: sym,
+						Strategy: v.strategy, Workers: v.workers}
+					exact := run(t, f, opts)
+					for _, mode := range []Table{TableCompact, TableCompact128} {
+						co := opts
+						co.Table = mode
+						compact := run(t, f, co)
+						if !reflect.DeepEqual(stripApprox(compact), stripApprox(exact)) {
+							t.Fatalf("%s sym=%v %v: compacted run diverged\nexact   %+v\ncompact %+v",
+								v.name, sym, mode, exact, compact)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBitstateMatchesPairClaims: bitstate claims (state, depth) pairs — the
+// parallel exact table's rule — so at negligible occupancy (no false
+// positives plausible) its counters must reproduce the parallel exact run's
+// under every strategy, with DistinctStates 0 (uncountable) and, whenever
+// anything was pruned, the under-approximation flag raised with a nonzero
+// probability bound.
+func TestBitstateMatchesPairClaims(t *testing.T) {
+	for _, tc := range consensus.ForkablePortfolio()[:6] {
+		t.Run(tc.Name, func(t *testing.T) {
+			f := factoryFor(tc.Build, tc.Inputs)
+			depth := portfolioDepth(tc.Inputs)
+			oracle := run(t, f, Options{MaxDepth: depth, Dedup: true,
+				Strategy: StrategyParallel, Workers: 1})
+			for _, v := range []struct {
+				name     string
+				strategy Strategy
+				workers  int
+			}{{"fork", StrategyFork, 0}, {"par4", StrategyParallel, 4}} {
+				bit := run(t, f, Options{MaxDepth: depth, Dedup: true, Table: TableBitstate,
+					Strategy: v.strategy, Workers: v.workers})
+				if bit.Runs != oracle.Runs || bit.States != oracle.States || bit.Deduped != oracle.Deduped {
+					t.Fatalf("%s: counters diverged from pair-claim oracle\noracle   %+v\nbitstate %+v",
+						v.name, oracle, bit)
+				}
+				if !slices.Equal(bit.DecidedValues, oracle.DecidedValues) {
+					t.Fatalf("%s: decided %v, oracle %v", v.name, bit.DecidedValues, oracle.DecidedValues)
+				}
+				if bit.DistinctStates != 0 {
+					t.Fatalf("%s: bitstate counted %d distinct states", v.name, bit.DistinctStates)
+				}
+				if bit.Deduped > 0 {
+					if !bit.UnderApprox || bit.FalseMergeProb <= 0 {
+						t.Fatalf("%s: pruning run must report under-approximation: %+v", v.name, bit)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompactReportsUnderApprox pins the certificate semantics: a compacted
+// run that pruned nothing proves exhaustiveness and must NOT set
+// UnderApprox; one that pruned must set it with a positive, sub-1
+// probability bound; exact runs never set it.
+func TestCompactReportsUnderApprox(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	exact := run(t, f, Options{MaxDepth: 8, Dedup: true})
+	if exact.UnderApprox || exact.FalseMergeProb != 0 {
+		t.Fatalf("exact run claims under-approximation: %+v", exact)
+	}
+	pruned := run(t, f, Options{MaxDepth: 8, Dedup: true, Table: TableCompact})
+	if pruned.Deduped == 0 {
+		t.Fatal("instance no longer exercises dedup")
+	}
+	if !pruned.UnderApprox || pruned.FalseMergeProb <= 0 || pruned.FalseMergeProb >= 1 {
+		t.Fatalf("pruning compact run must bound its risk: %+v", pruned)
+	}
+	clean := run(t, f, Options{MaxDepth: 8, Table: TableCompact})
+	if clean.Deduped != 0 || clean.UnderApprox || clean.FalseMergeProb != 0 {
+		t.Fatalf("count-only compact run prunes nothing and must stay exact: %+v", clean)
+	}
+}
+
+// TestPlantedCollision truncates probe words to 6 bits so fingerprint
+// collisions are certain, then checks the contract under real collisions:
+// the search may only shrink (merges prune subtrees, never invent states or
+// violations), and the report must disclose the risk instead of claiming
+// exactness. This is the "detects/reports rather than silently merges"
+// guarantee.
+func TestPlantedCollision(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	exact := run(t, f, Options{MaxDepth: 8, Dedup: true})
+	planted := run(t, f, Options{MaxDepth: 8, Dedup: true, Table: TableCompact, testPWMask: 0x3f})
+	if planted.DistinctStates >= exact.DistinctStates {
+		t.Fatalf("mask planted no collisions: %d distinct vs %d exact",
+			planted.DistinctStates, exact.DistinctStates)
+	}
+	if planted.States > exact.States || planted.Runs > exact.Runs {
+		t.Fatalf("false merges must only shrink the search:\nexact   %+v\nplanted %+v", exact, planted)
+	}
+	for _, v := range planted.DecidedValues {
+		if !slices.Contains(exact.DecidedValues, v) {
+			t.Fatalf("planted run decided %v, exact only %v", planted.DecidedValues, exact.DecidedValues)
+		}
+	}
+	if len(planted.Violations) != 0 {
+		t.Fatalf("false merges invented violations: %v", planted.Violations)
+	}
+	if !planted.UnderApprox || planted.FalseMergeProb < 0.5 {
+		t.Fatalf("6-bit fingerprints must report near-certain false merges: %+v", planted)
+	}
+
+	// The 128-bit mode keeps its check word unmasked, so the same planted
+	// probe-word collisions must all be resolved — byte-identical search.
+	wide := run(t, f, Options{MaxDepth: 8, Dedup: true, Table: TableCompact128, testPWMask: 0x3f})
+	if !reflect.DeepEqual(stripApprox(wide), stripApprox(exact)) {
+		t.Fatalf("check word failed to separate planted probe-word collisions:\nexact %+v\nwide  %+v",
+			exact, wide)
+	}
+}
+
+// --- table unit tests --------------------------------------------------------
+
+func fpOf(i uint64) machine.Hash128 {
+	return machine.SeedHash128().Word(i)
+}
+
+// TestCompactTableClaims pins the slot semantics of both depth rules.
+func TestCompactTableClaims(t *testing.T) {
+	// Sequential min-depth rule, mirroring the exact walk: revisits with
+	// less remaining depth prune; deeper-remaining revisits re-expand.
+	seq := newCompactTable(false, false, true, 0, 0)
+	mustClaim := func(tb *compactTable, fp machine.Hash128, depth int, wantClaim, wantNew bool) {
+		t.Helper()
+		claimed, newState, err := tb.claim(fp, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if claimed != wantClaim || newState != wantNew {
+			t.Fatalf("claim(depth=%d) = (%v, %v), want (%v, %v)", depth, claimed, newState, wantClaim, wantNew)
+		}
+	}
+	mustClaim(seq, fpOf(1), 5, true, true)
+	mustClaim(seq, fpOf(1), 5, false, false) // same depth: prune
+	mustClaim(seq, fpOf(1), 7, false, false) // deeper: less remaining, prune
+	mustClaim(seq, fpOf(1), 3, true, false)  // shallower: more remaining, re-expand
+	mustClaim(seq, fpOf(1), 4, false, false) // min depth updated to 3
+	mustClaim(seq, fpOf(2), 9, true, true)
+
+	// Parallel depth-bitmap rule: exact (state, depth) pairs, including
+	// across the 64-depth epoch fold.
+	par := newCompactTable(false, true, false, 1<<16, 0)
+	mustClaim(par, fpOf(1), 5, true, true)
+	mustClaim(par, fpOf(1), 5, false, false)
+	mustClaim(par, fpOf(1), 7, true, false) // distinct depth: own claim
+	for _, d := range []int{63, 64, 127, 128} {
+		mustClaim(par, fpOf(1), d, true, false) // new epoch = new slot, same state
+		mustClaim(par, fpOf(1), d, false, false)
+	}
+	mustClaim(par, fpOf(2), 100, true, true) // deep first sighting still counts once
+	mustClaim(par, fpOf(2), 101, true, false)
+	if par.distinct() != 2 {
+		t.Fatalf("distinct = %d, want 2 (epoch slots must not count)", par.distinct())
+	}
+}
+
+// TestCompactTableGrows: a growable table must survive several rehashes
+// without losing or duplicating a fingerprint.
+func TestCompactTableGrows(t *testing.T) {
+	tb := newCompactTable(true, false, true, 1<<22, 0)
+	const n = 5000 // >> compactMinEntries, forces multiple doublings
+	for i := uint64(0); i < n; i++ {
+		claimed, newState, err := tb.claim(fpOf(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !claimed || !newState {
+			t.Fatalf("insert %d: (%v, %v)", i, claimed, newState)
+		}
+	}
+	if tb.distinct() != n {
+		t.Fatalf("distinct = %d, want %d", tb.distinct(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		claimed, newState, err := tb.claim(fpOf(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if claimed || newState {
+			t.Fatalf("revisit %d not found after growth: (%v, %v)", i, claimed, newState)
+		}
+	}
+	if occ := tb.occupancy(); occ <= 0 || occ > 0.75 {
+		t.Fatalf("occupancy %v out of growth band", occ)
+	}
+}
+
+// TestCompactTableFull: a budget-capped table must refuse inserts with
+// ErrTableFull instead of looping or silently dropping states.
+func TestCompactTableFull(t *testing.T) {
+	tb := newCompactTable(false, true, false, 1, 0) // floor: compactMinEntries
+	var err error
+	for i := uint64(0); err == nil && i < 2*compactMinEntries; i++ {
+		_, _, err = tb.claim(fpOf(i), 0)
+	}
+	if err == nil {
+		t.Fatal("tiny table never filled")
+	}
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("got %v, want ErrTableFull", err)
+	}
+	// The sequential explorer must surface it, not mislabel the report.
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	w := Options{MaxDepth: 10, Dedup: true, Table: TableCompact, TableBytes: 1}
+	if _, err := Exhaustive(context.Background(), f, w); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("sequential explorer: got %v, want ErrTableFull", err)
+	}
+	w.Strategy, w.Workers = StrategyParallel, 4
+	if _, err := Exhaustive(context.Background(), f, w); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("parallel explorer: got %v, want ErrTableFull", err)
+	}
+}
+
+// TestBitTableClaims: the blocked Bloom must claim each (fp, depth) pair to
+// exactly one caller and treat depths as distinct claim units.
+func TestBitTableClaims(t *testing.T) {
+	tb := newBitTable(1 << 20)
+	if claimed, _, _ := tb.claim(fpOf(1), 3); !claimed {
+		t.Fatal("first claim refused")
+	}
+	if claimed, _, _ := tb.claim(fpOf(1), 3); claimed {
+		t.Fatal("duplicate claim granted")
+	}
+	if claimed, _, _ := tb.claim(fpOf(1), 4); !claimed {
+		t.Fatal("distinct depth not its own claim")
+	}
+	if tb.distinct() != 0 {
+		t.Fatal("bitstate cannot count distinct states")
+	}
+	if occ := tb.occupancy(); occ <= 0 {
+		t.Fatal("occupancy not tracked")
+	}
+}
+
+// TestCompactTableClaimInvariance is the -race hammer for the lock-free
+// table: many goroutines race claims over a shared (fingerprint, depth)
+// workload; every pair must be granted exactly once and every fingerprint
+// counted exactly once, no matter the interleaving. Failures here are
+// either lost CAS claims (double expansion) or double counting — the two
+// invariants the parallel explorer's accounting stands on.
+func TestCompactTableClaimInvariance(t *testing.T) {
+	const (
+		goroutines = 8
+		fps        = 512
+		depths     = 70 // crosses the 64-depth epoch fold
+	)
+	for _, wide := range []bool{false, true} {
+		tb := newCompactTable(wide, true, false, 1<<22, 0)
+		claims := make([]int32, fps*depths)
+		news := make([]int32, fps)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				order := rng.Perm(fps * depths)
+				for _, i := range order {
+					fp, depth := uint64(i/depths), i%depths
+					claimed, newState, err := tb.claim(fpOf(fp), depth)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if claimed {
+						atomic.AddInt32(&claims[i], 1)
+					}
+					if newState {
+						atomic.AddInt32(&news[fp], 1)
+					}
+				}
+			}(int64(g) + 1)
+		}
+		wg.Wait()
+		for i, c := range claims {
+			if c != 1 {
+				t.Fatalf("wide=%v: pair %d claimed %d times", wide, i, c)
+			}
+		}
+		for fp, c := range news {
+			if c != 1 {
+				t.Fatalf("wide=%v: fingerprint %d counted new %d times", wide, fp, c)
+			}
+		}
+		if tb.distinct() != fps {
+			t.Fatalf("wide=%v: distinct = %d, want %d", wide, tb.distinct(), fps)
+		}
+	}
+}
+
+// TestBitTableClaimInvariance: the same exactly-once claim contract for the
+// Bloom filter's single-word atomic Or.
+func TestBitTableClaimInvariance(t *testing.T) {
+	const (
+		goroutines = 8
+		pairs      = 4096
+	)
+	tb := newBitTable(1 << 22) // sparse: false positives implausible
+	claims := make([]int32, pairs)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for _, i := range rng.Perm(pairs) {
+				claimed, _, err := tb.claim(fpOf(uint64(i)), i%8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if claimed {
+					atomic.AddInt32(&claims[i], 1)
+				}
+			}
+		}(int64(g) + 101)
+	}
+	wg.Wait()
+	dropped := 0
+	for i, c := range claims {
+		if c > 1 {
+			t.Fatalf("pair %d claimed %d times", i, c)
+		}
+		if c == 0 {
+			dropped++ // a (sparse-table) false positive; must stay rare
+		}
+	}
+	if dropped > pairs/100 {
+		t.Fatalf("%d/%d pairs never granted: false-positive rate implausible for sparse filter", dropped, pairs)
+	}
+}
+
+// --- disk-spilling frontier --------------------------------------------------
+
+// TestSpillPreservesReport: spilling must be invisible to everything but
+// Mem — the reloaded nodes rematerialize by replay into the identical
+// configurations, in the identical DFS order, so the whole Report
+// (violation schedules included) stays byte-identical to the unspilled run.
+func TestSpillPreservesReport(t *testing.T) {
+	broken := func() (*sim.System, error) {
+		mem := machine.New(machine.SetReadWrite, 1)
+		b := func(p *sim.Proc) int {
+			p.Apply(0, machine.OpRead)
+			return p.Input()
+		}
+		return sim.NewSystem(mem, []int{0, 1}, b), nil
+	}
+	cases := []struct {
+		name  string
+		f     Factory
+		opts  Options
+		spill int
+	}{
+		{"max-registers", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2}), Options{MaxDepth: 7}, 6},
+		{"dedup", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}), Options{MaxDepth: 9, Dedup: true}, 6},
+		{"symmetry", factoryFor(func() *consensus.Protocol { return consensus.Increment(3) }, []int{1, 0, 1}), Options{MaxDepth: 6, Dedup: true, Symmetry: true}, 6},
+		{"compact", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1}), Options{MaxDepth: 9, Dedup: true, Table: TableCompact}, 6},
+		{"maxruns", factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2}), Options{MaxDepth: 10, MaxRuns: 40}, 6},
+		{"broken", broken, Options{MaxDepth: 6}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			plain := run(t, tc.f, tc.opts)
+			so := tc.opts
+			so.SpillNodes, so.SpillDir = tc.spill, dir
+			spilled := run(t, tc.f, so)
+			if spilled.Mem.SpilledBatches == 0 {
+				t.Fatal("frontier never spilled; bound too loose for the instance")
+			}
+			if !reflect.DeepEqual(stripApprox(spilled), stripApprox(plain)) {
+				t.Fatalf("spilling changed the report:\nplain   %+v\nspilled %+v", plain, spilled)
+			}
+			left, err := filepath.Glob(filepath.Join(dir, "*"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(left) != 0 {
+				t.Fatalf("spill files not removed: %v", left)
+			}
+		})
+	}
+}
+
+// TestSpillBoundsResidentFrontier: the point of spilling — the resident
+// stack stays around the bound even when the total frontier is much larger.
+func TestSpillBoundsResidentFrontier(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	plain := run(t, f, Options{MaxDepth: 8})
+	spilled := run(t, f, Options{MaxDepth: 8, SpillNodes: 6, SpillDir: t.TempDir()})
+	if plain.Mem.PeakFrontier <= 6 {
+		t.Fatalf("instance's frontier peaks at %d; cannot exercise spilling", plain.Mem.PeakFrontier)
+	}
+	// Peak counts resident + spilled, so it must match the unspilled run's.
+	if spilled.Mem.PeakFrontier != plain.Mem.PeakFrontier {
+		t.Fatalf("total frontier peak changed: %d vs %d", spilled.Mem.PeakFrontier, plain.Mem.PeakFrontier)
+	}
+}
+
+// TestSpillDirErrors: an unusable spill directory must surface as an error,
+// not a hang or a silent fallback.
+func TestSpillDirErrors(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	_, err := Exhaustive(context.Background(), f, Options{
+		MaxDepth: 7, SpillNodes: 4, SpillDir: filepath.Join(t.TempDir(), "missing"),
+	})
+	if err == nil || os.IsExist(err) {
+		t.Fatalf("got %v, want a spill-file creation error", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -101,6 +102,37 @@ type Options struct {
 	// explorer's counters are order-independent by construction (violation
 	// witness schedules excepted under Dedup — see StrategyParallel).
 	Workers int
+	// Table selects the seen-state storage. The default TableExact stores
+	// full canonical keys and never under-approximates; the compacted
+	// modes (TableCompact, TableCompact128, TableBitstate) store
+	// fingerprints — 16-24 bytes or a few bits per state — and may merge
+	// distinct states with the (reported) collision probability, in which
+	// case Report.UnderApprox is set. See table.go for the soundness
+	// contract. With Dedup off a compacted table only backs the
+	// DistinctStates count (nothing is ever pruned, so the search is still
+	// provably exhaustive); TableBitstate cannot count and reports 0.
+	Table Table
+	// TableBytes caps the compacted table's memory (0 = a mode-specific
+	// default; ignored by TableExact). Compact sequential tables grow up
+	// to the cap and then refuse inserts with ErrTableFull; compact
+	// parallel tables allocate it up front; bitstate sizes its bit array
+	// from it and never fills.
+	TableBytes int64
+	// SpillNodes, when positive, bounds the resident frontier of the
+	// sequential fork explorer: when the DFS stack exceeds it, the bottom
+	// half is spilled to a temp file as schedules (a few bytes per node,
+	// systems closed back into the pool) and reloaded batch-wise when the
+	// stack drains, preserving the exact DFS order. Ignored by the replay
+	// and parallel strategies, whose frontiers are recursion-shaped and
+	// worker-bounded respectively.
+	SpillNodes int
+	// SpillDir is the directory for frontier spill files ("" means the
+	// system temp directory). Files are removed when the search ends.
+	SpillDir string
+	// testPWMask truncates the compacted modes' probe words so tests can
+	// plant fingerprint collisions deterministically. Zero (always, outside
+	// tests) leaves fingerprints untouched.
+	testPWMask uint64
 }
 
 // Violation describes a safety violation found during exploration.
@@ -142,8 +174,46 @@ type Report struct {
 	// table), or 0 when some configuration exposed no state key. Like
 	// DecidedValues it is invariant across strategies, worker counts, and
 	// Dedup, which makes it the reachable-state quantity the
-	// parallel-vs-sequential differential suite pins.
+	// parallel-vs-sequential differential suite pins. Compacted tables
+	// count distinct fingerprints instead of keys (equal up to the
+	// reported collision probability); TableBitstate cannot count and
+	// reports 0.
 	DistinctStates int64
+	// UnderApprox reports that the run may have under-approximated the
+	// bounded state space: a compacted table pruned at least one
+	// configuration, so a fingerprint collision could have merged two
+	// distinct states and silently skipped a subtree. Violations found are
+	// always real; only the *absence* of violations weakens, by the
+	// probability below. Exact-table runs — and compacted runs that pruned
+	// nothing — never set it.
+	UnderApprox bool
+	// FalseMergeProb estimates, for an under-approximating run, the
+	// probability that at least one merge was false (see table.go for the
+	// per-mode formulas). Zero whenever UnderApprox is false.
+	FalseMergeProb float64
+	// Mem describes the run's memory machinery. Unlike every field above
+	// it is diagnostic, not semantic: it varies across strategies, worker
+	// counts, and table modes, and is excluded from the differential
+	// byte-identity contracts.
+	Mem MemStats
+}
+
+// MemStats is the memory telemetry of one exploration (Report.Mem).
+type MemStats struct {
+	// TableBytes is the seen-state table's backing-store size — exact for
+	// the compacted modes, an estimate (key bytes + per-entry overhead)
+	// for the exact maps.
+	TableBytes int64
+	// TableOccupancy is the fraction of compacted-table slots (or bitstate
+	// bits) in use; 0 for the exact maps.
+	TableOccupancy float64
+	// PeakFrontier is the largest number of pending frontier nodes —
+	// resident plus spilled — held at once by the fork-based strategies
+	// (0 for replay, whose frontier is the recursion stack).
+	PeakFrontier int64
+	// SpilledBatches counts frontier batches written to disk (0 unless
+	// Options.SpillNodes triggered).
+	SpilledBatches int64
 }
 
 // replay builds a fresh system and applies the schedule prefix.
@@ -211,6 +281,12 @@ type walk struct {
 	keyBuf  []byte // scratch for allocation-free seen lookups
 	// symScratch is the symmetric keyer's reusable buffers (Symmetry on).
 	symScratch sim.SymScratch
+	// table replaces seen/seenHashes for the compacted modes
+	// (Options.Table != TableExact); countOnly marks a table that only
+	// backs DistinctStates (Dedup off) and never prunes.
+	table      ctable
+	countOnly  bool
+	exactBytes int64 // estimated bytes held by the exact maps
 }
 
 func newWalk(opts Options) *walk {
@@ -219,7 +295,9 @@ func newWalk(opts Options) *walk {
 		rep:     &Report{},
 		decided: make(map[int]struct{}),
 	}
-	if opts.Dedup {
+	if t := newCTable(opts, false); t != nil {
+		w.table, w.countOnly = t, !opts.Dedup
+	} else if opts.Dedup {
 		w.seen = make(map[string]int)
 	} else {
 		w.seenHashes = make(map[uint64]struct{})
@@ -227,14 +305,31 @@ func newWalk(opts Options) *walk {
 	return w
 }
 
+// Per-entry overhead estimates for the exact maps' telemetry: a string-keyed
+// map bucket with its header, hash, and value word; a bare uint64 set entry.
+const (
+	exactEntryOverhead = 48
+	hashEntryOverhead  = 16
+)
+
 // finish fills the order-invariant summary fields and returns the report.
 func (w *walk) finish() *Report {
 	w.rep.DecidedValues = sortedValueSet(w.decided)
 	switch {
+	case w.table != nil:
+		w.rep.DistinctStates = w.table.distinct()
+		w.rep.Mem.TableBytes = w.table.memBytes()
+		w.rep.Mem.TableOccupancy = w.table.occupancy()
+		if w.rep.Deduped > 0 {
+			w.rep.UnderApprox = true
+			w.rep.FalseMergeProb = w.table.falseMergeProb(w.rep.Deduped)
+		}
 	case w.seen != nil:
 		w.rep.DistinctStates = int64(len(w.seen))
+		w.rep.Mem.TableBytes = w.exactBytes
 	case w.seenHashes != nil:
 		w.rep.DistinctStates = int64(len(w.seenHashes))
+		w.rep.Mem.TableBytes = w.exactBytes
 	}
 	return w.rep
 }
@@ -277,30 +372,72 @@ func appendKey(sys *sim.System, dst []byte, symmetry bool, sc *sim.SymScratch) (
 // dedup records the configuration of sys in the seen table and, with Dedup
 // enabled, reports whether it was already expanded with at least as much
 // remaining depth. The lookup is allocation-free: the key string is only
-// materialized when a new state is recorded.
-func (w *walk) dedup(sys *sim.System, depth int) bool {
+// materialized when a new state is recorded. The error is non-nil only for
+// a full compacted table (ErrTableFull).
+func (w *walk) dedup(sys *sim.System, depth int) (bool, error) {
+	if w.table != nil {
+		return w.dedupCompact(sys, depth)
+	}
 	if w.seen == nil && w.seenHashes == nil {
-		return false
+		return false, nil
 	}
 	key, ok := appendKey(sys, w.keyBuf[:0], w.opts.Symmetry, &w.symScratch)
 	w.keyBuf = key[:0]
 	if !ok {
 		// Unkeyable steppers: dedup and distinct counting off for the walk.
 		w.seen, w.seenHashes = nil, nil
-		return false
+		return false, nil
 	}
 	if w.seenHashes != nil {
-		w.seenHashes[hashKey(key)] = struct{}{}
-		return false
+		h := hashKey(key)
+		if _, hit := w.seenHashes[h]; !hit {
+			w.seenHashes[h] = struct{}{}
+			w.exactBytes += hashEntryOverhead
+		}
+		return false, nil
 	}
 	if prev, hit := w.seen[string(key)]; hit {
 		if prev <= depth {
 			w.rep.Deduped++
-			return true
+			return true, nil
 		}
+	} else {
+		w.exactBytes += int64(len(key)) + exactEntryOverhead
 	}
 	w.seen[string(key)] = depth
-	return false
+	return false, nil
+}
+
+// dedupCompact is dedup against a compacted table: the configuration is
+// fingerprinted without materializing its key (sim.System.StateHash128),
+// except under Symmetry, whose sorted-multiset canonicalization needs the
+// bytes anyway and hashes them.
+func (w *walk) dedupCompact(sys *sim.System, depth int) (bool, error) {
+	var fp machine.Hash128
+	ok := false
+	if w.opts.Symmetry {
+		var key []byte
+		if key, ok = sys.AppendSymStateKey(w.keyBuf[:0], &w.symScratch); ok {
+			fp = machine.HashBytes128(key)
+		}
+		w.keyBuf = key[:0]
+	} else {
+		fp, ok = sys.StateHash128()
+	}
+	if !ok {
+		// Unkeyable steppers: dedup and distinct counting off for the walk.
+		w.table = nil
+		return false, nil
+	}
+	claimed, _, err := w.table.claim(fp, depth)
+	if err != nil {
+		return false, err
+	}
+	if !w.countOnly && !claimed {
+		w.rep.Deduped++
+		return true, nil
+	}
+	return false, nil
 }
 
 // schedSource lazily materializes a configuration's schedule for violation
@@ -391,7 +528,12 @@ func exhaustiveReplay(ctx context.Context, f Factory, opts Options) (*Report, er
 		if w.inputs == nil {
 			w.inputs = sys.Inputs() // the root replay doubles as input probe
 		}
-		if w.dedup(sys, len(prefix)) {
+		prune, err := w.dedup(sys, len(prefix))
+		if err != nil {
+			sys.Close()
+			return err
+		}
+		if prune {
 			sys.Close()
 			return nil
 		}
@@ -429,26 +571,35 @@ func exhaustiveReplay(ctx context.Context, f Factory, opts Options) (*Report, er
 
 // treeNode is one live configuration of the fork-based explorers. Nodes
 // carry their schedule as a parent chain — immutable after construction —
-// materialized into a slice only when a violation needs reporting.
+// materialized into a slice only when a violation needs reporting. A node
+// reloaded from a frontier spill has no parent chain: it carries its whole
+// schedule in prefix, a nil sys until first popped, and rematerializes by
+// replay.
 type treeNode struct {
 	sys    *sim.System
 	parent *treeNode
 	pid    int // step taken from the parent; meaningless at the root
 	depth  int
+	prefix []int // spill-reloaded root schedule (nil for forked nodes)
 }
 
 func (nd *treeNode) schedule() []int {
 	out := make([]int, nd.depth)
-	for n := nd; n.parent != nil; n = n.parent {
+	n := nd
+	for ; n.parent != nil; n = n.parent {
 		out[n.depth-1] = n.pid
 	}
+	// The chain root contributes its prefix — empty for the true root,
+	// the reloaded schedule for a spill root.
+	copy(out, n.prefix)
 	return out
 }
 
 // exhaustiveFork is the fork-based explorer: an iterative DFS whose stack
 // holds live forked systems, so materializing a child costs one Fork plus
 // one step instead of a fresh system plus the whole prefix. Visit order is
-// identical to exhaustiveReplay's recursion.
+// identical to exhaustiveReplay's recursion — including across frontier
+// spills, which remove and restore stack segments in place (see spill.go).
 func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, err error) {
 	w := newWalk(opts)
 	root, err := f()
@@ -459,14 +610,25 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 	// Recycle the fork/step/close churn: every popped node's system returns
 	// to the pool on Close and the next Fork rebuilds in place, making the
 	// steady-state expansion allocation-free for natively forking protocols.
-	root.SetPool(new(sim.Pool))
+	pool := new(sim.Pool)
+	root.SetPool(pool)
 
 	stack := []*treeNode{{sys: root}}
 	// Every stacked system is closed exactly once: popped nodes by the loop
-	// body, unpopped ones here on early error returns.
+	// body, unpopped ones here on early error returns (spill-reloaded nodes
+	// have none until first popped).
 	defer func() {
 		for _, nd := range stack {
-			nd.sys.Close()
+			if nd.sys != nil {
+				nd.sys.Close()
+			}
+		}
+	}()
+	var sp *frontierSpill
+	defer func() {
+		if sp != nil {
+			w.rep.Mem.SpilledBatches = sp.spilled
+			sp.close()
 		}
 	}()
 
@@ -487,16 +649,58 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 	}
 
 	var liveBuf []int
-	for len(stack) > 0 {
+	for {
+		if len(stack) == 0 {
+			// The resident stack is dry; restore the most recently spilled
+			// batch, whose nodes are exactly the next ones DFS order visits.
+			if sp == nil || sp.pending() == 0 || w.rep.Truncated {
+				break
+			}
+			scheds, err := sp.reload()
+			if err != nil {
+				return nil, err
+			}
+			for _, sched := range scheds {
+				nd := newNode(nil, nil, 0, len(sched))
+				nd.prefix = sched
+				stack = append(stack, nd)
+			}
+			continue
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		sys := nd.sys
 
 		if err := ctx.Err(); err != nil {
+			if nd.sys != nil {
+				nd.sys.Close()
+			}
+			return nil, err
+		}
+		if w.cutRuns() {
+			if nd.sys != nil {
+				nd.sys.Close()
+			}
+			freeNodes = append(freeNodes, nd)
+			continue
+		}
+		if nd.sys == nil {
+			// A spill root: rematerialize the configuration by replaying its
+			// recorded schedule — the replay/fork equivalence the strategy
+			// battery pins makes this reach the identical configuration.
+			rsys, err := replay(f, nd.prefix)
+			if err != nil {
+				return nil, err
+			}
+			rsys.SetPool(pool)
+			nd.sys = rsys
+		}
+		sys := nd.sys
+		prune, err := w.dedup(sys, nd.depth)
+		if err != nil {
 			sys.Close()
 			return nil, err
 		}
-		if w.cutRuns() || w.dedup(sys, nd.depth) {
+		if prune {
 			sys.Close()
 			freeNodes = append(freeNodes, nd)
 			continue
@@ -543,6 +747,34 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 			return nil, fmt.Errorf("explore: extending %v by %d: %w", nd.schedule(), pid, err)
 		}
 		stack = append(stack, newNode(sys, nd, pid, nd.depth+1))
+
+		frontier := int64(len(stack))
+		if sp != nil {
+			frontier += sp.pending()
+		}
+		if frontier > w.rep.Mem.PeakFrontier {
+			w.rep.Mem.PeakFrontier = frontier
+		}
+		if opts.SpillNodes > 0 && len(stack) > opts.SpillNodes {
+			// Spill the bottom half — the nodes DFS visits last — as
+			// schedules and release their systems back to the pool.
+			if sp == nil {
+				if sp, err = newFrontierSpill(opts.SpillDir); err != nil {
+					return nil, err
+				}
+			}
+			k := len(stack) / 2
+			if err := sp.spill(stack[:k]); err != nil {
+				return nil, err
+			}
+			for _, snd := range stack[:k] {
+				if snd.sys != nil {
+					snd.sys.Close()
+				}
+				freeNodes = append(freeNodes, snd)
+			}
+			stack = append(stack[:0], stack[k:]...)
+		}
 	}
 	return w.finish(), nil
 }

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,7 @@ type seenShard struct {
 	// materialized once per state, never per claim.
 	m      map[string]*[]int32 // dedup mode: key -> claimed depths
 	hashes map[uint64]struct{} // count-only mode
+	bytes  int64               // estimated bytes held (Report.Mem telemetry)
 	// pad spaces the shards a cache line apart so two workers claiming
 	// through neighboring shards do not false-share.
 	_ [64]byte
@@ -110,6 +112,7 @@ func (t *seenTable) touch(key []byte, depth int) (claimed, newKey bool) {
 	if !t.dedup {
 		if _, hit := sh.hashes[h]; !hit {
 			sh.hashes[h] = struct{}{}
+			sh.bytes += hashEntryOverhead
 			newKey = true
 		}
 		sh.mu.Unlock()
@@ -119,6 +122,7 @@ func (t *seenTable) touch(key []byte, depth int) (claimed, newKey bool) {
 	if !hit {
 		list := append(make([]int32, 0, 2), int32(depth))
 		sh.m[string(key)] = &list
+		sh.bytes += int64(len(key)) + exactEntryOverhead
 		sh.mu.Unlock()
 		return true, true
 	}
@@ -127,8 +131,19 @@ func (t *seenTable) touch(key []byte, depth int) (claimed, newKey bool) {
 		return false, false
 	}
 	*ds = append(*ds, int32(depth))
+	sh.bytes += 4
 	sh.mu.Unlock()
 	return true, false
+}
+
+// memBytes sums the shards' byte estimates. Callers must have joined all
+// writers first.
+func (t *seenTable) memBytes() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].bytes
+	}
+	return n
 }
 
 // distinct counts distinct keys across all shards. Callers must have joined
@@ -209,10 +224,19 @@ type pworker struct {
 
 // pwalk is the shared state of one parallel exploration.
 type pwalk struct {
-	opts    Options
-	inputs  []int
-	table   *seenTable
-	workers []*pworker
+	opts   Options
+	inputs []int
+	// table is the exact sharded store; ctab replaces it for the compacted
+	// modes (Options.Table != TableExact) — a lock-free CAS table or Bloom
+	// filter that workers claim through without any mutex. countOnly marks
+	// a compacted table that only backs DistinctStates (Dedup off).
+	table     *seenTable
+	ctab      ctable
+	countOnly bool
+	workers   []*pworker
+	// peakPending tracks the high-water mark of the pending counter
+	// (Report.Mem.PeakFrontier).
+	peakPending atomic.Int64
 	// pending counts frontier nodes that exist but have not finished
 	// processing; it reaches zero exactly when the search space is
 	// exhausted. A node's count is released only after its children have
@@ -262,8 +286,12 @@ func exhaustiveParallel(ctx context.Context, f Factory, opts Options) (*Report, 
 	w := &pwalk{
 		opts:    opts,
 		inputs:  root.Inputs(),
-		table:   newSeenTable(opts.Dedup),
 		workers: make([]*pworker, nw),
+	}
+	if w.ctab = newCTable(opts, true); w.ctab != nil {
+		w.countOnly = !opts.Dedup
+	} else {
+		w.table = newSeenTable(opts.Dedup)
 	}
 	for i := range w.workers {
 		w.workers[i] = &pworker{id: i, decided: make(map[int]struct{})}
@@ -344,18 +372,55 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 		w.pending.Add(-1)
 		return
 	}
-	key, keyable := appendKey(sys, pw.keyBuf[:0], w.opts.Symmetry, &pw.symScratch)
-	pw.keyBuf = key[:0]
-	if keyable {
-		claimed, _ := w.table.touch(key, nd.depth)
-		if !claimed {
-			pw.deduped++
-			sys.Close()
-			w.pending.Add(-1)
-			return
+	if w.ctab != nil {
+		// Compacted path: fingerprint without materializing the key (the
+		// symmetry keyer needs its bytes, so it hashes them), then one
+		// lock-free claim. The claim rule is the same exact (state, depth)
+		// pair the sharded table uses, realized as a depth bitmap behind a
+		// write-once CAS slot (compact) or a depth-folded Bloom Or
+		// (bitstate) — order-independent either way.
+		var fp machine.Hash128
+		keyable := false
+		if w.opts.Symmetry {
+			var key []byte
+			if key, keyable = sys.AppendSymStateKey(pw.keyBuf[:0], &pw.symScratch); keyable {
+				fp = machine.HashBytes128(key)
+			}
+			pw.keyBuf = key[:0]
+		} else {
+			fp, keyable = sys.StateHash128()
+		}
+		if !keyable {
+			w.sawUnkeyable.Store(true)
+		} else {
+			claimed, _, err := w.ctab.claim(fp, nd.depth)
+			if err != nil {
+				w.fail(err)
+				sys.Close()
+				w.pending.Add(-1)
+				return
+			}
+			if !w.countOnly && !claimed {
+				pw.deduped++
+				sys.Close()
+				w.pending.Add(-1)
+				return
+			}
 		}
 	} else {
-		w.sawUnkeyable.Store(true)
+		key, keyable := appendKey(sys, pw.keyBuf[:0], w.opts.Symmetry, &pw.symScratch)
+		pw.keyBuf = key[:0]
+		if keyable {
+			claimed, _ := w.table.touch(key, nd.depth)
+			if !claimed {
+				pw.deduped++
+				sys.Close()
+				w.pending.Add(-1)
+				return
+			}
+		} else {
+			w.sawUnkeyable.Store(true)
+		}
 	}
 	pw.states++
 	for pid := 0; pid < sys.N(); pid++ {
@@ -404,7 +469,7 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 			w.pending.Add(-1)
 			return
 		}
-		w.pending.Add(1)
+		w.pushPending()
 		pw.dq.push(&treeNode{sys: child, parent: nd, pid: pid, depth: nd.depth + 1})
 	}
 	pid := live[0]
@@ -414,9 +479,21 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 		w.pending.Add(-1)
 		return
 	}
-	w.pending.Add(1)
+	w.pushPending()
 	pw.dq.push(&treeNode{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
 	w.pending.Add(-1)
+}
+
+// pushPending counts one new frontier node and tracks the pending counter's
+// high-water mark (Report.Mem.PeakFrontier).
+func (w *pwalk) pushPending() {
+	n := w.pending.Add(1)
+	for {
+		old := w.peakPending.Load()
+		if n <= old || w.peakPending.CompareAndSwap(old, n) {
+			return
+		}
+	}
 }
 
 // merge combines the per-worker buffers into the final Report. Violations
@@ -440,8 +517,22 @@ func (w *pwalk) merge() *Report {
 		return slices.Compare(rep.Violations[i].Schedule, rep.Violations[j].Schedule) < 0
 	})
 	rep.DecidedValues = sortedValueSet(decided)
+	rep.Mem.PeakFrontier = w.peakPending.Load()
+	if w.ctab != nil {
+		if !w.sawUnkeyable.Load() {
+			rep.DistinctStates = w.ctab.distinct()
+		}
+		rep.Mem.TableBytes = w.ctab.memBytes()
+		rep.Mem.TableOccupancy = w.ctab.occupancy()
+		if rep.Deduped > 0 {
+			rep.UnderApprox = true
+			rep.FalseMergeProb = w.ctab.falseMergeProb(rep.Deduped)
+		}
+		return rep
+	}
 	if !w.sawUnkeyable.Load() {
 		rep.DistinctStates = w.table.distinct()
 	}
+	rep.Mem.TableBytes = w.table.memBytes()
 	return rep
 }

@@ -1,0 +1,124 @@
+package explore
+
+// Disk-spilling frontier for the sequential fork explorer. The DFS stack
+// normally holds one live forked system per pending node; on wide trees
+// (large n, no dedup) the frontier — not the seen table — is what outgrows
+// RAM. With Options.SpillNodes set, whenever the stack exceeds the bound
+// the bottom half (the nodes the DFS will visit last) is written to a temp
+// file as schedules — a few bytes per node instead of a full system — and
+// the systems are closed back into the pool. Batches reload in LIFO order
+// when the stack drains, and a reloaded node lazily rematerializes its
+// system by replaying its recorded schedule on first pop.
+//
+// Spilling the bottom and reloading last-batch-first preserves the exact
+// DFS pop order, so a spilled run's Report is byte-identical to the
+// unspilled one (the replay rematerialization reaches the identical
+// configuration the closed fork held — that is the fork/replay equivalence
+// the strategy battery pins).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// frontierSpill owns the spill file and its batch directory. Batches are
+// length-prefixed uvarint schedule lists, tracked LIFO.
+type frontierSpill struct {
+	f       *os.File
+	off     int64 // next write offset
+	batches []spillBatch
+	nodes   int64 // nodes currently spilled
+	spilled int64 // batches ever written (Report.Mem.SpilledBatches)
+	buf     []byte
+}
+
+type spillBatch struct {
+	off   int64
+	size  int64
+	count int
+}
+
+func newFrontierSpill(dir string) (*frontierSpill, error) {
+	f, err := os.CreateTemp(dir, "repro-frontier-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("explore: creating spill file: %w", err)
+	}
+	// The file only ever holds process schedules (small non-negative
+	// integers), never protocol state, so no scrubbing is needed beyond
+	// removal.
+	return &frontierSpill{f: f}, nil
+}
+
+// spill appends one batch holding the schedules of nds, bottom of the
+// stack first. Callers close the systems afterwards; the nodes' parent
+// chains are released with them.
+func (sp *frontierSpill) spill(nds []*treeNode) error {
+	buf := sp.buf[:0]
+	for _, nd := range nds {
+		sched := nd.schedule()
+		buf = binary.AppendUvarint(buf, uint64(len(sched)))
+		for _, pid := range sched {
+			buf = binary.AppendUvarint(buf, uint64(pid))
+		}
+	}
+	if _, err := sp.f.WriteAt(buf, sp.off); err != nil {
+		return fmt.Errorf("explore: spilling frontier batch: %w", err)
+	}
+	sp.batches = append(sp.batches, spillBatch{off: sp.off, size: int64(len(buf)), count: len(nds)})
+	sp.off += int64(len(buf))
+	sp.nodes += int64(len(nds))
+	sp.spilled++
+	sp.buf = buf[:0]
+	return nil
+}
+
+// reload pops the most recent batch and decodes its schedules in stored
+// (bottom-first) order, so pushing them back onto the empty stack restores
+// the exact relative order they had before spilling.
+func (sp *frontierSpill) reload() ([][]int, error) {
+	n := len(sp.batches)
+	if n == 0 {
+		return nil, nil
+	}
+	b := sp.batches[n-1]
+	sp.batches = sp.batches[:n-1]
+	sp.nodes -= int64(b.count)
+	if cap(sp.buf) < int(b.size) {
+		sp.buf = make([]byte, b.size)
+	}
+	buf := sp.buf[:b.size]
+	if _, err := sp.f.ReadAt(buf, b.off); err != nil {
+		return nil, fmt.Errorf("explore: reloading frontier batch: %w", err)
+	}
+	out := make([][]int, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		slen, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("explore: corrupt spill batch at offset %d", b.off)
+		}
+		buf = buf[k:]
+		sched := make([]int, slen)
+		for j := range sched {
+			pid, k := binary.Uvarint(buf)
+			if k <= 0 {
+				return nil, fmt.Errorf("explore: corrupt spill batch at offset %d", b.off)
+			}
+			buf = buf[k:]
+			sched[j] = int(pid)
+		}
+		out = append(out, sched)
+	}
+	return out, nil
+}
+
+func (sp *frontierSpill) pending() int64 { return sp.nodes }
+
+func (sp *frontierSpill) close() {
+	if sp.f != nil {
+		name := sp.f.Name()
+		sp.f.Close()
+		os.Remove(name)
+		sp.f = nil
+	}
+}

@@ -1,0 +1,474 @@
+package explore
+
+// Compacted seen-state storage: the SPIN-style alternatives to the exact
+// tables, selected by Options.Table. Instead of full canonical key bytes the
+// compacted modes store a 64- or 128-bit fingerprint of the key (hash
+// compaction, 16-24 bytes per state) or k bits of a Bloom filter (bitstate /
+// supertrace, well under a byte per state), trading a quantified
+// false-merge probability for one to two orders of magnitude more states per
+// gigabyte.
+//
+// Soundness contract (also in DESIGN.md): a false merge — two distinct
+// canonical states sharing a fingerprint — can only ever *prune* a subtree,
+// never invent a state, so compacted runs under-approximate: violations
+// found are real, but absence of violations is no longer a certificate of
+// the full bounded space. A run that pruned nothing (Report.Deduped == 0)
+// provably explored everything regardless of table mode; otherwise the
+// compacted modes set Report.UnderApprox and quantify the risk in
+// Report.FalseMergeProb. The exact mode never under-approximates.
+//
+// The hash-compaction table doubles as the lock-free replacement for the
+// mutex-sharded parallel table (ROADMAP item 2): slots are write-once —
+// published by a single CompareAndSwap from zero to the probe word — so
+// claims need no locks, and claim uniqueness follows from CAS monotonicity:
+// for two workers inserting the same fingerprint along the same probe
+// sequence, whichever CAS succeeds forces the other walker to observe the
+// published word and take the hit path.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/machine"
+)
+
+// Table selects the seen-state storage backing Dedup and the
+// DistinctStates accounting.
+type Table int
+
+const (
+	// TableExact stores full canonical key bytes — the sequential
+	// depth-aware map or the sharded parallel table. Never
+	// under-approximates. The default.
+	TableExact Table = iota
+	// TableCompact is SPIN-style hash compaction: a lock-free
+	// open-addressing table over 64-bit fingerprints of the canonical key,
+	// 16 bytes per state (probe word + depth word). False merges occur
+	// with birthday probability ~states^2/2^65 and are reported via
+	// Report.UnderApprox / FalseMergeProb.
+	TableCompact
+	// TableCompact128 widens TableCompact with a second, independently
+	// seeded 64-bit check word per entry (24 bytes per state), pushing the
+	// false-merge bound to ~states^2/2^129 — negligible at any reachable
+	// state count.
+	TableCompact128
+	// TableBitstate is SPIN's supertrace mode: a k-hash Bloom filter over
+	// (state, depth) claims. Minimum memory, no distinct-state counting
+	// (DistinctStates reports 0), and a false-merge probability that grows
+	// with occupancy — the mode of last resort for spaces that overflow
+	// even the compacted table.
+	TableBitstate
+)
+
+// String returns the flag spelling parsed by ParseTable.
+func (t Table) String() string {
+	switch t {
+	case TableExact:
+		return "exact"
+	case TableCompact:
+		return "compact"
+	case TableCompact128:
+		return "compact128"
+	case TableBitstate:
+		return "bitstate"
+	default:
+		return fmt.Sprintf("Table(%d)", int(t))
+	}
+}
+
+// ParseTable parses the flag spelling of a table mode.
+func ParseTable(s string) (Table, error) {
+	switch s {
+	case "", "exact":
+		return TableExact, nil
+	case "compact":
+		return TableCompact, nil
+	case "compact128":
+		return TableCompact128, nil
+	case "bitstate":
+		return TableBitstate, nil
+	default:
+		return TableExact, fmt.Errorf("explore: unknown table mode %q (want exact, compact, compact128, or bitstate)", s)
+	}
+}
+
+// ErrTableFull reports that a fixed-budget compacted table ran out of slots.
+// Raising Options.TableBytes (or switching to TableBitstate) lifts the cap.
+var ErrTableFull = errors.New("explore: compacted seen-state table is full")
+
+// ctable is the compacted seen-state store shared by the sequential walks
+// and the parallel workers. claim records a visit of the fingerprinted
+// state at the given depth and reports whether the caller owns its
+// expansion (claimed) and whether the fingerprint itself was first recorded
+// by this call (newState, the DistinctStates unit). All methods except the
+// read-only summaries are safe for concurrent use.
+type ctable interface {
+	claim(fp machine.Hash128, depth int) (claimed, newState bool, err error)
+	// distinct counts distinct fingerprints recorded (0 when the mode
+	// cannot count, i.e. bitstate). Callers must have joined all writers.
+	distinct() int64
+	// memBytes is the table's backing-store size.
+	memBytes() int64
+	// occupancy is the fraction of slots (compact) or bits (bitstate) set.
+	occupancy() float64
+	// falseMergeProb estimates the probability that at least one of the
+	// run's merges was false — two distinct states sharing a fingerprint —
+	// given that `deduped` configurations were merged.
+	falseMergeProb(deduped int64) float64
+}
+
+// newCTable builds the store for opts.Table, or nil for TableExact.
+// parallel selects the order-independent exact (state, depth) claim rule
+// used by the worker pool; sequential tables instead reproduce the
+// depth-aware min-depth rule of the exact sequential walk.
+func newCTable(opts Options, parallel bool) ctable {
+	switch opts.Table {
+	case TableCompact, TableCompact128:
+		return newCompactTable(opts.Table == TableCompact128, parallel, !parallel, opts.TableBytes, opts.testPWMask)
+	case TableBitstate:
+		return newBitTable(opts.TableBytes)
+	default:
+		return nil
+	}
+}
+
+const (
+	// compactDefaultBytes sizes a compact table when Options.TableBytes is
+	// unset: 64 MiB holds 4M states in 64-bit mode — roughly 50x what the
+	// same budget holds as full keys.
+	compactDefaultBytes = 64 << 20
+	// bitstateDefaultBytes sizes the Bloom filter when unset: 32 MiB is
+	// 2^28 bits, good for ~20M states below 1% per-query false-merge rate.
+	bitstateDefaultBytes = 32 << 20
+	// compactMinEntries is the smallest (and initial growable) table size.
+	compactMinEntries = 1 << 10
+	// bitstateK is the number of bits set per claim. All k bits land in one
+	// 64-bit word (a blocked Bloom filter), so a claim is a single atomic
+	// Or — which is also what makes parallel claims exact: the Or returns
+	// the prior word, so exactly one claimant observes the last missing bit.
+	bitstateK = 3
+	// depthEpochTag decorrelates the depth-epoch fold (parallel claims at
+	// depth >= 64) from the plain fingerprint space.
+	depthEpochTag = 0xc2b2ae3d27d4eb4f
+)
+
+// compactTable is the hash-compaction store: open addressing with linear
+// probing over write-once slots of `stride` words — probe word, optional
+// 128-bit check word, and a depth word. The probe word is the claim point:
+// zero means empty, and the only write it ever sees is one successful
+// CAS(0 -> fingerprint), which makes every slot's contents monotone and the
+// whole structure lock-free.
+//
+// Depth rules: sequential tables (depthSets=false) store min expanded depth
+// in the depth word and prune a revisit iff the recorded visit had at least
+// as much remaining depth — bit-for-bit the exact sequential walk's rule,
+// so absent collisions the compact sequential run reproduces the exact
+// Report. Parallel tables (depthSets=true) treat the depth word as a bitmap
+// of claimed depths (depths >= 64 fold their epoch into the probe word, so
+// an entry is a (state, depth-epoch) pair) — the order-independent exact
+// (state, depth) claim rule of the sharded table.
+//
+// Sequential tables grow by single-threaded rehash at 3/4 load until the
+// byte budget is reached; parallel tables allocate the budget up front
+// (growing would move slots under concurrent readers). Either way inserts
+// refuse at 15/16 load with ErrTableFull, which also guarantees probe
+// termination.
+type compactTable struct {
+	wide       bool // 128-bit mode: check word present
+	depthSets  bool // parallel claim rule (depth bitmap) vs sequential min-depth
+	growable   bool
+	stride     uint64
+	pwMask     uint64 // test hook: truncates probe words to plant collisions
+	maxEntries uint64
+	mask       uint64 // current entries-1; entries is a power of two
+	slots      []uint64
+	used       atomic.Int64 // slots occupied (incl. depth-epoch entries)
+	states     atomic.Int64 // distinct fingerprints (base entries only)
+}
+
+func newCompactTable(wide, depthSets, growable bool, budget int64, pwMask uint64) *compactTable {
+	stride := uint64(2)
+	if wide {
+		stride = 3
+	}
+	if budget <= 0 {
+		budget = compactDefaultBytes
+	}
+	maxEntries := uint64(compactMinEntries)
+	for int64(maxEntries*2*stride*8) <= budget {
+		maxEntries *= 2
+	}
+	entries := maxEntries
+	if growable {
+		entries = compactMinEntries
+	}
+	return &compactTable{
+		wide:       wide,
+		depthSets:  depthSets,
+		growable:   growable,
+		stride:     stride,
+		pwMask:     pwMask,
+		maxEntries: maxEntries,
+		mask:       entries - 1,
+		slots:      make([]uint64, entries*stride),
+	}
+}
+
+// words derives the slot contents from the fingerprint: the probe word
+// (lane Lo) and the 128-bit check word (lane Hi), with epoch (nonzero only
+// for depth-bitmap claims at depth >= 64) folded into both. Zero is
+// reserved as the empty/unpublished marker in both words, so real zeros
+// are nudged to 1 — a 2^-64 perturbation already inside the fingerprint
+// collision budget.
+func (t *compactTable) words(fp machine.Hash128, epoch uint64) (pw, check uint64) {
+	pw, check = fp.Lo, fp.Hi
+	if epoch != 0 {
+		pw = machine.Mix64(pw ^ machine.Mix64(epoch^depthEpochTag))
+		check = machine.Mix64(check ^ epoch)
+	}
+	if t.pwMask != 0 {
+		pw &= t.pwMask
+	}
+	if pw == 0 {
+		pw = 1
+	}
+	if check == 0 {
+		check = 1
+	}
+	return pw, check
+}
+
+func (t *compactTable) claim(fp machine.Hash128, depth int) (claimed, newState bool, err error) {
+	var epoch uint64
+	if t.depthSets && depth >= 64 {
+		// Depth-bitmap claims beyond one 64-bit word get their own
+		// (state, depth-epoch) entry — but that entry must not stand in for
+		// the state in the distinct count, or every extra epoch would count
+		// the state again. The state's base entry carries the count; a
+		// race-hammer invariant (one newState per fingerprint) pins this.
+		epoch = uint64(depth) >> 6
+		pw, check := t.words(fp, 0)
+		_, newState, err = t.slotFor(pw, check)
+		if err != nil {
+			return false, false, err
+		}
+	}
+	pw, check := t.words(fp, epoch)
+	base, inserted, err := t.slotFor(pw, check)
+	if err != nil {
+		return false, false, err
+	}
+	if epoch == 0 {
+		newState = inserted
+	}
+	if newState {
+		t.states.Add(1)
+	}
+	return t.recordDepth(base, depth, inserted), newState, nil
+}
+
+// slotFor finds or claims the slot holding (pw, check), returning its word
+// base and whether this call inserted it. Linear probing never leaves gaps
+// (slots are never deleted), so an empty slot proves absence.
+func (t *compactTable) slotFor(pw, check uint64) (base uint64, inserted bool, err error) {
+	for {
+		entries := t.mask + 1
+		grew := false
+		for i := uint64(0); i < entries; i++ {
+			base = ((pw + i) & t.mask) * t.stride
+			w := atomic.LoadUint64(&t.slots[base])
+			if w == 0 {
+				if t.growable && t.needsGrow() {
+					t.grow()
+					grew = true
+					break // positions moved: restart the probe
+				}
+				if t.full() {
+					return 0, false, fmt.Errorf("%w (%d entries, %d MiB; raise TableBytes)",
+						ErrTableFull, entries, t.memBytes()>>20)
+				}
+				if atomic.CompareAndSwapUint64(&t.slots[base], 0, pw) {
+					t.used.Add(1)
+					if t.wide {
+						atomic.StoreUint64(&t.slots[base+1], check)
+					}
+					return base, true, nil
+				}
+				// Lost the race for this slot; reload and fall through —
+				// the winner may have published our own fingerprint.
+				w = atomic.LoadUint64(&t.slots[base])
+			}
+			if w == pw {
+				if t.wide && !t.checkMatches(base, check) {
+					continue // same probe word, different state: keep probing
+				}
+				return base, false, nil
+			}
+		}
+		if !grew {
+			// Unreachable below the load caps; closes the loop for safety.
+			return 0, false, ErrTableFull
+		}
+	}
+}
+
+// checkMatches compares the 128-bit check word, spinning out the
+// instruction-wide window between a winner's CAS and its check publication.
+func (t *compactTable) checkMatches(base uint64, check uint64) bool {
+	c := atomic.LoadUint64(&t.slots[base+1])
+	for c == 0 {
+		runtime.Gosched()
+		c = atomic.LoadUint64(&t.slots[base+1])
+	}
+	return c == check
+}
+
+// recordDepth applies the depth rule to the entry's depth word and reports
+// whether this visit claimed an expansion. first marks the caller as the
+// slot's CAS winner; in depth-bitmap mode the Or result alone decides the
+// claim even then, because a same-depth visitor may reach the bitmap before
+// the winner does — the atomic Or hands the claim to exactly one of them.
+func (t *compactTable) recordDepth(base uint64, depth int, first bool) bool {
+	aux := &t.slots[base+t.stride-1]
+	if t.depthSets {
+		bit := uint64(1) << (uint(depth) & 63)
+		old := atomic.OrUint64(aux, bit)
+		return old&bit == 0
+	}
+	// Sequential min-depth rule: the depth word stores 1 + the shallowest
+	// depth expanded so far (0 = none yet); a revisit with no more
+	// remaining depth than that is pruned.
+	if !first {
+		prev := atomic.LoadUint64(aux)
+		if prev != 0 && int64(prev-1) <= int64(depth) {
+			return false
+		}
+	}
+	atomic.StoreUint64(aux, uint64(depth)+1)
+	return true
+}
+
+func (t *compactTable) needsGrow() bool {
+	entries := t.mask + 1
+	return entries < t.maxEntries && uint64(t.used.Load())*4 >= entries*3
+}
+
+func (t *compactTable) full() bool {
+	return uint64(t.used.Load())*16 >= (t.mask+1)*15
+}
+
+// grow doubles the table and reinserts every slot. Growable tables are
+// sequential-only, so plain loads and stores suffice.
+func (t *compactTable) grow() {
+	old := t.slots
+	entries := (t.mask + 1) * 2
+	t.slots = make([]uint64, entries*t.stride)
+	t.mask = entries - 1
+	for base := uint64(0); base < uint64(len(old)); base += t.stride {
+		pw := old[base]
+		if pw == 0 {
+			continue
+		}
+		for i := uint64(0); ; i++ {
+			nb := ((pw + i) & t.mask) * t.stride
+			if t.slots[nb] == 0 {
+				copy(t.slots[nb:nb+t.stride], old[base:base+t.stride])
+				break
+			}
+		}
+	}
+}
+
+func (t *compactTable) distinct() int64 { return t.states.Load() }
+func (t *compactTable) memBytes() int64 { return int64(len(t.slots)) * 8 }
+
+func (t *compactTable) occupancy() float64 {
+	return float64(t.used.Load()) / float64(t.mask+1)
+}
+
+// falseMergeProb is the birthday bound over the distinct fingerprints
+// stored: with D states hashed into b effective bits, some pair of distinct
+// states collides with probability ~1 - exp(-D(D-1)/2^(b+1)); only then can
+// any of the run's merges have been false.
+func (t *compactTable) falseMergeProb(deduped int64) float64 {
+	if deduped == 0 {
+		return 0
+	}
+	b := 64.0
+	if t.pwMask != 0 {
+		b = float64(bits.OnesCount64(t.pwMask))
+	}
+	if t.wide {
+		b += 64
+	}
+	d := float64(t.used.Load())
+	return -math.Expm1(-d * (d - 1) / math.Pow(2, b+1))
+}
+
+// bitTable is the bitstate (supertrace) store: a blocked Bloom filter whose
+// claims are (state, depth) pairs — the depth is folded into the
+// fingerprint, so the rule is the order-independent exact-pair claim under
+// both the sequential and the parallel explorer. Each claim derives one
+// word index and k bit positions from the folded fingerprint and issues a
+// single atomic Or; the Or's return value hands the pair's expansion to
+// exactly one concurrent claimant. Distinct states are uncountable here, so
+// distinct reports 0 and Report.DistinctStates follows.
+type bitTable struct {
+	words []uint64
+}
+
+func newBitTable(budget int64) *bitTable {
+	if budget <= 0 {
+		budget = bitstateDefaultBytes
+	}
+	n := budget / 8
+	if n < 16 {
+		n = 16
+	}
+	return &bitTable{words: make([]uint64, n)}
+}
+
+func (t *bitTable) claim(fp machine.Hash128, depth int) (claimed, newState bool, err error) {
+	h := fp.Word(uint64(depth))
+	// Lane Lo picks the word by multiply-shift range reduction; lane Hi
+	// feeds k 6-bit positions within it.
+	wi, _ := bits.Mul64(h.Lo, uint64(len(t.words)))
+	mask, hi := uint64(0), h.Hi
+	for i := 0; i < bitstateK; i++ {
+		mask |= 1 << (hi & 63)
+		hi >>= 6
+	}
+	old := atomic.OrUint64(&t.words[wi], mask)
+	return old&mask != mask, false, nil
+}
+
+func (t *bitTable) distinct() int64 { return 0 }
+func (t *bitTable) memBytes() int64 { return int64(len(t.words)) * 8 }
+
+func (t *bitTable) occupancy() float64 {
+	var ones int64
+	for _, w := range t.words {
+		ones += int64(bits.OnesCount64(w))
+	}
+	return float64(ones) / float64(len(t.words)*64)
+}
+
+// falseMergeProb: a query false-merges when all k of its bits were already
+// set by other states, which at bit density rho happens with probability
+// ~rho^k per merged visit; over `deduped` merges the chance that at least
+// one was false is 1 - (1 - rho^k)^deduped.
+func (t *bitTable) falseMergeProb(deduped int64) float64 {
+	if deduped == 0 {
+		return 0
+	}
+	rho := t.occupancy()
+	if rho >= 1 {
+		return 1
+	}
+	perQuery := math.Pow(rho, bitstateK)
+	return -math.Expm1(float64(deduped) * math.Log1p(-perQuery))
+}

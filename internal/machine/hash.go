@@ -32,6 +32,53 @@ const (
 	hashOrbitTag  = 0x5be0cd19137e2179
 )
 
+// Hash128 is a 128-bit rolling fingerprint: two independently seeded
+// splitmix64 lanes fed the same word stream (the second lane remixes each
+// word against its own tag before absorbing it, so the lanes decorrelate).
+// It is the unit of the explorer's compacted seen-state modes, which store
+// fingerprints of the canonical configuration key instead of the key bytes:
+// equal streams always produce equal fingerprints, distinct streams collide
+// with probability ~2^-64 per lane. Use SeedHash128 to start a stream and
+// Word to absorb; HashBytes128 fingerprints an already-materialized key.
+type Hash128 struct{ Lo, Hi uint64 }
+
+const (
+	hash128SeedLo  = 0x243f6a8885a308d3 // first words of pi, the customary
+	hash128SeedHi  = 0x13198a2e03707344 // nothing-up-my-sleeve constants
+	hash128LaneTag = 0x452821e638d01377
+)
+
+// SeedHash128 returns the initial state of a 128-bit fingerprint stream.
+func SeedHash128() Hash128 {
+	return Hash128{Lo: hash128SeedLo, Hi: hash128SeedHi}
+}
+
+// Word absorbs one 64-bit word into both lanes and returns the new state.
+func (h Hash128) Word(w uint64) Hash128 {
+	return Hash128{
+		Lo: Mix64(h.Lo ^ w),
+		Hi: Mix64(h.Hi ^ Mix64(w^hash128LaneTag)),
+	}
+}
+
+// HashBytes128 fingerprints a byte string: two FNV-1a lanes with distinct
+// offsets, each finalized through the splitmix mixer. It is the byte-stream
+// counterpart of the Word chain, used where a canonical key is already
+// materialized (the symmetry-reduced keys, whose sorted-multiset
+// canonicalization needs the bytes anyway).
+func HashBytes128(p []byte) Hash128 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	lo, hi := uint64(offset64), uint64(offset64)^hash128LaneTag
+	for _, b := range p {
+		lo = (lo ^ uint64(b)) * prime64
+		hi = (hi ^ uint64(b^0xa5)) * prime64
+	}
+	return Hash128{Lo: Mix64(lo), Hi: Mix64(hi ^ hash128SeedHi)}
+}
+
 // Mix64 is the splitmix64 finalizer: a cheap bijective mixer used to chain
 // canonical state into rolling hashes. Exported for the sim and consensus
 // layers, which compose process-local state keys out of value hashes.

@@ -1,0 +1,61 @@
+package sim
+
+import "repro/internal/machine"
+
+// StateHash128 is the fingerprint-only form of AppendStateKey: it streams
+// the exact same logical components — the memory's incremental fingerprint,
+// then per process either its terminal status or its local-state key, then
+// the global step count when a live Body adapter is present — through a
+// 128-bit rolling hash, without materializing the key bytes at all. The
+// compacted seen-state tables store only this fingerprint (8–16 bytes per
+// state instead of the full key), so skipping the byte encoding removes the
+// one remaining per-state buffer walk from their keying path.
+//
+// Equal configurations always hash equally (the stream is a function of
+// exactly the fields AppendStateKey encodes, tag-for-tag); distinct
+// configurations collide with ~2^-64 per lane, the under-approximation the
+// compacted modes report via Report.FalseMergeProb. ok is false in exactly
+// the cases AppendStateKey's is: a closed system, a live process without a
+// state key, or a clock-dependent Body adapter.
+//
+// Concurrency: like AppendStateKey, it only reads the receiver — safe
+// concurrently with Forks of the same system, but not with Step/Crash/Close.
+func (s *System) StateHash128() (fp machine.Hash128, ok bool) {
+	if s.closed {
+		return machine.Hash128{}, false
+	}
+	h := machine.SeedHash128()
+	h = h.Word(s.mem.Fingerprint64())
+	adapters := false
+	for _, ps := range s.procs {
+		switch {
+		case ps.crashed:
+			h = h.Word('x')
+		case ps.decided:
+			h = h.Word('d').Word(uint64(int64(ps.decision)))
+		case ps.err != nil:
+			h = h.Word('e')
+		case !ps.hasPoise:
+			h = h.Word('?')
+		default:
+			k, keyed := ps.st.(StateKeyer)
+			if !keyed {
+				return machine.Hash128{}, false
+			}
+			// Mirrors AppendStateKey: a Body that has read Clock() carries
+			// state the result history does not determine — no sound key.
+			if cd, ok := ps.st.(interface{ clockDependent() bool }); ok {
+				if cd.clockDependent() {
+					return machine.Hash128{}, false
+				}
+				adapters = true
+			}
+			h = h.Word('l').Word(k.StateKey())
+		}
+	}
+	// Live Body adapters fold the clock in, exactly as AppendStateKey does.
+	if adapters {
+		h = h.Word(uint64(s.steps))
+	}
+	return h, true
+}

@@ -1,5 +1,7 @@
 package repro
 
+import "fmt"
+
 // This file defines the typed per-operation options of the compiled-handle
 // API. Each verb on *Protocol accepts its own option interface —
 // CompileOption, SolveOption, VerifyOption, BatchOption — so an option that
@@ -60,6 +62,10 @@ type verifyConfig struct {
 	maxRuns    int64
 	soloBudget int64
 	symmetry   bool
+	table      TableMode
+	tableBytes int64
+	spillNodes int
+	spillDir   string
 }
 
 type batchConfig struct {
@@ -160,6 +166,99 @@ func SoloBudget(budget int64) VerifyOption { return soloBudgetOption(budget) }
 type soloBudgetOption int64
 
 func (o soloBudgetOption) applyVerify(c *verifyConfig) { c.soloBudget = int64(o) }
+
+// TableMode selects the representation of Verify's seen-state table — the
+// exactness/memory trade-off of the exploration. See WithTable.
+type TableMode int
+
+const (
+	// TableExact stores full canonical state keys: exact deduplication,
+	// the default, and the memory-hungriest representation.
+	TableExact TableMode = iota
+	// TableCompact stores 64-bit state fingerprints (hash compaction,
+	// 8 bytes per state): distinct states whose fingerprints collide merge
+	// falsely, so the report carries UnderApprox with the birthday-bound
+	// FalseMergeProb whenever anything was pruned.
+	TableCompact
+	// TableCompact128 stores 128-bit fingerprints (16 bytes per state):
+	// the same compaction with a collision probability that is negligible
+	// at any reachable state count.
+	TableCompact128
+	// TableBitstate marks (state, depth) claims as bits in a Bloom filter
+	// (bitstate/supertrace search): a fixed memory budget regardless of
+	// state count, an always-under-approximate envelope, and no distinct-
+	// state counting.
+	TableBitstate
+)
+
+// String returns the mode's flag spelling: exact, compact, compact128,
+// bitstate.
+func (m TableMode) String() string {
+	switch m {
+	case TableExact:
+		return "exact"
+	case TableCompact:
+		return "compact"
+	case TableCompact128:
+		return "compact128"
+	case TableBitstate:
+		return "bitstate"
+	}
+	return "invalid"
+}
+
+// ParseTableMode parses a TableMode's String spelling, for flag and config
+// surfaces.
+func ParseTableMode(s string) (TableMode, error) {
+	for _, m := range []TableMode{TableExact, TableCompact, TableCompact128, TableBitstate} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown table mode %q (want exact, compact, compact128, or bitstate)", ErrBadInput, s)
+}
+
+// WithTable selects the seen-state table representation of a Verify
+// exploration (default TableExact). The compacted modes trade exactness for
+// memory: they can only under-report the envelope — never invent states,
+// runs, or violations — and any run that pruned through a compacted table
+// says so via VerifyReport.UnderApprox and FalseMergeProb. A safety
+// violation found under any mode is always real.
+func WithTable(m TableMode) VerifyOption { return tableOption(m) }
+
+type tableOption TableMode
+
+func (o tableOption) applyVerify(c *verifyConfig) { c.table = TableMode(o) }
+
+// WithTableBytes caps the compacted table's memory (default 64 MiB for the
+// compact modes, 32 MiB for bitstate). Compact tables refuse — with an
+// error, never a silent drop — when the cap cannot hold the explored
+// states; bitstate filters never refuse, their false-merge probability just
+// grows with occupancy. Ignored under TableExact.
+func WithTableBytes(b int64) VerifyOption { return tableBytesOption(b) }
+
+type tableBytesOption int64
+
+func (o tableBytesOption) applyVerify(c *verifyConfig) { c.tableBytes = int64(o) }
+
+// WithSpillFrontier bounds the resident exploration frontier to about nodes
+// pending configurations: when the DFS stack outgrows the bound, its bottom
+// half is spilled to a temporary file under dir ("" = the OS temp
+// directory) as compact schedules and rematerialized by replay when the
+// search returns to it. The report is byte-identical to the unspilled run's
+// (only VerifyReport.Mem differs). Spilling applies to the sequential
+// exploration; it is ignored when Workers routes to the parallel explorer,
+// whose frontier is distributed across per-worker deques.
+func WithSpillFrontier(nodes int, dir string) VerifyOption {
+	return spillOption{nodes: nodes, dir: dir}
+}
+
+type spillOption struct {
+	nodes int
+	dir   string
+}
+
+func (o spillOption) applyVerify(c *verifyConfig) { c.spillNodes, c.spillDir = o.nodes, o.dir }
 
 // WithSymmetry keys Verify's seen-state table on the symmetry-reduced
 // canonical configuration: the paper's model requires uniform,

@@ -99,6 +99,36 @@ type VerifyReport struct {
 	// DistinctStates counts distinct canonical configurations reached
 	// within the envelope (0 if the systems expose no state key).
 	DistinctStates int64
+	// UnderApprox reports that the exploration ran with a compacted
+	// seen-state table (WithTable) and pruned at least one revisit, so the
+	// envelope may under-cover the true state space: distinct states whose
+	// fingerprints collided merge falsely. Compaction only ever shrinks the
+	// envelope — violations and decided values it does report are real.
+	UnderApprox bool
+	// FalseMergeProb bounds the probability that at least one false merge
+	// occurred, given the table mode's fingerprint width and the number of
+	// states stored. Nonzero exactly when UnderApprox is set.
+	FalseMergeProb float64
+	// Mem is the exploration's memory telemetry. It is diagnostic: unlike
+	// every field above, it may vary across strategies, worker counts, and
+	// spill bounds for one same verdict.
+	Mem VerifyMemStats
+}
+
+// VerifyMemStats is VerifyReport's memory telemetry.
+type VerifyMemStats struct {
+	// TableBytes is the seen-state table's backing-store size — exact for
+	// the compacted modes, an estimate of key storage for TableExact.
+	TableBytes int64
+	// TableOccupancy is the fraction of the table in use (compacted modes
+	// only).
+	TableOccupancy float64
+	// PeakFrontier is the largest number of pending configurations the
+	// exploration held at once, spilled batches included.
+	PeakFrontier int64
+	// SpilledBatches counts frontier batches written to disk
+	// (WithSpillFrontier).
+	SpilledBatches int64
 }
 
 // StepProfile re-exports the step-complexity measurement (the extra axis
