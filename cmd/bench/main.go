@@ -272,6 +272,17 @@ func measureAll(minTime time.Duration) ([]rowMeasurements, error) {
 		return nil, fmt.Errorf("increment4-d12-compact-explore: %w", err)
 	}
 	rows = append(rows, rowMeasurements{Name: "increment4-d12-compact-explore", Metrics: cmpM})
+	// The same instance keyed by the incrementally-maintained 128-bit
+	// state hash (TableCompact128): states/sec here tracks the cost of the
+	// rolling fp128 lanes on the mutation path, which replaced per-state
+	// streamed rehashing.
+	cmp128M, err := measureExplore(func() *consensus.Protocol { return consensus.Increment(4) },
+		[]int{1, 0, 1, 0}, explore.Options{MaxDepth: 12, Strategy: explore.StrategyFork,
+			Dedup: true, Symmetry: true, Table: explore.TableCompact128}, minTime)
+	if err != nil {
+		return nil, fmt.Errorf("increment4-d12-compact128-explore: %w", err)
+	}
+	rows = append(rows, rowMeasurements{Name: "increment4-d12-compact128-explore", Metrics: cmp128M})
 	return rows, nil
 }
 

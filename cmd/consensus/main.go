@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -73,7 +74,7 @@ func main() {
 	sym := flag.Bool("sym", false, "with -explore: deduplicate configurations up to location/process symmetry")
 	table := flag.String("table", "exact", "with -explore: seen-state table mode (exact, compact, compact128, bitstate)")
 	tableMB := flag.Int64("table-mb", 0, "with -explore: compacted-table memory cap in MiB (0 = mode default)")
-	spill := flag.Int("spill", 0, "with -explore: spill the DFS frontier to disk beyond N resident nodes (sequential explorer only)")
+	spill := flag.Int("spill", 0, "with -explore: spill the frontier to disk beyond N resident nodes (per worker under -workers)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -98,6 +99,11 @@ func main() {
 		mode, err := repro.ParseTableMode(*table)
 		if err != nil {
 			log.Fatal(err)
+		}
+		// Guard the MiB->bytes shift: a negative cap is meaningless and a
+		// cap above MaxInt64>>20 MiB would overflow into one.
+		if *tableMB < 0 || *tableMB > math.MaxInt64>>20 {
+			log.Fatalf("-table-mb %d out of range [0, %d]", *tableMB, int64(math.MaxInt64>>20))
 		}
 		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet, *sym,
 			mode, *tableMB<<20, *spill)
@@ -231,7 +237,8 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 	}
 	fmt.Printf(", peak frontier %d", rep.Mem.PeakFrontier)
 	if rep.Mem.SpilledBatches > 0 {
-		fmt.Printf(", %d batches spilled to disk", rep.Mem.SpilledBatches)
+		fmt.Printf(" (%d resident), %d batches spilled to disk",
+			rep.Mem.PeakResident, rep.Mem.SpilledBatches)
 	}
 	fmt.Println()
 	if rep.UnderApprox {

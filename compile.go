@@ -395,6 +395,9 @@ func (p *Protocol) SolveSeq(ctx context.Context, specs []RunSpec) iter.Seq2[int,
 // ctx aborts the exploration with ctx.Err().
 func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts ...VerifyOption) (*VerifyReport, error) {
 	c := p.verifyConfig(opts)
+	if c.err != nil {
+		return nil, c.err
+	}
 	if p.pr == nil {
 		return nil, p.errNoProtocol()
 	}
@@ -440,6 +443,7 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 			TableBytes:     rep.Mem.TableBytes,
 			TableOccupancy: rep.Mem.TableOccupancy,
 			PeakFrontier:   rep.Mem.PeakFrontier,
+			PeakResident:   rep.Mem.PeakResident,
 			SpilledBatches: rep.Mem.SpilledBatches,
 		},
 	}

@@ -281,7 +281,9 @@ func TestVerifyTableModes(t *testing.T) {
 }
 
 // TestVerifySpillFrontier: a spilled exploration returns the byte-identical
-// report (telemetry aside) and leaves no files behind.
+// report (telemetry aside), bounds the resident frontier, and leaves no
+// files behind — sequentially and, with per-worker spill files, under the
+// parallel explorer at several worker counts.
 func TestVerifySpillFrontier(t *testing.T) {
 	inputs := []int{0, 1, 1}
 	p, err := Compile("T1.7", len(inputs))
@@ -289,27 +291,58 @@ func TestVerifySpillFrontier(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	plain, err := p.Verify(ctx, inputs, 8)
+	for _, workers := range []int{0, 1, 2, 4} {
+		opts := []VerifyOption{}
+		if workers > 0 {
+			opts = append(opts, Workers(workers))
+		}
+		plain, err := p.Verify(ctx, inputs, 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		spilled, err := p.Verify(ctx, inputs, 8, append(opts, WithSpillFrontier(8, dir))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spilled.Mem.SpilledBatches == 0 {
+			t.Fatalf("workers=%d: frontier never spilled", workers)
+		}
+		if !reflect.DeepEqual(stripVerifyMem(spilled), stripVerifyMem(plain)) {
+			t.Fatalf("workers=%d: spilling changed the report:\nplain   %+v\nspilled %+v", workers, plain, spilled)
+		}
+		// The resident bound is per worker: the spill bound plus at most one
+		// expansion's children (one child per process).
+		if limit := int64(8 + len(inputs)); spilled.Mem.PeakResident > limit {
+			t.Fatalf("workers=%d: resident frontier peaked at %d, bound %d",
+				workers, spilled.Mem.PeakResident, limit)
+		}
+		left, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(left) != 0 {
+			t.Fatalf("workers=%d: spill files not removed: %v", workers, left)
+		}
+	}
+}
+
+// TestVerifyBadTableBytes: a negative table budget is an input error,
+// reported before any exploration and unwrapping as ErrBadInput.
+func TestVerifyBadTableBytes(t *testing.T) {
+	p, err := Compile("T1.7", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir := t.TempDir()
-	spilled, err := p.Verify(ctx, inputs, 8, WithSpillFrontier(8, dir))
-	if err != nil {
-		t.Fatal(err)
+	_, err = p.Verify(context.Background(), []int{0, 1}, 4,
+		WithTable(TableCompact), WithTableBytes(-1))
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("WithTableBytes(-1): want ErrBadInput, got %v", err)
 	}
-	if spilled.Mem.SpilledBatches == 0 {
-		t.Fatal("frontier never spilled")
-	}
-	if !reflect.DeepEqual(stripVerifyMem(spilled), stripVerifyMem(plain)) {
-		t.Fatalf("spilling changed the report:\nplain   %+v\nspilled %+v", plain, spilled)
-	}
-	left, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(left) != 0 {
-		t.Fatalf("spill files not removed: %v", left)
+	// The error is about the option, not the inputs, so it must surface
+	// even on an otherwise-invalid call ordering and with TableExact.
+	if _, err := p.Verify(context.Background(), []int{0, 1}, 4, WithTableBytes(-5)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("WithTableBytes(-5) under TableExact: want ErrBadInput, got %v", err)
 	}
 }
 

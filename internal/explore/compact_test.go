@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -296,9 +297,11 @@ func TestCompactTableClaims(t *testing.T) {
 }
 
 // TestCompactTableGrows: a growable table must survive several rehashes
-// without losing or duplicating a fingerprint.
+// without losing or duplicating a fingerprint. Only the default budget
+// (zero) leaves growth enabled — explicit budgets pre-size, so this is the
+// one path that still rehashes.
 func TestCompactTableGrows(t *testing.T) {
-	tb := newCompactTable(true, false, true, 1<<22, 0)
+	tb := newCompactTable(true, false, true, 0, 0)
 	const n = 5000 // >> compactMinEntries, forces multiple doublings
 	for i := uint64(0); i < n; i++ {
 		claimed, newState, err := tb.claim(fpOf(i), 0)
@@ -323,6 +326,47 @@ func TestCompactTableGrows(t *testing.T) {
 	}
 	if occ := tb.occupancy(); occ <= 0 || occ > 0.75 {
 		t.Fatalf("occupancy %v out of growth band", occ)
+	}
+}
+
+// TestCompactTablePreSized: an explicit budget allocates the table at its
+// final size up front and pins it there — no growth rehash, whose transient
+// old-plus-doubled footprint (~1.5x) used to bust exactly-fitting caps.
+// A budget sized precisely for the final table must accept claims all the
+// way to the 15/16 refusal load without ErrTableFull, with the footprint
+// exactly the budget and never moving.
+func TestCompactTablePreSized(t *testing.T) {
+	const entries = 1 << 13
+	for _, wide := range []bool{false, true} {
+		stride := int64(2)
+		if wide {
+			stride = 3
+		}
+		budget := int64(entries) * stride * 8
+		tb := newCompactTable(wide, false, true, budget, 0)
+		if tb.growable {
+			t.Fatalf("wide=%v: explicit budget left the table growable", wide)
+		}
+		if got := tb.memBytes(); got != budget {
+			t.Fatalf("wide=%v: pre-sized footprint %d, want exactly the budget %d", wide, got, budget)
+		}
+		limit := uint64(entries) * 15 / 16 // claims below this load must all fit
+		for i := uint64(0); i < limit; i++ {
+			claimed, newState, err := tb.claim(fpOf(i), 0)
+			if err != nil {
+				t.Fatalf("wide=%v: claim %d of %d refused under an exactly-fitting budget: %v",
+					wide, i, limit, err)
+			}
+			if !claimed || !newState {
+				t.Fatalf("wide=%v: insert %d: (%v, %v)", wide, i, claimed, newState)
+			}
+		}
+		if got := tb.memBytes(); got != budget {
+			t.Fatalf("wide=%v: footprint moved to %d during fill (budget %d)", wide, got, budget)
+		}
+		if _, _, err := tb.claim(fpOf(limit), 0); !errors.Is(err, ErrTableFull) {
+			t.Fatalf("wide=%v: claim past the 15/16 load: err = %v, want ErrTableFull", wide, err)
+		}
 	}
 }
 
@@ -535,6 +579,165 @@ func TestSpillBoundsResidentFrontier(t *testing.T) {
 	// Peak counts resident + spilled, so it must match the unspilled run's.
 	if spilled.Mem.PeakFrontier != plain.Mem.PeakFrontier {
 		t.Fatalf("total frontier peak changed: %d vs %d", spilled.Mem.PeakFrontier, plain.Mem.PeakFrontier)
+	}
+	// Without spilling the whole frontier is resident; with it the resident
+	// stack stays within the bound plus one expansion's children (spilling
+	// runs after a node's children are pushed).
+	if plain.Mem.PeakResident != plain.Mem.PeakFrontier {
+		t.Fatalf("unspilled resident peak %d != frontier peak %d",
+			plain.Mem.PeakResident, plain.Mem.PeakFrontier)
+	}
+	if limit := int64(6 + 3); spilled.Mem.PeakResident > limit {
+		t.Fatalf("resident frontier peaked at %d, bound %d", spilled.Mem.PeakResident, limit)
+	}
+}
+
+// TestParallelSpillPreservesReport is the parallel half of the spilling
+// determinism claim: with per-worker spill files the Report must stay
+// byte-identical (modulo Mem) to the unspilled parallel run at every worker
+// count, worker-count-invariant across {1, 2, 4}, and — dedup off, where
+// the parallel walk reproduces the sequential tree exactly — identical to
+// the sequential oracle too.
+func TestParallelSpillPreservesReport(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	for _, dedup := range []bool{false, true} {
+		opts := Options{MaxDepth: 7, Dedup: dedup}
+		seq := opts
+		seq.Strategy = StrategyFork
+		oracle := run(t, f, seq)
+		var base *Report
+		for _, wk := range []int{1, 2, 4} {
+			po := opts
+			po.Strategy, po.Workers = StrategyParallel, wk
+			plain := run(t, f, po)
+			dir := t.TempDir()
+			po.SpillNodes, po.SpillDir = 4, dir
+			spilled := run(t, f, po)
+			if spilled.Mem.SpilledBatches == 0 {
+				t.Fatalf("dedup=%v workers=%d: frontier never spilled; bound too loose", dedup, wk)
+			}
+			if !reflect.DeepEqual(stripApprox(spilled), stripApprox(plain)) {
+				t.Fatalf("dedup=%v workers=%d: spilling changed the parallel report:\nplain   %+v\nspilled %+v",
+					dedup, wk, plain, spilled)
+			}
+			if left, err := filepath.Glob(filepath.Join(dir, "*")); err != nil || len(left) != 0 {
+				t.Fatalf("spill files not removed: %v (%v)", left, err)
+			}
+			if base == nil {
+				base = spilled
+			} else if !reflect.DeepEqual(stripApprox(spilled), stripApprox(base)) {
+				t.Fatalf("dedup=%v workers=%d: spilled report not worker-count invariant:\nfirst %+v\nthis  %+v",
+					dedup, wk, base, spilled)
+			}
+		}
+		if !dedup && !reflect.DeepEqual(stripApprox(base), stripApprox(oracle)) {
+			t.Fatalf("spilled parallel run diverged from the sequential oracle:\nseq %+v\npar %+v", oracle, base)
+		}
+	}
+}
+
+// TestParallelSpillBoundsResidentFrontier: the per-worker acceptance bound —
+// under several workers, no single deque's resident node count may exceed
+// the spill bound by more than one expansion's children, even though the
+// total frontier is far larger.
+func TestParallelSpillBoundsResidentFrontier(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(3) }, []int{0, 1, 2})
+	const bound, procs = 6, 3
+	for _, wk := range []int{2, 4} {
+		plain := run(t, f, Options{MaxDepth: 8, Strategy: StrategyParallel, Workers: wk})
+		if plain.Mem.PeakResident <= bound {
+			t.Fatalf("workers=%d: deques peak at %d nodes; cannot exercise spilling", wk, plain.Mem.PeakResident)
+		}
+		spilled := run(t, f, Options{
+			MaxDepth: 8, Strategy: StrategyParallel, Workers: wk,
+			SpillNodes: bound, SpillDir: t.TempDir(),
+		})
+		if spilled.Mem.SpilledBatches == 0 {
+			t.Fatalf("workers=%d: frontier never spilled", wk)
+		}
+		if limit := int64(bound + procs); spilled.Mem.PeakResident > limit {
+			t.Fatalf("workers=%d: a worker deque peaked at %d resident nodes, bound %d",
+				wk, spilled.Mem.PeakResident, limit)
+		}
+	}
+}
+
+// TestSpillCorruptReload: reload must reject damaged spill files with an
+// error instead of trusting a decoded schedule length — before the bounds
+// check, a corrupt length made reload allocate the decoded value (up to
+// ~2^61 entries) and panic the process.
+func TestSpillCorruptReload(t *testing.T) {
+	sp, err := newFrontierSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.close()
+	nds := []*treeNode{
+		{prefix: []int{0, 1, 0, 1, 2, 0}, depth: 6},
+		{prefix: []int{1, 1, 2, 0}, depth: 4},
+	}
+	if err := sp.spill(nds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the batch header with a valid uvarint decoding to ~2^63:
+	// the length exceeds the residual batch bytes, so reload must refuse
+	// up front rather than hand it to make().
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, err := sp.f.WriteAt(huge, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.reload(); err == nil || !strings.Contains(err.Error(), "corrupt spill batch") {
+		t.Fatalf("reload of corrupt batch: err = %v, want a corrupt-spill-batch error", err)
+	}
+
+	// A truncated file (the batch directory says more bytes than the file
+	// holds) must surface as a reload error, not a short decode.
+	if err := sp.spill(nds); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.f.Truncate(sp.off - 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.reload(); err == nil {
+		t.Fatal("reload of truncated spill file succeeded")
+	}
+}
+
+// TestPlantedCollisionCountOnly: with deduplication off the seen structures
+// only back DistinctStates, which keys on 64-bit hashes — so planted
+// collisions may shrink that one count but must leave the search itself
+// untouched: every other field byte-identical, and no under-approximation
+// flag (the envelope was fully explored). Checked on both the sequential
+// hash-set path and the parallel seenTable path.
+func TestPlantedCollisionCountOnly(t *testing.T) {
+	f := factoryFor(func() *consensus.Protocol { return consensus.MaxRegisters(2) }, []int{0, 1})
+	cases := []struct {
+		name         string
+		base, masked Options
+	}{
+		{"sequential", Options{MaxDepth: 8},
+			Options{MaxDepth: 8, testPWMask: 0x0f}},
+		{"parallel", Options{MaxDepth: 8, Strategy: StrategyParallel, Workers: 4},
+			Options{MaxDepth: 8, Strategy: StrategyParallel, Workers: 4, testPWMask: 0x0f}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exact := run(t, f, tc.base)
+			planted := run(t, f, tc.masked)
+			if planted.DistinctStates >= exact.DistinctStates {
+				t.Fatalf("mask planted no count collisions: %d distinct vs %d",
+					planted.DistinctStates, exact.DistinctStates)
+			}
+			if planted.UnderApprox || planted.FalseMergeProb != 0 {
+				t.Fatalf("count-only collisions must not flag under-approximation: %+v", planted)
+			}
+			pc, ec := *stripMem(planted), *stripMem(exact)
+			pc.DistinctStates, ec.DistinctStates = 0, 0
+			if !reflect.DeepEqual(&pc, &ec) {
+				t.Fatalf("count-only mask perturbed the search:\nexact   %+v\nplanted %+v", exact, planted)
+			}
+		})
 	}
 }
 

@@ -119,19 +119,22 @@ type Options struct {
 	// from it and never fills.
 	TableBytes int64
 	// SpillNodes, when positive, bounds the resident frontier of the
-	// sequential fork explorer: when the DFS stack exceeds it, the bottom
+	// fork-based explorers: when the DFS stack (or, under StrategyParallel,
+	// a worker's deque — the bound is per worker) exceeds it, the oldest
 	// half is spilled to a temp file as schedules (a few bytes per node,
 	// systems closed back into the pool) and reloaded batch-wise when the
-	// stack drains, preserving the exact DFS order. Ignored by the replay
-	// and parallel strategies, whose frontiers are recursion-shaped and
-	// worker-bounded respectively.
+	// resident frontier drains. The sequential walk preserves the exact DFS
+	// order; the parallel Report is schedule-order-independent anyway, so
+	// spilled runs stay byte-identical either way. Ignored by the replay
+	// strategy, whose frontier is the recursion stack.
 	SpillNodes int
 	// SpillDir is the directory for frontier spill files ("" means the
 	// system temp directory). Files are removed when the search ends.
 	SpillDir string
-	// testPWMask truncates the compacted modes' probe words so tests can
-	// plant fingerprint collisions deterministically. Zero (always, outside
-	// tests) leaves fingerprints untouched.
+	// testPWMask truncates the compacted modes' probe words — and the exact
+	// count-only modes' 64-bit key hashes — so tests can plant fingerprint
+	// collisions deterministically. Zero (always, outside tests) leaves
+	// fingerprints untouched.
 	testPWMask uint64
 }
 
@@ -177,7 +180,11 @@ type Report struct {
 	// parallel-vs-sequential differential suite pins. Compacted tables
 	// count distinct fingerprints instead of keys (equal up to the
 	// reported collision probability); TableBitstate cannot count and
-	// reports 0.
+	// reports 0. With Dedup off, even TableExact counts 64-bit key hashes
+	// rather than keys — nothing is pruned, so the search is provably
+	// exhaustive and UnderApprox stays false, but the count itself is
+	// fingerprint-approximate: a colliding pair (~2^-64 per pair) would
+	// undercount by one. Only a Dedup-on TableExact run counts exactly.
 	DistinctStates int64
 	// UnderApprox reports that the run may have under-approximated the
 	// bounded state space: a compacted table pruned at least one
@@ -211,8 +218,16 @@ type MemStats struct {
 	// resident plus spilled — held at once by the fork-based strategies
 	// (0 for replay, whose frontier is the recursion stack).
 	PeakFrontier int64
-	// SpilledBatches counts frontier batches written to disk (0 unless
-	// Options.SpillNodes triggered).
+	// PeakResident is the largest number of frontier nodes resident in
+	// memory at once: the DFS stack's high-water mark for the sequential
+	// fork strategy, the largest single worker deque for the parallel one
+	// (0 for replay). Without spilling the sequential value equals
+	// PeakFrontier; with Options.SpillNodes it is what the spill bound
+	// actually bounds — per worker, under every worker count.
+	PeakResident int64
+	// SpilledBatches counts frontier batches written to disk, summed across
+	// workers for the parallel strategy (0 unless Options.SpillNodes
+	// triggered).
 	SpilledBatches int64
 }
 
@@ -390,6 +405,9 @@ func (w *walk) dedup(sys *sim.System, depth int) (bool, error) {
 	}
 	if w.seenHashes != nil {
 		h := hashKey(key)
+		if w.opts.testPWMask != 0 {
+			h &= w.opts.testPWMask // test hook: plant count-only collisions
+		}
 		if _, hit := w.seenHashes[h]; !hit {
 			w.seenHashes[h] = struct{}{}
 			w.exactBytes += hashEntryOverhead
@@ -749,6 +767,9 @@ func exhaustiveFork(ctx context.Context, f Factory, opts Options) (rep *Report, 
 		stack = append(stack, newNode(sys, nd, pid, nd.depth+1))
 
 		frontier := int64(len(stack))
+		if frontier > w.rep.Mem.PeakResident {
+			w.rep.Mem.PeakResident = frontier
+		}
 		if sp != nil {
 			frontier += sp.pending()
 		}

@@ -8,7 +8,12 @@ package explore
 //     owner pushes and pops at the tail (depth-first, so memory stays
 //     O(workers x depth x branching)); an idle worker steals from the head
 //     of a victim's deque, which hands it the shallowest — largest — pending
-//     subtree, keeping steals rare.
+//     subtree, keeping steals rare. With Options.SpillNodes set each worker
+//     additionally bounds its resident deque by spilling the steal end to
+//     its own disk file as schedules (spill.go) and reloading batches —
+//     LIFO, own spill first, then peers' — when the resident frontier runs
+//     dry, so the per-worker resident memory bound holds under parallelism
+//     too.
 //   - Dedup: a seen-state table sharded seenShardCount ways by a hash of the
 //     canonical state key, one mutex per shard. Unlike the sequential walk's
 //     depth-aware rule, the parallel table claims exact (state, depth)
@@ -58,7 +63,11 @@ const seenShardCount = 64
 // same hashKey the sequential walk uses, so Report.DistinctStates matches
 // it exactly — and every touch claims.
 type seenTable struct {
-	dedup  bool
+	dedup bool
+	// mask truncates count-only key hashes (Options.testPWMask) so tests can
+	// plant the 64-bit DistinctStates collision deterministically; zero
+	// outside tests. Dedup mode stores full keys and ignores it.
+	mask   uint64
 	shards [seenShardCount]seenShard
 }
 
@@ -75,8 +84,8 @@ type seenShard struct {
 	_ [64]byte
 }
 
-func newSeenTable(dedup bool) *seenTable {
-	t := &seenTable{dedup: dedup}
+func newSeenTable(dedup bool, mask uint64) *seenTable {
+	t := &seenTable{dedup: dedup, mask: mask}
 	for i := range t.shards {
 		if dedup {
 			t.shards[i].m = make(map[string]*[]int32)
@@ -107,6 +116,9 @@ func hashKey(key []byte) uint64 {
 // lookup is allocation-free on the hit path.
 func (t *seenTable) touch(key []byte, depth int) (claimed, newKey bool) {
 	h := hashKey(key)
+	if t.mask != 0 {
+		h &= t.mask // test hook: plant count-only hash collisions
+	}
 	sh := &t.shards[h&(seenShardCount-1)]
 	sh.mu.Lock()
 	if !t.dedup {
@@ -163,30 +175,57 @@ func (t *seenTable) distinct() int64 {
 // deque is one worker's end of the frontier: owner pushes and pops at the
 // tail, thieves steal from the head. A plain mutex suffices — every node
 // costs at least one fork plus one step, orders of magnitude more than an
-// uncontended lock — and keeps the stealing path trivially correct.
+// uncontended lock — and keeps the stealing path trivially correct. The
+// storage is a ring buffer, so steals rotate the head instead of re-slicing
+// the backing array forward (which crept through the array until each
+// reallocation), and the spiller can cut whole runs off the head; capacity
+// is bounded by the occupancy high-water mark, which the race hammers
+// assert.
 type deque struct {
-	mu    sync.Mutex
-	items []*treeNode
-	_     [64]byte // shard the deques a cache line apart
+	mu   sync.Mutex
+	buf  []*treeNode // ring holding n nodes starting at head
+	head int
+	n    int
+	peak int      // occupancy high-water mark (Report.Mem.PeakResident)
+	_    [64]byte // shard the deques a cache line apart
 }
 
 func (d *deque) push(nd *treeNode) {
 	d.mu.Lock()
-	d.items = append(d.items, nd)
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = nd
+	if d.n++; d.n > d.peak {
+		d.peak = d.n
+	}
 	d.mu.Unlock()
+}
+
+// grow doubles the ring (min 8), unwrapping it to the front. Caller holds mu.
+func (d *deque) grow() {
+	c := len(d.buf) * 2
+	if c < 8 {
+		c = 8
+	}
+	nb := make([]*treeNode, c)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = nb, 0
 }
 
 // pop takes from the tail (the owner's depth-first end).
 func (d *deque) pop() *treeNode {
 	d.mu.Lock()
-	n := len(d.items)
-	if n == 0 {
+	if d.n == 0 {
 		d.mu.Unlock()
 		return nil
 	}
-	nd := d.items[n-1]
-	d.items[n-1] = nil
-	d.items = d.items[:n-1]
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	nd := d.buf[i]
+	d.buf[i] = nil
 	d.mu.Unlock()
 	return nd
 }
@@ -196,15 +235,52 @@ func (d *deque) pop() *treeNode {
 // synchronization.
 func (d *deque) steal() *treeNode {
 	d.mu.Lock()
-	if len(d.items) == 0 {
+	if d.n == 0 {
 		d.mu.Unlock()
 		return nil
 	}
-	nd := d.items[0]
-	d.items[0] = nil
-	d.items = d.items[1:]
+	nd := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
 	d.mu.Unlock()
 	return nd
+}
+
+// spillExtract removes and returns the oldest (shallowest) half of the
+// deque when its occupancy exceeds bound, head-first — the same nodes a
+// thief would steal, which the owner spills to disk instead. Returns nil
+// when the deque is within bound.
+func (d *deque) spillExtract(bound int) []*treeNode {
+	d.mu.Lock()
+	if d.n <= bound {
+		d.mu.Unlock()
+		return nil
+	}
+	out := make([]*treeNode, d.n/2)
+	for i := range out {
+		out[i] = d.buf[d.head]
+		d.buf[d.head] = nil
+		d.head = (d.head + 1) % len(d.buf)
+	}
+	d.n -= len(out)
+	d.mu.Unlock()
+	return out
+}
+
+// peakSize reports the occupancy high-water mark; capacity reports the
+// current ring size. Both are read post-join by the merge and by the
+// bounded-capacity assertions of the race hammers.
+func (d *deque) peakSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
+
+func (d *deque) capacity() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
 }
 
 // pworker is one worker's private state: its deque end of the frontier, its
@@ -220,12 +296,23 @@ type pworker struct {
 	keyBuf     []byte
 	liveBuf    []int
 	symScratch sim.SymScratch
+	// sp is this worker's disk spill (non-nil iff Options.SpillNodes > 0):
+	// the owner spills its deque's steal end into it and reloads from it
+	// when its deque runs dry; idle peers reload from it after failing to
+	// steal. spMu guards sp — spill and reload share the file offset and the
+	// encode/decode buffer.
+	spMu sync.Mutex
+	sp   *frontierSpill
 }
 
 // pwalk is the shared state of one parallel exploration.
 type pwalk struct {
 	opts   Options
 	inputs []int
+	// f and pool rematerialize spill-reloaded nodes: a reloaded schedule is
+	// replayed on a fresh system from f, which then joins the shared pool.
+	f    Factory
+	pool *sim.Pool
 	// table is the exact sharded store; ctab replaces it for the compacted
 	// modes (Options.Table != TableExact) — a lock-free CAS table or Bloom
 	// filter that workers claim through without any mutex. countOnly marks
@@ -282,19 +369,39 @@ func exhaustiveParallel(ctx context.Context, f Factory, opts Options) (*Report, 
 	}
 	// One pool shared by all workers: forks and closes hit it from several
 	// goroutines, which Pool is built for (a mutexed free list).
-	root.SetPool(new(sim.Pool))
+	pool := new(sim.Pool)
+	root.SetPool(pool)
 	w := &pwalk{
 		opts:    opts,
 		inputs:  root.Inputs(),
+		f:       f,
+		pool:    pool,
 		workers: make([]*pworker, nw),
 	}
 	if w.ctab = newCTable(opts, true); w.ctab != nil {
 		w.countOnly = !opts.Dedup
 	} else {
-		w.table = newSeenTable(opts.Dedup)
+		w.table = newSeenTable(opts.Dedup, opts.testPWMask)
 	}
 	for i := range w.workers {
 		w.workers[i] = &pworker{id: i, decided: make(map[int]struct{})}
+	}
+	if opts.SpillNodes > 0 {
+		// One spill file per worker, created up front so peers can reload
+		// from any worker's spill without racing on its creation.
+		for _, pw := range w.workers {
+			sp, err := newFrontierSpill(opts.SpillDir)
+			if err != nil {
+				for _, prev := range w.workers {
+					if prev.sp != nil {
+						prev.sp.close()
+					}
+				}
+				root.Close()
+				return nil, err
+			}
+			pw.sp = sp
+		}
 	}
 	w.pending.Store(1)
 	w.workers[0].dq.push(&treeNode{sys: root})
@@ -309,10 +416,17 @@ func exhaustiveParallel(ctx context.Context, f Factory, opts Options) (*Report, 
 	}
 	wg.Wait()
 	// On an error stop, nodes may remain on the deques; their systems are
-	// torn down here so every fork is closed exactly once on every path.
+	// torn down here so every fork is closed exactly once on every path
+	// (spill-reloaded nodes hold none until first processed). Spill files
+	// are removed after the join; their batch counters survive for merge.
 	for _, pw := range w.workers {
 		for nd := pw.dq.pop(); nd != nil; nd = pw.dq.pop() {
-			nd.sys.Close()
+			if nd.sys != nil {
+				nd.sys.Close()
+			}
+		}
+		if pw.sp != nil {
+			pw.sp.close()
 		}
 	}
 	if w.err != nil {
@@ -335,9 +449,21 @@ func (w *pwalk) run(ctx context.Context, pw *pworker) {
 			}
 		}
 		nd := pw.dq.pop()
+		if nd == nil && pw.sp != nil {
+			// Own deque dry: restore the most recently spilled own batch
+			// before stealing — its nodes are the ones this worker's DFS
+			// visits next, so the reload preserves worker-local locality.
+			nd = w.reloadSpill(pw, pw)
+		}
 		if nd == nil {
 			for off := 1; off < len(w.workers) && nd == nil; off++ {
 				nd = w.workers[(pw.id+off)%len(w.workers)].dq.steal()
+			}
+		}
+		if nd == nil && w.opts.SpillNodes > 0 {
+			// Nothing resident anywhere: reload a peer's spilled batch.
+			for off := 1; off < len(w.workers) && nd == nil; off++ {
+				nd = w.reloadSpill(pw, w.workers[(pw.id+off)%len(w.workers)])
 			}
 		}
 		if nd == nil {
@@ -361,6 +487,58 @@ func (w *pwalk) run(ctx context.Context, pw *pworker) {
 	}
 }
 
+// reloadSpill pops victim's most recently spilled batch and hands its
+// deepest node to pw for immediate processing, publishing the rest on pw's
+// own deque (oldest first, so the deque's steal end stays the shallowest).
+// The reloaded nodes carry only their schedules — their systems
+// rematerialize lazily in process — and their pending counts never lapsed,
+// so the termination protocol is untouched.
+func (w *pwalk) reloadSpill(pw, victim *pworker) *treeNode {
+	victim.spMu.Lock()
+	scheds, err := victim.sp.reload()
+	victim.spMu.Unlock()
+	if err != nil {
+		// The batch is lost; stopping drains every worker regardless of the
+		// pending counter, so no per-node release is needed here.
+		w.fail(err)
+		return nil
+	}
+	if len(scheds) == 0 {
+		return nil
+	}
+	for _, sched := range scheds[:len(scheds)-1] {
+		pw.dq.push(&treeNode{prefix: sched, depth: len(sched)})
+	}
+	last := scheds[len(scheds)-1]
+	return &treeNode{prefix: last, depth: len(last)}
+}
+
+// maybeSpill bounds pw's resident frontier: when the deque outgrows
+// Options.SpillNodes its oldest half is written to pw's spill file as
+// schedules and the systems are closed back into the pool. The spilled
+// nodes stay pending — they move from RAM to disk, not out of the search.
+func (w *pwalk) maybeSpill(pw *pworker) {
+	nds := pw.dq.spillExtract(w.opts.SpillNodes)
+	if len(nds) == 0 {
+		return
+	}
+	pw.spMu.Lock()
+	err := pw.sp.spill(nds)
+	pw.spMu.Unlock()
+	for _, nd := range nds {
+		if nd.sys != nil {
+			nd.sys.Close()
+			nd.sys = nil
+		}
+	}
+	if err != nil {
+		// The extracted nodes are lost: release their pending counts and let
+		// the stop flag drain the rest.
+		w.fail(err)
+		w.pending.Add(-int64(len(nds)))
+	}
+}
+
 // process performs the per-configuration work of the sequential explorer —
 // dedup, accounting, safety check, solo probes, expansion — against the
 // worker's private buffers and the shared table.
@@ -368,9 +546,24 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 	sys := nd.sys
 	nd.sys = nil // ownership leaves the frontier here
 	if w.stopped.Load() {
-		sys.Close()
+		if sys != nil {
+			sys.Close()
+		}
 		w.pending.Add(-1)
 		return
+	}
+	if sys == nil {
+		// A spill root: rematerialize the configuration by replaying its
+		// recorded schedule — the replay/fork equivalence the strategy
+		// battery pins makes this reach the identical configuration the
+		// closed fork held.
+		var err error
+		if sys, err = replay(w.f, nd.prefix); err != nil {
+			w.fail(err)
+			w.pending.Add(-1)
+			return
+		}
+		sys.SetPool(w.pool)
 	}
 	if w.ctab != nil {
 		// Compacted path: fingerprint without materializing the key (the
@@ -481,6 +674,9 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 	}
 	w.pushPending()
 	pw.dq.push(&treeNode{sys: sys, parent: nd, pid: pid, depth: nd.depth + 1})
+	if w.opts.SpillNodes > 0 {
+		w.maybeSpill(pw)
+	}
 	w.pending.Add(-1)
 }
 
@@ -518,6 +714,14 @@ func (w *pwalk) merge() *Report {
 	})
 	rep.DecidedValues = sortedValueSet(decided)
 	rep.Mem.PeakFrontier = w.peakPending.Load()
+	for _, pw := range w.workers {
+		if p := int64(pw.dq.peakSize()); p > rep.Mem.PeakResident {
+			rep.Mem.PeakResident = p
+		}
+		if pw.sp != nil {
+			rep.Mem.SpilledBatches += pw.sp.spilled
+		}
+	}
 	if w.ctab != nil {
 		if !w.sawUnkeyable.Load() {
 			rep.DistinctStates = w.ctab.distinct()

@@ -29,7 +29,7 @@ func TestSeenTableClaimRace(t *testing.T) {
 		depths     = 7
 		rounds     = 50
 	)
-	table := newSeenTable(true)
+	table := newSeenTable(true, 0)
 	claims := make([]atomic.Int64, keys*depths)
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -68,7 +68,7 @@ func TestSeenTableClaimRace(t *testing.T) {
 // always claims, and the distinct count stays exact.
 func TestSeenTableCountRace(t *testing.T) {
 	const goroutines, keys = 12, 256
-	table := newSeenTable(false)
+	table := newSeenTable(false, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -87,6 +87,62 @@ func TestSeenTableCountRace(t *testing.T) {
 	wg.Wait()
 	if got := table.distinct(); got != keys {
 		t.Fatalf("distinct keys %d, want %d", got, keys)
+	}
+}
+
+// TestDequeRingBounded hammers one deque with a pushing/popping owner and
+// stealing thieves, then asserts the ring property the old slice deque
+// lacked: the backing array is bounded by the occupancy high-water mark
+// (within one doubling), not by the total number of pushes — steal() used
+// to re-slice the backing array forward, creeping through it until each
+// reallocation.
+func TestDequeRingBounded(t *testing.T) {
+	const (
+		thieves = 8
+		pushes  = 20000
+	)
+	var (
+		d      deque
+		stolen atomic.Int64
+		popped atomic.Int64
+		done   atomic.Bool
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < thieves; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if nd := d.steal(); nd != nil {
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+	nd := &treeNode{}
+	for i := 0; i < pushes; i++ {
+		d.push(nd)
+		// Pop in bursts so occupancy oscillates but stays small.
+		if i%3 != 0 {
+			if d.pop() != nil {
+				popped.Add(1)
+			}
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	for d.pop() != nil {
+		popped.Add(1)
+	}
+	if got := stolen.Load() + popped.Load(); got != pushes {
+		t.Fatalf("drained %d nodes, want %d", got, pushes)
+	}
+	peak, capacity := d.peakSize(), d.capacity()
+	if peak == 0 || peak > pushes {
+		t.Fatalf("implausible peak occupancy %d", peak)
+	}
+	if capacity > 2*peak+8 {
+		t.Fatalf("ring capacity %d not bounded by peak occupancy %d (backing-array creep)", capacity, peak)
 	}
 }
 

@@ -1,20 +1,25 @@
 package explore
 
-// Disk-spilling frontier for the sequential fork explorer. The DFS stack
-// normally holds one live forked system per pending node; on wide trees
-// (large n, no dedup) the frontier — not the seen table — is what outgrows
-// RAM. With Options.SpillNodes set, whenever the stack exceeds the bound
-// the bottom half (the nodes the DFS will visit last) is written to a temp
-// file as schedules — a few bytes per node instead of a full system — and
-// the systems are closed back into the pool. Batches reload in LIFO order
-// when the stack drains, and a reloaded node lazily rematerializes its
-// system by replaying its recorded schedule on first pop.
+// Disk-spilling frontier for the fork-based explorers. The DFS stack (or a
+// parallel worker's deque) normally holds one live forked system per
+// pending node; on wide trees (large n, no dedup) the frontier — not the
+// seen table — is what outgrows RAM. With Options.SpillNodes set, whenever
+// the resident frontier exceeds the bound its oldest half (the nodes DFS
+// visits last; the deque's steal end) is written to a temp file as
+// schedules — a few bytes per node instead of a full system — and the
+// systems are closed back into the pool. Batches reload in LIFO order when
+// the resident frontier drains, and a reloaded node lazily rematerializes
+// its system by replaying its recorded schedule on first pop.
 //
-// Spilling the bottom and reloading last-batch-first preserves the exact
-// DFS pop order, so a spilled run's Report is byte-identical to the
-// unspilled one (the replay rematerialization reaches the identical
-// configuration the closed fork held — that is the fork/replay equivalence
-// the strategy battery pins).
+// Sequentially, spilling the bottom and reloading last-batch-first
+// preserves the exact DFS pop order, so a spilled run's Report is
+// byte-identical to the unspilled one (the replay rematerialization reaches
+// the identical configuration the closed fork held — that is the
+// fork/replay equivalence the strategy battery pins). In parallel each
+// worker owns one frontierSpill, guarded by the worker's spill mutex so
+// idle peers can reload from it; there the Report is schedule-order-
+// independent anyway (the exact (state, depth) claim rule), so spilling
+// cannot change it either.
 
 import (
 	"encoding/binary"
@@ -94,7 +99,11 @@ func (sp *frontierSpill) reload() ([][]int, error) {
 	out := make([][]int, 0, b.count)
 	for i := 0; i < b.count; i++ {
 		slen, k := binary.Uvarint(buf)
-		if k <= 0 {
+		// Every schedule entry takes at least one byte, so a decoded length
+		// exceeding the residual batch bytes proves corruption — reject it
+		// here rather than letting make() allocate an attacker-sized slice
+		// from a truncated or damaged file.
+		if k <= 0 || slen > uint64(len(buf)-k) {
 			return nil, fmt.Errorf("explore: corrupt spill batch at offset %d", b.off)
 		}
 		buf = buf[k:]

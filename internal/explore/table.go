@@ -43,7 +43,11 @@ type Table int
 const (
 	// TableExact stores full canonical key bytes — the sequential
 	// depth-aware map or the sharded parallel table. Never
-	// under-approximates. The default.
+	// under-approximates the *search*: no configuration is ever pruned on a
+	// hash. (With Dedup off nothing is pruned at all and only
+	// Report.DistinctStates is tracked, as 64-bit key hashes — that count,
+	// and only that count, is fingerprint-approximate; see
+	// Report.DistinctStates.) The default.
 	TableExact Table = iota
 	// TableCompact is SPIN-style hash compaction: a lock-free
 	// open-addressing table over 64-bit fingerprints of the canonical key,
@@ -172,11 +176,12 @@ const (
 // an entry is a (state, depth-epoch) pair) — the order-independent exact
 // (state, depth) claim rule of the sharded table.
 //
-// Sequential tables grow by single-threaded rehash at 3/4 load until the
-// byte budget is reached; parallel tables allocate the budget up front
-// (growing would move slots under concurrent readers). Either way inserts
-// refuse at 15/16 load with ErrTableFull, which also guarantees probe
-// termination.
+// Sizing: parallel tables, and any table given an explicit TableBytes
+// budget, allocate their final size up front (growing would move slots
+// under concurrent readers, and a rehash transiently holds ~1.5x the cap).
+// Only default-budget sequential tables grow, by single-threaded rehash at
+// 3/4 load, until the default budget is reached. Either way inserts refuse
+// at 15/16 load with ErrTableFull, which also guarantees probe termination.
 type compactTable struct {
 	wide       bool // 128-bit mode: check word present
 	depthSets  bool // parallel claim rule (depth bitmap) vs sequential min-depth
@@ -197,9 +202,22 @@ func newCompactTable(wide, depthSets, growable bool, budget int64, pwMask uint64
 	}
 	if budget <= 0 {
 		budget = compactDefaultBytes
+	} else {
+		// An explicit budget is a hard cap on the table's footprint at every
+		// instant, so the table is allocated at its final size up front and
+		// never rehashes: a growth rehash transiently holds the old and
+		// doubled slot arrays together — ~1.5x the final size — busting caps
+		// the final table fits comfortably. Growth only serves the
+		// default-budget sequential case, where starting at 1024 entries
+		// keeps small explorations small.
+		growable = false
 	}
+	// Doubling while the *doubled* table still fits leaves the largest
+	// power-of-two table with memBytes <= budget. The 1<<55 stop keeps the
+	// product below int64 overflow for absurd budgets; a table that size
+	// could not be allocated anyway.
 	maxEntries := uint64(compactMinEntries)
-	for int64(maxEntries*2*stride*8) <= budget {
+	for maxEntries < 1<<55 && int64(maxEntries*2)*int64(stride)*8 <= budget {
 		maxEntries *= 2
 	}
 	entries := maxEntries

@@ -24,6 +24,19 @@ func recomputedFingerprint(m *Memory) uint64 {
 	return fp
 }
 
+// recomputedFingerprint128 is the two-lane recomputation Fingerprint128
+// must track — the second lane rolls by the identical pre/post-instruction
+// XOR discipline as the first.
+func recomputedFingerprint128(m *Memory) Hash128 {
+	var h Hash128
+	for i := range m.locs {
+		lo, hi := locHash128(i, &m.locs[i])
+		h.Lo ^= lo
+		h.Hi ^= hi
+	}
+	return h
+}
+
 // mutate applies n random numeric instructions from a seeded stream,
 // including multiplications that push values onto the big.Int slow path and
 // writes that return locations to their canonical zero state.
@@ -98,6 +111,9 @@ func TestCloneFingerprintsUnderConcurrentMutation(t *testing.T) {
 		if got, want := m.Fingerprint64(), recomputedFingerprint(m); got != want {
 			t.Fatalf("clone %d rolling fp %#x, recomputed %#x", i, got, want)
 		}
+		if got, want := m.Fingerprint128(), recomputedFingerprint128(m); got != want {
+			t.Fatalf("clone %d rolling 128-bit fp %+v, recomputed %+v", i, got, want)
+		}
 	}
 
 	// Representation independence: a clone driven to the same observable
@@ -115,5 +131,12 @@ func TestCloneFingerprintsUnderConcurrentMutation(t *testing.T) {
 	if a.Fingerprint64() != b.Fingerprint64() {
 		t.Fatalf("equal contents fingerprint differently: %#x vs %#x",
 			a.Fingerprint64(), b.Fingerprint64())
+	}
+	if a.Fingerprint128() != b.Fingerprint128() {
+		t.Fatalf("equal contents 128-bit-fingerprint differently: %+v vs %+v",
+			a.Fingerprint128(), b.Fingerprint128())
+	}
+	if a.Fingerprint128().Lo != a.Fingerprint64() {
+		t.Fatal("Fingerprint128's low lane must be Fingerprint64")
 	}
 }

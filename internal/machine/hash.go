@@ -30,6 +30,7 @@ const (
 	hashSliceTag  = 0x9b05688c2b3e6c1f
 	hashCellTag   = 0x1f83d9abfb41bd6b
 	hashOrbitTag  = 0x5be0cd19137e2179
+	hashLoc128Tag = 0x2b992ddfa23249d6
 )
 
 // Hash128 is a 128-bit rolling fingerprint: two independently seeded
@@ -227,6 +228,19 @@ func locHash(i int, l *location) uint64 {
 		return 0
 	}
 	return Mix64(ch ^ Mix64(uint64(i)^hashLocTag))
+}
+
+// locHash128 is locHash widened to two lanes: the low lane is the exact
+// 64-bit per-location term, the high lane remixes it against its own tag so
+// the lanes decorrelate. Zero-state locations contribute (0, 0) in both
+// lanes, preserving the bounded/unbounded equivalence. It is the
+// per-location term of the rolling 128-bit fingerprint.
+func locHash128(i int, l *location) (lo, hi uint64) {
+	lo = locHash(i, l)
+	if lo == 0 {
+		return 0, 0
+	}
+	return lo, Mix64(lo ^ hashLoc128Tag)
 }
 
 // CellHash pairs a location index with the index-free canonical hash of its

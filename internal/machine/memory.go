@@ -43,8 +43,10 @@ type Memory struct {
 	stats     Stats
 	// fp is the incrementally maintained canonical fingerprint: the XOR of
 	// locHash over all locations, updated per mutating instruction. See
-	// hash.go for the canonicalization rules.
-	fp uint64
+	// hash.go for the canonicalization rules. fph is the second lane of the
+	// 128-bit fingerprint (locHash128), maintained by the same hooks.
+	fp  uint64
+	fph uint64
 }
 
 // Option configures a Memory.
@@ -98,7 +100,9 @@ func New(set InstrSet, size int, opts ...Option) *Memory {
 	}
 	for i := range m.locs {
 		m.locs[i].val = normValue(m.locs[i].val)
-		m.fp ^= locHash(i, &m.locs[i])
+		lo, hi := locHash128(i, &m.locs[i])
+		m.fp ^= lo
+		m.fph ^= hi
 	}
 	return m
 }
@@ -118,6 +122,7 @@ func (m *Memory) Clone() *Memory {
 		caps:      m.caps, // immutable after construction
 		unbounded: m.unbounded,
 		fp:        m.fp,
+		fph:       m.fph,
 	}
 	n.locs = make([]location, len(m.locs))
 	copy(n.locs, m.locs)
@@ -143,6 +148,7 @@ func (m *Memory) CloneInto(n *Memory) {
 	n.caps = m.caps // immutable after construction
 	n.unbounded = m.unbounded
 	n.fp = m.fp
+	n.fph = m.fph
 	n.locs = append(n.locs[:0], m.locs...)
 	for i := range n.locs {
 		l := &n.locs[i]
@@ -220,10 +226,12 @@ func (m *Memory) apply(loc int, op Op, args []Value) (Value, error) {
 	if op.Trivial() {
 		return m.applyOp(loc, op, args)
 	}
-	pre := locHash(loc, &m.locs[loc])
+	preLo, preHi := locHash128(loc, &m.locs[loc])
 	res, err := m.applyOp(loc, op, args)
 	if err == nil {
-		m.fp ^= pre ^ locHash(loc, &m.locs[loc])
+		postLo, postHi := locHash128(loc, &m.locs[loc])
+		m.fp ^= preLo ^ postLo
+		m.fph ^= preHi ^ postHi
 	}
 	return res, err
 }
@@ -539,3 +547,11 @@ func (m *Memory) Fingerprint() string {
 // usual 64-bit hash probability. It is the memory component of the
 // explorer's seen-state key.
 func (m *Memory) Fingerprint64() uint64 { return m.fp }
+
+// Fingerprint128 returns the canonical 128-bit fingerprint of the memory
+// contents: two independently tagged lanes over the same per-location terms
+// as Fingerprint64, maintained by the same mutating-instruction hooks, so
+// reading it is free. It feeds the sim layer's incremental StateHash128,
+// letting the explorer's compacted keying path stop re-streaming the memory
+// per state.
+func (m *Memory) Fingerprint128() Hash128 { return Hash128{Lo: m.fp, Hi: m.fph} }

@@ -100,6 +100,10 @@ func (s *System) Fork() (*System, error) {
 		nps.poised, nps.hasPoise = OpInfo{}, false
 		nps.decided, nps.decision = ps.decided, ps.decision
 		nps.crashed, nps.err = ps.crashed, ps.err
+		// The fork is at the source's exact configuration, so the cached
+		// StateHash128 contribution carries over verbatim (stale or not).
+		nps.hcLo, nps.hcHi = ps.hcLo, ps.hcHi
+		nps.hcKeyed, nps.hcAdapter, nps.hcValid = ps.hcKeyed, ps.hcAdapter, ps.hcValid
 		var st Stepper
 		switch {
 		case !ps.hasPoise || ps.crashed:
@@ -145,6 +149,9 @@ func (s *System) Fork() (*System, error) {
 		}
 		nps.refresh()
 	}
+	n.hcAggLo, n.hcAggHi = s.hcAggLo, s.hcAggHi
+	n.hcUnkeyed, n.hcAdapters = s.hcUnkeyed, s.hcAdapters
+	n.hcDirty = append(n.hcDirty[:0], s.hcDirty...)
 	forkTally.Add(1)
 	return n, nil
 }

@@ -2,58 +2,153 @@ package sim
 
 import "repro/internal/machine"
 
-// StateHash128 is the fingerprint-only form of AppendStateKey: it streams
-// the exact same logical components — the memory's incremental fingerprint,
-// then per process either its terminal status or its local-state key, then
-// the global step count when a live Body adapter is present — through a
-// 128-bit rolling hash, without materializing the key bytes at all. The
-// compacted seen-state tables store only this fingerprint (8–16 bytes per
-// state instead of the full key), so skipping the byte encoding removes the
-// one remaining per-state buffer walk from their keying path.
+// StateHash128 is the fingerprint-only form of AppendStateKey: a 128-bit
+// hash of exactly the logical components the key encodes — the memory's
+// incremental fingerprint, per process either its terminal status or its
+// local-state key, and the global step count when a live Body adapter is
+// present — without materializing the key bytes at all. The compacted
+// seen-state tables store only this fingerprint (8–16 bytes per state
+// instead of the full key), so it is the whole keying path of the
+// memory-bounded explorer modes.
 //
-// Equal configurations always hash equally (the stream is a function of
-// exactly the fields AppendStateKey encodes, tag-for-tag); distinct
-// configurations collide with ~2^-64 per lane, the under-approximation the
-// compacted modes report via Report.FalseMergeProb. ok is false in exactly
-// the cases AppendStateKey's is: a closed system, a live process without a
-// state key, or a clock-dependent Body adapter.
+// It is maintained incrementally, like machine.Fingerprint64: the hash
+// combines the memory's rolling 128-bit fingerprint with an XOR aggregate of
+// per-process contributions (each seeded with its pid, so permuted local
+// states hash differently), and Step/Crash only mark the stepped process's
+// cached contribution stale. A query therefore re-hashes the processes that
+// moved since the last query — O(1) per intervening step — instead of
+// re-streaming every process each time.
 //
-// Concurrency: like AppendStateKey, it only reads the receiver — safe
-// concurrently with Forks of the same system, but not with Step/Crash/Close.
+// Equal configurations always hash equally (the aggregate is a function of
+// exactly the fields AppendStateKey encodes); distinct configurations
+// collide with ~2^-64 per lane, the under-approximation the compacted modes
+// report via Report.FalseMergeProb. ok is false in exactly the cases
+// AppendStateKey's is: a closed system, a live process without a state key,
+// or a clock-dependent Body adapter.
+//
+// Concurrency: unlike AppendStateKey, StateHash128 flushes the stale-cache
+// queue into the receiver, so it is NOT safe concurrently with Fork (or
+// anything else) on the same System. Callers that share a System across
+// goroutines must hash only systems they own — the parallel explorer hashes
+// each configuration on the worker that popped it, never a shared one.
 func (s *System) StateHash128() (fp machine.Hash128, ok bool) {
 	if s.closed {
 		return machine.Hash128{}, false
 	}
-	h := machine.SeedHash128()
-	h = h.Word(s.mem.Fingerprint64())
-	adapters := false
-	for _, ps := range s.procs {
-		switch {
-		case ps.crashed:
-			h = h.Word('x')
-		case ps.decided:
-			h = h.Word('d').Word(uint64(int64(ps.decision)))
-		case ps.err != nil:
-			h = h.Word('e')
-		case !ps.hasPoise:
-			h = h.Word('?')
-		default:
-			k, keyed := ps.st.(StateKeyer)
-			if !keyed {
-				return machine.Hash128{}, false
-			}
-			// Mirrors AppendStateKey: a Body that has read Clock() carries
-			// state the result history does not determine — no sound key.
-			if cd, ok := ps.st.(interface{ clockDependent() bool }); ok {
-				if cd.clockDependent() {
-					return machine.Hash128{}, false
-				}
-				adapters = true
-			}
-			h = h.Word('l').Word(k.StateKey())
+	s.flushStateHash()
+	if s.hcUnkeyed > 0 {
+		return machine.Hash128{}, false
+	}
+	mfp := s.mem.Fingerprint128()
+	h := machine.SeedHash128().Word(mfp.Lo).Word(mfp.Hi).Word(s.hcAggLo).Word(s.hcAggHi)
+	// Live Body adapters fold the clock in, exactly as AppendStateKey does.
+	if s.hcAdapters > 0 {
+		h = h.Word(uint64(s.steps))
+	}
+	return h, true
+}
+
+// hashStale marks process pid's cached hash contribution stale: the old
+// contribution is XORed out of the aggregates immediately (it is cached, so
+// this needs no stepper call) and the recompute is deferred to the next
+// StateHash128 query. Idempotent between flushes, preserving the invariant
+// that a process is hcValid or queued exactly once.
+func (s *System) hashStale(pid int) {
+	ps := s.procs[pid]
+	if !ps.hcValid {
+		return // already queued
+	}
+	ps.hcValid = false
+	s.hcAggLo ^= ps.hcLo
+	s.hcAggHi ^= ps.hcHi
+	if !ps.hcKeyed {
+		s.hcUnkeyed--
+	}
+	if ps.hcAdapter {
+		s.hcAdapters--
+	}
+	s.hcDirty = append(s.hcDirty, pid)
+}
+
+// flushStateHash recomputes every queued contribution and folds it back into
+// the aggregates, leaving all caches valid.
+func (s *System) flushStateHash() {
+	for _, pid := range s.hcDirty {
+		ps := s.procs[pid]
+		if ps.hcValid {
+			continue
+		}
+		ps.hcLo, ps.hcHi, ps.hcKeyed, ps.hcAdapter = procHashContribution(pid, ps)
+		ps.hcValid = true
+		s.hcAggLo ^= ps.hcLo
+		s.hcAggHi ^= ps.hcHi
+		if !ps.hcKeyed {
+			s.hcUnkeyed++
+		}
+		if ps.hcAdapter {
+			s.hcAdapters++
 		}
 	}
-	// Live Body adapters fold the clock in, exactly as AppendStateKey does.
+	s.hcDirty = s.hcDirty[:0]
+}
+
+// procHashContribution hashes one process's component of the configuration
+// key, mirroring AppendStateKey's per-process cases tag-for-tag and binding
+// the pid so permuting two processes' states changes the XOR aggregate.
+// keyed is false in the cases AppendStateKey rejects: a live process without
+// a StateKeyer, or a Body adapter that has read Clock(). adapter marks a
+// live clock-capable Body adapter, whose key must also fold the step count.
+func procHashContribution(pid int, ps *procState) (lo, hi uint64, keyed, adapter bool) {
+	h := machine.SeedHash128().Word(uint64(pid))
+	switch {
+	case ps.crashed:
+		h = h.Word('x')
+	case ps.decided:
+		h = h.Word('d').Word(uint64(int64(ps.decision)))
+	case ps.err != nil:
+		h = h.Word('e')
+	case !ps.hasPoise:
+		h = h.Word('?')
+	default:
+		k, ok := ps.st.(StateKeyer)
+		if !ok {
+			return 0, 0, false, false
+		}
+		// A Body that has read Clock() carries state the result history does
+		// not determine — no sound key.
+		if cd, ok := ps.st.(interface{ clockDependent() bool }); ok {
+			if cd.clockDependent() {
+				return 0, 0, false, false
+			}
+			adapter = true
+		}
+		h = h.Word('l').Word(k.StateKey())
+	}
+	return h.Lo, h.Hi, true, adapter
+}
+
+// streamedStateHash128 recomputes StateHash128 from scratch, stepper by
+// stepper, ignoring every cache. It is the reference implementation the
+// differential battery pins the incremental path against at each point of a
+// portfolio walk (steps, forks, crashes, failures); it must combine exactly
+// as StateHash128 does.
+func (s *System) streamedStateHash128() (fp machine.Hash128, ok bool) {
+	if s.closed {
+		return machine.Hash128{}, false
+	}
+	var aggLo, aggHi uint64
+	adapters := false
+	for pid, ps := range s.procs {
+		lo, hi, keyed, adapter := procHashContribution(pid, ps)
+		if !keyed {
+			return machine.Hash128{}, false
+		}
+		aggLo ^= lo
+		aggHi ^= hi
+		adapters = adapters || adapter
+	}
+	mfp := s.mem.Fingerprint128()
+	h := machine.SeedHash128().Word(mfp.Lo).Word(mfp.Hi).Word(aggLo).Word(aggHi)
 	if adapters {
 		h = h.Word(uint64(s.steps))
 	}

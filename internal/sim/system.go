@@ -57,6 +57,16 @@ type procState struct {
 	// terminal stub, so a later fork of a live process into this slot can
 	// still rebuild over it (ForkerInto) instead of allocating afresh.
 	spare Stepper
+	// hcLo/hcHi cache this process's contribution to the incremental
+	// StateHash128 (see statehash.go); hcKeyed and hcAdapter cache whether the
+	// process is soundly keyable and whether it is a live clock-capable Body
+	// adapter. hcValid marks the cache current — invariant: a process is
+	// either hcValid (its contribution is folded into the System aggregates)
+	// or queued exactly once in System.hcDirty.
+	hcLo, hcHi uint64
+	hcKeyed    bool
+	hcAdapter  bool
+	hcValid    bool
 }
 
 func (ps *procState) live() bool {
@@ -123,6 +133,14 @@ type System struct {
 	// pooled marks a System built by a pooled Fork: its Close returns it to
 	// pool instead of abandoning it.
 	pooled bool
+	// Incremental StateHash128 state (statehash.go): XOR aggregates of the
+	// per-process hash contributions, counts of unkeyable and live-adapter
+	// processes among the valid caches, and the queue of processes whose
+	// cached contribution is stale.
+	hcAggLo, hcAggHi uint64
+	hcUnkeyed        int
+	hcAdapters       int
+	hcDirty          []int
 }
 
 // StepInfo records one executed step.
@@ -233,6 +251,7 @@ func (s *System) adopt(pid int, st Stepper) {
 	}
 	ps.refresh()
 	s.procs[pid] = ps
+	s.hcDirty = append(s.hcDirty, pid) // fresh cache: contribution pending
 }
 
 // N returns the number of processes.
@@ -349,6 +368,7 @@ func (s *System) Step(pid int) (StepInfo, error) {
 		ps.err = fmt.Errorf("sim: process %d: %w", pid, err)
 		ps.hasPoise = false
 		ps.st.Halt()
+		s.hashStale(pid)
 		return StepInfo{}, ps.err
 	}
 	s.steps++
@@ -362,6 +382,7 @@ func (s *System) Step(pid int) (StepInfo, error) {
 		ps.st.Resume(res)
 		ps.refresh()
 	}
+	s.hashStale(pid)
 	if s.tracing {
 		s.trace = append(s.trace, step)
 	}
@@ -381,6 +402,7 @@ func (s *System) Crash(pid int) {
 	ps.crashed = true
 	ps.hasPoise = false
 	ps.st.Halt()
+	s.hashStale(pid)
 }
 
 // Close tears down all processes. The System must not be used afterwards.

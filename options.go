@@ -66,6 +66,9 @@ type verifyConfig struct {
 	tableBytes int64
 	spillNodes int
 	spillDir   string
+	// err records the first invalid option; Verify reports it before any
+	// protocol construction, like every other input error.
+	err error
 }
 
 type batchConfig struct {
@@ -231,24 +234,36 @@ type tableOption TableMode
 func (o tableOption) applyVerify(c *verifyConfig) { c.table = TableMode(o) }
 
 // WithTableBytes caps the compacted table's memory (default 64 MiB for the
-// compact modes, 32 MiB for bitstate). Compact tables refuse — with an
-// error, never a silent drop — when the cap cannot hold the explored
-// states; bitstate filters never refuse, their false-merge probability just
-// grows with occupancy. Ignored under TableExact.
+// compact modes, 32 MiB for bitstate). An explicit budget is a hard cap at
+// every instant: the compact table is allocated at its final size up front
+// — no growth rehash whose transient footprint would overshoot the cap —
+// and refuses with an error, never a silent drop, when the cap cannot hold
+// the explored states; bitstate filters never refuse, their false-merge
+// probability just grows with occupancy. Ignored under TableExact; zero
+// means the default; a negative budget reports ErrBadInput from Verify.
 func WithTableBytes(b int64) VerifyOption { return tableBytesOption(b) }
 
 type tableBytesOption int64
 
-func (o tableBytesOption) applyVerify(c *verifyConfig) { c.tableBytes = int64(o) }
+func (o tableBytesOption) applyVerify(c *verifyConfig) {
+	if o < 0 {
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: WithTableBytes(%d) is negative", ErrBadInput, int64(o))
+		}
+		return
+	}
+	c.tableBytes = int64(o)
+}
 
 // WithSpillFrontier bounds the resident exploration frontier to about nodes
 // pending configurations: when the DFS stack outgrows the bound, its bottom
 // half is spilled to a temporary file under dir ("" = the OS temp
 // directory) as compact schedules and rematerialized by replay when the
 // search returns to it. The report is byte-identical to the unspilled run's
-// (only VerifyReport.Mem differs). Spilling applies to the sequential
-// exploration; it is ignored when Workers routes to the parallel explorer,
-// whose frontier is distributed across per-worker deques.
+// (only VerifyReport.Mem differs). Under Workers the bound applies to each
+// worker of the parallel explorer separately — every worker spills its own
+// deque to its own file, and idle workers reload from peers before going
+// to sleep — so the resident frontier is bounded by about nodes x workers.
 func WithSpillFrontier(nodes int, dir string) VerifyOption {
 	return spillOption{nodes: nodes, dir: dir}
 }

@@ -97,7 +97,11 @@ type VerifyReport struct {
 	// explored envelope; invariant across worker counts and deduplication.
 	DecidedValues []int
 	// DistinctStates counts distinct canonical configurations reached
-	// within the envelope (0 if the systems expose no state key).
+	// within the envelope (0 if the systems expose no state key). Under the
+	// compacted table modes with deduplication off (dedup is always on for
+	// Verify, but see the explorer's count-only mode) the count keys on
+	// 64-bit hashes and is fingerprint-approximate; only a deduplicating
+	// TableExact run counts exactly.
 	DistinctStates int64
 	// UnderApprox reports that the exploration ran with a compacted
 	// seen-state table (WithTable) and pruned at least one revisit, so the
@@ -126,8 +130,13 @@ type VerifyMemStats struct {
 	// PeakFrontier is the largest number of pending configurations the
 	// exploration held at once, spilled batches included.
 	PeakFrontier int64
+	// PeakResident is the largest number of configurations resident in
+	// memory at once — the DFS stack, or under Workers the largest single
+	// worker deque. WithSpillFrontier bounds it to about the spill bound
+	// (per worker); without spilling it tracks PeakFrontier.
+	PeakResident int64
 	// SpilledBatches counts frontier batches written to disk
-	// (WithSpillFrontier).
+	// (WithSpillFrontier), summed across workers.
 	SpilledBatches int64
 }
 
