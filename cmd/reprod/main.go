@@ -1,0 +1,68 @@
+// Command reprod is the long-running verification service: an HTTP/JSON
+// server over the compiled-handle API. It holds a concurrent LRU of
+// compiled protocol handles so repeated solves fork pristine snapshots
+// instead of recompiling, a persistent verify-result cache so repeated
+// certifications are one lookup, and a bounded verify job queue with
+// end-to-end context cancellation. SIGTERM/SIGINT trigger a graceful
+// drain: every accepted job completes (or, past -drain, is cancelled
+// observably) before the process exits 0.
+//
+// Endpoints:
+//
+//	POST   /solve        one schedule of a row's protocol (synchronous)
+//	POST   /solve/batch  a sweep streamed as NDJSON via SolveSeq
+//	POST   /verify       exhaustive exploration, async through the queue
+//	GET    /jobs/{id}    poll a verify job
+//	DELETE /jobs/{id}    cancel a verify job
+//	GET    /status       operational state as JSON
+//	GET    /healthz      liveness (503 once draining)
+//	GET    /metrics      Prometheus text exposition
+//
+// Example:
+//
+//	reprod -addr :8090 -result-cache reprod.results
+//	curl -s localhost:8090/solve -d '{"row":"T1.9","inputs":[3,1,4,1,2],"seed":7}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		workers     = flag.Int("workers", 1, "verify worker pool size")
+		queue       = flag.Int("queue", 64, "verify job queue bound")
+		handleCache = flag.Int("handle-cache", 64, "compiled-handle LRU capacity")
+		resultCache = flag.String("result-cache", "", "persistent verify-result cache file (empty = in-memory only)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		HandleCacheSize: *handleCache,
+		ResultCachePath: *resultCache,
+		DrainTimeout:    *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}

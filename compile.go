@@ -30,6 +30,16 @@ var ErrBadInput = errors.New("repro: invalid inputs")
 // Compile and safe for concurrent use; SolveBatch drives many runs of one
 // handle across a worker pool.
 //
+// The concurrency contract is unrestricted: any number of goroutines may
+// call any mix of the handle's verbs — Solve, SolveBatch, SolveSeq, Verify,
+// Steps, Bounds, and the metadata accessors — on one handle at the same
+// time, without external locking. Every run gets its own memory, processes,
+// and scheduler (forked from the handle's pristine snapshots, which are
+// never stepped); the only shared mutable state is the snapshot cache and
+// the system pool, both internally synchronized. This is what lets a server
+// share one compiled handle across concurrent requests; the contract is
+// race-hammered by TestConcurrentHandleVerbs.
+//
 // Handles amortize per-run setup: the first run on a given input vector
 // builds a fresh system and, for rows whose processes are explicit forkable
 // state machines (every row ported in internal/consensus/steppers.go),
@@ -133,6 +143,18 @@ func (p *Protocol) N() int { return p.n }
 
 // Row returns the compiled hierarchy row descriptor.
 func (p *Protocol) Row() Row { return p.row }
+
+// CacheKey returns a canonical identity string for the compiled handle: the
+// (row, n, value domain, buffer capacity) tuple that determines every result
+// the handle can produce. Two handles with equal CacheKeys are
+// interchangeable — same protocol, same input domain, same bounds — so the
+// key is a sound map key for caching layers that share or memoize handles
+// (the reprod service's handle and verify-result caches). The format is
+// "row=<id> n=<n> values=<m> l=<l>", with l the row's buffer capacity (0 for
+// rows without buffers).
+func (p *Protocol) CacheKey() string {
+	return fmt.Sprintf("row=%s n=%d values=%d l=%d", p.row.ID, p.n, p.Values(), p.row.L)
+}
 
 // Bounds evaluates the paper's lower and upper bound on SP(I, n) at the
 // compiled n (Unbounded = ∞).

@@ -1,0 +1,119 @@
+package repro
+
+// Race-hammer for the compiled handle's concurrency contract: one
+// *Protocol, many goroutines, every verb. The Protocol doc promises a
+// handle is immutable after Compile and safe for unlimited concurrent use;
+// this test (run repeatedly under -race in CI) is that promise's enforcer.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentHandleVerbs(t *testing.T) {
+	p, err := Compile("T1.10", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{2, 0, 1}
+
+	// A reference outcome per seed: the concurrent callers must all agree
+	// with the sequential answers (determinism survives contention).
+	want := map[int64]*Outcome{}
+	for seed := int64(1); seed <= 4; seed++ {
+		out, err := p.Solve(context.Background(), inputs, Seed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = out
+	}
+	refReport, err := p.Verify(context.Background(), inputs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 6; i++ {
+				switch (g + i) % 5 {
+				case 0: // Solve
+					seed := int64((g+i)%4 + 1)
+					out, err := p.Solve(ctx, inputs, Seed(seed))
+					if err != nil {
+						fail("Solve: %v", err)
+						return
+					}
+					if w := want[seed]; out.Value != w.Value || out.Steps != w.Steps {
+						fail("Solve(seed=%d) under contention: %+v, sequential %+v", seed, out, w)
+						return
+					}
+				case 1: // SolveBatch
+					specs := []RunSpec{{Inputs: inputs, Seed: 1}, {Inputs: inputs, Seed: 2}}
+					for j, r := range p.SolveBatch(ctx, specs, Workers(2)) {
+						if r.Err != nil {
+							fail("SolveBatch[%d]: %v", j, r.Err)
+							return
+						}
+						if w := want[specs[j].Seed]; r.Outcome.Value != w.Value {
+							fail("SolveBatch[%d] value %d, want %d", j, r.Outcome.Value, w.Value)
+							return
+						}
+					}
+				case 2: // SolveSeq, including an early break mid-sweep
+					specs := []RunSpec{{Inputs: inputs, Seed: 3}, {Inputs: inputs, Seed: 4}, {Inputs: inputs, Seed: 1}}
+					seen := 0
+					for j, r := range p.SolveSeq(ctx, specs) {
+						if r.Err != nil {
+							fail("SolveSeq[%d]: %v", j, r.Err)
+							return
+						}
+						if seen++; seen == 2 {
+							break
+						}
+					}
+				case 3: // Verify
+					rep, err := p.Verify(ctx, inputs, 5)
+					if err != nil {
+						fail("Verify: %v", err)
+						return
+					}
+					if rep.DistinctStates != refReport.DistinctStates || len(rep.Violations) != len(refReport.Violations) {
+						fail("Verify under contention: %d states / %d violations, want %d / %d",
+							rep.DistinctStates, len(rep.Violations), refReport.DistinctStates, len(refReport.Violations))
+						return
+					}
+				case 4: // Steps and Bounds (read-only verbs)
+					if _, err := p.Steps(ctx); err != nil {
+						fail("Steps: %v", err)
+						return
+					}
+					lo, hi := p.Bounds()
+					if lo <= 0 || hi < lo {
+						fail("Bounds: %d..%d", lo, hi)
+						return
+					}
+					_ = p.CacheKey()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

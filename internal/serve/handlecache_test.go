@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestHandleCacheHitMissEvict(t *testing.T) {
+	c := newHandleCache(2)
+	k9 := HandleKey{Row: "T1.9", N: 3}
+	k10 := HandleKey{Row: "T1.10", N: 3}
+	k12 := HandleKey{Row: "T1.12", N: 3}
+
+	p1, err := c.get(k9)
+	if err != nil {
+		t.Fatalf("get(T1.9): %v", err)
+	}
+	p2, err := c.get(k9)
+	if err != nil {
+		t.Fatalf("get(T1.9) again: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatalf("repeat get returned a different handle: recompiled instead of cached")
+	}
+	if hits, misses, n := mustStats(c); hits != 1 || misses != 1 || n != 1 {
+		t.Fatalf("after 2 gets of one key: hits=%d misses=%d entries=%d", hits, misses, n)
+	}
+
+	if _, err := c.get(k10); err != nil {
+		t.Fatalf("get(T1.10): %v", err)
+	}
+	// Touch T1.9 so T1.10 is the LRU victim, then overflow.
+	if _, err := c.get(k9); err != nil {
+		t.Fatalf("get(T1.9): %v", err)
+	}
+	if _, err := c.get(k12); err != nil {
+		t.Fatalf("get(T1.12): %v", err)
+	}
+	if _, _, n := mustStats(c); n != 2 {
+		t.Fatalf("capacity 2 cache holds %d entries", n)
+	}
+	p3, err := c.get(k9)
+	if err != nil {
+		t.Fatalf("get(T1.9) after eviction round: %v", err)
+	}
+	if p3 != p1 {
+		t.Fatalf("T1.9 was evicted despite being most recently used")
+	}
+	// T1.10 was the victim: getting it again must recompile (a miss).
+	_, _, nBefore := mustStats(c)
+	_, misses0, _ := statsTriple(c)
+	if _, err := c.get(k10); err != nil {
+		t.Fatalf("get(T1.10) after eviction: %v", err)
+	}
+	_, misses1, _ := statsTriple(c)
+	if misses1 != misses0+1 {
+		t.Fatalf("evicted key did not miss: misses %d -> %d (entries %d)", misses0, misses1, nBefore)
+	}
+}
+
+func statsTriple(c *handleCache) (int64, int64, int) { return mustStats(c) }
+
+func mustStats(c *handleCache) (int64, int64, int) {
+	h, m, n := c.stats()
+	return h, m, n
+}
+
+func TestHandleCacheKeyDistinguishesDomainAndCapacity(t *testing.T) {
+	c := newHandleCache(8)
+	base, err := c.get(HandleKey{Row: "T1.12", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := c.get(HandleKey{Row: "T1.12", N: 3, Values: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == wide {
+		t.Fatalf("Values=5 shared a handle with the default domain")
+	}
+	if base.Values() != 3 || wide.Values() != 5 {
+		t.Fatalf("domains: base=%d wide=%d", base.Values(), wide.Values())
+	}
+	l2, err := c.get(HandleKey{Row: "T1.6", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := c.get(HandleKey{Row: "T1.6", N: 3, L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 == l3 {
+		t.Fatalf("L=3 shared a handle with the default capacity")
+	}
+	if l2.CacheKey() == l3.CacheKey() {
+		t.Fatalf("distinct capacities share CacheKey %q", l2.CacheKey())
+	}
+}
+
+func TestHandleCacheCachesCompileErrors(t *testing.T) {
+	c := newHandleCache(4)
+	_, err1 := c.get(HandleKey{Row: "T9.99", N: 3})
+	if !errors.Is(err1, repro.ErrUnknownRow) {
+		t.Fatalf("unknown row: %v", err1)
+	}
+	_, err2 := c.get(HandleKey{Row: "T9.99", N: 3})
+	if !errors.Is(err2, repro.ErrUnknownRow) {
+		t.Fatalf("unknown row (cached): %v", err2)
+	}
+	if h, _, _ := c.stats(); h != 1 {
+		t.Fatalf("second bad-row get was not a cache hit (hits=%d)", h)
+	}
+	if _, err := c.get(HandleKey{Row: "T1.9", N: 3, Values: 5}); !errors.Is(err, repro.ErrBadInput) {
+		t.Fatalf("WithValues on a row without an m-valued form: %v", err)
+	}
+}
+
+// TestConcurrentHandleCache hammers one cache from many goroutines mixing
+// hits, misses, and evictions; run under -race in CI it pins the cache's
+// concurrency contract (compile-once per key, no torn LRU state).
+func TestConcurrentHandleCache(t *testing.T) {
+	c := newHandleCache(3) // smaller than the working set: constant eviction
+	rows := []string{"T1.9", "T1.10", "T1.12", "T1.13"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := HandleKey{Row: rows[(g+i)%len(rows)], N: 3}
+				p, err := c.get(k)
+				if err != nil {
+					errs <- fmt.Errorf("get(%v): %v", k, err)
+					return
+				}
+				if p.ID() != k.Row {
+					errs <- fmt.Errorf("get(%v) returned handle for %s", k, p.ID())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, _, n := c.stats(); n > 3 {
+		t.Fatalf("cache exceeded capacity: %d entries", n)
+	}
+}

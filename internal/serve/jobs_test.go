@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// blockingRunner returns a runner that parks until released (or its context
+// is cancelled), recording every job it ran.
+type blockingRunner struct {
+	mu      sync.Mutex
+	ran     []string
+	release chan struct{}
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{release: make(chan struct{})}
+}
+
+func (r *blockingRunner) run(ctx context.Context, j *job) (*repro.VerifyReport, error) {
+	select {
+	case <-r.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	r.mu.Lock()
+	r.ran = append(r.ran, j.id)
+	r.mu.Unlock()
+	return &repro.VerifyReport{Runs: 1}, nil
+}
+
+func (r *blockingRunner) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ran)
+}
+
+func TestJobQueueLifecycle(t *testing.T) {
+	r := newBlockingRunner()
+	q := newJobQueue(1, 4, r.run)
+	j, err := q.enqueue(verifyParams{}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(r.release)
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never finished")
+	}
+	state, rep, jerr, created, started, finished := j.snapshot()
+	if state != JobDone || rep == nil || jerr != nil {
+		t.Fatalf("state=%s rep=%v err=%v", state, rep, jerr)
+	}
+	if created.IsZero() || started.IsZero() || finished.IsZero() {
+		t.Fatalf("timestamps not recorded: %v %v %v", created, started, finished)
+	}
+	if !q.drain(context.Background()) {
+		t.Fatal("drain of idle queue was not clean")
+	}
+}
+
+func TestJobQueueFullRefusesExplicitly(t *testing.T) {
+	r := newBlockingRunner()
+	q := newJobQueue(1, 2, r.run)
+	// One job occupies the worker (blocked)...
+	first, err := q.enqueue(verifyParams{}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, first, JobRunning)
+	jobs := []*job{first}
+	// ...two more fill the bounded queue; the next must be refused.
+	for i := 0; i < 2; i++ {
+		j, err := q.enqueue(verifyParams{}, "k")
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if _, err := q.enqueue(verifyParams{}, "k"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity enqueue: %v, want ErrQueueFull", err)
+	}
+	close(r.release)
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %s never finished", j.id)
+		}
+	}
+	if !q.drain(context.Background()) {
+		t.Fatal("drain was not clean")
+	}
+}
+
+func TestJobQueueCancelQueuedAndRunning(t *testing.T) {
+	r := newBlockingRunner()
+	q := newJobQueue(1, 4, r.run)
+	running, err := q.enqueue(verifyParams{}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker holds it.
+	waitState(t, running, JobRunning)
+	queued, err := q.enqueue(verifyParams{}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelling the queued job is immediate and terminal.
+	if state, ok := q.cancelJob(queued.id); !ok || state != JobCancelled {
+		t.Fatalf("cancel queued: state=%s ok=%t", state, ok)
+	}
+	select {
+	case <-queued.done:
+	default:
+		t.Fatal("cancelled queued job's done channel not closed")
+	}
+
+	// Cancelling the running job cancels its context; the runner observes
+	// it and the job terminates as cancelled.
+	if _, ok := q.cancelJob(running.id); !ok {
+		t.Fatal("cancel running: job not found")
+	}
+	select {
+	case <-running.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("running job did not observe cancellation")
+	}
+	if state, _, jerr, _, _, _ := running.snapshot(); state != JobCancelled || !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("running job ended state=%s err=%v", state, jerr)
+	}
+
+	// Cancel is idempotent on terminal jobs.
+	if state, ok := q.cancelJob(running.id); !ok || state != JobCancelled {
+		t.Fatalf("re-cancel: state=%s ok=%t", state, ok)
+	}
+	if !q.drain(context.Background()) {
+		t.Fatal("drain was not clean")
+	}
+	_, _, done, _, cancelled := q.stats()
+	if done != 0 || cancelled != 2 {
+		t.Fatalf("counters: done=%d cancelled=%d, want 0/2", done, cancelled)
+	}
+}
+
+func waitState(t *testing.T, j *job, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if state, _, _, _, _, _ := j.snapshot(); state == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	state, _, _, _, _, _ := j.snapshot()
+	t.Fatalf("job %s state %s, want %s", j.id, state, want)
+}
+
+// TestJobQueueDrainCompletesAllAccepted is the no-job-lost contract: a
+// drain without deadline pressure completes every queued and running job,
+// and the workers exit without leaking goroutines.
+func TestJobQueueDrainCompletesAllAccepted(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := newBlockingRunner()
+	q := newJobQueue(2, 16, r.run)
+	var jobs []*job
+	for i := 0; i < 10; i++ {
+		j, err := q.enqueue(verifyParams{}, "k")
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	drained := make(chan bool, 1)
+	go func() { drained <- q.drain(context.Background()) }()
+	// The drain must wait for the blocked jobs, not cancel them.
+	select {
+	case clean := <-drained:
+		t.Fatalf("drain returned (%t) while jobs were still blocked", clean)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// New work is refused once draining.
+	if _, err := q.enqueue(verifyParams{}, "k"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("enqueue during drain: %v, want ErrDraining", err)
+	}
+	close(r.release)
+	select {
+	case clean := <-drained:
+		if !clean {
+			t.Fatal("drain resorted to cancellation with no deadline pressure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	for _, j := range jobs {
+		if state, _, _, _, _, _ := j.snapshot(); state != JobDone {
+			t.Fatalf("job %s ended %s after clean drain, want done", j.id, state)
+		}
+	}
+	if got := r.count(); got != len(jobs) {
+		t.Fatalf("runner executed %d jobs, want %d", got, len(jobs))
+	}
+	waitGoroutines(t, before)
+}
+
+// TestJobQueueDrainDeadlineCancelsObservably: when the drain deadline
+// passes, outstanding jobs are cancelled — terminal, attributed, never
+// silently dropped.
+func TestJobQueueDrainDeadlineCancelsObservably(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := newBlockingRunner() // never released: jobs only end via cancellation
+	q := newJobQueue(1, 8, r.run)
+	var jobs []*job
+	for i := 0; i < 4; i++ {
+		j, err := q.enqueue(verifyParams{}, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if clean := q.drain(ctx); clean {
+		t.Fatal("drain claimed clean despite blocked jobs")
+	}
+	for _, j := range jobs {
+		state, _, jerr, _, _, _ := j.snapshot()
+		if state != JobCancelled {
+			t.Fatalf("job %s ended %s, want cancelled", j.id, state)
+		}
+		if jerr == nil {
+			t.Fatalf("job %s cancelled without an attributed error", j.id)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestConcurrentJobQueue hammers enqueue/cancel/poll/drain interleavings
+// under -race.
+func TestConcurrentJobQueue(t *testing.T) {
+	r := newBlockingRunner()
+	close(r.release) // run-through runner: jobs complete immediately
+	q := newJobQueue(4, 32, r.run)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				j, err := q.enqueue(verifyParams{}, fmt.Sprintf("k%d", g))
+				if errors.Is(err, ErrQueueFull) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					q.cancelJob(j.id)
+				}
+				q.lookup(j.id)
+				q.stats()
+				q.depth()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !q.drain(context.Background()) {
+		t.Fatal("drain was not clean")
+	}
+	// Conservation: every accepted job is terminal and accounted for.
+	running, queued, done, failed, cancelled := q.stats()
+	if running != 0 {
+		t.Fatalf("running=%d after drain", running)
+	}
+	if done+failed+cancelled != queued {
+		t.Fatalf("job conservation violated: queued=%d done=%d failed=%d cancelled=%d",
+			queued, done, failed, cancelled)
+	}
+}

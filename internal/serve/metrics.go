@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// metrics is the service's instrumentation: per-handler request counters
+// and latency histograms, plus a snapshot of the most recent verify run's
+// memory telemetry. Cache and queue counters live with their components
+// and are pulled at scrape time, so there is exactly one source of truth
+// per number. Everything is rendered in the Prometheus text exposition
+// format by hand — no client library, no external dependencies.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[reqKey]int64      // (handler, code) -> count
+	latency  map[string]*histogram // handler -> latency histogram
+
+	verifyMemSet bool
+	verifyMem    repro.VerifyMemStats
+}
+
+type reqKey struct {
+	handler string
+	code    int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// microsecond solves to multi-second explorations.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram; counts[i] is the number of
+// observations <= buckets[i] (cumulated at render time, not store time).
+type histogram struct {
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[reqKey]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(handler string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{handler, code}]++
+	h := m.latency[handler]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latency[handler] = h
+	}
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += secs
+	h.count++
+}
+
+// setVerifyMem snapshots the memory telemetry of the latest completed
+// verify exploration for the /metrics gauges.
+func (m *metrics) setVerifyMem(mem repro.VerifyMemStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifyMemSet, m.verifyMem = true, mem
+}
+
+// write renders the full exposition, pulling the component counters from
+// the server.
+func (m *metrics) write(w io.Writer, s *Server) {
+	m.mu.Lock()
+	uptime := time.Since(m.start).Seconds()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].handler != keys[j].handler {
+			return keys[i].handler < keys[j].handler
+		}
+		return keys[i].code < keys[j].code
+	})
+	handlers := make([]string, 0, len(m.latency))
+	for h := range m.latency {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+
+	head(w, "reprod_requests_total", "counter", "HTTP requests served, by handler and status code.")
+	for _, k := range keys {
+		fmt.Fprintf(w, "reprod_requests_total{handler=%q,code=\"%d\"} %d\n", k.handler, k.code, m.requests[k])
+	}
+	head(w, "reprod_request_duration_seconds", "histogram", "Request latency, by handler.")
+	for _, hname := range handlers {
+		h := m.latency[hname]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "reprod_request_duration_seconds_bucket{handler=%q,le=\"%g\"} %d\n", hname, ub, cum)
+		}
+		fmt.Fprintf(w, "reprod_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", hname, h.count)
+		fmt.Fprintf(w, "reprod_request_duration_seconds_sum{handler=%q} %g\n", hname, h.sum)
+		fmt.Fprintf(w, "reprod_request_duration_seconds_count{handler=%q} %d\n", hname, h.count)
+	}
+	verifyMemSet, verifyMem := m.verifyMemSet, m.verifyMem
+	m.mu.Unlock()
+
+	hh, hm, hn := s.handles.stats()
+	head(w, "reprod_handle_cache_hits_total", "counter", "Compiled-handle cache hits.")
+	fmt.Fprintf(w, "reprod_handle_cache_hits_total %d\n", hh)
+	head(w, "reprod_handle_cache_misses_total", "counter", "Compiled-handle cache misses (compilations).")
+	fmt.Fprintf(w, "reprod_handle_cache_misses_total %d\n", hm)
+	head(w, "reprod_handle_cache_entries", "gauge", "Compiled handles resident in the LRU.")
+	fmt.Fprintf(w, "reprod_handle_cache_entries %d\n", hn)
+
+	rh, rm, rc, rn := s.results.stats()
+	head(w, "reprod_result_cache_hits_total", "counter", "Verify-result cache hits.")
+	fmt.Fprintf(w, "reprod_result_cache_hits_total %d\n", rh)
+	head(w, "reprod_result_cache_misses_total", "counter", "Verify-result cache misses.")
+	fmt.Fprintf(w, "reprod_result_cache_misses_total %d\n", rm)
+	head(w, "reprod_result_cache_corrupt_total", "counter", "Corrupt records skipped while loading the result cache.")
+	fmt.Fprintf(w, "reprod_result_cache_corrupt_total %d\n", rc)
+	head(w, "reprod_result_cache_entries", "gauge", "Verify results indexed in the cache.")
+	fmt.Fprintf(w, "reprod_result_cache_entries %d\n", rn)
+
+	depth, capacity := s.jobs.depth()
+	running, queued, done, failed, cancelled := s.jobs.stats()
+	head(w, "reprod_queue_depth", "gauge", "Verify jobs waiting in the queue.")
+	fmt.Fprintf(w, "reprod_queue_depth %d\n", depth)
+	head(w, "reprod_queue_capacity", "gauge", "Verify queue bound.")
+	fmt.Fprintf(w, "reprod_queue_capacity %d\n", capacity)
+	head(w, "reprod_jobs_running", "gauge", "Verify jobs currently executing.")
+	fmt.Fprintf(w, "reprod_jobs_running %d\n", running)
+	head(w, "reprod_jobs_total", "counter", "Verify jobs by lifecycle event.")
+	fmt.Fprintf(w, "reprod_jobs_total{state=%q} %d\n", JobQueued, queued)
+	fmt.Fprintf(w, "reprod_jobs_total{state=%q} %d\n", JobDone, done)
+	fmt.Fprintf(w, "reprod_jobs_total{state=%q} %d\n", JobFailed, failed)
+	fmt.Fprintf(w, "reprod_jobs_total{state=%q} %d\n", JobCancelled, cancelled)
+
+	if verifyMemSet {
+		head(w, "reprod_verify_mem_table_bytes", "gauge", "Seen-state table size of the latest verify (Report.Mem).")
+		fmt.Fprintf(w, "reprod_verify_mem_table_bytes %d\n", verifyMem.TableBytes)
+		head(w, "reprod_verify_mem_table_occupancy", "gauge", "Seen-state table occupancy of the latest verify.")
+		fmt.Fprintf(w, "reprod_verify_mem_table_occupancy %g\n", verifyMem.TableOccupancy)
+		head(w, "reprod_verify_mem_peak_frontier", "gauge", "Peak pending configurations of the latest verify.")
+		fmt.Fprintf(w, "reprod_verify_mem_peak_frontier %d\n", verifyMem.PeakFrontier)
+		head(w, "reprod_verify_mem_peak_resident", "gauge", "Peak resident frontier of the latest verify.")
+		fmt.Fprintf(w, "reprod_verify_mem_peak_resident %d\n", verifyMem.PeakResident)
+		head(w, "reprod_verify_mem_spilled_batches", "gauge", "Frontier batches spilled to disk by the latest verify.")
+		fmt.Fprintf(w, "reprod_verify_mem_spilled_batches %d\n", verifyMem.SpilledBatches)
+	}
+
+	head(w, "reprod_uptime_seconds", "gauge", "Seconds since the service started.")
+	fmt.Fprintf(w, "reprod_uptime_seconds %g\n", uptime)
+}
+
+func head(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}

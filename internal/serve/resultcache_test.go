@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func quietLog(string, ...any) {}
+
+// collectLog captures log lines for assertions about loud corruption
+// reporting.
+type collectLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *collectLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func testReport(t *testing.T) *repro.VerifyReport {
+	t.Helper()
+	p, err := repro.Compile("T1.10", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Verify(context.Background(), []int{0, 1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestResultCacheHitMissPersist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	rep := testReport(t)
+	if err := c.put("k1", rep); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.get("k1")
+	if !ok || got != rep {
+		t.Fatalf("get after put: ok=%t", ok)
+	}
+	hits, misses, corrupt, entries := c.stats()
+	if hits != 1 || misses != 1 || corrupt != 0 || entries != 1 {
+		t.Fatalf("stats: hits=%d misses=%d corrupt=%d entries=%d", hits, misses, corrupt, entries)
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload from disk: the persisted report must round-trip byte-identical
+	// (JSON-wise) to the stored one.
+	c2, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	got2, ok := c2.get("k1")
+	if !ok {
+		t.Fatal("persisted entry missing after reload")
+	}
+	want, _ := json.Marshal(rep)
+	have, _ := json.Marshal(got2)
+	if string(want) != string(have) {
+		t.Fatalf("reloaded report differs:\n want %s\n have %s", want, have)
+	}
+}
+
+// TestResultCacheDeterminism pins the cache's core promise: a cached
+// VerifyReport equals a fresh exploration byte-for-byte modulo the
+// diagnostic Mem field (which may legitimately differ across strategies
+// and machines, and is excluded from every byte-identity contract).
+func TestResultCacheDeterminism(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1 := testReport(t)
+	if err := c.put("det", rep1); err != nil {
+		t.Fatal(err)
+	}
+	c.close()
+	c2, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	cached, ok := c2.get("det")
+	if !ok {
+		t.Fatal("cached entry missing")
+	}
+	fresh := testReport(t) // an independent second exploration
+	if got, want := stripMemJSON(t, cached), stripMemJSON(t, fresh); got != want {
+		t.Fatalf("cached report differs from a fresh run (modulo Mem):\n cached %s\n fresh  %s", got, want)
+	}
+}
+
+func stripMemJSON(t *testing.T, rep *repro.VerifyReport) string {
+	t.Helper()
+	cp := *rep
+	cp.Mem = repro.VerifyMemStats{}
+	buf, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+func TestResultCacheCorruptEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := testReport(t)
+	for _, k := range []string{"good1", "good2", "good3"} {
+		if err := c.put(k, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.close()
+
+	// Sabotage the log in four distinct ways between valid records: bad
+	// framing, checksum mismatch, malformed JSON under a valid checksum,
+	// and a truncated final line (the crash case append-only logs admit).
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(buf), "\n")
+	if len(lines) != 4 || lines[3] != "" {
+		t.Fatalf("expected 3 newline-terminated records, found %q", lines)
+	}
+	lines = lines[:3] // each retains its trailing newline
+	bad := "not a record at all\n" +
+		lines[0] +
+		"deadbeef {\"key\":\"evil\",\"report\":{}}\n" + // checksum mismatch
+		lines[1] +
+		corruptJSONLine() + // valid checksum over malformed JSON
+		lines[2] +
+		lines[0][:12] // truncated mid-record, no newline
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log := &collectLog{}
+	c2, err := openResultCache(path, log.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	for _, k := range []string{"good1", "good2", "good3"} {
+		if _, ok := c2.get(k); !ok {
+			t.Errorf("valid record %q lost to surrounding corruption", k)
+		}
+	}
+	if _, ok := c2.get("evil"); ok {
+		t.Error("checksum-mismatched record was admitted")
+	}
+	_, _, corrupt, entries := c2.stats()
+	if corrupt != 4 {
+		t.Errorf("corrupt count = %d, want 4 (log: %v)", corrupt, log.lines)
+	}
+	if entries != 3 {
+		t.Errorf("entries = %d, want 3", entries)
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.lines) != 4 {
+		t.Errorf("corruption was not reported loudly: %d log lines, want 4", len(log.lines))
+	}
+	for _, line := range log.lines {
+		if !strings.Contains(line, "skipping corrupt entry") {
+			t.Errorf("log line lacks diagnosis: %q", line)
+		}
+	}
+}
+
+// corruptJSONLine builds a record whose checksum is valid but whose body is
+// not JSON — corruption past the framing layer.
+func corruptJSONLine() string {
+	body := `{"key":"broken","report":` // cut off mid-object
+	return fmt.Sprintf("%08x %s\n", crc32IEEE([]byte(body)), body)
+}
+
+func crc32IEEE(b []byte) uint32 {
+	// Local mirror to keep the test independent of the implementation's
+	// import set.
+	const poly = 0xedb88320
+	crc := ^uint32(0)
+	for _, c := range b {
+		crc ^= uint32(c)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// TestConcurrentResultCacheWriters races many writers (and readers) against
+// one persistent cache, then reloads the log and requires every record to
+// have survived framing-intact — the appended-line format must not tear.
+func TestConcurrentResultCacheWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := testReport(t)
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-%d", g, i)
+				if err := c.put(key, rep); err != nil {
+					t.Errorf("put(%s): %v", key, err)
+					return
+				}
+				c.get(key)
+				c.get(fmt.Sprintf("w%d-%d", (g+1)%writers, i)) // racing reads
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.close()
+
+	log := &collectLog{}
+	c2, err := openResultCache(path, log.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	_, _, corrupt, entries := c2.stats()
+	if corrupt != 0 {
+		t.Fatalf("concurrent writers tore %d records: %v", corrupt, log.lines)
+	}
+	if entries != writers*perWriter {
+		t.Fatalf("reloaded %d entries, want %d", entries, writers*perWriter)
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perWriter; i++ {
+			if _, ok := c2.get(fmt.Sprintf("w%d-%d", g, i)); !ok {
+				t.Fatalf("record w%d-%d lost", g, i)
+			}
+		}
+	}
+}
+
+func TestResultCacheMemoryOnly(t *testing.T) {
+	c, err := openResultCache("", quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := testReport(t)
+	if err := c.put("k", rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("memory-only cache lost its entry")
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the listen address for Run (default ":8090"). Handler-only
+	// uses (tests, embedding) may leave it empty.
+	Addr string
+	// Workers sizes the verify worker pool (default 1: explorations are
+	// CPU-bound; solve traffic should not starve behind them).
+	Workers int
+	// QueueDepth bounds the verify job queue (default 64). A full queue
+	// refuses with 503 — explicit load shedding, never a silent drop.
+	QueueDepth int
+	// HandleCacheSize bounds the compiled-handle LRU (default 64 handles).
+	HandleCacheSize int
+	// ResultCachePath is the persistent verify-result log ("" = in-memory
+	// memoization only).
+	ResultCachePath string
+	// DrainTimeout bounds the graceful drain on shutdown (default 30s);
+	// jobs still unfinished at the deadline are cancelled observably.
+	DrainTimeout time.Duration
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(string, ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8090"
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.HandleCacheSize < 1 {
+		c.HandleCacheSize = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the verification service: the handle cache, the persistent
+// result cache, the job queue, and the HTTP surface. Construct with New,
+// serve with Run (blocking, drains gracefully when ctx is cancelled) or
+// mount Handler on an existing server.
+type Server struct {
+	cfg      Config
+	logf     func(string, ...any)
+	handles  *handleCache
+	results  *resultCache
+	jobs     *jobQueue
+	metrics  *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	listener atomic.Pointer[net.Listener] // set by Run, for Addr
+}
+
+// New builds a Server, loading the persistent result cache if configured.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, logf: cfg.Logf, metrics: newMetrics()}
+	s.handles = newHandleCache(cfg.HandleCacheSize)
+	results, err := openResultCache(cfg.ResultCachePath, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	s.results = results
+	s.jobs = newJobQueue(cfg.Workers, cfg.QueueDepth, s.runVerify)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /solve", s.instrument("solve", s.handleSolve))
+	mux.Handle("POST /solve/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("POST /verify", s.instrument("verify", s.handleVerify))
+	mux.Handle("GET /jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	mux.Handle("DELETE /jobs/{id}", s.instrument("jobs", s.handleJobDelete))
+	mux.Handle("GET /status", s.instrument("status", s.handleStatus))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler exposes the service's HTTP surface for embedding and tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr reports the bound listen address once Run has started (useful with
+// ":0"). Safe to call concurrently with Run.
+func (s *Server) Addr() string {
+	if ln := s.listener.Load(); ln != nil {
+		return (*ln).Addr().String()
+	}
+	return s.cfg.Addr
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then performs
+// the graceful drain: stop accepting connections, finish in-flight HTTP
+// requests, and drain the job queue — every accepted verify job completes,
+// or past the drain timeout is cancelled observably. Run returns nil on a
+// clean drain (the contract the CI smoke asserts after SIGTERM).
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.listener.Store(&ln)
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.logf("reprod: listening on %s (workers=%d queue=%d handle-cache=%d result-cache=%q)",
+		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.HandleCacheSize, s.cfg.ResultCachePath)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("reprod: shutdown requested, draining (timeout %s)", s.cfg.DrainTimeout)
+	clean := s.Drain(context.Background())
+	if clean {
+		s.logf("reprod: drained cleanly, all accepted jobs completed")
+	} else {
+		s.logf("reprod: drain timeout, outstanding jobs cancelled observably")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if err := s.results.close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Drain executes the queue-drain half of shutdown: refuse new jobs, wait
+// (bounded by the configured timeout) for queued and running jobs to
+// finish, cancel stragglers. Exposed for tests and embedders; Run calls it.
+func (s *Server) Drain(ctx context.Context) bool {
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	return s.jobs.drain(dctx)
+}

@@ -1,0 +1,101 @@
+package repro
+
+// SolveSeq early-break hygiene: abandoning a streamed sweep mid-flight —
+// by breaking out of the range, or through iter.Pull — must leak no
+// goroutines and leave the handle fully usable, and a cancelled context
+// must be observed as exactly one ctx-attributed result. This is the
+// library-side contract the serving layer's streamed /solve/batch endpoint
+// leans on when a client disconnects.
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSolveSeqAbandonNoLeak(t *testing.T) {
+	p, err := Compile("T1.10", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]RunSpec, 10000)
+	for i := range specs {
+		specs[i] = RunSpec{Inputs: []int{2, 0, 1}, Seed: int64(i + 1)}
+	}
+	before := runtime.NumGoroutine()
+
+	// Abandon via range break, far short of the sweep's end.
+	seen := 0
+	for _, r := range p.SolveSeq(context.Background(), specs) {
+		if r.Err != nil {
+			t.Fatalf("sweep[%d]: %v", seen, r.Err)
+		}
+		if seen++; seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("consumed %d results before break", seen)
+	}
+
+	// Abandon via iter.Pull: pull a couple of results, then stop() with
+	// thousands of specs unvisited.
+	next, stop := iter.Pull2(p.SolveSeq(context.Background(), specs))
+	for i := 0; i < 2; i++ {
+		if _, r, ok := next(); !ok || r.Err != nil {
+			t.Fatalf("pull %d: ok=%t err=%v", i, ok, r.Err)
+		}
+	}
+	stop()
+
+	// Cancel mid-sweep: the iterator yields exactly one ctx-attributed
+	// result and then stops, regardless of how many specs remain.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []RunResult
+	for _, r := range p.SolveSeq(ctx, specs) {
+		got = append(got, r)
+		if len(got) == 2 {
+			cancel()
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("cancelled sweep yielded %d results, want 3 (2 ok + 1 ctx)", len(got))
+	}
+	if got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("pre-cancel results carry errors: %v %v", got[0].Err, got[1].Err)
+	}
+	if !errors.Is(got[2].Err, context.Canceled) {
+		t.Fatalf("post-cancel result: %v, want context.Canceled", got[2].Err)
+	}
+
+	// Nothing above may have leaked a goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked by abandoned sweeps: %d before, %d after", before, now)
+	}
+
+	// The handle survives all the abandonment: a fresh verb agrees with a
+	// fresh handle.
+	out, err := p.Solve(context.Background(), []int{2, 0, 1}, Seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Compile("T1.10", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve(context.Background(), []int{2, 0, 1}, Seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != want.Value || out.Steps != want.Steps {
+		t.Fatalf("handle degraded after abandoned sweeps: %+v, fresh %+v", out, want)
+	}
+}
