@@ -8,6 +8,8 @@
 //	          [-seed s] [-crash p] [-trace]
 //	consensus -row T1.9 -inputs 3,1,4,1,2 -batch 1000 [-workers w]
 //	consensus -row T1.10 -inputs 0,1,2 -explore 6 [-workers w] [-sym]
+//	consensus -row MP.QSC -inputs 1,0,1 -explore 16 -deliver reorder [-drops k]
+//	consensus -scenario byz-fork [-deliver lossy -drops 1] [-workers w]
 //
 // The number of processes is the number of inputs. With -batch N the run
 // becomes a seed sweep: N independent schedules (seeds 1..N) executed in
@@ -20,6 +22,15 @@
 // report, and -sym merges configurations that are equal up to a permutation
 // of the uniform memory locations (and of indistinguishable processes),
 // shrinking the state space without changing the safety verdict.
+//
+// For the message-passing rows, -deliver picks the network adversary the
+// run or exploration branches over — ordered (FIFO), reorder (any pending
+// message), or lossy (reorder plus up to -drops adversarial drops) — and
+// -scenario runs one entry of the adversarial scenario portfolio (crashes,
+// partitions, Byzantine senders; spellings listed on a bad name) as an
+// exhaustive exploration from its planted configuration, checking the
+// scenario's expected verdict: planted violations must be found, honest
+// scenarios must verify safe.
 //
 // Batch and explore modes run on one compiled repro.Protocol handle: the
 // row is resolved once, and every run of the sweep forks the handle's
@@ -75,6 +86,9 @@ func main() {
 	table := flag.String("table", "exact", "with -explore: seen-state table mode (exact, compact, compact128, bitstate)")
 	tableMB := flag.Int64("table-mb", 0, "with -explore: compacted-table memory cap in MiB (0 = mode default)")
 	spill := flag.Int("spill", 0, "with -explore: spill the frontier to disk beyond N resident nodes (per worker under -workers)")
+	deliver := flag.String("deliver", "", "message-passing rows: delivery adversary (ordered, reorder, lossy)")
+	drops := flag.Int("drops", 0, "with -deliver lossy: the adversary's total message-drop budget")
+	scenarioName := flag.String("scenario", "", "explore one adversarial scenario of the MP.QSC portfolio and check its verdict")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -83,6 +97,35 @@ func main() {
 	inputs, err := parseInputs(*inputsFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The delivery flags parse once for every mode; an empty -deliver keeps
+	// the row's default model (ordered FIFO, no drops).
+	var deliverOpts []repro.CompileOption
+	var simDeliver []sim.SystemOption
+	if *deliver != "" {
+		mode, err := repro.ParseDeliveryMode(*deliver)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *drops < 0 || (*drops > 0 && mode != repro.DeliveryLossy) {
+			log.Fatalf("-drops %d needs -deliver lossy", *drops)
+		}
+		deliverOpts = append(deliverOpts, repro.WithDelivery(mode, *drops))
+		d := sim.Delivery{Mode: sim.DeliverOrdered}
+		switch mode {
+		case repro.DeliveryReorder:
+			d.Mode = sim.DeliverReorder
+		case repro.DeliveryLossy:
+			d.Mode, d.MaxDrops = sim.DeliverLossy, *drops
+		}
+		simDeliver = append(simDeliver, sim.WithDelivery(d))
+	} else if *drops != 0 {
+		log.Fatal("-drops needs -deliver lossy")
+	}
+	if *scenarioName != "" {
+		runScenario(ctx, *scenarioName, *rowID, *exploreDepth, *workers, *sym,
+			*table, *tableMB, *spill, deliverOpts)
+		return
 	}
 	if *exploreDepth >= 0 {
 		// Exploration covers every schedule up to the depth bound; the
@@ -106,7 +149,7 @@ func main() {
 			log.Fatalf("-table-mb %d out of range [0, %d]", *tableMB, int64(math.MaxInt64>>20))
 		}
 		runExplore(ctx, *rowID, inputs, *l, *exploreDepth, *workers, workersSet, *sym,
-			mode, *tableMB<<20, *spill)
+			mode, *tableMB<<20, *spill, deliverOpts, false)
 		return
 	}
 	if *sym {
@@ -128,7 +171,7 @@ func main() {
 				log.Fatalf("-%s is not supported with -batch (batch sweeps seeds 1..N under the random scheduler)", f.Name)
 			}
 		})
-		runBatch(ctx, *rowID, inputs, *l, *batch, *workers, *maxSteps)
+		runBatch(ctx, *rowID, inputs, *l, *batch, *workers, *maxSteps, deliverOpts)
 		return
 	}
 	row, ok := core.RowByID(*rowID, *l)
@@ -140,7 +183,7 @@ func main() {
 	}
 	pr := row.Build(len(inputs))
 	fmt.Printf("protocol: %s over %s\n", pr.Name, pr.Set)
-	sys, err := pr.NewSystem(inputs)
+	sys, err := pr.NewSystem(inputs, simDeliver...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,15 +237,69 @@ func main() {
 		len(inputs), bound(lo), bound(up))
 }
 
+// runScenario explores one portfolio scenario from its planted
+// configuration and enforces its expected verdict; extra delivery options
+// sweep the planted behavior across network adversaries.
+func runScenario(ctx context.Context, name, rowID string, depth, workers int, sym bool,
+	table string, tableMB int64, spill int, deliverOpts []repro.CompileOption) {
+	var info *repro.ScenarioInfo
+	for _, si := range repro.Scenarios() {
+		if si.Name == name {
+			si := si
+			info = &si
+			break
+		}
+	}
+	if info == nil {
+		var names []string
+		for _, si := range repro.Scenarios() {
+			names = append(names, si.Name)
+		}
+		log.Fatalf("unknown scenario %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "inputs", "l", "sched", "seed", "crash", "trace", "max-steps", "batch":
+			log.Fatalf("-%s is not supported with -scenario (the scenario fixes the protocol, inputs, and faults)", f.Name)
+		case "row":
+			if rowID != "MP.QSC" {
+				log.Fatalf("-scenario applies to row MP.QSC, not %s", rowID)
+			}
+		case "workers":
+			workersSet = true
+		}
+	})
+	mode, err := repro.ParseTableMode(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tableMB < 0 || tableMB > math.MaxInt64>>20 {
+		log.Fatalf("-table-mb %d out of range [0, %d]", tableMB, int64(math.MaxInt64>>20))
+	}
+	if depth < 0 {
+		depth = info.Depth // the portfolio's declared verdict depth
+	}
+	fmt.Printf("scenario %s: %s\n", info.Name, info.Description)
+	copts := append([]repro.CompileOption{repro.WithScenario(name)}, deliverOpts...)
+	runExplore(ctx, "MP.QSC", info.Inputs, 0, depth, workers, workersSet, sym,
+		mode, tableMB<<20, spill, copts, info.WantViolation)
+}
+
 // runExplore model-checks one row's protocol over every interleaving up to
 // depth, reporting the explored envelope and any violation. With workersSet
 // the exploration runs on the parallel work-stealing explorer; with sym the
 // seen-state table merges configurations equal up to location/process
 // symmetry; mode/tableBytes/spill shape the exploration's memory (hash
-// compaction, bitstate, disk-spilled frontier).
+// compaction, bitstate, disk-spilled frontier). copts extends the handle's
+// compilation (delivery adversaries, scenarios); with wantViolation the run
+// must find a planted safety violation instead of verifying safe.
 func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, workers int, workersSet, sym bool,
-	mode repro.TableMode, tableBytes int64, spill int) {
-	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
+	mode repro.TableMode, tableBytes int64, spill int, copts []repro.CompileOption, wantViolation bool) {
+	if l > 0 {
+		copts = append([]repro.CompileOption{repro.BufferCap(l)}, copts...)
+	}
+	p, err := repro.Compile(rowID, len(inputs), copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -248,6 +345,15 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 	if rep.Truncated {
 		fmt.Println("  (truncated by the run cap)")
 	}
+	if wantViolation {
+		// A scenario with a planted Byzantine attack: the exploration
+		// proving the attack reachable is the expected outcome.
+		if len(rep.Violations) == 0 {
+			log.Fatalf("planted violation not found within depth %d", depth)
+		}
+		fmt.Printf("  planted violation found (expected): %s\n", rep.Violations[0])
+		return
+	}
 	if len(rep.Violations) > 0 {
 		for _, v := range rep.Violations {
 			log.Printf("SAFETY VIOLATION: %s", v)
@@ -259,8 +365,9 @@ func runExplore(ctx context.Context, rowID string, inputs []int, l, depth, worke
 
 // runBatch sweeps seeds 1..n of one compiled handle in parallel and prints
 // the decision distribution with aggregate step throughput.
-func runBatch(ctx context.Context, rowID string, inputs []int, l, n, workers int, maxSteps int64) {
-	p, err := repro.Compile(rowID, len(inputs), repro.BufferCap(l))
+func runBatch(ctx context.Context, rowID string, inputs []int, l, n, workers int, maxSteps int64,
+	copts []repro.CompileOption) {
+	p, err := repro.Compile(rowID, len(inputs), append([]repro.CompileOption{repro.BufferCap(l)}, copts...)...)
 	if err != nil {
 		log.Fatal(err)
 	}

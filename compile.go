@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -63,9 +64,23 @@ type Protocol struct {
 	// across concurrent runs. nil when the row has no constructive
 	// protocol (Bounds still works).
 	pr *consensus.Protocol
+	// deliver is the compile-time delivery model for the message-passing
+	// rows: set by WithDelivery, defaulted by WithScenario, applied to
+	// every system the handle constructs. deliverSet gates it so the pure
+	// shared-memory rows keep their exact historical construction path.
+	deliver    sim.Delivery
+	deliverSet bool
+	// scen is the resolved scenario overlay (WithScenario): its crashes
+	// are applied and its planted schedule prefix replayed in newRun, so
+	// the pristine snapshot cache holds the prefixed configuration.
+	scen *scenario.Scenario
 
-	mu       sync.Mutex
-	pristine map[string]*sim.System // inputs key -> never-stepped snapshot
+	mu sync.Mutex
+	// pristine caches one initial-configuration snapshot per input vector;
+	// cached snapshots are never stepped after caching. For scenario
+	// handles "initial" means the prefixed configuration: crashes applied,
+	// planted schedule replayed.
+	pristine map[string]*sim.System
 	// pool recycles the per-run systems forked off the pristine snapshots:
 	// a repeat Solve's fork/run/close cycle rebuilds a recycled System in
 	// place instead of allocating one per run. Shared by all of the handle's
@@ -96,6 +111,9 @@ func Compile(rowID string, n int, opts ...CompileOption) (*Protocol, error) {
 	for _, o := range opts {
 		o.applyCompile(&c)
 	}
+	if c.err != nil {
+		return nil, c.err
+	}
 	row, ok := core.RowByID(rowID, c.l)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRow, rowID)
@@ -122,7 +140,53 @@ func Compile(rowID string, n int, opts ...CompileOption) (*Protocol, error) {
 	if p.build != nil {
 		p.pr = p.build()
 	}
+	if c.scenarioSet {
+		if rowID != "MP.QSC" {
+			return nil, fmt.Errorf("%w: WithScenario applies to row MP.QSC, not %s", ErrBadInput, rowID)
+		}
+		if c.valuesSet {
+			return nil, fmt.Errorf("%w: WithScenario fixes the scenario's protocol; WithValues cannot apply", ErrBadInput)
+		}
+		sc, ok := scenario.ByName(c.scenario)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown scenario %q (want one of %v)", ErrBadInput, c.scenario, scenario.Names())
+		}
+		if n != len(sc.Inputs) {
+			return nil, fmt.Errorf("%w: scenario %s is defined for n=%d, handle compiled for n=%d",
+				ErrBadInput, sc.Name, len(sc.Inputs), n)
+		}
+		p.scen = sc
+		p.build = sc.Build
+		p.pr = p.build()
+		p.deliver, p.deliverSet = sc.Delivery, true
+	}
+	if c.deliverSet {
+		if p.pr == nil || len(p.pr.Channels) == 0 {
+			return nil, fmt.Errorf("%w: row %s has no message channels (WithDelivery)", ErrBadInput, rowID)
+		}
+		d, err := c.deliver.simDelivery(c.maxDrops)
+		if err != nil {
+			return nil, err
+		}
+		// An explicit WithDelivery overrides a scenario's default model —
+		// the delivery-mode sweeps of the acceptance battery.
+		p.deliver, p.deliverSet = d, true
+	}
 	return p, nil
+}
+
+// simDelivery maps the public delivery mode onto the simulator's model,
+// rejecting out-of-range values up front.
+func (m DeliveryMode) simDelivery(maxDrops int) (sim.Delivery, error) {
+	switch m {
+	case DeliveryOrdered:
+		return sim.Delivery{Mode: sim.DeliverOrdered}, nil
+	case DeliveryReorder:
+		return sim.Delivery{Mode: sim.DeliverReorder}, nil
+	case DeliveryLossy:
+		return sim.Delivery{Mode: sim.DeliverLossy, MaxDrops: maxDrops}, nil
+	}
+	return sim.Delivery{}, fmt.Errorf("%w: invalid DeliveryMode(%d)", ErrBadInput, int(m))
 }
 
 // Values returns the number of distinct input values the handle accepts:
@@ -227,7 +291,7 @@ func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
 	}
 	// Build a fresh protocol instance per construction, exactly like the
 	// pre-handle API: constructors stay free of cross-run sharing.
-	sys, err := p.build().NewSystem(inputs)
+	sys, err := p.buildRun(inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -248,6 +312,35 @@ func (p *Protocol) newRun(inputs []int) (*sim.System, error) {
 				fk.SetPool(&p.pool)
 				p.pristine[key] = fk
 				p.mu.Unlock()
+			}
+		}
+	}
+	return sys, nil
+}
+
+// buildRun constructs one run's system from scratch: a fresh protocol
+// instance under the compile-time delivery model, then — for scenario
+// handles — the scenario's initial crashes and its planted schedule prefix.
+// The prefixed configuration is what newRun snapshots, so scenario runs fork
+// past the prefix replay too.
+func (p *Protocol) buildRun(inputs []int) (*sim.System, error) {
+	var opts []sim.SystemOption
+	if p.deliverSet {
+		opts = append(opts, sim.WithDelivery(p.deliver))
+	}
+	sys, err := p.build().NewSystem(inputs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if p.scen != nil {
+		for _, pid := range p.scen.Crashes {
+			sys.Crash(pid)
+		}
+		for i, pid := range p.scen.Prefix {
+			if _, err := sys.Step(pid); err != nil {
+				sys.Close()
+				return nil, fmt.Errorf("repro: scenario %s prefix step %d (pid %d): %w",
+					p.scen.Name, i, pid, err)
 			}
 		}
 	}
@@ -447,6 +540,7 @@ func (p *Protocol) Verify(ctx context.Context, inputs []int, maxDepth int, opts 
 		TableBytes: c.tableBytes,
 		SpillNodes: c.spillNodes,
 		SpillDir:   c.spillDir,
+		Progress:   c.progress,
 	}
 	if c.workersSet {
 		eo.Strategy, eo.Workers = explore.StrategyParallel, c.workers

@@ -36,6 +36,10 @@ type Protocol struct {
 	// Capacities optionally sets per-location buffer capacities
 	// (heterogeneous Section 6.2 variant).
 	Capacities []int
+	// Channels declares bounded message channels carried by the protocol's
+	// memory (the message-passing companion rows); nil for the pure
+	// shared-memory rows. Channel locations count toward Locations.
+	Channels []machine.ChannelSpec
 	// Body is the per-process code.
 	Body sim.Body
 	// Steppers, when non-nil, builds the processes as explicit forkable
@@ -70,6 +74,9 @@ func (pr *Protocol) NewMemory() *machine.Memory {
 	}
 	if pr.Capacities != nil {
 		opts = append(opts, machine.WithCapacities(pr.Capacities))
+	}
+	if pr.Channels != nil {
+		opts = append(opts, machine.WithChannels(pr.Channels))
 	}
 	return machine.New(pr.Set, pr.Locations, opts...)
 }

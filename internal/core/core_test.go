@@ -107,8 +107,11 @@ func TestMeasureSteps(t *testing.T) {
 		if err != nil {
 			t.Fatalf("row %s: %v", r.ID, err)
 		}
-		if p.Solo <= 0 {
+		if !r.Quorum && p.Solo <= 0 {
 			t.Errorf("row %s: non-positive solo steps", r.ID)
+		}
+		if r.Quorum && p.Solo != 0 {
+			t.Errorf("row %s: quorum row reported solo steps %d", r.ID, p.Solo)
 		}
 		if p.ContendedTotal < p.Solo {
 			// All four processes decide, so the total work is at least one

@@ -50,6 +50,10 @@ type Row struct {
 	// counts (the racing-counter constructions of Lemma 3.1); nil
 	// elsewhere. BuildValues(n, n) and Build(n) agree.
 	BuildValues func(n, m int) *consensus.Protocol
+	// Quorum marks message-passing rows whose protocol gathers quorums: a
+	// process running alone can never decide (solo step complexity does not
+	// apply), and liveness holds only up to the protocol's silence budget.
+	Quorum bool
 	// Notes carries provenance (theorem numbers, caveats).
 	Notes string
 }
@@ -209,6 +213,16 @@ func Table(l int) []Row {
 			Upper: exact("⌈n/l⌉", func(n int) int { return ceilDiv(n, l) }),
 			Build: func(n int) *consensus.Protocol { return consensus.BufferedMultiAssign(n, l) },
 			Notes: "Theorem 7.5 lower bound; upper bound inherited from Theorem 6.3",
+		},
+		{
+			ID:     "MP.QSC",
+			Sets:   "{send(m), recv, deliver, drop}",
+			Lower:  exact("n", func(n int) int { return n }),
+			Upper:  exact("n", func(n int) int { return n }),
+			Build:  consensus.QSC,
+			Quorum: true,
+			Notes: "message-passing companion: threshold adopt-commit over n channel locations, " +
+				"quorum t=⌊n/2⌋+1 tolerates f=n-t silent processes",
 		},
 	}
 }

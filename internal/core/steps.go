@@ -19,7 +19,8 @@ type StepProfile struct {
 	RowID string
 	N     int
 	// Solo is the number of steps a single process needs to decide running
-	// alone from the initial configuration.
+	// alone from the initial configuration; 0 for quorum rows, whose
+	// processes cannot decide solo at all.
 	Solo int64
 	// ContendedTotal is the total steps for all n processes to decide under
 	// round-robin scheduling.
@@ -39,18 +40,22 @@ func MeasureSteps(ctx context.Context, r Row, n int, maxSteps int64) (*StepProfi
 		inputs[i] = (i*3 + 1) % r.Build(n).Values
 	}
 
-	solo := r.Build(n)
-	soloSys, err := solo.NewSystem(inputs)
-	if err != nil {
-		return nil, err
-	}
-	defer soloSys.Close()
-	if _, err := soloSys.RunContext(ctx, sim.Solo{PID: 0}, maxSteps); err != nil {
-		return nil, err
-	}
-	if _, ok := soloSys.Decided(0); !ok {
-		return nil, fmt.Errorf("core: row %s n=%d: solo run undecided after %d steps",
-			r.ID, n, maxSteps)
+	var soloSteps int64
+	if !r.Quorum {
+		solo := r.Build(n)
+		soloSys, err := solo.NewSystem(inputs)
+		if err != nil {
+			return nil, err
+		}
+		defer soloSys.Close()
+		if _, err := soloSys.RunContext(ctx, sim.Solo{PID: 0}, maxSteps); err != nil {
+			return nil, err
+		}
+		if _, ok := soloSys.Decided(0); !ok {
+			return nil, fmt.Errorf("core: row %s n=%d: solo run undecided after %d steps",
+				r.ID, n, maxSteps)
+		}
+		soloSteps = soloSys.Steps()
 	}
 
 	cont := r.Build(n)
@@ -70,7 +75,7 @@ func MeasureSteps(ctx context.Context, r Row, n int, maxSteps int64) (*StepProfi
 	return &StepProfile{
 		RowID:            r.ID,
 		N:                n,
-		Solo:             soloSys.Steps(),
+		Solo:             soloSteps,
 		ContendedTotal:   contSys.Steps(),
 		ContendedPerProc: contSys.Steps() / int64(n),
 	}, nil
@@ -92,8 +97,12 @@ func RenderStepTable(ctx context.Context, n, l int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "%-6s %-45s %10d %12d %12d\n",
-			r.ID, r.Sets, p.Solo, p.ContendedTotal, p.ContendedPerProc)
+		soloCol := fmt.Sprint(p.Solo)
+		if r.Quorum {
+			soloCol = "-" // a quorum process alone never decides
+		}
+		fmt.Fprintf(&b, "%-6s %-45s %10s %12d %12d\n",
+			r.ID, r.Sets, soloCol, p.ContendedTotal, p.ContendedPerProc)
 	}
 	return b.String(), nil
 }

@@ -131,6 +131,13 @@ type Options struct {
 	// SpillDir is the directory for frontier spill files ("" means the
 	// system temp directory). Files are removed when the search ends.
 	SpillDir string
+	// Progress, when non-nil, is called with the running expanded-state
+	// count roughly every progressStride configurations, so long
+	// explorations can surface liveness (a job's states-visited counter)
+	// without per-state overhead. Under StrategyParallel the callback runs
+	// on worker goroutines — possibly several at once — so it must be safe
+	// for concurrent use and should return quickly.
+	Progress func(states int64)
 	// testPWMask truncates the compacted modes' probe words — and the exact
 	// count-only modes' 64-bit key hashes — so tests can plant fingerprint
 	// collisions deterministically. Zero (always, outside tests) leaves
@@ -327,6 +334,12 @@ const (
 	hashEntryOverhead  = 16
 )
 
+// progressStride is the state-count interval between Options.Progress
+// callbacks: a power of two so the check is a mask, coarse enough that the
+// callback never shows up in profiles, fine enough that a watcher sees
+// movement within milliseconds on any non-trivial exploration.
+const progressStride = 4096
+
 // finish fills the order-invariant summary fields and returns the report.
 func (w *walk) finish() *Report {
 	w.rep.DecidedValues = sortedValueSet(w.decided)
@@ -476,6 +489,9 @@ func (p prefixSched) schedule() []int { return append([]int(nil), p...) }
 // schedule for violation reports.
 func (w *walk) visit(sys *sim.System, sched schedSource) {
 	w.rep.States++
+	if w.opts.Progress != nil && w.rep.States&(progressStride-1) == 0 {
+		w.opts.Progress(w.rep.States)
+	}
 	for pid := 0; pid < sys.N(); pid++ {
 		if d, ok := sys.Decided(pid); ok {
 			w.decided[d] = struct{}{}

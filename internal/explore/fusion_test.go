@@ -62,6 +62,12 @@ func TestFusionDifferential(t *testing.T) {
 			for _, c := range cfgs {
 				want := run(t, unfused, c.opts)
 				got := run(t, fused, c.opts)
+				if c.opts.Strategy == StrategyParallel && c.opts.Workers > 1 {
+					// Peak frontier/residency depend on how far ahead the
+					// workers raced, which no fusion property constrains.
+					got.Mem.PeakFrontier, want.Mem.PeakFrontier = 0, 0
+					got.Mem.PeakResident, want.Mem.PeakResident = 0, 0
+				}
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("%s: fused report %+v, unfused %+v", c.label, got, want)
 				}

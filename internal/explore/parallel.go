@@ -337,6 +337,11 @@ type pwalk struct {
 	// state key, in which case DistinctStates reports 0 — matching the
 	// sequential walk, which drops its seen table wholesale at that point.
 	sawUnkeyable atomic.Bool
+	// progressed is the shared expanded-state counter behind
+	// Options.Progress: workers keep their private states counters for the
+	// report, but the callback needs a global running total. Touched only
+	// when a callback is installed.
+	progressed atomic.Int64
 
 	errMu sync.Mutex
 	err   error
@@ -616,6 +621,11 @@ func (w *pwalk) process(pw *pworker, nd *treeNode) {
 		}
 	}
 	pw.states++
+	if w.opts.Progress != nil {
+		if total := w.progressed.Add(1); total&(progressStride-1) == 0 {
+			w.opts.Progress(total)
+		}
+	}
 	for pid := 0; pid < sys.N(); pid++ {
 		if d, ok := sys.Decided(pid); ok {
 			pw.decided[d] = struct{}{}

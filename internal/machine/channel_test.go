@@ -1,0 +1,240 @@
+package machine
+
+import "testing"
+
+func newChanMem(t *testing.T, kind ChanKind, size, cap int) *Memory {
+	t.Helper()
+	specs := make([]ChannelSpec, size)
+	for i := range specs {
+		specs[i] = ChannelSpec{Loc: i, Kind: kind, Cap: cap}
+	}
+	return New(SetChannels, size, WithChannels(specs))
+}
+
+// TestChannelSendDeliverRecv walks a message through the three-stage
+// pipeline and pins queue contents at every step.
+func TestChannelSendDeliverRecv(t *testing.T) {
+	m := newChanMem(t, ChanFIFO, 1, 4)
+	if _, err := m.Apply(0, OpChanSend, Int(7)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := m.Apply(0, OpChanSend, Int(8)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := m.PendingLen(0); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	// Recv before any delivery must block.
+	if _, err := m.Apply(0, OpChanRecv); err == nil {
+		t.Fatal("recv on empty inbox should error")
+	}
+	msg, err := m.Apply(0, OpChanDeliver, Int(0))
+	if err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	if !EqualValues(msg, Int(7)) {
+		t.Fatalf("delivered %v, want 7", msg)
+	}
+	if m.PendingLen(0) != 1 || m.InboxLen(0) != 1 {
+		t.Fatalf("queues = %d/%d, want 1/1", m.PendingLen(0), m.InboxLen(0))
+	}
+	got, err := m.Apply(0, OpChanRecv)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !EqualValues(got, Int(7)) {
+		t.Fatalf("received %v, want 7", got)
+	}
+	if m.InboxLen(0) != 0 {
+		t.Fatal("inbox should be drained")
+	}
+}
+
+// TestChannelCapacityAndBlocking pins the full-channel and bad-rank errors.
+func TestChannelCapacityAndBlocking(t *testing.T) {
+	m := newChanMem(t, ChanFIFO, 1, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Apply(0, OpChanSend, Int(int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if !m.ChanFull(0) {
+		t.Fatal("channel should report full")
+	}
+	if _, err := m.Apply(0, OpChanSend, Int(9)); err == nil {
+		t.Fatal("send on full channel should error")
+	}
+	// Delivering does not free capacity (pending+inbox is the bound).
+	if _, err := m.Apply(0, OpChanDeliver, Int(0)); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	if !m.ChanFull(0) {
+		t.Fatal("capacity bound covers the inbox too")
+	}
+	if _, err := m.Apply(0, OpChanDeliver, Int(5)); err == nil {
+		t.Fatal("out-of-range rank should error")
+	}
+	if _, err := m.Apply(1, OpChanSend, Int(0)); err == nil {
+		t.Fatal("send out of memory range should error")
+	}
+}
+
+// TestChannelDropAndReorder pins lossy drops and rank-addressed delivery.
+func TestChannelDropAndReorder(t *testing.T) {
+	m := newChanMem(t, ChanFIFO, 1, 4)
+	for i := 0; i < 3; i++ {
+		m.Apply(0, OpChanSend, Int(int64(10+i)))
+	}
+	dropped, err := m.Apply(0, OpChanDrop, Int(1))
+	if err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if !EqualValues(dropped, Int(11)) {
+		t.Fatalf("dropped %v, want 11", dropped)
+	}
+	// Deliver rank 1 of the remaining [10, 12]: out-of-order delivery.
+	if _, err := m.Apply(0, OpChanDeliver, Int(1)); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	got, _ := m.Apply(0, OpChanRecv)
+	if !EqualValues(got, Int(12)) {
+		t.Fatalf("received %v, want 12 (reordered)", got)
+	}
+}
+
+// TestChannelFingerprintRoll pins that channel mutations keep the
+// incremental fingerprints consistent with a from-scratch recomputation,
+// and that draining a channel returns the fingerprint to its initial value.
+func TestChannelFingerprintRoll(t *testing.T) {
+	m := newChanMem(t, ChanFIFO, 2, 4)
+	initial := m.Fingerprint64()
+	recompute := func() (uint64, uint64) {
+		var lo, hi uint64
+		for i := range m.locs {
+			l, h := locHash128(i, &m.locs[i])
+			lo ^= l
+			hi ^= h
+		}
+		return lo, hi
+	}
+	steps := []func(){
+		func() { m.Apply(0, OpChanSend, Int(1)) },
+		func() { m.Apply(1, OpChanSend, Int(2)) },
+		func() { m.Apply(0, OpChanDeliver, Int(0)) },
+		func() { m.Apply(1, OpChanDrop, Int(0)) },
+		func() { m.Apply(0, OpChanRecv) },
+	}
+	for i, step := range steps {
+		step()
+		lo, hi := recompute()
+		if m.fp != lo || m.fph != hi {
+			t.Fatalf("step %d: rolled fp (%x,%x) != recomputed (%x,%x)", i, m.fp, m.fph, lo, hi)
+		}
+	}
+	if m.Fingerprint64() != initial {
+		t.Fatal("drained channels should restore the initial fingerprint")
+	}
+}
+
+// TestBagChannelCanonical pins the sorted-multiset encoding: two bag
+// channels holding the same multiset in different send orders fingerprint
+// identically (64-bit, 128-bit, string, and symmetric), while FIFO channels
+// keep order-sensitive keys.
+func TestBagChannelCanonical(t *testing.T) {
+	build := func(kind ChanKind, order []int) *Memory {
+		m := newChanMem(t, kind, 1, 8)
+		for _, v := range order {
+			if _, err := m.Apply(0, OpChanSend, Int(int64(v))); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		return m
+	}
+	a := build(ChanBag, []int{1, 2, 3})
+	b := build(ChanBag, []int{3, 1, 2})
+	if a.Fingerprint64() != b.Fingerprint64() {
+		t.Error("bag multiset should fingerprint order-independently (64)")
+	}
+	if a.Fingerprint128() != b.Fingerprint128() {
+		t.Error("bag multiset should fingerprint order-independently (128)")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("bag multiset string fingerprints differ")
+	}
+	if a.SymFingerprint64() != b.SymFingerprint64() {
+		t.Error("bag multiset sym fingerprints differ")
+	}
+	fa := build(ChanFIFO, []int{1, 2, 3})
+	fb := build(ChanFIFO, []int{3, 1, 2})
+	if fa.Fingerprint64() == fb.Fingerprint64() {
+		t.Error("FIFO pending order must stay observable in the fingerprint")
+	}
+	// Distinct multisets must never merge, bag or not.
+	c := build(ChanBag, []int{1, 2})
+	d := build(ChanBag, []int{1, 2, 2})
+	if c.Fingerprint64() == d.Fingerprint64() {
+		t.Error("distinct bag multisets merged")
+	}
+	// Pending vs inbox placement is observable.
+	e := build(ChanFIFO, []int{1})
+	f := build(ChanFIFO, []int{1})
+	f.Apply(0, OpChanDeliver, Int(0))
+	if e.Fingerprint64() == f.Fingerprint64() {
+		t.Error("pending and inbox placement must be distinguishable")
+	}
+}
+
+// TestChannelCloneIndependence pins deep copies of both queues across Clone
+// and CloneInto.
+func TestChannelCloneIndependence(t *testing.T) {
+	m := newChanMem(t, ChanFIFO, 1, 4)
+	m.Apply(0, OpChanSend, Int(1))
+	m.Apply(0, OpChanSend, Int(2))
+	m.Apply(0, OpChanDeliver, Int(0))
+
+	check := func(name string, n *Memory) {
+		t.Helper()
+		if n.Fingerprint() != m.Fingerprint() {
+			t.Fatalf("%s: fingerprint mismatch", name)
+		}
+		if n.ChannelKind(0) != ChanFIFO || n.ChannelCap(0) != 4 {
+			t.Fatalf("%s: channel structure not carried over", name)
+		}
+		n.Apply(0, OpChanRecv)
+		n.Apply(0, OpChanDrop, Int(0))
+		if m.PendingLen(0) != 1 || m.InboxLen(0) != 1 {
+			t.Fatalf("%s: mutation leaked into original", name)
+		}
+	}
+	check("Clone", m.Clone())
+	spare := New(SetChannels, 0)
+	m.CloneInto(spare)
+	check("CloneInto", spare)
+}
+
+// TestChannelLocsAndMisuse covers the structural accessors and non-channel
+// misuse errors.
+func TestChannelLocsAndMisuse(t *testing.T) {
+	m := New(SetReadWrite.WithChannelOps(), 3,
+		WithChannels([]ChannelSpec{{Loc: 1, Kind: ChanBag, Cap: 2}}))
+	locs := m.AppendChannelLocs(nil)
+	if len(locs) != 1 || locs[0] != 1 {
+		t.Fatalf("channel locs = %v, want [1]", locs)
+	}
+	if m.ChannelKind(0) != ChanNone || m.ChannelKind(1) != ChanBag {
+		t.Fatal("ChannelKind wrong")
+	}
+	if _, err := m.Apply(0, OpChanSend, Int(1)); err == nil {
+		t.Fatal("send on non-channel location should error")
+	}
+	if _, err := m.Apply(2, OpChanRecv); err == nil {
+		t.Fatal("recv on non-channel location should error")
+	}
+	// Plain instructions still work alongside channels.
+	if _, err := m.Apply(0, OpWrite, Int(5)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := ChanFIFO.String() + "/" + ChanBag.String() + "/" + ChanNone.String(); got != "fifo/bag/none" {
+		t.Fatalf("kind strings = %q", got)
+	}
+}

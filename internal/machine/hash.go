@@ -31,6 +31,7 @@ const (
 	hashCellTag   = 0x1f83d9abfb41bd6b
 	hashOrbitTag  = 0x5be0cd19137e2179
 	hashLoc128Tag = 0x2b992ddfa23249d6
+	hashChanTag   = 0x7c1592dbd9c2f6a3
 )
 
 // Hash128 is a 128-bit rolling fingerprint: two independently seeded
@@ -206,17 +207,63 @@ func canonicalValueString(v Value) string {
 // excluded. Being index-free makes equal-content locations hash equally,
 // which is what the symmetry machinery sorts on.
 func cellHash(l *location) uint64 {
-	if len(l.buf) == 0 && zeroValue(l.val) {
+	if len(l.buf) == 0 && zeroValue(l.val) && len(l.pending) == 0 && len(l.inbox) == 0 {
 		return 0
 	}
 	h := Mix64(hashCellTag ^ HashValue(l.val))
 	for _, v := range l.buf {
 		h = Mix64(h ^ HashValue(v))
 	}
+	if len(l.pending) > 0 || len(l.inbox) > 0 {
+		// Channel queues: pending and inbox are hashed as length-delimited
+		// sequences under the channel tag. Bag channels canonicalize pending
+		// as a sorted multiset of message hashes, so physical send order
+		// never splits one bag state into several keys; FIFO pending and the
+		// inbox are order-sensitive by definition. Kind and capacity are
+		// structural and excluded, like buffer capacities.
+		h = Mix64(h ^ hashChanTag ^ uint64(len(l.pending)))
+		if l.chanKind == ChanBag {
+			var stack [8]uint64
+			hs := stack[:0]
+			for _, v := range l.pending {
+				hs = append(hs, HashValue(v))
+			}
+			// Insertion sort: pending is capacity-bounded and small.
+			for i := 1; i < len(hs); i++ {
+				for j := i; j > 0 && hs[j] < hs[j-1]; j-- {
+					hs[j], hs[j-1] = hs[j-1], hs[j]
+				}
+			}
+			for _, x := range hs {
+				h = Mix64(h ^ x)
+			}
+		} else {
+			for _, v := range l.pending {
+				h = Mix64(h ^ HashValue(v))
+			}
+		}
+		h = Mix64(h ^ hashChanTag ^ uint64(len(l.inbox)))
+		for _, v := range l.inbox {
+			h = Mix64(h ^ HashValue(v))
+		}
+	}
 	if h == 0 {
 		h = 1
 	}
 	return h
+}
+
+// canonicalPending returns the pending queue in its canonical order: send
+// order for FIFO channels, sorted by canonical message hash for bags (the
+// order cellHash folds them in). Used by the string Fingerprint so the two
+// canonical forms agree.
+func canonicalPending(l *location) []Value {
+	if l.chanKind != ChanBag || len(l.pending) < 2 {
+		return l.pending
+	}
+	out := append([]Value(nil), l.pending...)
+	sort.Slice(out, func(i, j int) bool { return HashValue(out[i]) < HashValue(out[j]) })
+	return out
 }
 
 // locHash is cellHash bound to the location's index — the per-location term

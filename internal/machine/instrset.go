@@ -39,6 +39,18 @@ func (s InstrSet) WithBuffers(l int) InstrSet {
 	return s
 }
 
+// WithChannelOps returns a copy of the set supporting the message-passing
+// instructions: send/recv for processes, deliver/drop for the delivery
+// adversary (see channel.go). Channel locations are declared per-memory with
+// WithChannels; the instruction set only grants the instruction family.
+func (s InstrSet) WithChannelOps() InstrSet {
+	s.ops[OpChanSend] = true
+	s.ops[OpChanRecv] = true
+	s.ops[OpChanDeliver] = true
+	s.ops[OpChanDrop] = true
+	return s
+}
+
 // WithMultiAssign returns a copy of the set in which a process may atomically
 // perform one write-class instruction per location on any subset of
 // locations, the paper's model of simple transactions (Section 7).
@@ -170,6 +182,10 @@ var (
 	// introduction's second example.
 	SetReadDecMul = NewInstrSet("{read, decrement, multiply(x)}",
 		OpRead, OpDecrement, OpMultiply)
+
+	// SetChannels is the pure message-passing set {send(m), recv, deliver,
+	// drop}: all shared state lives in channel locations (ROADMAP item 3).
+	SetChannels = InstrSet{}.WithChannelOps().Named("{send(m), recv, deliver, drop}")
 )
 
 // SetBuffers returns the l-buffer instruction set B_l of Section 6.

@@ -26,6 +26,16 @@ type location struct {
 	val    Value
 	buf    []Value // most recent l buffer-writes, oldest first
 	writes int     // total buffer-writes ever applied
+
+	// Channel state (ChanKind != ChanNone, see channel.go): pending holds
+	// sent-but-undelivered messages in send order, inbox holds
+	// delivered-but-unreceived messages in delivery order. Kind and cap are
+	// structural (fixed at construction, excluded from hashing); the queues
+	// are observable state and fold into cellHash.
+	pending  []Value
+	inbox    []Value
+	chanKind ChanKind
+	chanCap  int
 }
 
 // Memory is a collection of identical locations supporting one instruction
@@ -129,12 +139,23 @@ func (m *Memory) Clone() *Memory {
 	for i := range n.locs {
 		l := &n.locs[i]
 		l.val = cloneValue(l.val)
-		if len(l.buf) > 0 {
-			l.buf = append([]Value(nil), l.buf...)
-		}
+		l.buf = cloneValues(l.buf)
+		l.pending = cloneValues(l.pending)
+		l.inbox = cloneValues(l.inbox)
 	}
 	n.stats = m.stats.cloneInternal()
 	return n
+}
+
+// cloneValues deep-copies a value queue, returning nil for an empty one. The
+// nil matters: a queue that drained back to empty keeps its backing array,
+// and copying the empty slice header would leave every clone appending into
+// the source's storage — sibling forks would overwrite each other's sends.
+func cloneValues(vs []Value) []Value {
+	if len(vs) == 0 {
+		return nil
+	}
+	return append([]Value(nil), vs...)
 }
 
 // CloneInto is Clone writing over a recycled Memory: semantically identical
@@ -153,9 +174,9 @@ func (m *Memory) CloneInto(n *Memory) {
 	for i := range n.locs {
 		l := &n.locs[i]
 		l.val = cloneValue(l.val)
-		if len(l.buf) > 0 {
-			l.buf = append([]Value(nil), l.buf...)
-		}
+		l.buf = cloneValues(l.buf)
+		l.pending = cloneValues(l.pending)
+		l.inbox = cloneValues(l.inbox)
 	}
 	perLoc := append(n.stats.PerLoc[:0], m.stats.PerLoc...)
 	n.stats = m.stats
@@ -387,6 +408,9 @@ func (m *Memory) applyOp(loc int, op Op, args []Value) (Value, error) {
 		}
 		return old, nil
 
+	case OpChanSend, OpChanRecv, OpChanDeliver, OpChanDrop:
+		return m.applyChan(loc, l, op, args)
+
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnsupported, op)
 	}
@@ -523,7 +547,7 @@ func (m *Memory) Fingerprint() string {
 	out := make([]byte, 0, 64)
 	for i := range m.locs {
 		l := &m.locs[i]
-		if len(l.buf) == 0 && zeroValue(l.val) {
+		if len(l.buf) == 0 && zeroValue(l.val) && len(l.pending) == 0 && len(l.inbox) == 0 {
 			continue
 		}
 		out = append(out, fmt.Sprintf("%d=%s", i, canonicalValueString(l.val))...)
@@ -534,6 +558,19 @@ func (m *Memory) Fingerprint() string {
 				out = append(out, ',')
 			}
 			out = append(out, ']')
+		}
+		if len(l.pending) > 0 || len(l.inbox) > 0 {
+			out = append(out, "p("...)
+			for _, v := range canonicalPending(l) {
+				out = append(out, canonicalValueString(v)...)
+				out = append(out, ',')
+			}
+			out = append(out, ")i("...)
+			for _, v := range l.inbox {
+				out = append(out, canonicalValueString(v)...)
+				out = append(out, ',')
+			}
+			out = append(out, ')')
 		}
 		out = append(out, ';')
 	}

@@ -79,6 +79,30 @@ const (
 	// {compare-and-swap} row.
 	OpCompareAndSwap
 
+	// The message-passing extension (ROADMAP item 3): channels as
+	// first-class locations. A channel location carries two message queues —
+	// pending (sent, not yet delivered) and inbox (delivered, not yet
+	// received) — so the delivery adversary is an explicit step between send
+	// and receive rather than an assumption. Send/recv are process
+	// instructions; deliver/drop are the adversary's, issued by the sim
+	// layer's delivery branches.
+
+	// OpChanSend appends its argument to the channel's pending queue. It is
+	// an error on a full channel (pending+inbox at capacity); the sim layer
+	// gates enabledness so exploration never applies a blocked send.
+	OpChanSend
+	// OpChanRecv removes and returns the head of the channel's inbox. It is
+	// an error on an empty inbox; the sim layer gates enabledness.
+	OpChanRecv
+	// OpChanDeliver takes a rank into the pending queue, moves that message
+	// to the inbox tail, and returns it. Each distinct rank is one delivery
+	// branch under reordering delivery; ordered delivery only ever picks
+	// rank 0 on FIFO channels.
+	OpChanDeliver
+	// OpChanDrop takes a rank into the pending queue, removes that message
+	// without delivering it, and returns it (lossy delivery only).
+	OpChanDrop
+
 	numOps = iota
 )
 
@@ -103,6 +127,10 @@ var opNames = [numOps]string{
 	OpBufferRead:        "l-buffer-read",
 	OpBufferWrite:       "l-buffer-write",
 	OpCompareAndSwap:    "compare-and-swap",
+	OpChanSend:          "send",
+	OpChanRecv:          "recv",
+	OpChanDeliver:       "deliver",
+	OpChanDrop:          "drop",
 }
 
 // String returns the paper's name for the instruction.
@@ -117,7 +145,8 @@ func (o Op) String() string {
 func (o Op) arity() int {
 	switch o {
 	case OpWrite, OpSwap, OpFetchAndAdd, OpFetchAndMultiply, OpAdd,
-		OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite:
+		OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite,
+		OpChanSend, OpChanDeliver, OpChanDrop:
 		return 1
 	case OpCompareAndSwap:
 		return 2
@@ -147,7 +176,7 @@ func (o Op) Trivial() bool {
 func (o Op) WriteClass() bool {
 	switch o {
 	case OpWrite, OpWriteZero, OpWriteOne, OpReset, OpIncrement, OpDecrement,
-		OpAdd, OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite:
+		OpAdd, OpMultiply, OpSetBit, OpWriteMax, OpBufferWrite, OpChanSend:
 		return true
 	default:
 		return false

@@ -32,6 +32,10 @@ func TestOpMatrix(t *testing.T) {
 		{OpBufferRead, "l-buffer-read", 0, true, false},
 		{OpBufferWrite, "l-buffer-write", 1, false, true},
 		{OpCompareAndSwap, "compare-and-swap", 2, false, false},
+		{OpChanSend, "send", 1, false, true},
+		{OpChanRecv, "recv", 0, false, false},
+		{OpChanDeliver, "deliver", 1, false, false},
+		{OpChanDrop, "drop", 1, false, false},
 	}
 	if len(cases) != int(numOps) {
 		t.Fatalf("matrix covers %d ops, machine has %d", len(cases), numOps)

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/sim"
+)
+
+// The portfolio is built over the three-process QSC instance (n=3, quorum
+// t=2): the smallest configuration with a genuine quorum-intersection
+// argument, one tolerated silent process (f = n-t = 1), and a Byzantine
+// minority. Channel capacity for QSCConfig(3, 2, 4) is 18, which fixes the
+// virtual-pid layout the crafted prefixes below rely on: the rank-0 deliver
+// move for channel k is pid 3 + 18k.
+const (
+	portN      = 3
+	portT      = 2
+	portRounds = 4
+	portStride = (portN - 1) * (2*portRounds + 1)
+)
+
+// deliverPid is the rank-0 deliver move for process k's inbox.
+func deliverPid(k int) int { return portN + k*portStride }
+
+// qscBuild builds the honest portfolio instance.
+func qscBuild() *consensus.Protocol { return consensus.QSCConfig(portN, portT, portRounds) }
+
+// byzBuild builds the portfolio instance with the last process Byzantine.
+func byzBuild(adv consensus.QSCAdversary) func() *consensus.Protocol {
+	return func() *consensus.Protocol {
+		return consensus.QSCWithByzantine(portN, portT, portRounds, adv)
+	}
+}
+
+// byzForkPrefix drives the equivocating adversary to the brink of
+// split-brain: the adversary's four scripted sends land first, both honest
+// processes finish their phase-1 broadcasts, honest 0 is fed the
+// adversary's phase-1 and ready phase-2 messages and decides 0, and honest
+// 1 consumes the adversary's phase-1 for value 1 and broadcasts its ready
+// phase-2. The remaining four steps — deliver the adversary's ready
+// message, fold it, announce — make honest 1 decide 1, the agreement
+// violation every delivery mode can reach (all prefix deliveries are
+// rank 0, so the prefix replays under ordered FIFO, reorder, and lossy
+// alike).
+func byzForkPrefix() []int {
+	p := []int{2, 2, 2, 2, 0, 0, 1, 1}
+	p = append(p, deliverPid(0), 0, 0, 0, deliverPid(0), 0, 0, 0) // honest 0 decides 0
+	p = append(p, deliverPid(1), 1, 1, 1)                         // honest 1 goes ready for 1
+	return p
+}
+
+// byzMalformedPrefix plays the garbage flood into honest 0's inbox: the
+// adversary's six scripted sends, honest 0's phase-1 broadcast, then
+// deliver-and-fold of the non-message payload and the nonsense-phase
+// message (both ignored). One deliver and one fold remain: the bogus decide
+// announcement, which honest 0 trusts — the validity violation.
+func byzMalformedPrefix() []int {
+	p := []int{2, 2, 2, 2, 2, 2, 0, 0}
+	p = append(p, deliverPid(0), 0, deliverPid(0), 0)
+	return p
+}
+
+// Portfolio returns the adversarial scenario portfolio, in documentation
+// order. Scenarios are freshly built on every call; callers may mutate.
+func Portfolio() []*Scenario {
+	return []*Scenario{
+		{
+			Name:           "baseline",
+			Description:    "honest QSC under ordered FIFO delivery: decides, stays safe",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverOrdered},
+			Depth:          8,
+			ExpectDecision: true,
+		},
+		{
+			Name:           "reorder",
+			Description:    "honest QSC with the adversary free to deliver pending messages in any order",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverReorder},
+			Depth:          7,
+			ExpectDecision: true,
+		},
+		{
+			Name:           "lossy",
+			Description:    "honest QSC with reordering plus one adversarial message drop",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverLossy, MaxDrops: 1},
+			Depth:          7,
+			ExpectDecision: true,
+		},
+		{
+			Name:           "crash-f",
+			Description:    "one process silent from the start (f = n-t): the quorum still forms and decides",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverOrdered},
+			Crashes:        []int{2},
+			Depth:          8,
+			ExpectDecision: true,
+		},
+		{
+			Name:           "crash-beyond-f",
+			Description:    "two processes silent, past the resilience bound: no quorum, no decision, but safety holds",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverOrdered},
+			Crashes:        []int{1, 2},
+			Depth:          10,
+			ExpectDecision: false,
+		},
+		{
+			Name:           "offline-return",
+			Description:    "process 2 is unscheduled for a long window, then returns and catches up via decide announcements",
+			Build:          qscBuild,
+			Inputs:         []int{2, 0, 1},
+			Delivery:       sim.Delivery{Mode: sim.DeliverOrdered},
+			Windows:        []Window{{Steps: 60, Allow: notPid(2)}},
+			Depth:          8,
+			ExpectDecision: true,
+		},
+		{
+			Name:        "partition-heal",
+			Description: "the network splits {0} vs {1,2}, each side runs alone in turn, then the partition heals",
+			Build:       qscBuild,
+			Inputs:      []int{2, 0, 1},
+			Delivery:    sim.Delivery{Mode: sim.DeliverOrdered},
+			Windows: []Window{
+				{Steps: 40, Allow: sideOnly(0)},
+				{Steps: 40, Allow: sideOnly(1, 2)},
+			},
+			Depth:          8,
+			ExpectDecision: true,
+		},
+		{
+			Name:          "byz-malformed",
+			Description:   "Byzantine sender floods garbage and announces an out-of-domain decision: validity breaks",
+			Build:         byzBuild(consensus.QSCByzMalformed),
+			Inputs:        []int{0, 1, 0},
+			Byzantine:     []int{2},
+			Delivery:      sim.Delivery{Mode: sim.DeliverOrdered},
+			Prefix:        byzMalformedPrefix(),
+			Depth:         3,
+			WantViolation: true,
+		},
+		{
+			Name:           "byz-out-of-turn",
+			Description:    "Byzantine sender speaks in future rounds and wrong phases, consistently: honest processes stay safe",
+			Build:          byzBuild(consensus.QSCByzOutOfTurn),
+			Inputs:         []int{0, 1, 0},
+			Byzantine:      []int{2},
+			Delivery:       sim.Delivery{Mode: sim.DeliverOrdered},
+			Depth:          6,
+			ExpectDecision: true,
+		},
+		{
+			Name:          "byz-fork",
+			Description:   "Byzantine sender equivocates ready values: two honest processes decide differently",
+			Build:         byzBuild(consensus.QSCByzFork),
+			Inputs:        []int{0, 1, 0},
+			Byzantine:     []int{2},
+			Delivery:      sim.Delivery{Mode: sim.DeliverOrdered},
+			Prefix:        byzForkPrefix(),
+			Depth:         5,
+			WantViolation: true,
+		},
+	}
+}
+
+// ByName finds a portfolio scenario.
+func ByName(name string) (*Scenario, bool) {
+	for _, sc := range Portfolio() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the portfolio scenario names in order.
+func Names() []string {
+	var names []string
+	for _, sc := range Portfolio() {
+		names = append(names, sc.Name)
+	}
+	return names
+}

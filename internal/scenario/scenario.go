@@ -1,0 +1,197 @@
+// Package scenario ships the adversarial scenario portfolio for the
+// message-passing protocols: crash-f silence, processes going offline and
+// returning, network partitions that heal, and scripted Byzantine senders
+// (malformed, out-of-turn, equivocating). Each scenario packages a protocol
+// instance, a delivery model, an optional crafted schedule prefix that
+// plants the interesting configuration, and the expected verdicts — so the
+// same scenario drives unit tests, the exploration batteries, and the
+// cmd/consensus -scenario flag without re-encoding the setup anywhere.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// Window is one phase of a windowed schedule: for Steps scheduling
+// decisions only pids satisfying Allow are considered (falling back to the
+// full live set if none qualifies, so a fully-masked side can never wedge
+// the run). After the last window the schedule is unrestricted — the
+// partition healed, the offline process returned.
+type Window struct {
+	Steps int
+	Allow func(sys *sim.System, pid int) bool
+}
+
+// Scenario is one adversarial situation over a message-passing protocol.
+type Scenario struct {
+	// Name is the stable identifier (-scenario flag spelling).
+	Name string
+	// Description says what the adversary does and what should happen.
+	Description string
+	// Build constructs the protocol instance the scenario runs.
+	Build func() *consensus.Protocol
+	// Inputs are the process inputs the scenario fixes. Byzantine scripts
+	// are input-independent, so planted violations rely on these values.
+	Inputs []int
+	// Delivery is the scenario's default delivery model; explorations can
+	// override it to sweep the planted behavior across all modes.
+	Delivery sim.Delivery
+	// Crashes lists real pids crashed before anything runs (f silent).
+	Crashes []int
+	// Byzantine lists pids running adversarial scripts instead of the
+	// protocol; they never decide, so decision counts exclude them.
+	Byzantine []int
+	// Prefix is a schedule replayed from the initial configuration before
+	// solving or exploring: it plants the configuration of interest (for
+	// the Byzantine scenarios, a few steps short of the violation).
+	Prefix []int
+	// Windows restricts scheduling phases for the solve path (offline
+	// windows, partition sides). Ignored by exploration.
+	Windows []Window
+	// Depth is the exploration depth from the prefixed configuration that
+	// suffices to reach the scenario's verdict.
+	Depth int
+	// WantViolation: exploration must find a safety violation (the planted
+	// Byzantine attack succeeded); otherwise it must find none.
+	WantViolation bool
+	// ExpectDecision: fair solve runs should end with every correct
+	// process decided. False for scenarios past the resilience bound,
+	// where safety holds but no quorum can form.
+	ExpectDecision bool
+}
+
+// System builds the scenario's system: protocol memory and processes, the
+// scenario delivery model (overridable by extra options), crashes applied,
+// prefix replayed.
+func (sc *Scenario) System(extra ...sim.SystemOption) (*sim.System, error) {
+	opts := append([]sim.SystemOption{sim.WithDelivery(sc.Delivery)}, extra...)
+	sys, err := sc.Build().NewSystem(sc.Inputs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, pid := range sc.Crashes {
+		sys.Crash(pid)
+	}
+	for i, pid := range sc.Prefix {
+		if _, err := sys.Step(pid); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("scenario %s: prefix step %d (pid %d): %w", sc.Name, i, pid, err)
+		}
+	}
+	return sys, nil
+}
+
+// Factory adapts System for the explorers; extra options (typically a
+// delivery-mode override) are passed through to every built system.
+func (sc *Scenario) Factory(extra ...sim.SystemOption) explore.Factory {
+	return func() (*sim.System, error) { return sc.System(extra...) }
+}
+
+// Explore exhaustively explores the scenario from its prefixed
+// configuration to its declared depth and checks the violation verdict,
+// returning the report. Extra options override the system construction
+// (delivery-mode sweeps).
+func (sc *Scenario) Explore(ctx context.Context, opts explore.Options, extra ...sim.SystemOption) (*explore.Report, error) {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = sc.Depth
+	}
+	rep, err := explore.Exhaustive(ctx, sc.Factory(extra...), opts)
+	if err != nil {
+		return nil, err
+	}
+	if sc.WantViolation && len(rep.Violations) == 0 {
+		return rep, fmt.Errorf("scenario %s: planted violation not found within depth %d", sc.Name, opts.MaxDepth)
+	}
+	if !sc.WantViolation && len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("scenario %s: unexpected violation: %v", sc.Name, rep.Violations[0])
+	}
+	return rep, nil
+}
+
+// Solve runs the scenario under a fair seeded random schedule shaped by its
+// windows and returns the result. The caller checks decisions against
+// ExpectDecision and safety against the scenario's inputs.
+func (sc *Scenario) Solve(seed int64, maxSteps int64) (*sim.Result, error) {
+	sys, err := sc.System()
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	return sys.Run(newWindowed(seed, sc.Windows), maxSteps)
+}
+
+// windowed is the scenario scheduler: uniform over the live pids admitted
+// by the current window, uniform over all live pids once the windows are
+// exhausted.
+type windowed struct {
+	rng     *rand.Rand
+	windows []Window
+	taken   int
+	buf     []int
+	allowed []int
+}
+
+func newWindowed(seed int64, windows []Window) *windowed {
+	return &windowed{rng: rand.New(rand.NewSource(seed)), windows: windows}
+}
+
+func (w *windowed) current() *Window {
+	taken := w.taken
+	for i := range w.windows {
+		if taken < w.windows[i].Steps {
+			return &w.windows[i]
+		}
+		taken -= w.windows[i].Steps
+	}
+	return nil
+}
+
+func (w *windowed) Next(s *sim.System) int {
+	w.buf = s.AppendLive(w.buf[:0])
+	if len(w.buf) == 0 {
+		return -1
+	}
+	pick := w.buf
+	if win := w.current(); win != nil {
+		w.allowed = w.allowed[:0]
+		for _, pid := range w.buf {
+			if win.Allow(s, pid) {
+				w.allowed = append(w.allowed, pid)
+			}
+		}
+		if len(w.allowed) > 0 {
+			pick = w.allowed
+		}
+	}
+	w.taken++
+	return pick[w.rng.Intn(len(pick))]
+}
+
+// sideOnly admits the given real pids, plus delivery (and drop) moves on
+// their inbox channels — one side of a partition, with the protocol
+// convention that process i's inbox is channel location i.
+func sideOnly(pids ...int) func(sys *sim.System, pid int) bool {
+	in := make(map[int]bool, len(pids))
+	for _, p := range pids {
+		in[p] = true
+	}
+	return func(sys *sim.System, pid int) bool {
+		if pid < sys.N() {
+			return in[pid]
+		}
+		loc, ok := sys.DeliveryTarget(pid)
+		return ok && in[loc]
+	}
+}
+
+// notPid admits everything except one real process (its inbox deliveries
+// stay allowed: the network keeps moving while the process is offline).
+func notPid(p int) func(sys *sim.System, pid int) bool {
+	return func(sys *sim.System, pid int) bool { return pid != p }
+}

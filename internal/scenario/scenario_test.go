@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// TestPortfolioSolve runs every scenario under fair windowed schedules:
+// honest scenarios decide (when within the resilience bound) and stay safe,
+// planted-violation scenarios actually violate.
+func TestPortfolioSolve(t *testing.T) {
+	for _, sc := range Portfolio() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				res, err := sc.Solve(seed, 500_000)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if sc.WantViolation {
+					if err := res.CheckConsensus(sc.Inputs); err == nil {
+						t.Fatalf("seed %d: planted violation did not occur: %v", seed, res)
+					}
+					continue
+				}
+				if err := res.CheckConsensus(sc.Inputs); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				correct := len(sc.Inputs) - len(sc.Crashes) - len(sc.Byzantine)
+				if sc.ExpectDecision && len(res.Decisions) != correct {
+					t.Fatalf("seed %d: %d of %d correct processes decided: %v",
+						seed, len(res.Decisions), correct, res)
+				}
+				if !sc.ExpectDecision && len(res.Decisions) != 0 {
+					t.Fatalf("seed %d: decision past the resilience bound: %v", seed, res)
+				}
+			}
+		})
+	}
+}
+
+// TestPortfolioExplore exhaustively explores every scenario from its
+// prefixed configuration to its declared depth; Explore itself enforces the
+// violation verdict.
+func TestPortfolioExplore(t *testing.T) {
+	for _, sc := range Portfolio() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := sc.Explore(context.Background(), explore.Options{Dedup: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.States == 0 {
+				t.Fatal("exploration visited no states")
+			}
+		})
+	}
+}
+
+// TestByzantineDetectedUnderAllDeliveryModes is the acceptance pin: the
+// planted Byzantine violations (equivocation breaking agreement, the
+// malformed flood breaking validity) are found by exhaustive exploration
+// under every delivery mode.
+func TestByzantineDetectedUnderAllDeliveryModes(t *testing.T) {
+	modes := []struct {
+		name string
+		d    sim.Delivery
+	}{
+		{"ordered", sim.Delivery{Mode: sim.DeliverOrdered}},
+		{"reorder", sim.Delivery{Mode: sim.DeliverReorder}},
+		{"lossy", sim.Delivery{Mode: sim.DeliverLossy, MaxDrops: 1}},
+	}
+	for _, name := range []string{"byz-fork", "byz-malformed"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		for _, m := range modes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				rep, err := sc.Explore(context.Background(), explore.Options{Dedup: true},
+					sim.WithDelivery(m.d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) == 0 {
+					t.Fatal("no violation reported")
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioNames pins the stable -scenario flag spellings.
+func TestScenarioNames(t *testing.T) {
+	want := []string{"baseline", "reorder", "lossy", "crash-f", "crash-beyond-f",
+		"offline-return", "partition-heal", "byz-malformed", "byz-out-of-turn", "byz-fork"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("portfolio names %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("portfolio names %v, want %v", got, want)
+		}
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Fatal("ByName invented a scenario")
+	}
+}

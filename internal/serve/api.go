@@ -84,16 +84,21 @@ type VerifyResponse struct {
 	StatusURL string              `json:"status_url,omitempty"`
 }
 
-// JobStatus answers GET /jobs/{id} and DELETE /jobs/{id}.
+// JobStatus answers GET /jobs/{id} and DELETE /jobs/{id}. StatesVisited is
+// the running exploration's liveness signal: the explorer's latest progress
+// count, updated every few thousand expanded configurations, so a client
+// polling a long verify can tell a deep exploration from a hung one. It
+// lags the final Report.States by up to one progress stride.
 type JobStatus struct {
-	ID         string              `json:"id"`
-	State      string              `json:"state"`
-	Report     *repro.VerifyReport `json:"report,omitempty"`
-	Error      string              `json:"error,omitempty"`
-	CacheKey   string              `json:"cache_key"`
-	CreatedAt  string              `json:"created_at"`
-	StartedAt  string              `json:"started_at,omitempty"`
-	FinishedAt string              `json:"finished_at,omitempty"`
+	ID            string              `json:"id"`
+	State         string              `json:"state"`
+	Report        *repro.VerifyReport `json:"report,omitempty"`
+	Error         string              `json:"error,omitempty"`
+	CacheKey      string              `json:"cache_key"`
+	StatesVisited int64               `json:"states_visited,omitempty"`
+	CreatedAt     string              `json:"created_at"`
+	StartedAt     string              `json:"started_at,omitempty"`
+	FinishedAt    string              `json:"finished_at,omitempty"`
 }
 
 // StatusResponse answers GET /status.
@@ -119,10 +124,12 @@ type CacheStats struct {
 	Entries int   `json:"entries"`
 }
 
-// ResultCacheStats extends CacheStats with load-time corruption count.
+// ResultCacheStats extends CacheStats with the load-time corruption count
+// and the number of superseded records dropped by the startup compaction.
 type ResultCacheStats struct {
 	CacheStats
-	Corrupt int64 `json:"corrupt"`
+	Corrupt   int64 `json:"corrupt"`
+	Compacted int64 `json:"compacted"`
 }
 
 // ErrorResponse is the JSON error envelope of every non-2xx response.

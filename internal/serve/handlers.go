@@ -191,7 +191,11 @@ func (s *Server) runVerify(ctx context.Context, j *job) (*repro.VerifyReport, er
 	if err != nil {
 		return nil, err
 	}
-	opts := make([]repro.VerifyOption, 0, 6)
+	opts := make([]repro.VerifyOption, 0, 7)
+	// Liveness for long explorations: the explorer's periodic progress
+	// callback lands in the job's atomic counter, which GET /jobs/{id}
+	// reports as states_visited while the job runs.
+	opts = append(opts, repro.WithProgress(func(states int64) { j.progress.Store(states) }))
 	if j.params.maxRuns > 0 {
 		opts = append(opts, repro.MaxRuns(j.params.maxRuns))
 	}
@@ -248,7 +252,8 @@ func jobStatus(j *job) JobStatus {
 	state, rep, err, created, started, finished := j.snapshot()
 	st := JobStatus{
 		ID: j.id, State: state, Report: rep, CacheKey: j.cacheKey,
-		CreatedAt: created.UTC().Format(time.RFC3339Nano),
+		StatesVisited: j.progress.Load(),
+		CreatedAt:     created.UTC().Format(time.RFC3339Nano),
 	}
 	if err != nil {
 		st.Error = err.Error()
@@ -265,14 +270,14 @@ func jobStatus(j *job) JobStatus {
 // handleStatus reports the service's operational state as JSON.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) int {
 	hh, hm, hn := s.handles.stats()
-	rh, rm, rc, rn := s.results.stats()
+	rh, rm, rc, rcomp, rn := s.results.stats()
 	depth, capacity := s.jobs.depth()
 	running, queued, done, failed, cancelled := s.jobs.stats()
 	return writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		HandleCache:   CacheStats{Hits: hh, Misses: hm, Entries: hn},
-		ResultCache:   ResultCacheStats{CacheStats: CacheStats{Hits: rh, Misses: rm, Entries: rn}, Corrupt: rc},
+		ResultCache:   ResultCacheStats{CacheStats: CacheStats{Hits: rh, Misses: rm, Entries: rn}, Corrupt: rc, Compacted: rcomp},
 		QueueDepth:    depth, QueueCapacity: capacity,
 		JobsRunning: running, JobsQueuedTotal: queued, JobsDoneTotal: done,
 		JobsFailedTotal: failed, JobsCancelledTotal: cancelled,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -66,6 +67,11 @@ type job struct {
 	cancel   context.CancelFunc
 	ctx      context.Context
 	done     chan struct{}
+
+	// progress holds the explorer's latest states-visited count, stored by
+	// the runner's WithProgress callback (which fires on exploration worker
+	// goroutines) and read lock-free by GET /jobs/{id} while the job runs.
+	progress atomic.Int64
 
 	mu       sync.Mutex
 	state    string

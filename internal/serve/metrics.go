@@ -131,13 +131,15 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	head(w, "reprod_handle_cache_entries", "gauge", "Compiled handles resident in the LRU.")
 	fmt.Fprintf(w, "reprod_handle_cache_entries %d\n", hn)
 
-	rh, rm, rc, rn := s.results.stats()
+	rh, rm, rc, rcomp, rn := s.results.stats()
 	head(w, "reprod_result_cache_hits_total", "counter", "Verify-result cache hits.")
 	fmt.Fprintf(w, "reprod_result_cache_hits_total %d\n", rh)
 	head(w, "reprod_result_cache_misses_total", "counter", "Verify-result cache misses.")
 	fmt.Fprintf(w, "reprod_result_cache_misses_total %d\n", rm)
 	head(w, "reprod_result_cache_corrupt_total", "counter", "Corrupt records skipped while loading the result cache.")
 	fmt.Fprintf(w, "reprod_result_cache_corrupt_total %d\n", rc)
+	head(w, "reprod_result_cache_compacted_total", "counter", "Superseded records dropped by the startup log compaction.")
+	fmt.Fprintf(w, "reprod_result_cache_compacted_total %d\n", rcomp)
 	head(w, "reprod_result_cache_entries", "gauge", "Verify results indexed in the cache.")
 	fmt.Fprintf(w, "reprod_result_cache_entries %d\n", rn)
 

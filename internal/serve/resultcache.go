@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -18,14 +19,24 @@ import (
 // lifetimes are O(lookup) after the first.
 //
 // File format: one record per line, "<crc32-hex> <json>\n", where the CRC
-// (IEEE, 8 lowercase hex digits) covers exactly the JSON bytes. The file is
-// only ever appended to — no compaction, no in-place rewrites — so a crash
-// can corrupt at most the final partial line. Loading skips corrupt records
-// loudly (bad framing, CRC mismatch, malformed JSON, missing fields) and
-// keeps going: a damaged cache degrades to misses, never to wrong answers
-// or a dead service. Duplicate keys are legal (two racing writers may both
-// append a freshly computed result); the last record wins, and both racers
-// computed the same deterministic report anyway.
+// (IEEE, 8 lowercase hex digits) covers exactly the JSON bytes. While the
+// service runs the file is only ever appended to — no in-place rewrites —
+// so a crash can corrupt at most the final partial line. Loading skips
+// corrupt records loudly (bad framing, CRC mismatch, malformed JSON,
+// missing fields) and keeps going: a damaged cache degrades to misses,
+// never to wrong answers or a dead service. Duplicate keys are legal (two
+// racing writers may both append a freshly computed result); the last
+// record wins, and both racers computed the same deterministic report
+// anyway.
+//
+// Compaction happens only at startup, when the load finds more superseded
+// records (earlier duplicates shadowed by a later record for the same key)
+// than live entries: the live index is rewritten to a temporary file in the
+// same framing and atomically renamed over the log before the append handle
+// opens. A crash mid-compaction leaves either the old log or the new one,
+// never a mix; a failed rewrite is logged and the service carries on over
+// the uncompacted log — compaction is an optimization, never a correctness
+// dependency.
 //
 // The cache key must encode every result-affecting parameter of a Verify
 // call — see verifyParams.cacheKey and the DESIGN.md soundness argument for
@@ -38,6 +49,7 @@ type resultCache struct {
 	index map[string]*repro.VerifyReport
 
 	hits, misses, corrupt, writeErrs int64
+	compacted                        int64 // superseded records dropped by the startup compaction
 }
 
 // resultRecord is the on-disk JSON shape of one cache entry.
@@ -59,6 +71,7 @@ func openResultCache(path string, logf func(string, ...any)) (*resultCache, erro
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("result cache: %w", err)
 	}
+	var superseded int64
 	for lineno, line := range bytes.Split(buf, []byte{'\n'}) {
 		if len(line) == 0 {
 			continue
@@ -69,7 +82,21 @@ func openResultCache(path string, logf func(string, ...any)) (*resultCache, erro
 			logf("reprod: result cache %s:%d: skipping corrupt entry: %v", path, lineno+1, err)
 			continue
 		}
+		if _, dup := c.index[rec.Key]; dup {
+			superseded++
+		}
 		c.index[rec.Key] = rec.Report
+	}
+	if superseded > int64(len(c.index)) {
+		if err := c.compactLog(); err != nil {
+			// Degrade to the uncompacted log: every live record is intact
+			// there, only the dead weight stays.
+			logf("reprod: result cache %s: compaction failed, keeping uncompacted log: %v", path, err)
+		} else {
+			c.compacted = superseded
+			logf("reprod: result cache %s: compacted, dropped %d superseded records (%d live)",
+				path, superseded, len(c.index))
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -77,6 +104,46 @@ func openResultCache(path string, logf func(string, ...any)) (*resultCache, erro
 	}
 	c.f = f
 	return c, nil
+}
+
+// compactLog rewrites the log as exactly the live index — one record per
+// key, same checksummed framing — through a temporary file atomically
+// renamed over the log, so a crash leaves a complete log either way.
+// Corrupt lines are dropped along with the superseded records. Called only
+// from openResultCache, before the append handle exists and before the
+// cache is shared, so it runs unlocked.
+func (c *resultCache) compactLog() (err error) {
+	tmp := c.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	for key, rep := range c.index {
+		var body []byte
+		if body, err = json.Marshal(resultRecord{Key: key, Report: rep}); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%08x %s\n", crc32.ChecksumIEEE(body), body); err != nil {
+			return err
+		}
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
 }
 
 // decodeRecord parses and checks one log line.
@@ -140,10 +207,10 @@ func (c *resultCache) put(key string, rep *repro.VerifyReport) error {
 }
 
 // stats snapshots the cache counters for /status and /metrics.
-func (c *resultCache) stats() (hits, misses, corrupt int64, entries int) {
+func (c *resultCache) stats() (hits, misses, corrupt, compacted int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.corrupt, len(c.index)
+	return c.hits, c.misses, c.corrupt, c.compacted, len(c.index)
 }
 
 // close releases the log file handle (memory-only caches are a no-op).

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -58,7 +59,7 @@ func TestResultCacheHitMissPersist(t *testing.T) {
 	if !ok || got != rep {
 		t.Fatalf("get after put: ok=%t", ok)
 	}
-	hits, misses, corrupt, entries := c.stats()
+	hits, misses, corrupt, _, entries := c.stats()
 	if hits != 1 || misses != 1 || corrupt != 0 || entries != 1 {
 		t.Fatalf("stats: hits=%d misses=%d corrupt=%d entries=%d", hits, misses, corrupt, entries)
 	}
@@ -176,7 +177,7 @@ func TestResultCacheCorruptEntries(t *testing.T) {
 	if _, ok := c2.get("evil"); ok {
 		t.Error("checksum-mismatched record was admitted")
 	}
-	_, _, corrupt, entries := c2.stats()
+	_, _, corrupt, _, entries := c2.stats()
 	if corrupt != 4 {
 		t.Errorf("corrupt count = %d, want 4 (log: %v)", corrupt, log.lines)
 	}
@@ -256,7 +257,7 @@ func TestConcurrentResultCacheWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.close()
-	_, _, corrupt, entries := c2.stats()
+	_, _, corrupt, _, entries := c2.stats()
 	if corrupt != 0 {
 		t.Fatalf("concurrent writers tore %d records: %v", corrupt, log.lines)
 	}
@@ -269,6 +270,136 @@ func TestConcurrentResultCacheWriters(t *testing.T) {
 				t.Fatalf("record w%d-%d lost", g, i)
 			}
 		}
+	}
+}
+
+// TestResultCacheStartupCompaction pins the startup compaction contract: a
+// log dominated by superseded duplicates is rewritten at load to exactly
+// the live records (last record per key wins, same checksummed framing),
+// the dropped count is surfaced through stats, the append handle keeps
+// working over the compacted log, and the next restart loads everything
+// clean with nothing left to compact.
+func TestResultCacheStartupCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := testReport(t)
+	for _, k := range []string{"a", "b"} {
+		if err := c.put(k, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Five superseded records for "a" against two live entries crosses the
+	// superseded > live threshold; the last duplicate carries a
+	// distinguishable report so compaction provably keeps the winner.
+	last := *rep
+	last.States = rep.States + 1000
+	for i := 0; i < 5; i++ {
+		dup := rep
+		if i == 4 {
+			dup = &last
+		}
+		if err := c.put("a", dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, compacted, entries := c2.stats(); compacted != 5 || entries != 2 {
+		t.Fatalf("after compaction: compacted=%d entries=%d, want 5 and 2", compacted, entries)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(after, []byte{'\n'}); lines != 2 {
+		t.Fatalf("compacted log has %d records, want 2", lines)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", len(before), len(after))
+	}
+	got, ok := c2.get("a")
+	if !ok || got.States != last.States {
+		t.Fatalf("compaction lost the last-winning record: ok=%t", ok)
+	}
+	if _, ok := c2.get("b"); !ok {
+		t.Fatal("compaction lost a live record")
+	}
+	// The append handle opened after the rename must still extend the log.
+	if err := c2.put("c", rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart survival: the compacted log plus the appended record load
+	// clean, and with no duplicates left there is nothing to compact.
+	c3, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.close()
+	if _, _, corrupt, compacted, entries := c3.stats(); corrupt != 0 || compacted != 0 || entries != 3 {
+		t.Fatalf("after restart: corrupt=%d compacted=%d entries=%d, want 0, 0, 3", corrupt, compacted, entries)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := c3.get(k); !ok {
+			t.Errorf("record %q lost across compaction and restart", k)
+		}
+	}
+}
+
+// TestResultCacheCompactionThreshold pins the trigger: at or below the
+// superseded == live balance the log is left byte-identical — compaction
+// must not churn a healthy log on every restart.
+func TestResultCacheCompactionThreshold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results")
+	c, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := testReport(t)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := c.put(k, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.put("a", rep); err != nil { // 1 superseded <= 3 live
+		t.Fatal(err)
+	}
+	c.close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := openResultCache(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	if _, _, _, compacted, entries := c2.stats(); compacted != 0 || entries != 3 {
+		t.Fatalf("below threshold: compacted=%d entries=%d, want 0 and 3", compacted, entries)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("below-threshold load rewrote the log")
 	}
 }
 

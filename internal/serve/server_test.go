@@ -239,6 +239,33 @@ func TestServeVerifyJobLifecycleAndResultCache(t *testing.T) {
 	}
 }
 
+// TestServeVerifyJobProgress pins the liveness surface of long verify
+// jobs: GET /jobs/{id} carries states_visited, populated by the explorer's
+// WithProgress callback once the exploration crosses the progress stride,
+// and still present on the terminal status, bounded by the final report's
+// state count.
+func TestServeVerifyJobProgress(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// The message-passing QSC row at depth 16 expands tens of thousands of
+	// configurations — comfortably past the ~4096-state progress stride.
+	var vr VerifyResponse
+	code := postJSON(t, ts.URL+"/verify", VerifyRequest{Row: "MP.QSC", Inputs: []int{1, 0, 1}, MaxDepth: 16}, &vr)
+	if code != http.StatusAccepted {
+		t.Fatalf("verify: HTTP %d", code)
+	}
+	st := pollJob(t, ts.URL, vr.ID)
+	if st.State != JobDone || st.Report == nil {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	if st.StatesVisited < 4096 {
+		t.Fatalf("states_visited = %d after a %d-state exploration, want at least one progress stride",
+			st.StatesVisited, st.Report.States)
+	}
+	if st.StatesVisited > st.Report.States {
+		t.Fatalf("states_visited = %d exceeds the report's %d states", st.StatesVisited, st.Report.States)
+	}
+}
+
 func pollJob(t *testing.T, base, id string) *JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -359,6 +386,7 @@ func TestServeStatusHealthzMetrics(t *testing.T) {
 		"reprod_request_duration_seconds_bucket{handler=\"solve\",le=\"+Inf\"}",
 		"reprod_handle_cache_hits_total",
 		"reprod_result_cache_misses_total",
+		"reprod_result_cache_compacted_total",
 		"reprod_queue_depth",
 		"reprod_jobs_total{state=\"done\"}",
 		"reprod_verify_mem_peak_frontier",

@@ -84,6 +84,11 @@ func (s *System) Fork() (*System, error) {
 	n.tracing, n.engine, n.nofuse = s.tracing, s.engine, s.nofuse
 	n.pool, n.pooled = s.pool, s.pool != nil
 	n.closed = false
+	// Delivery state: the layout slices are structural and immutable after
+	// construction, so the fork shares them; the drop budget consumed so far
+	// is configuration state and copies.
+	n.deliver, n.dropsUsed = s.deliver, s.dropsUsed
+	n.chanLocs, n.chanStride = s.chanLocs, s.chanStride
 	n.trace = n.trace[:0]
 	if len(s.trace) > 0 {
 		n.trace = append(n.trace, s.trace...)
@@ -139,6 +144,21 @@ func (s *System) Fork() (*System, error) {
 				// just means an earlier re-poise — always sound.)
 				nps.rp = rp
 				nps.run = append(nps.run, ps.run[ps.pos:]...) // non-empty: the source is live
+				// Sever argument aliasing: the inherited entries' Args point
+				// into the source stepper's reusable poise slots, which go
+				// stale the moment the source re-poises — or, under pooling,
+				// when its recycled storage is re-poised by another fork.
+				// Two passes: argsBuf may grow (and move) while gathering.
+				nps.argsBuf = nps.argsBuf[:0]
+				for i := range nps.run {
+					nps.argsBuf = append(nps.argsBuf, nps.run[i].Args...)
+				}
+				for i, off := 0, 0; i < len(nps.run); i++ {
+					if na := len(nps.run[i].Args); na > 0 {
+						nps.run[i].Args = nps.argsBuf[off : off+na : off+na]
+						off += na
+					}
+				}
 				nps.hasPoise = true
 				continue
 			}
@@ -252,6 +272,14 @@ func (s *System) AppendStateKey(dst []byte) (key []byte, ok bool) {
 	// step-count-free and merge across schedules of different lengths.
 	if adapters {
 		dst = binary.AppendUvarint(dst, uint64(s.steps))
+	}
+	// Channel systems: the remaining drop budget shapes the enabled delivery
+	// branches, so configurations that differ only in drops consumed must
+	// not merge. Guarded on channel presence, so shared-memory systems keep
+	// their exact historical key bytes.
+	if s.hasChans() {
+		dst = append(dst, 'c')
+		dst = binary.AppendUvarint(dst, uint64(s.dropsUsed))
 	}
 	return dst, true
 }

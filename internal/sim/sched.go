@@ -12,14 +12,17 @@ type Scheduler interface {
 	Next(s *System) int
 }
 
-// RoundRobin cycles through live processes in id order, starting at 0.
+// RoundRobin cycles through live pids in id order, starting at 0. On
+// message-passing systems the cycle covers the virtual delivery pids too —
+// the network is one more fairly-scheduled participant, so pending messages
+// are delivered in rotation instead of starving the receivers.
 type RoundRobin struct {
 	next int
 }
 
-// Next returns the next live process at or after the cursor.
+// Next returns the next live pid at or after the cursor.
 func (r *RoundRobin) Next(s *System) int {
-	n := s.N()
+	n := s.MaxPid()
 	for i := 0; i < n; i++ {
 		pid := (r.next + i) % n
 		if s.Live(pid) {

@@ -45,6 +45,10 @@ func (s *System) StateHash128() (fp machine.Hash128, ok bool) {
 	if s.hcAdapters > 0 {
 		h = h.Word(uint64(s.steps))
 	}
+	// Channel systems fold the consumed drop budget, like AppendStateKey.
+	if s.hasChans() {
+		h = h.Word(uint64(s.dropsUsed))
+	}
 	return h, true
 }
 
@@ -151,6 +155,9 @@ func (s *System) streamedStateHash128() (fp machine.Hash128, ok bool) {
 	h := machine.SeedHash128().Word(mfp.Lo).Word(mfp.Hi).Word(aggLo).Word(aggHi)
 	if adapters {
 		h = h.Word(uint64(s.steps))
+	}
+	if s.hasChans() {
+		h = h.Word(uint64(s.dropsUsed))
 	}
 	return h, true
 }

@@ -191,5 +191,11 @@ func (s *System) AppendSymStateKey(dst []byte, sc *SymScratch) (key []byte, ok b
 	for _, e := range entries {
 		dst = append(dst, e...)
 	}
+	// Drop-budget fold, mirroring AppendStateKey: present only for channel
+	// systems, so shared-memory symmetric keys keep their exact bytes.
+	if s.hasChans() {
+		dst = append(dst, 'c')
+		dst = binary.AppendUvarint(dst, uint64(s.dropsUsed))
+	}
 	return dst, true
 }

@@ -40,10 +40,15 @@ type procState struct {
 	// exhausted. Results are still delivered to the stepper one Resume per
 	// step, so stepper-observable state is identical to unfused execution at
 	// every step boundary.
-	rp       RunPoiser
-	run      []OpInfo // rp only: cached straight-line run
-	pos      int      // rp only: next instruction within run
-	poised   OpInfo   // cached poised instruction; valid while hasPoise
+	rp  RunPoiser
+	run []OpInfo // rp only: cached straight-line run
+	pos int      // rp only: next instruction within run
+	// argsBuf backs the Args of a run inherited by Fork: inherited entries
+	// must not alias the source stepper's reusable argument slots, which the
+	// source (or, under pooling, whoever recycles its storage) re-poises
+	// over. Reused across forks, so severing costs no steady-state allocs.
+	argsBuf  []machine.Value
+	poised   OpInfo // cached poised instruction; valid while hasPoise
 	hasPoise bool
 	decided  bool
 	decision int
@@ -141,6 +146,14 @@ type System struct {
 	hcUnkeyed        int
 	hcAdapters       int
 	hcDirty          []int
+	// Delivery adversary state (delivery.go). chanLocs/chanStride are the
+	// structural layout of the virtual pid space, fixed at construction;
+	// dropsUsed is observable configuration state and folds into every
+	// canonical key.
+	deliver    Delivery
+	chanLocs   []int
+	chanStride int
+	dropsUsed  int
 }
 
 // StepInfo records one executed step.
@@ -238,6 +251,7 @@ func newSystem(mem *machine.Memory, inputs []int, opts []SystemOption) *System {
 		o(s)
 	}
 	s.procs = make([]*procState, len(inputs))
+	s.initChannels()
 	return s
 }
 
@@ -272,9 +286,15 @@ func (s *System) Steps() int64 { return s.steps }
 // Trace returns the recorded steps (only populated with WithTrace).
 func (s *System) Trace() []StepInfo { return s.trace }
 
-// Live reports whether process pid can still take steps.
+// Live reports whether process pid can take a step now. Real pids must be
+// live and unblocked (a poised send on a full channel or recv from an empty
+// inbox waits); virtual pids at or above N() are live while they name an
+// enabled delivery-adversary move.
 func (s *System) Live(pid int) bool {
-	return pid >= 0 && pid < len(s.procs) && s.procs[pid].live()
+	if pid >= len(s.procs) {
+		return s.deliveryLive(pid)
+	}
+	return pid >= 0 && s.procEnabled(s.procs[pid])
 }
 
 // LiveSet returns the ids of all live processes, ascending.
@@ -284,12 +304,17 @@ func (s *System) LiveSet() []int {
 
 // AppendLive appends the ids of all live processes to dst, ascending, and
 // returns the extended slice. It is LiveSet without the forced allocation,
-// for schedulers on the hot path.
+// for schedulers on the hot path. With channels, the enabled delivery
+// branches follow the real pids (delivery.go): schedulers and explorer
+// strategies branch over adversary moves without knowing they exist.
 func (s *System) AppendLive(dst []int) []int {
 	for i, ps := range s.procs {
-		if ps.live() {
+		if s.procEnabled(ps) {
 			dst = append(dst, i)
 		}
+	}
+	if len(s.chanLocs) > 0 {
+		dst = s.appendDeliveryLive(dst)
 	}
 	return dst
 }
@@ -324,11 +349,18 @@ func (s *System) Err() error {
 // Poised returns the instruction process pid will perform when next
 // scheduled. ok is false if the process is not live.
 func (s *System) Poised(pid int) (OpInfo, bool) {
-	if pid < 0 || pid >= len(s.procs) {
+	if pid >= len(s.procs) {
+		if !s.deliveryLive(pid) {
+			return OpInfo{}, false
+		}
+		op, loc, rank, _ := s.deliveryChoice(pid)
+		return OpInfo{Loc: loc, Op: op, Args: []machine.Value{machine.Int(int64(rank))}}, true
+	}
+	if pid < 0 {
 		return OpInfo{}, false
 	}
 	ps := s.procs[pid]
-	if !ps.live() {
+	if !s.procEnabled(ps) {
 		return OpInfo{}, false
 	}
 	return ps.poisedInfo(), true
@@ -342,11 +374,14 @@ func (s *System) Step(pid int) (StepInfo, error) {
 	if s.closed {
 		return StepInfo{}, ErrClosed
 	}
-	if pid < 0 || pid >= len(s.procs) {
+	if pid >= len(s.procs) {
+		return s.stepDelivery(pid)
+	}
+	if pid < 0 {
 		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
 	}
 	ps := s.procs[pid]
-	if !ps.live() {
+	if !s.procEnabled(ps) {
 		return StepInfo{}, fmt.Errorf("%w: pid %d", ErrNotLive, pid)
 	}
 	info := &ps.poised
@@ -373,6 +408,11 @@ func (s *System) Step(pid int) (StepInfo, error) {
 	}
 	s.steps++
 	step := StepInfo{PID: pid, Info: *info, Result: res} // before refresh: it may re-poise over *info
+	if s.tracing && len(step.Info.Args) > 0 {
+		// Steppers reuse argument slots across poises; snapshot the values so
+		// the retained trace can't alias state the resume will overwrite.
+		step.Info.Args = append([]machine.Value(nil), step.Info.Args...)
+	}
 	if ps.rp != nil {
 		ps.st.Resume(res)
 		if ps.pos++; ps.pos == len(ps.run) {
@@ -394,7 +434,12 @@ func (s *System) Step(pid int) (StepInfo, error) {
 
 // Crash removes process pid from the execution: it is never scheduled again.
 // Crashes may happen at any time in the model; algorithms must stay safe.
+// Crashing a virtual delivery pid is a no-op: the network is not a process
+// (crash adversaries picking from AppendLive may legitimately land on one).
 func (s *System) Crash(pid int) {
+	if pid < 0 || pid >= len(s.procs) {
+		return
+	}
 	ps := s.procs[pid]
 	if !ps.live() {
 		return

@@ -49,6 +49,17 @@ type compileConfig struct {
 	l         int
 	values    int
 	valuesSet bool
+	// Delivery model for the message-passing rows (WithDelivery).
+	deliver    DeliveryMode
+	maxDrops   int
+	deliverSet bool
+	// Scenario overlay (WithScenario); resolved against the portfolio by
+	// Compile.
+	scenario    string
+	scenarioSet bool
+	// err records the first invalid option; Compile reports it before
+	// resolving the row, like every other input error.
+	err error
 }
 
 type solveConfig struct {
@@ -66,6 +77,7 @@ type verifyConfig struct {
 	tableBytes int64
 	spillNodes int
 	spillDir   string
+	progress   func(states int64)
 	// err records the first invalid option; Verify reports it before any
 	// protocol construction, like every other input error.
 	err error
@@ -289,3 +301,115 @@ func WithSymmetry() VerifyOption { return symmetryOption{} }
 type symmetryOption struct{}
 
 func (symmetryOption) applyVerify(c *verifyConfig) { c.symmetry = true }
+
+// DeliveryMode selects the network adversary of a message-passing row — how
+// much freedom the scheduler has over the order (and survival) of in-flight
+// messages. See WithDelivery.
+type DeliveryMode int
+
+const (
+	// DeliveryOrdered delivers each channel's pending messages in FIFO
+	// send order: the only delivery branch per channel is "deliver the
+	// oldest". The weakest adversary, and the default.
+	DeliveryOrdered DeliveryMode = iota
+	// DeliveryReorder lets the adversary deliver any pending message of a
+	// channel, not just the oldest: every pending rank is its own
+	// scheduling branch, modeling an asynchronous network that reorders
+	// freely but never loses.
+	DeliveryReorder
+	// DeliveryLossy is DeliveryReorder plus adversarial message loss: the
+	// adversary may also drop any pending message, up to the compiled
+	// drop budget (WithDelivery's maxDrops).
+	DeliveryLossy
+)
+
+// String returns the mode's flag spelling: ordered, reorder, lossy.
+func (m DeliveryMode) String() string {
+	switch m {
+	case DeliveryOrdered:
+		return "ordered"
+	case DeliveryReorder:
+		return "reorder"
+	case DeliveryLossy:
+		return "lossy"
+	}
+	return "invalid"
+}
+
+// ParseDeliveryMode parses a DeliveryMode's String spelling, for flag and
+// config surfaces.
+func ParseDeliveryMode(s string) (DeliveryMode, error) {
+	for _, m := range []DeliveryMode{DeliveryOrdered, DeliveryReorder, DeliveryLossy} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown delivery mode %q (want ordered, reorder, or lossy)", ErrBadInput, s)
+}
+
+// WithDelivery fixes the delivery adversary of a message-passing row
+// (MP.QSC): every run and every exploration of the handle branches over the
+// chosen adversary's delivery moves. maxDrops is the adversary's total drop
+// budget and is only meaningful under DeliveryLossy (it must be zero for the
+// other modes); exploration treats each drop like any other scheduling
+// branch, so the verified envelope covers every loss pattern within the
+// budget. The delivery model is part of the handle's identity — it changes
+// the reachable state space — so, like BufferCap, it is fixed at compile
+// time. Compiling a row without message channels WithDelivery reports
+// ErrBadInput. Default DeliveryOrdered with no drops.
+func WithDelivery(m DeliveryMode, maxDrops int) CompileOption {
+	return deliveryOption{mode: m, maxDrops: maxDrops}
+}
+
+type deliveryOption struct {
+	mode     DeliveryMode
+	maxDrops int
+}
+
+func (o deliveryOption) applyCompile(c *compileConfig) {
+	switch {
+	case o.mode < DeliveryOrdered || o.mode > DeliveryLossy:
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: invalid DeliveryMode(%d)", ErrBadInput, int(o.mode))
+		}
+	case o.maxDrops < 0:
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: WithDelivery maxDrops %d is negative", ErrBadInput, o.maxDrops)
+		}
+	case o.maxDrops > 0 && o.mode != DeliveryLossy:
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: WithDelivery maxDrops %d needs DeliveryLossy, got %s",
+				ErrBadInput, o.maxDrops, o.mode)
+		}
+	default:
+		c.deliver, c.maxDrops, c.deliverSet = o.mode, o.maxDrops, true
+	}
+}
+
+// WithScenario compiles the MP.QSC handle as one entry of the adversarial
+// scenario portfolio (Scenarios lists them): the scenario's protocol variant
+// replaces the row's — possibly with a scripted Byzantine process — its
+// initial crashes are applied and its planted schedule prefix replayed
+// before every run, and its delivery model becomes the handle's default
+// (overridable by an explicit WithDelivery). The handle's n must equal the
+// scenario's process count, and the planted verdicts assume the scenario's
+// canonical inputs (ScenarioInfo.Inputs). Unknown names, non-MP.QSC rows,
+// and combination with WithValues report ErrBadInput.
+func WithScenario(name string) CompileOption { return scenarioOption(name) }
+
+type scenarioOption string
+
+func (o scenarioOption) applyCompile(c *compileConfig) { c.scenario, c.scenarioSet = string(o), true }
+
+// WithProgress installs a liveness callback on one Verify exploration: fn
+// receives the running expanded-configuration count roughly every few
+// thousand states, letting callers surface progress (a job's states-visited
+// gauge) on explorations that run for minutes. Under Workers the callback
+// fires on worker goroutines — possibly concurrently — so fn must be safe
+// for concurrent use and should return quickly; the final VerifyReport is
+// unaffected.
+func WithProgress(fn func(states int64)) VerifyOption { return progressOption(fn) }
+
+type progressOption func(states int64)
+
+func (o progressOption) applyVerify(c *verifyConfig) { c.progress = o }

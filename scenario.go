@@ -1,0 +1,51 @@
+package repro
+
+import "repro/internal/scenario"
+
+// ScenarioInfo describes one entry of the adversarial scenario portfolio —
+// the crafted network and fault situations over the MP.QSC row that
+// WithScenario compiles. The portfolio covers crash-f silence on both sides
+// of the resilience bound, message reordering and loss, offline-and-return
+// and partition-heal schedules, and scripted Byzantine senders.
+type ScenarioInfo struct {
+	// Name is the stable identifier WithScenario (and the cmd/consensus
+	// -scenario flag) accepts.
+	Name string
+	// Description says what the adversary does and what should happen.
+	Description string
+	// Inputs are the canonical process inputs: the scenario's planted
+	// verdicts (a Byzantine fork reaching disagreement, a resilience bound
+	// holding) are staged against these values, and len(Inputs) is the n
+	// the scenario's handle must be compiled for.
+	Inputs []int
+	// Depth is the exploration depth from the scenario's prefixed
+	// configuration that suffices to reach its verdict — the natural
+	// maxDepth for Verify on the scenario's handle.
+	Depth int
+	// WantViolation marks scenarios whose planted adversary genuinely
+	// breaks safety: Verify must find a violation within Depth. For all
+	// other scenarios it must find none.
+	WantViolation bool
+	// ExpectDecision marks scenarios whose fair runs end with every
+	// correct process decided; false past the resilience bound, where
+	// safety holds but no quorum can form.
+	ExpectDecision bool
+}
+
+// Scenarios lists the adversarial scenario portfolio in documentation
+// order. Each entry's Name is valid for WithScenario on an MP.QSC handle
+// compiled for n = len(Inputs) processes.
+func Scenarios() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, sc := range scenario.Portfolio() {
+		out = append(out, ScenarioInfo{
+			Name:           sc.Name,
+			Description:    sc.Description,
+			Inputs:         append([]int(nil), sc.Inputs...),
+			Depth:          sc.Depth,
+			WantViolation:  sc.WantViolation,
+			ExpectDecision: sc.ExpectDecision,
+		})
+	}
+	return out
+}
